@@ -1,0 +1,318 @@
+//! Structural analyses: support, sizes, evaluation, satisfying-assignment
+//! counting and enumeration.
+
+use crate::hash::FxHashMap;
+use crate::{Manager, NodeId, VarId};
+use std::collections::HashSet;
+
+impl Manager {
+    /// Number of internal nodes in `f` (terminals not counted).
+    pub fn size(&self, f: NodeId) -> usize {
+        let mut seen = HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let (lo, hi) = self.branches(n);
+            stack.push(lo);
+            stack.push(hi);
+        }
+        count
+    }
+
+    /// Total nodes in the union of several functions (shared nodes counted
+    /// once) — the "BDD size" figure reported in the paper's tables.
+    pub fn shared_size(&self, fs: &[NodeId]) -> usize {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<NodeId> = fs.to_vec();
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            count += 1;
+            let (lo, hi) = self.branches(n);
+            stack.push(lo);
+            stack.push(hi);
+        }
+        count
+    }
+
+    /// The set of variables `f` structurally depends on, in order.
+    pub fn support(&self, f: NodeId) -> Vec<VarId> {
+        let mut vars = HashSet::new();
+        let mut seen = HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let node = self.node(n);
+            vars.insert(node.var);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        let mut out: Vec<VarId> = vars.into_iter().map(VarId).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Evaluates `f` under `assignment`, indexed by variable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable with id `>= assignment.len()`.
+    pub fn eval(&self, f: NodeId, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let node = self.node(cur);
+            cur = if assignment[node.var as usize] { node.hi } else { node.lo };
+        }
+        cur.is_true()
+    }
+
+    /// Exact number of satisfying assignments of `f` over a universe of
+    /// `num_vars` variables (ids `0..num_vars`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 127` (would overflow `u128`; use
+    /// [`Manager::sat_fraction`] instead) or if `f` depends on a variable
+    /// outside the universe.
+    pub fn sat_count(&self, f: NodeId, num_vars: usize) -> u128 {
+        assert!(num_vars <= 127, "sat_count overflows above 127 variables");
+        let mut memo: FxHashMap<NodeId, u128> = FxHashMap::default();
+        let total_level = num_vars as u32;
+        let top = self.level(f).min(total_level);
+        self.sat_count_rec(f, total_level, &mut memo) << top
+    }
+
+    fn sat_count_rec(
+        &self,
+        f: NodeId,
+        total_level: u32,
+        memo: &mut FxHashMap<NodeId, u128>,
+    ) -> u128 {
+        // Returns count over variables strictly below f's level.
+        if f.is_false() {
+            return 0;
+        }
+        if f.is_true() {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let node = self.node(f);
+        let node_level = self.level(f);
+        assert!(node_level < total_level, "variable outside the counting universe");
+        let (lo, hi) = (node.lo, node.hi);
+        let lo_level = self.level(lo).min(total_level);
+        let hi_level = self.level(hi).min(total_level);
+        let c_lo = self.sat_count_rec(lo, total_level, memo) << (lo_level - node_level - 1);
+        let c_hi = self.sat_count_rec(hi, total_level, memo) << (hi_level - node_level - 1);
+        let c = c_lo + c_hi;
+        memo.insert(f, c);
+        c
+    }
+
+    /// Fraction of the assignment space satisfying `f`, computed in `f64`.
+    /// Scale by `2^n` for an (approximate) model count with any number of
+    /// variables.
+    pub fn sat_fraction(&self, f: NodeId) -> f64 {
+        let mut memo: FxHashMap<NodeId, f64> = FxHashMap::default();
+        self.sat_fraction_rec(f, &mut memo)
+    }
+
+    fn sat_fraction_rec(&self, f: NodeId, memo: &mut FxHashMap<NodeId, f64>) -> f64 {
+        if f.is_false() {
+            return 0.0;
+        }
+        if f.is_true() {
+            return 1.0;
+        }
+        if let Some(&p) = memo.get(&f) {
+            return p;
+        }
+        let (lo, hi) = self.branches(f);
+        let p = 0.5 * (self.sat_fraction_rec(lo, memo) + self.sat_fraction_rec(hi, memo));
+        memo.insert(f, p);
+        p
+    }
+
+    /// One satisfying assignment of `f` as `(variable, phase)` pairs for the
+    /// variables on the chosen path; variables absent from the result are
+    /// unconstrained. `None` iff `f` is unsatisfiable.
+    pub fn one_sat(&self, f: NodeId) -> Option<Vec<(VarId, bool)>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let node = self.node(cur);
+            if !node.lo.is_false() {
+                path.push((VarId(node.var), false));
+                cur = node.lo;
+            } else {
+                path.push((VarId(node.var), true));
+                cur = node.hi;
+            }
+        }
+        Some(path)
+    }
+
+    /// All satisfying cubes of `f` (paths to the `1` terminal). Variables
+    /// missing from a cube may take either value.
+    ///
+    /// The number of cubes can be exponential in the size of `f`; use only
+    /// on functions known to be small (e.g. the purged solution sets of
+    /// §3.5.2).
+    pub fn sat_cubes(&self, f: NodeId) -> Vec<Vec<(VarId, bool)>> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.sat_cubes_rec(f, &mut prefix, &mut out);
+        out
+    }
+
+    fn sat_cubes_rec(
+        &self,
+        f: NodeId,
+        prefix: &mut Vec<(VarId, bool)>,
+        out: &mut Vec<Vec<(VarId, bool)>>,
+    ) {
+        if f.is_false() {
+            return;
+        }
+        if f.is_true() {
+            out.push(prefix.clone());
+            return;
+        }
+        let node = self.node(f);
+        prefix.push((VarId(node.var), false));
+        self.sat_cubes_rec(node.lo, prefix, out);
+        prefix.pop();
+        prefix.push((VarId(node.var), true));
+        self.sat_cubes_rec(node.hi, prefix, out);
+        prefix.pop();
+    }
+
+    /// Number of satisfying assignments restricted to the given variable
+    /// set, assuming `f` only depends on variables in `vars`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable not in `vars`, or if
+    /// `vars.len() > 127`.
+    pub fn sat_count_over(&self, f: NodeId, vars: &[VarId]) -> u128 {
+        assert!(vars.len() <= 127, "sat_count_over overflows above 127 variables");
+        let mut sorted: Vec<u32> = vars.iter().map(|v| v.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut total: u128 = 0;
+        for cube in self.sat_cubes(f) {
+            for &(v, _) in &cube {
+                assert!(
+                    sorted.binary_search(&v.0).is_ok(),
+                    "function depends on {v} outside the given variable set"
+                );
+            }
+            let free = sorted.len() - cube.len();
+            total += 1u128 << free;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_and_size() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let t = m.and(vs[0], vs[2]);
+        let f = m.or(t, vs[3]);
+        assert_eq!(m.support(f), vec![VarId(0), VarId(2), VarId(3)]);
+        assert!(m.size(f) >= 3);
+        assert_eq!(m.size(NodeId::TRUE), 0);
+    }
+
+    #[test]
+    fn eval_matches_construction() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(3);
+        let x = m.xor(vs[0], vs[1]);
+        let f = m.or(x, vs[2]);
+        for bits in 0u32..8 {
+            let a: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = (a[0] ^ a[1]) || a[2];
+            assert_eq!(m.eval(f, &a), expect);
+        }
+    }
+
+    #[test]
+    fn sat_count_simple() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(3);
+        let f = m.or_many(vs.clone());
+        assert_eq!(m.sat_count(f, 3), 7);
+        let g = m.and_many(vs);
+        assert_eq!(m.sat_count(g, 3), 1);
+        assert_eq!(m.sat_count(NodeId::TRUE, 10), 1024);
+        assert_eq!(m.sat_count(NodeId::FALSE, 10), 0);
+    }
+
+    #[test]
+    fn sat_count_untouched_universe_scales() {
+        let mut m = Manager::new();
+        let a = m.new_var();
+        let _unused = m.new_vars(4);
+        assert_eq!(m.sat_count(a, 5), 16);
+    }
+
+    #[test]
+    fn sat_fraction_matches_count() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(6);
+        let t1 = m.and(vs[0], vs[1]);
+        let t2 = m.xor(vs[2], vs[5]);
+        let f = m.or(t1, t2);
+        let frac = m.sat_fraction(f);
+        let count = m.sat_count(f, 6) as f64;
+        assert!((frac * 64.0 - count).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sat_and_cubes() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(3);
+        let nb = m.not(vs[1]);
+        let f = m.and(vs[0], nb);
+        let sat = m.one_sat(f).expect("satisfiable");
+        let mut a = [false; 3];
+        for (v, phase) in sat {
+            a[v.index()] = phase;
+        }
+        assert!(m.eval(f, &a));
+        assert!(m.one_sat(NodeId::FALSE).is_none());
+        let cubes = m.sat_cubes(f);
+        assert_eq!(cubes.len(), 1);
+        assert_eq!(cubes[0], vec![(VarId(0), true), (VarId(1), false)]);
+    }
+
+    #[test]
+    fn sat_count_over_subset() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(6);
+        // f over vars {1, 3, 5} only.
+        let t = m.or(vs[1], vs[3]);
+        let f = m.and(t, vs[5]);
+        let n = m.sat_count_over(f, &[VarId(1), VarId(3), VarId(5)]);
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,259 @@
+//! Symbolic combinatorics for decomposition-choice subsetting (§3.5.2 of
+//! the paper): weight functions `w_k(c)`, binary integer encodings
+//! `κ_k(e)`, the weight relation `K(c, e)`, and integer comparison
+//! relations `gte`/`equ` used by the dominance purge.
+//!
+//! All constructors are free functions taking the [`Manager`] so the caller
+//! controls variable layout.
+
+use crate::{Manager, NodeId, VarId};
+
+/// BDD of assignments to `vars` with **exactly** `k` variables set to 1 —
+/// the `w_k(c)` of the paper, representing the combinatorial set `C(n, k)`.
+///
+/// Built with the standard threshold dynamic program: `O(n·k)` nodes.
+pub fn weight_exactly(m: &mut Manager, vars: &[VarId], k: usize) -> NodeId {
+    if k > vars.len() {
+        return NodeId::FALSE;
+    }
+    let mut vars: Vec<VarId> = vars.to_vec();
+    vars.sort_by_key(|&v| m.level_of(v));
+    // row[j] = characteristic of "exactly j ones among the remaining vars",
+    // built from the last variable upward.
+    let mut row: Vec<NodeId> = (0..=k).map(|j| if j == 0 { NodeId::TRUE } else { NodeId::FALSE }).collect();
+    for (i, &v) in vars.iter().enumerate().rev() {
+        let remaining = vars.len() - i;
+        let mut next = row.clone();
+        for j in 0..=k {
+            // Setting v consumes one from the budget; clearing it does not.
+            let hi = if j > 0 { row[j - 1] } else { NodeId::FALSE };
+            let lo = row[j];
+            next[j] = m.mk(v.0, lo, hi);
+            // Prune impossible rows (more ones required than vars left).
+            if j > remaining {
+                next[j] = NodeId::FALSE;
+            }
+        }
+        row = next;
+    }
+    row[k]
+}
+
+/// BDD of assignments to `vars` with **at most** `k` ones.
+pub fn weight_at_most(m: &mut Manager, vars: &[VarId], k: usize) -> NodeId {
+    let terms: Vec<NodeId> = (0..=k.min(vars.len()))
+        .map(|j| weight_exactly(m, vars, j))
+        .collect();
+    m.or_many(terms)
+}
+
+/// BDD of assignments to `vars` with **at least** `k` ones.
+pub fn weight_at_least(m: &mut Manager, vars: &[VarId], k: usize) -> NodeId {
+    if k == 0 {
+        return NodeId::TRUE;
+    }
+    let at_most = weight_at_most(m, vars, k - 1);
+    m.not(at_most)
+}
+
+/// Minterm over the little-endian variable vector `evars` encoding the
+/// integer `k` — the `κ_k(e)` of the paper.
+///
+/// # Panics
+///
+/// Panics if `k` does not fit in `evars.len()` bits.
+pub fn encode_int(m: &mut Manager, evars: &[VarId], k: usize) -> NodeId {
+    assert!(
+        evars.len() >= usize::BITS as usize - k.leading_zeros() as usize,
+        "{k} does not fit in {} bits",
+        evars.len()
+    );
+    let assignment: Vec<(VarId, bool)> =
+        evars.iter().enumerate().map(|(i, &v)| (v, k >> i & 1 == 1)).collect();
+    m.minterm(&assignment)
+}
+
+/// The weight relation `K(c, e) = Σ_k w_k(c)·κ_k(e)` tying an assignment of
+/// the decision variables `cvars` to the binary encoding of its weight over
+/// `evars` (little-endian).
+///
+/// # Panics
+///
+/// Panics if `evars` cannot represent `cvars.len()`.
+pub fn weight_relation(m: &mut Manager, cvars: &[VarId], evars: &[VarId]) -> NodeId {
+    let mut terms = Vec::with_capacity(cvars.len() + 1);
+    for k in 0..=cvars.len() {
+        let w = weight_exactly(m, cvars, k);
+        let kappa = encode_int(m, evars, k);
+        terms.push(m.and(w, kappa));
+    }
+    m.or_many(terms)
+}
+
+/// "Greater-than-or-equal" relation between two equal-width little-endian
+/// integer vectors: true iff `int(avars) ≥ int(bvars)`.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in width.
+pub fn gte(m: &mut Manager, avars: &[VarId], bvars: &[VarId]) -> NodeId {
+    assert_eq!(avars.len(), bvars.len(), "comparator widths must match");
+    // From LSB to MSB: geq = (a > b) + (a == b)·geq_lower.
+    let mut geq = NodeId::TRUE;
+    for (&a, &b) in avars.iter().zip(bvars) {
+        let av = m.var(a);
+        let bv = m.var(b);
+        let nb = m.not(bv);
+        let gt = m.and(av, nb);
+        let eq = m.xnor(av, bv);
+        let eq_and_lower = m.and(eq, geq);
+        geq = m.or(gt, eq_and_lower);
+    }
+    geq
+}
+
+/// Equality relation between two equal-width integer vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in width.
+pub fn equ(m: &mut Manager, avars: &[VarId], bvars: &[VarId]) -> NodeId {
+    assert_eq!(avars.len(), bvars.len(), "comparator widths must match");
+    let bits: Vec<NodeId> = avars
+        .iter()
+        .zip(bvars)
+        .map(|(&a, &b)| {
+            let av = m.var(a);
+            let bv = m.var(b);
+            m.xnor(av, bv)
+        })
+        .collect();
+    m.and_many(bits)
+}
+
+/// Decodes the little-endian integer selected by a (full) assignment to
+/// `evars` within a satisfying cube; unconstrained bits read as 0.
+pub fn decode_int(cube: &[(VarId, bool)], evars: &[VarId]) -> usize {
+    let mut out = 0usize;
+    for (i, &e) in evars.iter().enumerate() {
+        if cube.iter().any(|&(v, phase)| v == e && phase) {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// Number of `e`-variables needed to encode values up to `n` inclusive.
+pub fn bits_for(n: usize) -> usize {
+    (usize::BITS - n.leading_zeros()).max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binomial(n: u128, k: u128) -> u128 {
+        if k > n {
+            return 0;
+        }
+        let mut r: u128 = 1;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn weight_counts_match_binomials() {
+        let mut m = Manager::new();
+        let vars: Vec<VarId> = (0..8).map(VarId).collect();
+        m.new_vars(8);
+        for k in 0..=8usize {
+            let w = weight_exactly(&mut m, &vars, k);
+            assert_eq!(m.sat_count(w, 8), binomial(8, k as u128), "k={k}");
+        }
+    }
+
+    #[test]
+    fn weight_boundaries() {
+        let mut m = Manager::new();
+        m.new_vars(3);
+        let vars: Vec<VarId> = (0..3).map(VarId).collect();
+        assert_eq!(weight_exactly(&mut m, &vars, 4), NodeId::FALSE);
+        let w0 = weight_exactly(&mut m, &vars, 0);
+        assert_eq!(m.sat_count(w0, 3), 1);
+        assert_eq!(weight_at_least(&mut m, &vars, 0), NodeId::TRUE);
+        let am3 = weight_at_most(&mut m, &vars, 3);
+        assert!(am3.is_true());
+    }
+
+    #[test]
+    fn at_most_at_least_partition() {
+        let mut m = Manager::new();
+        m.new_vars(6);
+        let vars: Vec<VarId> = (0..6).map(VarId).collect();
+        for k in 0..=6usize {
+            let le = weight_at_most(&mut m, &vars, k);
+            let gt = weight_at_least(&mut m, &vars, k + 1);
+            let both = m.and(le, gt);
+            let either = m.or(le, gt);
+            assert!(both.is_false());
+            assert!(either.is_true());
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut m = Manager::new();
+        m.new_vars(4);
+        let evars: Vec<VarId> = (0..4).map(VarId).collect();
+        for k in 0..16usize {
+            let enc = encode_int(&mut m, &evars, k);
+            let cube = m.one_sat(enc).expect("minterms are satisfiable");
+            assert_eq!(decode_int(&cube, &evars), k);
+        }
+    }
+
+    #[test]
+    fn weight_relation_binds_weight_to_encoding() {
+        let mut m = Manager::new();
+        m.new_vars(4 + 3);
+        let cvars: Vec<VarId> = (0..4).map(VarId).collect();
+        let evars: Vec<VarId> = (4..7).map(VarId).collect();
+        let rel = weight_relation(&mut m, &cvars, &evars);
+        // For each total assignment check e == weight(c).
+        for bits in 0u32..(1 << 7) {
+            let a: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
+            let weight = a[..4].iter().filter(|&&b| b).count();
+            let enc = (0..3).filter(|&i| a[4 + i]).fold(0usize, |acc, i| acc | 1 << i);
+            assert_eq!(m.eval(rel, &a), weight == enc);
+        }
+    }
+
+    #[test]
+    fn comparators() {
+        let mut m = Manager::new();
+        m.new_vars(6);
+        let a: Vec<VarId> = (0..3).map(VarId).collect();
+        let b: Vec<VarId> = (3..6).map(VarId).collect();
+        let ge = gte(&mut m, &a, &b);
+        let eq = equ(&mut m, &a, &b);
+        for bits in 0u32..64 {
+            let assign: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let av = (0..3).filter(|&i| assign[i]).fold(0, |acc, i| acc | 1 << i);
+            let bv = (0..3).filter(|&i| assign[3 + i]).fold(0, |acc, i| acc | 1 << i);
+            assert_eq!(m.eval(ge, &assign), av >= bv, "gte {av} {bv}");
+            assert_eq!(m.eval(eq, &assign), av == bv, "equ {av} {bv}");
+        }
+    }
+
+    #[test]
+    fn bits_for_widths() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(7), 3);
+        assert_eq!(bits_for(8), 4);
+        assert_eq!(bits_for(33), 6);
+    }
+}

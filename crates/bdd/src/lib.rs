@@ -1,0 +1,65 @@
+//! Reduced ordered binary decision diagrams (ROBDDs) for the `symbi`
+//! logic-synthesis suite.
+//!
+//! This crate is a self-contained BDD package in the tradition of CUDD,
+//! providing the substrate for the symbolic bi-decomposition algorithms of
+//! Kravets & Mishchenko (DATE 2009). It implements:
+//!
+//! - a hash-consed unique table with a computed-table cache ([`Manager`]),
+//! - the Boolean connectives and the `ITE` operator,
+//! - existential/universal quantification over variable cubes,
+//! - variable substitution (single and simultaneous vector composition),
+//! - structural analyses: support, node counting, satisfying-assignment
+//!   counting and enumeration,
+//! - symbolic combinatorics used by the paper's choice subsetting:
+//!   weight functions `w_k(c)`, integer encodings, comparison relations
+//!   ([`combin`]),
+//! - DOT export for debugging ([`dot`]).
+//!
+//! Variable order defaults to creation order ([`Manager::new_var`]
+//! appends at the bottom), but variables and levels are decoupled:
+//! [`Manager::with_var_order`] starts from any permutation,
+//! [`Manager::reordered`] rebuilds chosen roots under a new order, and
+//! [`Manager::sifted`] greedily searches for a smaller one. The
+//! algorithms in `symbi-core` plan their variable layout up front
+//! (interleaving decision and function variables), matching the scales
+//! reported in the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use symbi_bdd::Manager;
+//!
+//! let mut m = Manager::new();
+//! let x = m.new_var();
+//! let y = m.new_var();
+//! let f = m.or(x, y);
+//! let g = m.and(x, y);
+//! // x + y is not x & y ...
+//! assert_ne!(f, g);
+//! // ... but De Morgan holds.
+//! let nx = m.not(x);
+//! let ny = m.not(y);
+//! let h = m.and(nx, ny);
+//! let h = m.not(h);
+//! assert_eq!(f, h);
+//! ```
+
+mod analysis;
+pub mod combin;
+mod compose;
+pub mod dot;
+pub mod hash;
+mod manager;
+mod node;
+mod quant;
+mod restrict;
+mod transfer;
+
+pub use manager::{Manager, ManagerStats};
+pub use node::{NodeId, VarId};
+
+#[cfg(test)]
+mod tests_reorder;
+#[cfg(test)]
+mod tests_semantics;

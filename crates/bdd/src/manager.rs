@@ -1,0 +1,688 @@
+//! The BDD manager: unique table, computed table, and Boolean connectives.
+
+use crate::hash::FxHashMap;
+use crate::node::{Node, TERMINAL_LEVEL};
+use crate::{NodeId, VarId};
+
+/// Operation tags for the computed-table cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Op {
+    Not,
+    And,
+    Or,
+    Xor,
+    Ite,
+    Exists,
+    Forall,
+    Compose,
+    VCompose,
+    Restrict,
+}
+
+pub(crate) type CacheKey = (Op, u32, u32, u32);
+
+/// A reduced ordered BDD manager.
+///
+/// All functions built through one manager share structure via hash
+/// consing, so node equality ([`NodeId`] equality) is function equality.
+/// Nodes are never garbage collected: the intended usage pattern — one
+/// manager per symbolic computation, as in the paper's prototype — keeps
+/// peak sizes modest. [`Manager::clear_cache`] drops the computed table if
+/// memory pressure matters between phases.
+///
+/// # Example
+///
+/// ```
+/// use symbi_bdd::Manager;
+/// let mut m = Manager::new();
+/// let (a, b, c) = (m.new_var(), m.new_var(), m.new_var());
+/// // Majority of three variables.
+/// let ab = m.and(a, b);
+/// let ac = m.and(a, c);
+/// let bc = m.and(b, c);
+/// let maj = m.or_many([ab, ac, bc]);
+/// assert_eq!(m.sat_count(maj, 3), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Manager {
+    pub(crate) nodes: Vec<Node>,
+    unique: FxHashMap<(u32, NodeId, NodeId), NodeId>,
+    pub(crate) cache: FxHashMap<CacheKey, NodeId>,
+    num_vars: u32,
+    var_nodes: Vec<NodeId>,
+    /// Variable → level (its position in the order, 0 = top).
+    var2level: Vec<u32>,
+    /// Level → variable (inverse of `var2level`).
+    level2var: Vec<u32>,
+    pub(crate) substitutions: Vec<FxHashMap<u32, NodeId>>,
+}
+
+/// Size statistics for a [`Manager`], as returned by [`Manager::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ManagerStats {
+    /// Total allocated nodes, including the two terminals.
+    pub nodes: usize,
+    /// Number of declared variables.
+    pub vars: usize,
+    /// Entries currently held in the computed table.
+    pub cache_entries: usize,
+}
+
+impl Manager {
+    /// Creates an empty manager with no variables.
+    pub fn new() -> Self {
+        let mut m = Manager {
+            nodes: Vec::with_capacity(1 << 12),
+            unique: FxHashMap::default(),
+            cache: FxHashMap::default(),
+            num_vars: 0,
+            var_nodes: Vec::new(),
+            var2level: Vec::new(),
+            level2var: Vec::new(),
+            substitutions: Vec::new(),
+        };
+        // Index 0: FALSE, index 1: TRUE.
+        m.nodes.push(Node { var: TERMINAL_LEVEL, lo: NodeId::FALSE, hi: NodeId::FALSE });
+        m.nodes.push(Node { var: TERMINAL_LEVEL, lo: NodeId::TRUE, hi: NodeId::TRUE });
+        m
+    }
+
+    /// Creates a manager with `n` variables already declared.
+    pub fn with_vars(n: usize) -> Self {
+        let mut m = Manager::new();
+        for _ in 0..n {
+            m.new_var();
+        }
+        m
+    }
+
+    /// Declares a fresh variable at the bottom of the order and returns its
+    /// positive literal.
+    pub fn new_var(&mut self) -> NodeId {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        self.var2level.push(v);
+        self.level2var.push(v);
+        let node = self.mk(v, NodeId::FALSE, NodeId::TRUE);
+        self.var_nodes.push(node);
+        node
+    }
+
+    /// Creates a manager whose variable *order* is the given permutation:
+    /// `order[i]` is the variable sitting at level `i` (level 0 = top).
+    /// All `order.len()` variables are declared; [`VarId`]s keep their
+    /// identity independent of placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn with_var_order(order: &[VarId]) -> Self {
+        let n = order.len();
+        let mut m = Manager::with_vars(n);
+        let mut var2level = vec![u32::MAX; n];
+        for (lvl, v) in order.iter().enumerate() {
+            assert!(v.index() < n, "order mentions undeclared variable {v}");
+            assert_eq!(var2level[v.index()], u32::MAX, "duplicate variable {v} in order");
+            var2level[v.index()] = lvl as u32;
+        }
+        m.var2level = var2level;
+        m.level2var = order.iter().map(|v| v.0).collect();
+        m
+    }
+
+    /// The level (order position, 0 = top) of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is undeclared.
+    pub fn level_of(&self, v: VarId) -> usize {
+        self.var2level[v.index()] as usize
+    }
+
+    /// The variables in order, top to bottom.
+    pub fn variable_order(&self) -> Vec<VarId> {
+        self.level2var.iter().map(|&v| VarId(v)).collect()
+    }
+
+    /// Rebuilds `roots` in a fresh manager whose variable order is the
+    /// given permutation, returning the manager and the mapped roots.
+    /// Variable identities are preserved (only levels change), so
+    /// evaluation semantics are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of this manager's variables.
+    pub fn reordered(&self, roots: &[NodeId], order: &[VarId]) -> (Manager, Vec<NodeId>) {
+        assert_eq!(order.len(), self.num_vars(), "order must cover every variable");
+        let mut dst = Manager::with_var_order(order);
+        let identity: crate::hash::FxHashMap<VarId, VarId> =
+            (0..self.num_vars() as u32).map(|i| (VarId(i), VarId(i))).collect();
+        let mapped = roots.iter().map(|&r| dst.transfer_from(self, r, &identity)).collect();
+        (dst, mapped)
+    }
+
+    /// Greedy sifting by rebuild: moves each variable (most populous
+    /// first) to the level that minimizes the shared size of `roots`,
+    /// one variable at a time, and returns the best manager found with
+    /// the mapped roots.
+    ///
+    /// Each trial rebuilds the diagrams, so the cost is
+    /// `O(vars² · size)` — intended for diagrams up to a few dozen
+    /// variables; larger managers should pick a static order
+    /// (e.g. `symbi_netlist::cone::dfs_leaf_order`) instead.
+    pub fn sifted(&self, roots: &[NodeId]) -> (Manager, Vec<NodeId>) {
+        let n = self.num_vars();
+        let mut best_order = self.variable_order();
+        let (mut best_mgr, mut best_roots) = self.reordered(roots, &best_order);
+        let mut best_size = best_mgr.shared_size(&best_roots);
+        // Most-populous-first variable agenda, computed on the input.
+        let mut population = vec![0usize; n];
+        for node in &self.nodes[2..] {
+            population[node.var as usize] += 1;
+        }
+        let mut agenda: Vec<VarId> = (0..n as u32).map(VarId).collect();
+        agenda.sort_by_key(|v| std::cmp::Reverse(population[v.index()]));
+        for v in agenda {
+            let from = best_order.iter().position(|&x| x == v).expect("present");
+            for to in 0..n {
+                if to == from {
+                    continue;
+                }
+                let mut candidate = best_order.clone();
+                let moved = candidate.remove(from);
+                candidate.insert(to, moved);
+                let (mgr, mapped) = self.reordered(roots, &candidate);
+                let size = mgr.shared_size(&mapped);
+                if size < best_size {
+                    best_size = size;
+                    best_order = candidate;
+                    best_mgr = mgr;
+                    best_roots = mapped;
+                }
+            }
+        }
+        (best_mgr, best_roots)
+    }
+
+    /// Declares `n` fresh variables, returning their positive literals.
+    pub fn new_vars(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.new_var()).collect()
+    }
+
+    /// Number of declared variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// The positive literal of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has not been declared.
+    #[inline]
+    pub fn var(&self, v: VarId) -> NodeId {
+        self.var_nodes[v.index()]
+    }
+
+    /// The literal of variable `v` with the given phase.
+    pub fn literal(&mut self, v: VarId, positive: bool) -> NodeId {
+        let node = self.var(v);
+        if positive {
+            node
+        } else {
+            self.not(node)
+        }
+    }
+
+    /// Top variable (level) of `f`; `None` for terminals.
+    #[inline]
+    pub fn top_var(&self, f: NodeId) -> Option<VarId> {
+        let v = self.nodes[f.index()].var;
+        (v != TERMINAL_LEVEL).then_some(VarId(v))
+    }
+
+    #[inline]
+    pub(crate) fn level(&self, f: NodeId) -> u32 {
+        let v = self.nodes[f.index()].var;
+        if v == TERMINAL_LEVEL {
+            TERMINAL_LEVEL
+        } else {
+            self.var2level[v as usize]
+        }
+    }
+
+    #[inline]
+    pub(crate) fn var_at_level(&self, level: u32) -> u32 {
+        self.level2var[level as usize]
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, f: NodeId) -> Node {
+        self.nodes[f.index()]
+    }
+
+    /// Cofactors of `f` with respect to its own top variable.
+    /// For terminals returns `(f, f)`.
+    #[inline]
+    pub fn branches(&self, f: NodeId) -> (NodeId, NodeId) {
+        let n = self.nodes[f.index()];
+        (n.lo, n.hi)
+    }
+
+    /// Hash-consed node constructor (the `MK` of the literature).
+    pub(crate) fn mk(&mut self, var: u32, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            self.var2level[var as usize] < self.level(lo)
+                && self.var2level[var as usize] < self.level(hi),
+            "ordering violated: node variable must precede both children"
+        );
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    /// Negation.
+    pub fn not(&mut self, f: NodeId) -> NodeId {
+        match f {
+            NodeId::FALSE => return NodeId::TRUE,
+            NodeId::TRUE => return NodeId::FALSE,
+            _ => {}
+        }
+        let key = (Op::Not, f.0, 0, 0);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let n = self.node(f);
+        let lo = self.not(n.lo);
+        let hi = self.not(n.hi);
+        let r = self.mk(n.var, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        if f == g {
+            return f;
+        }
+        if f.is_false() || g.is_false() {
+            return NodeId::FALSE;
+        }
+        if f.is_true() {
+            return g;
+        }
+        if g.is_true() {
+            return f;
+        }
+        let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let key = (Op::And, a.0, b.0, 0);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let r = self.binary_step(Op::And, a, b);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        if f == g {
+            return f;
+        }
+        if f.is_true() || g.is_true() {
+            return NodeId::TRUE;
+        }
+        if f.is_false() {
+            return g;
+        }
+        if g.is_false() {
+            return f;
+        }
+        let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let key = (Op::Or, a.0, b.0, 0);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let r = self.binary_step(Op::Or, a, b);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        if f == g {
+            return NodeId::FALSE;
+        }
+        if f.is_false() {
+            return g;
+        }
+        if g.is_false() {
+            return f;
+        }
+        if f.is_true() {
+            return self.not(g);
+        }
+        if g.is_true() {
+            return self.not(f);
+        }
+        let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        let key = (Op::Xor, a.0, b.0, 0);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let r = self.binary_step(Op::Xor, a, b);
+        self.cache.insert(key, r);
+        r
+    }
+
+    fn binary_step(&mut self, op: Op, f: NodeId, g: NodeId) -> NodeId {
+        let (lf, lg) = (self.level(f), self.level(g));
+        let top = lf.min(lg);
+        let (f0, f1) = if lf == top { self.branches(f) } else { (f, f) };
+        let (g0, g1) = if lg == top { self.branches(g) } else { (g, g) };
+        let (lo, hi) = match op {
+            Op::And => (self.and(f0, g0), self.and(f1, g1)),
+            Op::Or => (self.or(f0, g0), self.or(f1, g1)),
+            Op::Xor => (self.xor(f0, g0), self.xor(f1, g1)),
+            _ => unreachable!("binary_step only handles AND/OR/XOR"),
+        };
+        let var = self.var_at_level(top);
+        self.mk(var, lo, hi)
+    }
+
+    /// Exclusive nor (equivalence).
+    pub fn xnor(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Difference `f · ¬g`.
+    pub fn diff(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// If-then-else: `f·g + ¬f·h`.
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        // Terminal cases.
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if g.is_false() && h.is_true() {
+            return self.not(f);
+        }
+        let key = (Op::Ite, f.0, g.0, h.0);
+        if let Some(&r) = self.cache.get(&key) {
+            return r;
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = if self.level(f) == top { self.branches(f) } else { (f, f) };
+        let (g0, g1) = if self.level(g) == top { self.branches(g) } else { (g, g) };
+        let (h0, h1) = if self.level(h) == top { self.branches(h) } else { (h, h) };
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let var = self.var_at_level(top);
+        let r = self.mk(var, lo, hi);
+        self.cache.insert(key, r);
+        r
+    }
+
+    /// `true` iff `f ≤ g` in the "less-than-or-equal" partial order of the
+    /// paper (§3.2.1), i.e. `f → g` is a tautology.
+    pub fn leq(&mut self, f: NodeId, g: NodeId) -> bool {
+        self.diff(f, g).is_false()
+    }
+
+    /// Balanced conjunction of many operands.
+    pub fn and_many<I: IntoIterator<Item = NodeId>>(&mut self, fs: I) -> NodeId {
+        self.reduce_many(fs.into_iter().collect(), Op::And)
+    }
+
+    /// Balanced disjunction of many operands.
+    pub fn or_many<I: IntoIterator<Item = NodeId>>(&mut self, fs: I) -> NodeId {
+        self.reduce_many(fs.into_iter().collect(), Op::Or)
+    }
+
+    /// Balanced exclusive-or of many operands.
+    pub fn xor_many<I: IntoIterator<Item = NodeId>>(&mut self, fs: I) -> NodeId {
+        self.reduce_many(fs.into_iter().collect(), Op::Xor)
+    }
+
+    fn reduce_many(&mut self, mut fs: Vec<NodeId>, op: Op) -> NodeId {
+        if fs.is_empty() {
+            return match op {
+                Op::And => NodeId::TRUE,
+                _ => NodeId::FALSE,
+            };
+        }
+        while fs.len() > 1 {
+            let mut next = Vec::with_capacity(fs.len().div_ceil(2));
+            for pair in fs.chunks(2) {
+                let r = if pair.len() == 2 {
+                    match op {
+                        Op::And => self.and(pair[0], pair[1]),
+                        Op::Or => self.or(pair[0], pair[1]),
+                        Op::Xor => self.xor(pair[0], pair[1]),
+                        _ => unreachable!(),
+                    }
+                } else {
+                    pair[0]
+                };
+                next.push(r);
+            }
+            fs = next;
+        }
+        fs[0]
+    }
+
+    /// Positive cofactor of `f` with respect to variable `v`.
+    pub fn cofactor(&mut self, f: NodeId, v: VarId, value: bool) -> NodeId {
+        let constant = if value { NodeId::TRUE } else { NodeId::FALSE };
+        self.compose(f, v, constant)
+    }
+
+    /// Conjunction of the positive literals of `vars` (a positive cube).
+    pub fn cube(&mut self, vars: &[VarId]) -> NodeId {
+        let mut sorted: Vec<VarId> = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.sort_by_key(|&v| self.level_of(v));
+        let mut acc = NodeId::TRUE;
+        for &v in sorted.iter().rev() {
+            acc = self.mk(v.0, NodeId::FALSE, acc);
+        }
+        acc
+    }
+
+    /// The minterm (full cube) selecting exactly `assignment` over `vars`,
+    /// pairing each variable with its phase.
+    pub fn minterm(&mut self, assignment: &[(VarId, bool)]) -> NodeId {
+        let mut sorted: Vec<(VarId, bool)> = assignment.to_vec();
+        sorted.sort_unstable_by_key(|&(v, _)| self.level_of(v));
+        let mut acc = NodeId::TRUE;
+        for &(v, phase) in sorted.iter().rev() {
+            acc = if phase {
+                self.mk(v.0, NodeId::FALSE, acc)
+            } else {
+                self.mk(v.0, acc, NodeId::FALSE)
+            };
+        }
+        acc
+    }
+
+    /// Drops the computed table (node storage is retained).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Current size statistics.
+    pub fn stats(&self) -> ManagerStats {
+        ManagerStats {
+            nodes: self.nodes.len(),
+            vars: self.num_vars as usize,
+            cache_entries: self.cache.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three(m: &mut Manager) -> (NodeId, NodeId, NodeId) {
+        (m.new_var(), m.new_var(), m.new_var())
+    }
+
+    #[test]
+    fn constants_are_canonical() {
+        let m = Manager::new();
+        assert_eq!(m.stats().nodes, 2);
+        assert!(NodeId::FALSE.is_false());
+    }
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut m = Manager::new();
+        let (a, b, _) = three(&mut m);
+        let f1 = m.and(a, b);
+        let f2 = m.and(b, a);
+        assert_eq!(f1, f2);
+        let before = m.stats().nodes;
+        let _ = m.and(a, b);
+        assert_eq!(m.stats().nodes, before);
+    }
+
+    #[test]
+    fn involution_of_not() {
+        let mut m = Manager::new();
+        let (a, b, _) = three(&mut m);
+        let f = m.xor(a, b);
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        assert_eq!(f, nnf);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let mut m = Manager::new();
+        let (a, b, c) = three(&mut m);
+        let ab = m.and(a, b);
+        let abc = m.and(ab, c);
+        let lhs = m.not(abc);
+        let (na, nb, nc) = (m.not(a), m.not(b), m.not(c));
+        let rhs = m.or_many([na, nb, nc]);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn ite_is_mux() {
+        let mut m = Manager::new();
+        let (s, a, b) = three(&mut m);
+        let f = m.ite(s, a, b);
+        let sa = m.and(s, a);
+        let ns = m.not(s);
+        let nsb = m.and(ns, b);
+        let g = m.or(sa, nsb);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn xor_via_ite() {
+        let mut m = Manager::new();
+        let (a, b, _) = three(&mut m);
+        let nb = m.not(b);
+        let f = m.ite(a, nb, b);
+        let g = m.xor(a, b);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn leq_partial_order() {
+        let mut m = Manager::new();
+        let (a, b, _) = three(&mut m);
+        let ab = m.and(a, b);
+        let aorb = m.or(a, b);
+        // ab ≤ a ≤ a+b, and the order is not total.
+        assert!(m.leq(ab, a));
+        assert!(m.leq(a, aorb));
+        assert!(m.leq(ab, aorb));
+        assert!(!m.leq(aorb, ab));
+        assert!(!m.leq(a, b));
+        assert!(!m.leq(b, a));
+    }
+
+    #[test]
+    fn cube_and_minterm() {
+        let mut m = Manager::new();
+        let (a, b, c) = three(&mut m);
+        let cube = m.cube(&[VarId(0), VarId(2)]);
+        let ac = m.and(a, c);
+        assert_eq!(cube, ac);
+        let mt = m.minterm(&[(VarId(0), true), (VarId(1), false), (VarId(2), true)]);
+        let nb = m.not(b);
+        let expect = m.and_many([a, nb, c]);
+        assert_eq!(mt, expect);
+    }
+
+    #[test]
+    fn many_op_identities() {
+        let mut m = Manager::new();
+        assert_eq!(m.and_many([]), NodeId::TRUE);
+        assert_eq!(m.or_many([]), NodeId::FALSE);
+        assert_eq!(m.xor_many([]), NodeId::FALSE);
+        let a = m.new_var();
+        assert_eq!(m.and_many([a]), a);
+        assert_eq!(m.xor_many([a, a]), NodeId::FALSE);
+    }
+
+    #[test]
+    fn implies_and_diff() {
+        let mut m = Manager::new();
+        let (a, b, _) = three(&mut m);
+        let ab = m.and(a, b);
+        let imp = m.implies(ab, a);
+        assert!(imp.is_true());
+        let d = m.diff(a, ab);
+        let nb = m.not(b);
+        let anb = m.and(a, nb);
+        assert_eq!(d, anb);
+    }
+
+    #[test]
+    fn cofactor_shannon() {
+        let mut m = Manager::new();
+        let (a, b, c) = three(&mut m);
+        let bc = m.or(b, c);
+        let f = m.and(a, bc); // a(b+c)
+        let f1 = m.cofactor(f, VarId(0), true);
+        let f0 = m.cofactor(f, VarId(0), false);
+        assert_eq!(f1, bc);
+        assert!(f0.is_false());
+        // Shannon expansion rebuilds f.
+        let re = m.ite(a, f1, f0);
+        assert_eq!(re, f);
+    }
+}

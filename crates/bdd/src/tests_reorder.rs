@@ -1,0 +1,174 @@
+//! Tests for variable-order indirection: custom static orders,
+//! [`Manager::reordered`], and [`Manager::sifted`].
+
+use crate::{Manager, NodeId, VarId};
+
+/// Carry-out of an n-bit ripple adder with operand bits laid out as
+/// `a0..a{n-1}, b0..b{n-1}` — the textbook order-sensitivity example:
+/// blocked order is exponential, interleaved order is linear.
+fn carry(m: &mut Manager, n: usize) -> NodeId {
+    let mut c = NodeId::FALSE;
+    for i in 0..n {
+        let a = m.var(VarId(i as u32));
+        let b = m.var(VarId((n + i) as u32));
+        let ab = m.and(a, b);
+        let x = m.xor(a, b);
+        let xc = m.and(x, c);
+        c = m.or(ab, xc);
+    }
+    c
+}
+
+fn eval_everywhere_equal(
+    ma: &Manager,
+    fa: NodeId,
+    mb: &Manager,
+    fb: NodeId,
+    n: usize,
+) -> bool {
+    (0u32..1 << n).all(|bits| {
+        let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        ma.eval(fa, &assignment) == mb.eval(fb, &assignment)
+    })
+}
+
+#[test]
+fn interleaved_order_shrinks_the_carry() {
+    let n = 6;
+    let mut blocked = Manager::with_vars(2 * n);
+    let f_blocked = carry(&mut blocked, n);
+    // Interleaved: a_i at level 2i, b_i at level 2i+1.
+    let mut order = Vec::new();
+    for i in 0..n {
+        order.push(VarId(i as u32));
+        order.push(VarId((n + i) as u32));
+    }
+    let mut interleaved = Manager::with_var_order(&order);
+    let f_inter = carry(&mut interleaved, n);
+    assert!(
+        interleaved.size(f_inter) * 2 < blocked.size(f_blocked),
+        "interleaved {} vs blocked {}",
+        interleaved.size(f_inter),
+        blocked.size(f_blocked)
+    );
+    assert!(eval_everywhere_equal(&blocked, f_blocked, &interleaved, f_inter, 2 * n));
+}
+
+#[test]
+fn reordered_preserves_semantics() {
+    let n = 4;
+    let mut m = Manager::with_vars(2 * n);
+    let f = carry(&mut m, n);
+    let mut order = Vec::new();
+    for i in 0..n {
+        order.push(VarId(i as u32));
+        order.push(VarId((n + i) as u32));
+    }
+    let (m2, roots) = m.reordered(&[f], &order);
+    assert!(eval_everywhere_equal(&m, f, &m2, roots[0], 2 * n));
+    assert!(m2.size(roots[0]) <= m.size(f));
+    assert_eq!(m2.variable_order(), order);
+}
+
+#[test]
+fn sifting_recovers_a_good_order() {
+    let n = 5;
+    let mut m = Manager::with_vars(2 * n);
+    let f = carry(&mut m, n);
+    let blocked_size = m.size(f);
+    let (sifted, roots) = m.sifted(&[f]);
+    let sifted_size = sifted.size(roots[0]);
+    assert!(
+        sifted_size < blocked_size,
+        "sifting must improve the blocked order: {sifted_size} vs {blocked_size}"
+    );
+    assert!(eval_everywhere_equal(&m, f, &sifted, roots[0], 2 * n));
+    // The known-optimal interleaved size is a lower bound; sifting should
+    // land in its neighbourhood.
+    let mut order = Vec::new();
+    for i in 0..n {
+        order.push(VarId(i as u32));
+        order.push(VarId((n + i) as u32));
+    }
+    let (inter, iroots) = m.reordered(&[f], &order);
+    let optimal = inter.size(iroots[0]);
+    assert!(
+        sifted_size <= optimal * 2,
+        "sifted {sifted_size} too far from interleaved {optimal}"
+    );
+}
+
+#[test]
+fn custom_order_full_op_matrix() {
+    // All core operations behave identically under a scrambled order.
+    let order: Vec<VarId> = [3u32, 0, 4, 1, 2].into_iter().map(VarId).collect();
+    let mut m = Manager::with_var_order(&order);
+    let mut id = Manager::with_vars(5);
+    let build = |m: &mut Manager| {
+        let v: Vec<NodeId> = (0..5u32).map(|i| m.var(VarId(i))).collect();
+        let t1 = m.and(v[0], v[1]);
+        let t2 = m.xor(v[2], v[3]);
+        let t3 = m.or(t1, t2);
+        let t4 = m.ite(v[4], t3, t1);
+        let q = m.exists(t4, &[VarId(1), VarId(3)]);
+        let r = m.forall(t4, &[VarId(0)]);
+        let s = m.compose(t4, VarId(2), t1);
+        let c = m.restrict(t4, t3);
+        (t4, q, r, s, c)
+    };
+    let (a1, a2, a3, a4, a5) = build(&mut m);
+    let (b1, b2, b3, b4, b5) = build(&mut id);
+    for (x, y) in [(a1, b1), (a2, b2), (a3, b3), (a4, b4)] {
+        for bits in 0u32..32 {
+            let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(m.eval(x, &assignment), id.eval(y, &assignment), "bits {bits:05b}");
+        }
+    }
+    // `restrict` is heuristic — different orders may pick different
+    // don't-care completions — so only its contract is order-independent:
+    // agreement with f wherever the care set holds.
+    for bits in 0u32..32 {
+        let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+        if m.eval(a3, &assignment) {
+            // (t3 was the care set passed to restrict in build().)
+        }
+        let care_a = {
+            let v: Vec<NodeId> = (0..5u32).map(|i| m.var(VarId(i))).collect();
+            let t1 = m.and(v[0], v[1]);
+            let t2 = m.xor(v[2], v[3]);
+            m.or(t1, t2)
+        };
+        if m.eval(care_a, &assignment) {
+            assert_eq!(m.eval(a5, &assignment), m.eval(a1, &assignment));
+            assert_eq!(id.eval(b5, &assignment), id.eval(b1, &assignment));
+        }
+    }
+    // sat_count must agree with the identity-order manager.
+    assert_eq!(m.sat_count(a1, 5), id.sat_count(b1, 5));
+    // cube/minterm respect the scrambled order internally.
+    let cube_a = m.cube(&[VarId(0), VarId(4)]);
+    let cube_b = id.cube(&[VarId(0), VarId(4)]);
+    for bits in 0u32..32 {
+        let assignment: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+        assert_eq!(m.eval(cube_a, &assignment), id.eval(cube_b, &assignment));
+    }
+}
+
+#[test]
+#[should_panic(expected = "duplicate variable")]
+fn bad_order_rejected() {
+    let _ = Manager::with_var_order(&[VarId(0), VarId(0), VarId(1)]);
+}
+
+#[test]
+fn combinatorics_under_custom_order() {
+    use crate::combin;
+    let order: Vec<VarId> = [2u32, 0, 3, 1].into_iter().map(VarId).collect();
+    let mut m = Manager::with_var_order(&order);
+    let vars: Vec<VarId> = (0..4).map(VarId).collect();
+    for k in 0..=4usize {
+        let w = combin::weight_exactly(&mut m, &vars, k);
+        let expect = [1u128, 4, 6, 4, 1][k];
+        assert_eq!(m.sat_count(w, 4), expect, "k={k}");
+    }
+}

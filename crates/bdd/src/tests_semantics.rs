@@ -1,0 +1,185 @@
+//! Cross-cutting semantic tests: BDD operations against a brute-force
+//! truth-table oracle on randomly generated expression trees.
+
+use crate::{Manager, NodeId, VarId};
+
+/// A tiny expression AST evaluated both ways.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(usize),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Ite(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn eval(&self, a: &[bool]) -> bool {
+        match self {
+            Expr::Var(i) => a[*i],
+            Expr::Not(e) => !e.eval(a),
+            Expr::And(l, r) => l.eval(a) && r.eval(a),
+            Expr::Or(l, r) => l.eval(a) || r.eval(a),
+            Expr::Xor(l, r) => l.eval(a) ^ r.eval(a),
+            Expr::Ite(c, t, e) => {
+                if c.eval(a) {
+                    t.eval(a)
+                } else {
+                    e.eval(a)
+                }
+            }
+        }
+    }
+
+    fn build(&self, m: &mut Manager) -> NodeId {
+        match self {
+            Expr::Var(i) => m.var(VarId(*i as u32)),
+            Expr::Not(e) => {
+                let x = e.build(m);
+                m.not(x)
+            }
+            Expr::And(l, r) => {
+                let (a, b) = (l.build(m), r.build(m));
+                m.and(a, b)
+            }
+            Expr::Or(l, r) => {
+                let (a, b) = (l.build(m), r.build(m));
+                m.or(a, b)
+            }
+            Expr::Xor(l, r) => {
+                let (a, b) = (l.build(m), r.build(m));
+                m.xor(a, b)
+            }
+            Expr::Ite(c, t, e) => {
+                let (f, g, h) = (c.build(m), t.build(m), e.build(m));
+                m.ite(f, g, h)
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random expression generator (xorshift, so the test
+/// corpus is stable across runs).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_expr(rng: &mut Rng, nvars: usize, depth: usize) -> Expr {
+    if depth == 0 || rng.below(8) == 0 {
+        return Expr::Var(rng.below(nvars as u64) as usize);
+    }
+    match rng.below(5) {
+        0 => Expr::Not(Box::new(random_expr(rng, nvars, depth - 1))),
+        1 => Expr::And(
+            Box::new(random_expr(rng, nvars, depth - 1)),
+            Box::new(random_expr(rng, nvars, depth - 1)),
+        ),
+        2 => Expr::Or(
+            Box::new(random_expr(rng, nvars, depth - 1)),
+            Box::new(random_expr(rng, nvars, depth - 1)),
+        ),
+        3 => Expr::Xor(
+            Box::new(random_expr(rng, nvars, depth - 1)),
+            Box::new(random_expr(rng, nvars, depth - 1)),
+        ),
+        _ => Expr::Ite(
+            Box::new(random_expr(rng, nvars, depth - 1)),
+            Box::new(random_expr(rng, nvars, depth - 1)),
+            Box::new(random_expr(rng, nvars, depth - 1)),
+        ),
+    }
+}
+
+fn assignments(n: usize) -> impl Iterator<Item = Vec<bool>> {
+    (0u32..1 << n).map(move |bits| (0..n).map(|i| bits >> i & 1 == 1).collect())
+}
+
+#[test]
+fn random_expressions_match_truth_tables() {
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    for trial in 0..60 {
+        let nvars = 2 + (trial % 6);
+        let expr = random_expr(&mut rng, nvars, 5);
+        let mut m = Manager::new();
+        m.new_vars(nvars);
+        let f = expr.build(&mut m);
+        for a in assignments(nvars) {
+            assert_eq!(m.eval(f, &a), expr.eval(&a), "trial {trial}, expr {expr:?}");
+        }
+    }
+}
+
+#[test]
+fn quantification_matches_truth_tables() {
+    let mut rng = Rng(0xdeadbeefcafe1234);
+    for trial in 0..40 {
+        let nvars = 3 + (trial % 4);
+        let expr = random_expr(&mut rng, nvars, 4);
+        let qvar = (rng.below(nvars as u64)) as usize;
+        let mut m = Manager::new();
+        m.new_vars(nvars);
+        let f = expr.build(&mut m);
+        let ex = m.exists_var(f, VarId(qvar as u32));
+        let fa = m.forall_var(f, VarId(qvar as u32));
+        for a in assignments(nvars) {
+            let mut a1 = a.clone();
+            a1[qvar] = false;
+            let v0 = expr.eval(&a1);
+            a1[qvar] = true;
+            let v1 = expr.eval(&a1);
+            assert_eq!(m.eval(ex, &a), v0 || v1);
+            assert_eq!(m.eval(fa, &a), v0 && v1);
+        }
+    }
+}
+
+#[test]
+fn compose_matches_truth_tables() {
+    let mut rng = Rng(0x0123456789abcdef);
+    for trial in 0..40 {
+        let nvars = 3 + (trial % 4);
+        let fe = random_expr(&mut rng, nvars, 4);
+        let ge = random_expr(&mut rng, nvars, 3);
+        let v = (rng.below(nvars as u64)) as usize;
+        let mut m = Manager::new();
+        m.new_vars(nvars);
+        let f = fe.build(&mut m);
+        let g = ge.build(&mut m);
+        let composed = m.compose(f, VarId(v as u32), g);
+        for a in assignments(nvars) {
+            let mut a1 = a.clone();
+            a1[v] = ge.eval(&a);
+            assert_eq!(m.eval(composed, &a), fe.eval(&a1), "trial {trial}");
+        }
+    }
+}
+
+#[test]
+fn canonicity_equal_functions_equal_nodes() {
+    // Build semantically equal functions through different syntax and
+    // verify NodeId equality (the canonical-form property of ROBDDs).
+    let mut m = Manager::new();
+    let vs = m.new_vars(4);
+    // (a⊕b)⊕(c⊕d) vs ((a⊕c)⊕b)⊕d
+    let ab = m.xor(vs[0], vs[1]);
+    let cd = m.xor(vs[2], vs[3]);
+    let left = m.xor(ab, cd);
+    let ac = m.xor(vs[0], vs[2]);
+    let acb = m.xor(ac, vs[1]);
+    let right = m.xor(acb, vs[3]);
+    assert_eq!(left, right);
+}

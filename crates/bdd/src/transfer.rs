@@ -1,0 +1,115 @@
+//! Copying functions between managers ("node spaces").
+//!
+//! The paper's synthesis flow stores reachable-state BDDs "in a separate
+//! node space for each partition" and, when retrieving don't cares,
+//! brings "their conjunctive approximation … together to a common node
+//! space" (§3.5.3). [`Manager::transfer_from`] is that bridge.
+
+use crate::hash::FxHashMap;
+use crate::{Manager, NodeId, VarId};
+
+impl Manager {
+    /// Copies `f` from `src` into `self`, renaming variables through
+    /// `var_map` (source variable id → destination variable id).
+    ///
+    /// The destination order need not match the source order; the copy is
+    /// rebuilt with `ITE`, so the result is canonical in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a source variable absent from `var_map`,
+    /// or if a mapped destination variable is undeclared.
+    pub fn transfer_from(
+        &mut self,
+        src: &Manager,
+        f: NodeId,
+        var_map: &FxHashMap<VarId, VarId>,
+    ) -> NodeId {
+        let mut memo: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        self.transfer_rec(src, f, var_map, &mut memo)
+    }
+
+    fn transfer_rec(
+        &mut self,
+        src: &Manager,
+        f: NodeId,
+        var_map: &FxHashMap<VarId, VarId>,
+        memo: &mut FxHashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if f.is_terminal() {
+            return f;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let node = src.node(f);
+        let lo = self.transfer_rec(src, node.lo, var_map, memo);
+        let hi = self.transfer_rec(src, node.hi, var_map, memo);
+        let dst_var = *var_map
+            .get(&VarId(node.var))
+            .unwrap_or_else(|| panic!("transfer: no mapping for source variable v{}", node.var));
+        let v = self.var(dst_var);
+        let r = self.ite(v, hi, lo);
+        memo.insert(f, r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(u32, u32)]) -> FxHashMap<VarId, VarId> {
+        pairs.iter().map(|&(a, b)| (VarId(a), VarId(b))).collect()
+    }
+
+    #[test]
+    fn identity_transfer_preserves_function() {
+        let mut src = Manager::new();
+        let a = src.new_var();
+        let b = src.new_var();
+        let x = src.xor(a, b);
+        let f = src.or(x, a);
+        let mut dst = Manager::with_vars(2);
+        let g = dst.transfer_from(&src, f, &map(&[(0, 0), (1, 1)]));
+        for bits in 0u32..4 {
+            let assign: Vec<bool> = (0..2).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(src.eval(f, &assign), dst.eval(g, &assign));
+        }
+    }
+
+    #[test]
+    fn transfer_with_reordered_variables() {
+        let mut src = Manager::new();
+        let a = src.new_var(); // v0
+        let b = src.new_var(); // v1
+        let nb = src.not(b);
+        let f = src.and(a, nb); // a·¬b
+        let mut dst = Manager::with_vars(3);
+        // a → v2, b → v0: order is inverted in the destination.
+        let g = dst.transfer_from(&src, f, &map(&[(0, 2), (1, 0)]));
+        // Check semantics: g(v0=b, v2=a) = a·¬b.
+        for bits in 0u32..8 {
+            let assign: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let expect = assign[2] && !assign[0];
+            assert_eq!(dst.eval(g, &assign), expect);
+        }
+    }
+
+    #[test]
+    fn terminals_cross_untouched() {
+        let src = Manager::new();
+        let mut dst = Manager::new();
+        assert_eq!(dst.transfer_from(&src, NodeId::TRUE, &map(&[])), NodeId::TRUE);
+        assert_eq!(dst.transfer_from(&src, NodeId::FALSE, &map(&[])), NodeId::FALSE);
+    }
+
+    #[test]
+    #[should_panic(expected = "no mapping")]
+    fn missing_mapping_panics() {
+        let mut src = Manager::new();
+        let a = src.new_var();
+        let mut dst = Manager::with_vars(1);
+        dst.transfer_from(&src, a, &map(&[]));
+    }
+}

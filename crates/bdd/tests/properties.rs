@@ -1,0 +1,190 @@
+//! Property-based tests: BDD algebraic laws checked against randomly
+//! generated functions (via random truth tables, so the sample space is
+//! uniform over functions rather than over expression syntax).
+
+use proptest::prelude::*;
+use symbi_bdd::{combin, Manager, NodeId, VarId};
+
+/// Builds the function of a truth table over `n` vars (row `r` = bit `r`).
+fn from_tt(m: &mut Manager, n: usize, tt: u64) -> NodeId {
+    let mut f = NodeId::FALSE;
+    for row in 0..1u64 << n {
+        if tt >> row & 1 == 1 {
+            let assignment: Vec<(VarId, bool)> =
+                (0..n).map(|i| (VarId(i as u32), row >> i & 1 == 1)).collect();
+            let mt = m.minterm(&assignment);
+            f = m.or(f, mt);
+        }
+    }
+    f
+}
+
+fn eval_tt(n: usize, tt: u64, row: u64) -> bool {
+    let _ = n;
+    tt >> row & 1 == 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn construction_matches_truth_table(tt in any::<u64>()) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt);
+        for row in 0..1u64 << n {
+            let assignment: Vec<bool> = (0..n).map(|i| row >> i & 1 == 1).collect();
+            prop_assert_eq!(m.eval(f, &assignment), eval_tt(n, tt, row));
+        }
+    }
+
+    #[test]
+    fn boolean_algebra_laws(tt1 in any::<u64>(), tt2 in any::<u64>(), tt3 in any::<u64>()) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt1);
+        let g = from_tt(&mut m, n, tt2);
+        let h = from_tt(&mut m, n, tt3);
+        // Distributivity.
+        let gh = m.or(g, h);
+        let lhs = m.and(f, gh);
+        let fg = m.and(f, g);
+        let fh = m.and(f, h);
+        let rhs = m.or(fg, fh);
+        prop_assert_eq!(lhs, rhs);
+        // De Morgan.
+        let fa = m.and(f, g);
+        let nfa = m.not(fa);
+        let nf = m.not(f);
+        let ng = m.not(g);
+        let dm = m.or(nf, ng);
+        prop_assert_eq!(nfa, dm);
+        // XOR self-inverse and associativity.
+        let x1 = m.xor(f, g);
+        let x2 = m.xor(x1, g);
+        prop_assert_eq!(x2, f);
+        let a = m.xor(f, g);
+        let ab = m.xor(a, h);
+        let bc = m.xor(g, h);
+        let abc = m.xor(f, bc);
+        prop_assert_eq!(ab, abc);
+    }
+
+    #[test]
+    fn ite_consistency(tt1 in any::<u64>(), tt2 in any::<u64>(), tt3 in any::<u64>()) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt1);
+        let g = from_tt(&mut m, n, tt2);
+        let h = from_tt(&mut m, n, tt3);
+        let ite = m.ite(f, g, h);
+        let fg = m.and(f, g);
+        let nf = m.not(f);
+        let nfh = m.and(nf, h);
+        let expect = m.or(fg, nfh);
+        prop_assert_eq!(ite, expect);
+    }
+
+    #[test]
+    fn quantification_laws(tt in any::<u64>(), var in 0u32..6) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt);
+        let v = VarId(var);
+        let ex = m.exists_var(f, v);
+        let fa = m.forall_var(f, v);
+        // ∀x f ≤ f ≤ ∃x f.
+        prop_assert!(m.leq(fa, f));
+        prop_assert!(m.leq(f, ex));
+        // Both results are vacuous in v.
+        prop_assert!(!m.support(ex).contains(&v));
+        prop_assert!(!m.support(fa).contains(&v));
+        // Idempotence.
+        prop_assert_eq!(m.exists_var(ex, v), ex);
+        prop_assert_eq!(m.forall_var(fa, v), fa);
+    }
+
+    #[test]
+    fn sat_count_agrees_with_truth_table(tt in any::<u64>()) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt);
+        prop_assert_eq!(m.sat_count(f, n), u128::from(tt.count_ones()));
+        let frac = m.sat_fraction(f);
+        prop_assert!((frac * 64.0 - tt.count_ones() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compose_is_substitution(tt1 in any::<u64>(), tt2 in any::<u64>(), var in 0u32..6) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt1);
+        let g = from_tt(&mut m, n, tt2);
+        let composed = m.compose(f, VarId(var), g);
+        for row in 0..1u64 << n {
+            let mut assignment: Vec<bool> = (0..n).map(|i| row >> i & 1 == 1).collect();
+            let gv = m.eval(g, &assignment);
+            assignment[var as usize] = gv;
+            let direct = m.eval(f, &assignment);
+            let mut orig: Vec<bool> = (0..n).map(|i| row >> i & 1 == 1).collect();
+            orig[var as usize] = row >> var & 1 == 1;
+            let via = m.eval(composed, &orig);
+            prop_assert_eq!(via, direct);
+        }
+    }
+
+    #[test]
+    fn transfer_preserves_semantics(tt in any::<u64>()) {
+        let n = 6;
+        let mut src = Manager::with_vars(n);
+        let f = from_tt(&mut src, n, tt);
+        // Map variable i to 2i in a wider destination.
+        let mut dst = Manager::with_vars(2 * n);
+        let map: symbi_bdd::hash::FxHashMap<VarId, VarId> =
+            (0..n as u32).map(|i| (VarId(i), VarId(2 * i))).collect();
+        let g = dst.transfer_from(&src, f, &map);
+        for row in 0..1u64 << n {
+            let src_assign: Vec<bool> = (0..n).map(|i| row >> i & 1 == 1).collect();
+            let mut dst_assign = vec![false; 2 * n];
+            for i in 0..n {
+                dst_assign[2 * i] = src_assign[i];
+            }
+            prop_assert_eq!(dst.eval(g, &dst_assign), src.eval(f, &src_assign));
+        }
+    }
+
+    #[test]
+    fn one_sat_is_satisfying(tt in 1u64..) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt);
+        if f.is_false() {
+            return Ok(());
+        }
+        let cube = m.one_sat(f).expect("satisfiable");
+        let mut assignment = vec![false; n];
+        for (v, phase) in cube {
+            assignment[v.index()] = phase;
+        }
+        prop_assert!(m.eval(f, &assignment));
+    }
+
+    #[test]
+    fn weight_functions_partition_the_space(seed in any::<u16>()) {
+        let n = 5 + (seed % 3) as usize;
+        let mut m = Manager::with_vars(n);
+        let vars: Vec<VarId> = (0..n as u32).map(VarId).collect();
+        // The w_k are pairwise disjoint and together cover everything.
+        let mut union = NodeId::FALSE;
+        let mut total = 0u128;
+        for k in 0..=n {
+            let w = combin::weight_exactly(&mut m, &vars, k);
+            let overlap = m.and(union, w);
+            prop_assert!(overlap.is_false());
+            union = m.or(union, w);
+            total += m.sat_count(w, n);
+        }
+        prop_assert!(union.is_true());
+        prop_assert_eq!(total, 1u128 << n);
+    }
+}

@@ -1,0 +1,39 @@
+//! A2 ablation: feasible-size-pair extraction with vs without the
+//! symbolic dominance purge of §3.5.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symbi_bdd::Manager;
+use symbi_circuits::mux;
+use symbi_core::{or_dec, Interval};
+use symbi_netlist::cone::ConeExtractor;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_dominance");
+    group.sample_size(10);
+    for k in [2usize, 3, 4] {
+        for (label, purge) in [("raw", false), ("purged", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, k),
+                &(k, purge),
+                |b, &(k, purge)| {
+                    let netlist = mux::mux(k);
+                    let mut m = Manager::new();
+                    let mut ext = ConeExtractor::with_default_layout(&netlist, &mut m);
+                    let f = ext.bdd(&mut m, netlist.outputs()[0].1);
+                    let support = m.support(f);
+                    let spec = Interval::exact(f);
+                    b.iter(|| {
+                        let mut ch = or_dec::Choices::compute(&mut m, &spec, &support);
+                        let pairs = ch.feasible_pairs(purge);
+                        assert!(!pairs.is_empty());
+                        pairs
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

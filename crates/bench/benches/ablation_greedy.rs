@@ -1,0 +1,43 @@
+//! A1 ablation: implicit exhaustive `Bi` vs greedy partition growth on
+//! the same functions (symbolic checks for both, so the comparison is
+//! about search strategy, not check implementation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symbi_bdd::Manager;
+use symbi_circuits::mux;
+use symbi_core::{greedy, or_dec, DecKind, Interval};
+use symbi_netlist::cone::ConeExtractor;
+
+fn mux_function(k: usize) -> (Manager, symbi_bdd::NodeId) {
+    let netlist = mux::mux(k);
+    let mut m = Manager::new();
+    let mut ext = ConeExtractor::with_default_layout(&netlist, &mut m);
+    let f = ext.bdd(&mut m, netlist.outputs()[0].1);
+    (m, f)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_greedy_vs_implicit");
+    group.sample_size(10);
+    for k in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("implicit", k), &k, |b, &k| {
+            let (mut m, f) = mux_function(k);
+            let support = m.support(f);
+            let spec = Interval::exact(f);
+            b.iter(|| {
+                let mut ch = or_dec::Choices::compute(&mut m, &spec, &support);
+                ch.best_balanced().expect("decomposable")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", k), &k, |b, &k| {
+            let (mut m, f) = mux_function(k);
+            let support = m.support(f);
+            let spec = Interval::exact(f);
+            b.iter(|| greedy::grow(&mut m, DecKind::Or, &spec, &support).expect("decomposable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! A4 ablation: BDD-based vs SAT-based decomposability checks on adder
+//! sum-bit cones (both methods consume the same BDD representation; the
+//! comparison isolates the checking method, as in the paper's discussion
+//! of Lee–Jiang–Hung).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symbi_bdd::{Manager, VarId};
+use symbi_circuits::adder;
+use symbi_core::{or_dec, sat_dec, xor_dec, Interval};
+use symbi_netlist::cone::ConeExtractor;
+
+fn sum_bit(bit: usize) -> (Manager, symbi_bdd::NodeId, Vec<VarId>) {
+    let netlist = adder::ripple_carry(bit + 1);
+    let mut m = Manager::new();
+    let mut ext = ConeExtractor::with_default_layout(&netlist, &mut m);
+    let sig = netlist.signal(&format!("s{bit}")).expect("sum bit");
+    let f = ext.bdd(&mut m, sig);
+    let support = m.support(f);
+    (m, f, support)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sat_vs_bdd");
+    group.sample_size(10);
+    for bit in [2usize, 4, 6] {
+        // The known-good partition: {a_bit, b_bit} vs the rest.
+        group.bench_with_input(BenchmarkId::new("bdd_xor_check", bit), &bit, |b, &bit| {
+            let (mut m, f, support) = sum_bit(bit);
+            let iv = Interval::exact(f);
+            let n = support.len();
+            let a_vac: Vec<VarId> = support[..n - 2].to_vec();
+            let b_vac: Vec<VarId> = support[n - 2..].to_vec();
+            b.iter(|| {
+                assert!(xor_dec::decomposable(&mut m, &iv, &support, &a_vac, &b_vac));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sat_xor_check", bit), &bit, |b, &bit| {
+            let (m, f, support) = sum_bit(bit);
+            let n = support.len();
+            let a_vac: Vec<VarId> = support[..n - 2].to_vec();
+            let b_vac: Vec<VarId> = support[n - 2..].to_vec();
+            b.iter(|| {
+                assert!(sat_dec::xor_decomposable(&m, f, &support, &a_vac, &b_vac));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bdd_or_check", bit), &bit, |b, &bit| {
+            let (mut m, f, support) = sum_bit(bit);
+            let iv = Interval::exact(f);
+            let a_vac = [support[0]];
+            let b_vac = [support[1]];
+            b.iter(|| or_dec::decomposable(&mut m, &iv, &a_vac, &b_vac))
+        });
+        group.bench_with_input(BenchmarkId::new("sat_or_check", bit), &bit, |b, &bit| {
+            let (m, f, support) = sum_bit(bit);
+            let a_vac = [support[0]];
+            let b_vac = [support[1]];
+            b.iter(|| sat_dec::or_decomposable(&m, f, &support, &a_vac, &b_vac))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

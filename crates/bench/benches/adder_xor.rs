@@ -1,0 +1,24 @@
+//! E2: the §3.4.2 adder profile — implicit symbolic XOR `Bi` per sum bit,
+//! plus the explicit greedy baseline at a narrow bit for contrast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use symbi_bench::adder_row;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adder_xor");
+    group.sample_size(10);
+    for bit in [2usize, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("row", bit), &bit, |b, &bit| {
+            b.iter(|| {
+                let row = adder_row(bit, Duration::from_secs(30));
+                assert_eq!(row.best, (2, 2 * bit + 1));
+                row
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Substrate microbenchmarks: the BDD operations everything else is built
+//! from (construction, quantification, transfer, weight functions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbi_bdd::combin;
+use symbi_bdd::hash::FxHashMap;
+use symbi_bdd::{Manager, VarId};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_ops");
+
+    group.bench_function("build_16bit_adder_carry", |b| {
+        b.iter(|| {
+            let mut m = Manager::new();
+            let mut carry = m.new_var();
+            for _ in 0..16 {
+                let x = m.new_var();
+                let y = m.new_var();
+                let xy = m.and(x, y);
+                let xor = m.xor(x, y);
+                let xc = m.and(xor, carry);
+                carry = m.or(xy, xc);
+            }
+            m.size(carry)
+        })
+    });
+
+    group.bench_function("forall_8_of_24_vars", |b| {
+        let mut m = Manager::new();
+        let vs = m.new_vars(24);
+        let mut f = vs[0];
+        for w in vs.windows(2) {
+            let t = m.and(w[0], w[1]);
+            f = m.xor(f, t);
+        }
+        let qs: Vec<VarId> = (0..8).map(|i| VarId(i * 3)).collect();
+        b.iter(|| {
+            m.clear_cache();
+            m.forall(f, &qs)
+        })
+    });
+
+    group.bench_function("transfer_interleaved_order", |b| {
+        let mut src = Manager::new();
+        let vs = src.new_vars(20);
+        let mut f = vs[0];
+        for w in vs.windows(2) {
+            let t = src.or(w[0], w[1]);
+            f = src.xor(f, t);
+        }
+        b.iter(|| {
+            let mut dst = Manager::with_vars(40);
+            let map: FxHashMap<VarId, VarId> =
+                (0..20).map(|i| (VarId(i), VarId(2 * i))).collect();
+            dst.transfer_from(&src, f, &map)
+        })
+    });
+
+    group.bench_function("weight_relation_33_vars", |b| {
+        b.iter(|| {
+            let mut m = Manager::new();
+            m.new_vars(33 + 6);
+            let cvars: Vec<VarId> = (0..33).map(VarId).collect();
+            let evars: Vec<VarId> = (33..39).map(VarId).collect();
+            combin::weight_relation(&mut m, &cvars, &evars)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E1: the §3.4.1 multiplexer profile — times the symbolic OR `Bi`
+//! computation per control width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symbi_bench::mux_row;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mux_or_bi");
+    group.sample_size(10);
+    for k in 2..=5usize {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let row = mux_row(k);
+                assert_eq!(row.best, [(0, 0), (2, 2), (4, 4), (7, 7), (12, 12), (21, 21)][k]);
+                row
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

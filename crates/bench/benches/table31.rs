@@ -1,0 +1,24 @@
+//! E3: one Table 3.1 row (both arms) on the two smallest circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symbi_bench::{table31_row, Table31Options};
+use symbi_circuits::iscas_like;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table31");
+    group.sample_size(10);
+    for name in ["s344", "s526"] {
+        let netlist = iscas_like::by_name(name).expect("known circuit");
+        let opts = Table31Options::default();
+        group.bench_with_input(BenchmarkId::new("no_states", name), &netlist, |b, n| {
+            b.iter(|| table31_row(n, false, &opts))
+        });
+        group.bench_with_input(BenchmarkId::new("with_states", name), &netlist, |b, n| {
+            b.iter(|| table31_row(n, true, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E4: one Table 3.2 row — the full Algorithm 1 + mapping flow on the
+//! smallest industrial-like block.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbi_bench::table32_row;
+use symbi_circuits::industrial;
+use symbi_synth::flow::SynthesisOptions;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table32");
+    group.sample_size(10);
+    let netlist = industrial::by_name("seq6").expect("known block");
+    let opts = SynthesisOptions::default();
+    group.bench_function("seq6_full_flow", |b| {
+        b.iter(|| {
+            let row = table32_row(&netlist, &opts);
+            assert!(row.area_ratio() <= 1.0 + 1e-9, "area must not regress");
+            row
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

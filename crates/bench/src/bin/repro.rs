@@ -1,0 +1,206 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32]
+//!       [--quick] [--per-kind]
+//! ```
+//!
+//! `--quick` trims the expensive rows (mux width 6, adder s16, the two
+//! largest Table 3.1 circuits, the largest Table 3.2 blocks) so the whole
+//! run finishes in a few minutes. `--per-kind` adds the OR/AND/XOR win
+//! split to Table 3.1 (ablation A3).
+
+use std::time::Duration;
+use symbi_bench::{
+    adder_row, figure31, figure32, mux_row, table31_row, table32_row, Table31Options,
+};
+use symbi_circuits::{industrial, iscas_like};
+use symbi_synth::flow::SynthesisOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let per_kind = args.iter().any(|a| a == "--per-kind");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    match what {
+        "mux-table" => mux_table(quick),
+        "adder-table" => adder_table(quick),
+        "table31" => table31(quick, per_kind),
+        "table32" => table32(quick),
+        "figure31" => print_figure31(),
+        "figure32" => print_figure32(),
+        "all" => {
+            print_figure31();
+            print_figure32();
+            mux_table(quick);
+            adder_table(quick);
+            table31(quick, per_kind);
+            table32(quick);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!(
+                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32] [--quick] [--per-kind]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn mux_table(quick: bool) {
+    println!("\n=== §3.4.1: OR decomposition of multiplexers ===");
+    println!(
+        "{:>8} {:>6} {:>9} {:>9} {:>14} {:>12}",
+        "Control", "Data", "BDD size", "Time(s)", "Best part.", "Choices"
+    );
+    let max_k = if quick { 4 } else { 6 };
+    for k in 2..=max_k {
+        let row = mux_row(k);
+        println!(
+            "{:>8} {:>6} {:>9} {:>9.2} {:>14} {:>12.3e}",
+            row.control,
+            row.data,
+            row.bdd_size,
+            row.seconds,
+            format!("({}, {})", row.best.0, row.best.1),
+            row.choices
+        );
+    }
+    println!("(paper: best partitions (4,4)…(38,38), choices 6…1.8e18)");
+}
+
+fn adder_table(quick: bool) {
+    println!("\n=== §3.4.2: XOR decomposition of 16-bit adder sum bits ===");
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>12} {:>8}",
+        "Sum bit", "Inputs", "Best part.", "Implicit(s)", "Greedy(s)", "Checks"
+    );
+    // Paper row labels are s2..s16 with 7..33 inputs; with our 0-based
+    // sum-bit indexing the 33-input cone is bit 15.
+    let bits: &[usize] = if quick { &[2, 4, 6] } else { &[2, 4, 6, 8, 15] };
+    let budget = if quick { Duration::from_secs(5) } else { Duration::from_secs(60) };
+    for &bit in bits {
+        let row = adder_row(bit, budget);
+        println!(
+            "{:>8} {:>8} {:>12} {:>12.3} {:>12} {:>8}",
+            format!("s{bit}"),
+            row.inputs,
+            format!("({}, {})", row.best.0, row.best.1),
+            row.implicit_seconds,
+            match row.greedy_seconds {
+                Some(s) => format!("{s:.3}"),
+                None => "timeout".to_string(),
+            },
+            row.greedy_checks
+        );
+    }
+    println!("(paper: best partitions (2,5)…(2,31); greedy times out on s16)");
+}
+
+fn table31(quick: bool, per_kind: bool) {
+    println!("\n=== Table 3.1: bi-decomposition without / with state analysis ===");
+    println!(
+        "{:>8} {:>9} {:>8} | {:>6} {:>11} | {:>11} {:>6} {:>11}",
+        "Name", "In/Out", "Latches", "#dec", "avg.reduct", "log2 states", "#dec", "avg.reduct"
+    );
+    let specs: Vec<_> = if quick {
+        iscas_like::SPECS.iter().take(6).collect()
+    } else {
+        iscas_like::SPECS.iter().collect()
+    };
+    let opts = Table31Options::default();
+    let mut sums = (0f64, 0f64, 0usize);
+    for spec in specs {
+        let netlist = iscas_like::generate(spec);
+        let no_states = table31_row(&netlist, false, &opts);
+        let with_states = table31_row(&netlist, true, &opts);
+        println!(
+            "{:>8} {:>9} {:>8} | {:>6} {:>11.3} | {:>11.1} {:>6} {:>11.3}",
+            no_states.name,
+            format!("{}/{}", no_states.io.0, no_states.io.1),
+            no_states.latches,
+            no_states.ndec,
+            no_states.avg_reduct,
+            with_states.log2_states.unwrap_or(f64::NAN),
+            with_states.ndec,
+            with_states.avg_reduct,
+        );
+        if per_kind {
+            println!(
+                "{:>8}   per-kind wins (OR/AND/XOR): no-states {:?}, with-states {:?}",
+                "", no_states.kind_wins, with_states.kind_wins
+            );
+        }
+        sums.0 += no_states.avg_reduct;
+        sums.1 += with_states.avg_reduct;
+        sums.2 += 1;
+    }
+    println!(
+        "Average reduction: {:.3} (no states) vs {:.3} (with states); paper: 0.673 vs 0.540",
+        sums.0 / sums.2 as f64,
+        sums.1 / sums.2 as f64
+    );
+}
+
+fn table32(quick: bool) {
+    println!("\n=== Table 3.2: Algorithm 1 on industrial-like blocks ===");
+    println!(
+        "{:>6} {:>9} {:>8} {:>6} | {:>9} {:>7} | {:>9} {:>7} | {:>6} {:>6}",
+        "Name", "In/Out", "Latches", "AND", "Pre area", "delay", "Opt area", "delay", "A-rat",
+        "D-rat"
+    );
+    let specs: Vec<_> = if quick {
+        industrial::SPECS.iter().filter(|s| s.and_nodes < 1500).collect()
+    } else {
+        industrial::SPECS.iter().collect()
+    };
+    let opts = SynthesisOptions::default();
+    let mut ratios = (0f64, 0f64, 0usize);
+    for spec in specs {
+        let netlist = industrial::generate(spec);
+        let row = table32_row(&netlist, &opts);
+        println!(
+            "{:>6} {:>9} {:>8} {:>6} | {:>9.0} {:>7.1} | {:>9.0} {:>7.1} | {:>6.3} {:>6.3}",
+            row.name,
+            format!("{}/{}", row.io.0, row.io.1),
+            row.latches,
+            row.ands,
+            row.pre_area,
+            row.pre_delay,
+            row.opt_area,
+            row.opt_delay,
+            row.area_ratio(),
+            row.delay_ratio(),
+        );
+        ratios.0 += row.area_ratio();
+        ratios.1 += row.delay_ratio();
+        ratios.2 += 1;
+    }
+    println!(
+        "Average reduction: area {:.3}, delay {:.3}; paper: 0.88 and 0.94",
+        ratios.0 / ratios.2 as f64,
+        ratios.1 / ratios.2 as f64
+    );
+}
+
+fn print_figure31() {
+    let fig = figure31();
+    println!("\n=== Figure 3.1: maj(a,b,c) with unreachable state a·b̄·c ===");
+    println!("exact best balanced partition: {:?} (none exists)", fig.exact_best);
+    println!("with don't care:              {:?}", fig.dc_best);
+    println!("decomposition: {} ({} gates)", fig.tree, fig.gates);
+}
+
+fn print_figure32() {
+    let fig = figure32();
+    println!("\n=== Figure 3.2: decomposition re-using existing logic ===");
+    println!(
+        "sharing hits {} — gates {} → {}",
+        fig.sharing_hits, fig.gates_before, fig.gates_after
+    );
+}

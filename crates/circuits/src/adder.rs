@@ -1,0 +1,75 @@
+//! Ripple-carry adders — the workload of the paper's §3.4.2 profile
+//! (XOR decomposition of 16-bit-adder sum bits).
+
+use symbi_netlist::{GateKind, Netlist};
+
+/// Builds an `n`-bit ripple-carry adder netlist with carry-in: inputs
+/// `cin, a0, b0, a1, b1, …`; outputs `s0..s{n-1}` and `cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry(n_bits: usize) -> Netlist {
+    assert!(n_bits >= 1, "adder width must be positive");
+    let mut n = Netlist::new(format!("add{n_bits}"));
+    let cin = n.add_input("cin");
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(n_bits);
+    for i in 0..n_bits {
+        let a = n.add_input(format!("a{i}"));
+        let b = n.add_input(format!("b{i}"));
+        let axb = n.add_gate(format!("axb{i}"), GateKind::Xor, vec![a, b]);
+        let sum = n.add_gate(format!("s{i}"), GateKind::Xor, vec![axb, carry]);
+        let ab = n.add_gate(format!("ab{i}"), GateKind::And, vec![a, b]);
+        let ac = n.add_gate(format!("ac{i}"), GateKind::And, vec![axb, carry]);
+        carry = n.add_gate(format!("c{i}"), GateKind::Or, vec![ab, ac]);
+        sums.push(sum);
+    }
+    for (i, &s) in sums.iter().enumerate() {
+        n.add_output(format!("s{i}"), s);
+    }
+    n.add_output("cout", carry);
+    n
+}
+
+/// The number of inputs the cone of sum bit `i` reads (`2i + 3`, matching
+/// the "No. of Inputs" column of the paper's adder table: s2 → 7,
+/// s4 → 11, …, s16 → 33).
+pub fn sum_bit_support(i: usize) -> usize {
+    2 * i + 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_netlist::sim::Simulator;
+
+    #[test]
+    fn adds_correctly() {
+        let n = ripple_carry(4);
+        let mut sim = Simulator::new(&n);
+        for (a, b, cin) in [(3u64, 5u64, 0u64), (15, 1, 0), (7, 7, 1), (0, 0, 1)] {
+            let mut inputs = vec![0u64; 9];
+            inputs[0] = cin.wrapping_neg(); // all-ones if cin
+            for i in 0..4 {
+                inputs[1 + 2 * i] = (a >> i & 1).wrapping_neg();
+                inputs[2 + 2 * i] = (b >> i & 1).wrapping_neg();
+            }
+            let out = sim.eval_comb(&inputs);
+            let expect = a + b + cin;
+            for i in 0..4 {
+                assert_eq!(out[i] & 1, expect >> i & 1, "sum bit {i} of {a}+{b}+{cin}");
+            }
+            assert_eq!(out[4] & 1, expect >> 4 & 1, "carry out of {a}+{b}+{cin}");
+        }
+    }
+
+    #[test]
+    fn support_formula_matches_structure() {
+        let n = ripple_carry(8);
+        for i in 0..8 {
+            let s = n.signal(&format!("s{i}")).unwrap();
+            assert_eq!(n.support(s).len(), sum_bit_support(i), "sum bit {i}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Deterministic benchmark-circuit generators for the `symbi` suite.
+//!
+//! The paper evaluates on the ISCAS'89 sequential benchmarks and on
+//! proprietary IBM macro-blocks; neither is redistributable here, so this
+//! crate generates **synthetic stand-ins with the same interface
+//! parameters** (input/output/latch counts, and AND-node budgets for the
+//! industrial set). The generators are seeded from the circuit name, so
+//! every build reproduces bit-identical netlists.
+//!
+//! What matters for the paper's experiments is preserved by construction:
+//!
+//! - realistic multi-level next-state and output logic mixing primary
+//!   inputs with state,
+//! - *structured* state: one-hot rings, Johnson counters, and FSMs leave
+//!   large unreachable spaces; binary counters and shift registers do not
+//!   — the mix determines how much reachability analysis can help, which
+//!   is exactly the effect Table 3.1 measures.
+//!
+//! Modules:
+//!
+//! - [`blocks`]: sequential building blocks (counters, rings, shifters,
+//!   random FSMs) and random combinational cones,
+//! - [`iscas_like`]: the eight Table 3.1 stand-ins (`s344` … `s9234`),
+//! - [`industrial`]: the six Table 3.2 stand-ins (`seq4` … `seq9`),
+//! - [`mux`] / [`adder`]: the parametric circuits profiled in §3.4.
+
+pub mod adder;
+pub mod blocks;
+pub mod industrial;
+pub mod iscas_like;
+pub mod mux;
+
+/// Interface parameters of a generated circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitSpec {
+    /// Circuit name (also the generator seed).
+    pub name: &'static str,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Latches.
+    pub latches: usize,
+}

@@ -1,0 +1,69 @@
+//! Parametric multiplexers — the workload of the paper's §3.4.1 profile
+//! (OR decomposition of `2^k`-way multiplexers, control width 2..6).
+
+use symbi_netlist::{GateKind, Netlist, SignalId};
+
+/// Builds a `2^k`-way multiplexer netlist: inputs `s0..s{k-1}` (controls)
+/// then `d0..d{2^k-1}` (data), single output `f`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > 16`.
+pub fn mux(k: usize) -> Netlist {
+    assert!(k >= 1 && k <= 16, "control width {k} out of range");
+    let width = 1usize << k;
+    let mut n = Netlist::new(format!("mux{k}"));
+    let controls: Vec<SignalId> = (0..k).map(|i| n.add_input(format!("s{i}"))).collect();
+    let data: Vec<SignalId> = (0..width).map(|i| n.add_input(format!("d{i}"))).collect();
+    let inv_controls: Vec<SignalId> = controls
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| n.add_gate(format!("ns{i}"), GateKind::Not, vec![c]))
+        .collect();
+    let mut terms = Vec::with_capacity(width);
+    for (i, &d) in data.iter().enumerate() {
+        let mut fanins: Vec<SignalId> = (0..k)
+            .map(|j| if i >> j & 1 == 1 { controls[j] } else { inv_controls[j] })
+            .collect();
+        fanins.push(d);
+        terms.push(n.add_gate(format!("t{i}"), GateKind::And, fanins));
+    }
+    let f = n.add_gate("f", GateKind::Or, terms);
+    n.add_output("f", f);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_netlist::sim::Simulator;
+
+    #[test]
+    fn mux_selects_data_line() {
+        let n = mux(2);
+        let mut sim = Simulator::new(&n);
+        // Inputs: s0, s1, d0..d3. Select line 2 (s0=0, s1=1), d2=1.
+        let mut inputs = vec![0u64; 6];
+        inputs[1] = u64::MAX; // s1
+        inputs[2 + 2] = u64::MAX; // d2
+        let out = sim.eval_comb(&inputs);
+        assert_eq!(out[0], u64::MAX);
+        // Same controls, d2=0, d3=1: output 0.
+        let mut inputs = vec![0u64; 6];
+        inputs[1] = u64::MAX;
+        inputs[2 + 3] = u64::MAX;
+        let out = sim.eval_comb(&inputs);
+        assert_eq!(out[0], 0);
+    }
+
+    #[test]
+    fn interface_counts() {
+        for k in 1..=4 {
+            let n = mux(k);
+            assert_eq!(n.num_inputs(), k + (1 << k));
+            assert_eq!(n.num_outputs(), 1);
+            assert_eq!(n.num_latches(), 0);
+            assert!(n.validate().is_ok());
+        }
+    }
+}

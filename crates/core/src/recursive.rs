@@ -1,0 +1,544 @@
+//! Recursive decomposition of an interval into a tree of 2-input
+//! primitives — the "applied recursively to decompose logic in terms of
+//! simple primitives" step of the paper's synthesis loop (§3.5.3).
+//!
+//! Each step reduces vacuous variables, tries OR/AND/XOR bi-decomposition
+//! (symbolically for small supports, greedily above a threshold), picks
+//! the primitive with the most balanced partition, and recurses on the
+//! derived sub-intervals. Don't-care freedom is propagated into the `g2`
+//! sub-problem and the freshly re-derived `g1` interval, following the
+//! standard interval-splitting rules:
+//!
+//! ```text
+//! f = g1 + g2 ∈ [l, u], g1 vac. in A, g2 vac. in B
+//!   g2 ∈ [∃B (l · ¬(∀A u)), ∀B u]       then
+//!   g1 ∈ [∃A (l · ¬g2),      ∀A u]
+//! ```
+//!
+//! (AND via complement duality, XOR via a verified member construction.)
+//! When no non-trivial bi-decomposition exists the step falls back to a
+//! Shannon expansion, which always removes one variable, so the recursion
+//! terminates with leaves that are literals or constants.
+
+use crate::{and_dec, choices::SupportPair, greedy, or_dec, xor_dec, DecKind, Interval};
+use symbi_bdd::{Manager, NodeId, VarId};
+
+/// A tree of 2-input primitives over literal leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tree {
+    /// Constant function.
+    Const(bool),
+    /// A literal: the variable, possibly complemented.
+    Literal(VarId, bool),
+    /// A 2-input gate.
+    Op(DecKind, Box<Tree>, Box<Tree>),
+}
+
+impl Tree {
+    /// Number of gates (internal nodes).
+    pub fn num_gates(&self) -> usize {
+        match self {
+            Tree::Const(_) | Tree::Literal(..) => 0,
+            Tree::Op(_, a, b) => 1 + a.num_gates() + b.num_gates(),
+        }
+    }
+
+    /// Estimated and/inv-expansion cost: 1 AND2 per OR/AND node, 3 per
+    /// XOR node (inverters are free, as in the netlist accounting).
+    pub fn aig_cost(&self) -> usize {
+        match self {
+            Tree::Const(_) | Tree::Literal(..) => 0,
+            Tree::Op(kind, a, b) => {
+                let here = if *kind == DecKind::Xor { 3 } else { 1 };
+                here + a.aig_cost() + b.aig_cost()
+            }
+        }
+    }
+
+    /// Depth in gate levels.
+    pub fn depth(&self) -> usize {
+        match self {
+            Tree::Const(_) | Tree::Literal(..) => 0,
+            Tree::Op(_, a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// The complemented tree, with negation pushed to the leaves through
+    /// De Morgan's laws (XOR absorbs the complement into one operand).
+    pub fn negate(self) -> Tree {
+        match self {
+            Tree::Const(b) => Tree::Const(!b),
+            Tree::Literal(v, phase) => Tree::Literal(v, !phase),
+            Tree::Op(DecKind::Or, a, b) => {
+                Tree::Op(DecKind::And, Box::new(a.negate()), Box::new(b.negate()))
+            }
+            Tree::Op(DecKind::And, a, b) => {
+                Tree::Op(DecKind::Or, Box::new(a.negate()), Box::new(b.negate()))
+            }
+            Tree::Op(DecKind::Xor, a, b) => Tree::Op(DecKind::Xor, Box::new(a.negate()), b),
+        }
+    }
+
+    /// Evaluates the tree to a BDD (for verification).
+    pub fn to_bdd(&self, m: &mut Manager) -> NodeId {
+        match self {
+            Tree::Const(b) => {
+                if *b {
+                    NodeId::TRUE
+                } else {
+                    NodeId::FALSE
+                }
+            }
+            Tree::Literal(v, phase) => m.literal(*v, *phase),
+            Tree::Op(kind, a, b) => {
+                let fa = a.to_bdd(m);
+                let fb = b.to_bdd(m);
+                match kind {
+                    DecKind::Or => m.or(fa, fb),
+                    DecKind::And => m.and(fa, fb),
+                    DecKind::Xor => m.xor(fa, fb),
+                }
+            }
+        }
+    }
+
+    /// All leaf variables, sorted and deduplicated.
+    pub fn support(&self) -> Vec<VarId> {
+        fn walk(t: &Tree, out: &mut Vec<VarId>) {
+            match t {
+                Tree::Const(_) => {}
+                Tree::Literal(v, _) => out.push(*v),
+                Tree::Op(_, a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl std::fmt::Display for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tree::Const(b) => write!(f, "{}", u8::from(*b)),
+            Tree::Literal(v, true) => write!(f, "{v}"),
+            Tree::Literal(v, false) => write!(f, "!{v}"),
+            Tree::Op(kind, a, b) => write!(f, "{kind}({a}, {b})"),
+        }
+    }
+}
+
+/// How partitions are searched at each recursion step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Always the exhaustive symbolic `Bi` computation.
+    Symbolic,
+    /// Always the greedy explicit growth.
+    Greedy,
+    /// Symbolic up to the given support size, greedy above.
+    Auto(usize),
+}
+
+/// Options for [`decompose`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Partition search strategy (default: symbolic below 14 variables).
+    pub strategy: PartitionStrategy,
+    /// Consider XOR decompositions (default: true).
+    pub use_xor: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { strategy: PartitionStrategy::Auto(14), use_xor: true }
+    }
+}
+
+/// Counters describing which steps a decomposition used.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// OR bi-decomposition steps taken.
+    pub or_steps: usize,
+    /// AND bi-decomposition steps taken.
+    pub and_steps: usize,
+    /// XOR bi-decomposition steps taken.
+    pub xor_steps: usize,
+    /// Shannon (MUX) fallback expansions.
+    pub shannon_steps: usize,
+    /// Variables removed by interval abstraction.
+    pub vars_abstracted: usize,
+}
+
+/// Recursively decomposes a consistent interval into a [`Tree`] whose
+/// function is a member of the interval.
+///
+/// # Panics
+///
+/// Panics if the interval is inconsistent.
+pub fn decompose(m: &mut Manager, interval: &Interval, options: &Options) -> (Tree, Stats) {
+    assert!(
+        { interval.is_consistent(m) },
+        "cannot decompose an empty interval"
+    );
+    let mut stats = Stats::default();
+    let tree = decompose_rec(m, *interval, options, &mut stats, 0);
+    (tree, stats)
+}
+
+fn decompose_rec(
+    m: &mut Manager,
+    interval: Interval,
+    options: &Options,
+    stats: &mut Stats,
+    depth: usize,
+) -> Tree {
+    // 1. Abstract vacuous variables (§3.5.1 pre-processing).
+    let (iv, removed) = interval.reduce_support(m);
+    stats.vars_abstracted += removed.len();
+
+    // 2. Constants.
+    if iv.lower.is_false() {
+        return Tree::Const(false);
+    }
+    if iv.upper.is_true() {
+        return Tree::Const(true);
+    }
+    let support = iv.support(m);
+    debug_assert!(!support.is_empty(), "non-constant interval with empty support");
+
+    // 3. Single literal.
+    if support.len() == 1 {
+        let v = support[0];
+        let pos = m.var(v);
+        if iv.contains(m, pos) {
+            return Tree::Literal(v, true);
+        }
+        let neg = m.not(pos);
+        if iv.contains(m, neg) {
+            return Tree::Literal(v, false);
+        }
+        unreachable!("a 1-variable non-constant interval contains a literal");
+    }
+
+    // 4. Bi-decomposition with the best balanced partition across kinds.
+    // Stack depth is bounded by the support size, but guard anyway.
+    if depth < 256 {
+        if let Some((kind, pair)) = best_partition(m, &iv, &support, options) {
+            let a_vac: Vec<VarId> =
+                support.iter().copied().filter(|v| !pair.g1_vars.contains(v)).collect();
+            let b_vac: Vec<VarId> =
+                support.iter().copied().filter(|v| !pair.g2_vars.contains(v)).collect();
+            match kind {
+                DecKind::Or => {
+                    stats.or_steps += 1;
+                    let (t1, t2) = split_or(m, &iv, &a_vac, &b_vac, options, stats, depth);
+                    return Tree::Op(DecKind::Or, Box::new(t1), Box::new(t2));
+                }
+                DecKind::And => {
+                    stats.and_steps += 1;
+                    let comp = iv.complement(m);
+                    let (t1, t2) = split_or(m, &comp, &a_vac, &b_vac, options, stats, depth);
+                    return Tree::Op(
+                        DecKind::And,
+                        Box::new(t1.negate()),
+                        Box::new(t2.negate()),
+                    );
+                }
+                DecKind::Xor => {
+                    if let Some((g1, g2)) =
+                        xor_dec::witnesses(m, &iv, &support, &a_vac, &b_vac)
+                    {
+                        stats.xor_steps += 1;
+                        let t1 =
+                            decompose_rec(m, Interval::exact(g1), options, stats, depth + 1);
+                        let t2 =
+                            decompose_rec(m, Interval::exact(g2), options, stats, depth + 1);
+                        return Tree::Op(DecKind::Xor, Box::new(t1), Box::new(t2));
+                    }
+                    // Construction failed (interval condition was
+                    // optimistic): fall through to Shannon.
+                }
+            }
+        }
+    }
+
+    // 5. Shannon fallback: always removes one variable. The select
+    // variable is chosen to balance (and ideally shrink) the cofactor
+    // supports, which keeps the MUX tree shallow.
+    stats.shannon_steps += 1;
+    let v = *support
+        .iter()
+        .min_by_key(|&&v| {
+            let hi_l = m.cofactor(iv.lower, v, true);
+            let hi_u = m.cofactor(iv.upper, v, true);
+            let lo_l = m.cofactor(iv.lower, v, false);
+            let lo_u = m.cofactor(iv.upper, v, false);
+            let hi_supp = Interval::new(hi_l, hi_u).support(m).len();
+            let lo_supp = Interval::new(lo_l, lo_u).support(m).len();
+            (hi_supp.max(lo_supp), hi_supp + lo_supp)
+        })
+        .expect("non-empty support");
+    let hi = Interval::new(m.cofactor(iv.lower, v, true), m.cofactor(iv.upper, v, true));
+    let lo = Interval::new(m.cofactor(iv.lower, v, false), m.cofactor(iv.upper, v, false));
+    let t_hi = decompose_rec(m, hi, options, stats, depth + 1);
+    let t_lo = decompose_rec(m, lo, options, stats, depth + 1);
+    // ITE(v, hi, lo) = v·hi + v̄·lo.
+    let then_branch = Tree::Op(
+        DecKind::And,
+        Box::new(Tree::Literal(v, true)),
+        Box::new(t_hi),
+    );
+    let else_branch = Tree::Op(
+        DecKind::And,
+        Box::new(Tree::Literal(v, false)),
+        Box::new(t_lo),
+    );
+    Tree::Op(DecKind::Or, Box::new(then_branch), Box::new(else_branch))
+}
+
+/// Derives the two OR sub-problems and recurses (shared by OR and, through
+/// complementation, AND).
+fn split_or(
+    m: &mut Manager,
+    iv: &Interval,
+    a_vac: &[VarId],
+    b_vac: &[VarId],
+    options: &Options,
+    stats: &mut Stats,
+    depth: usize,
+) -> (Tree, Tree) {
+    let u1 = m.forall(iv.upper, a_vac);
+    let u2 = m.forall(iv.upper, b_vac);
+    // g2 covers what the maximal g1 cannot.
+    let uncovered = m.diff(iv.lower, u1);
+    let l2 = m.exists(uncovered, b_vac);
+    let iv2 = Interval::new(l2, u2);
+    let t2 = decompose_rec(m, iv2, options, stats, depth + 1);
+    let g2 = t2.to_bdd(m);
+    // Re-derive g1's obligation against the concrete g2.
+    let residual = m.diff(iv.lower, g2);
+    let l1 = m.exists(residual, a_vac);
+    let iv1 = Interval::new(l1, u1);
+    let t1 = decompose_rec(m, iv1, options, stats, depth + 1);
+    (t1, t2)
+}
+
+/// Best balanced non-trivial partition across the enabled kinds.
+fn best_partition(
+    m: &mut Manager,
+    iv: &Interval,
+    support: &[VarId],
+    options: &Options,
+) -> Option<(DecKind, SupportPair)> {
+    let n = support.len();
+    let symbolic = match options.strategy {
+        PartitionStrategy::Symbolic => true,
+        PartitionStrategy::Greedy => false,
+        PartitionStrategy::Auto(limit) => n <= limit,
+    };
+    let mut kinds = vec![DecKind::Or, DecKind::And];
+    if options.use_xor {
+        kinds.push(DecKind::Xor);
+    }
+    let mut best: Option<(DecKind, SupportPair)> = None;
+    let mut best_key = (usize::MAX, usize::MAX, usize::MAX);
+    for kind in kinds {
+        let pair = if symbolic {
+            let mut ch = match kind {
+                DecKind::Or => or_dec::Choices::compute(m, iv, support),
+                DecKind::And => and_dec::Choices::compute(m, iv, support),
+                DecKind::Xor => xor_dec::Choices::compute(m, iv, support),
+            };
+            ch.pick_balanced_partition()
+        } else {
+            greedy::grow(m, kind, iv, support).map(|o| SupportPair {
+                g1_vars: support
+                    .iter()
+                    .copied()
+                    .filter(|v| !o.a_vacuous.contains(v))
+                    .collect(),
+                g2_vars: support
+                    .iter()
+                    .copied()
+                    .filter(|v| !o.b_vacuous.contains(v))
+                    .collect(),
+            })
+        };
+        if let Some(p) = pair {
+            let (k1, k2) = p.sizes();
+            if k1.max(k2) >= n {
+                continue; // trivial
+            }
+            let key = (k1.max(k2), k1 + k2, p.shared().len());
+            if key < best_key {
+                best_key = key;
+                best = Some((kind, p));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify(m: &mut Manager, iv: &Interval, tree: &Tree) {
+        let f = tree.to_bdd(m);
+        assert!(iv.contains(m, f), "tree {tree} is not a member of the interval");
+    }
+
+    #[test]
+    fn decomposes_simple_sop() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let f = m.or(ab, cd);
+        let iv = Interval::exact(f);
+        let (tree, stats) = decompose(&mut m, &iv, &Options::default());
+        verify(&mut m, &iv, &tree);
+        assert_eq!(tree.num_gates(), 3, "ab+cd needs exactly 3 two-input gates");
+        assert_eq!(stats.shannon_steps, 0, "no fallback needed");
+    }
+
+    #[test]
+    fn decomposes_parity_with_xor() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let t1 = m.xor(vs[0], vs[1]);
+        let t2 = m.xor(vs[2], vs[3]);
+        let f = m.xor(t1, t2);
+        let iv = Interval::exact(f);
+        let (tree, stats) = decompose(&mut m, &iv, &Options::default());
+        verify(&mut m, &iv, &tree);
+        assert!(stats.xor_steps >= 1, "parity must use XOR steps, got {stats:?}");
+        assert_eq!(tree.num_gates(), 3);
+    }
+
+    #[test]
+    fn xor_disabled_still_correct() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(3);
+        let t = m.xor(vs[0], vs[1]);
+        let f = m.xor(t, vs[2]);
+        let iv = Interval::exact(f);
+        let opts = Options { use_xor: false, ..Default::default() };
+        let (tree, stats) = decompose(&mut m, &iv, &opts);
+        verify(&mut m, &iv, &tree);
+        assert_eq!(stats.xor_steps, 0);
+        assert!(stats.shannon_steps > 0, "parity without XOR forces Shannon");
+    }
+
+    #[test]
+    fn majority_with_dontcare_shrinks() {
+        // Figure 3.1: maj(a,b,c) with abc unreachable decomposes into
+        // 2-variable halves.
+        let mut m = Manager::new();
+        let vs = m.new_vars(3);
+        let ab = m.and(vs[0], vs[1]);
+        let ac = m.and(vs[0], vs[2]);
+        let bc = m.and(vs[1], vs[2]);
+        let t = m.or(ab, ac);
+        let f = m.or(t, bc);
+        let nb = m.not(vs[1]);
+        let anb = m.and(vs[0], nb);
+        let dc = m.and(anb, vs[2]); // Fig. 3.1's unreachable state a·b̄·c
+        let iv = Interval::with_dontcare(&mut m, f, dc);
+        let (tree, _) = decompose(&mut m, &iv, &Options::default());
+        verify(&mut m, &iv, &tree);
+        // Each child of the root reads at most 2 variables.
+        if let Tree::Op(_, a, b) = &tree {
+            assert!(a.support().len() <= 2);
+            assert!(b.support().len() <= 2);
+        } else {
+            panic!("expected a root gate, got {tree}");
+        }
+    }
+
+    #[test]
+    fn constants_and_literals() {
+        let mut m = Manager::new();
+        let v = m.new_var();
+        let (t, _) = decompose(&mut m, &Interval::exact(NodeId::TRUE), &Options::default());
+        assert_eq!(t, Tree::Const(true));
+        let (t, _) = decompose(&mut m, &Interval::exact(NodeId::FALSE), &Options::default());
+        assert_eq!(t, Tree::Const(false));
+        let (t, _) = decompose(&mut m, &Interval::exact(v), &Options::default());
+        assert_eq!(t, Tree::Literal(VarId(0), true));
+        let nv = m.not(v);
+        let (t, _) = decompose(&mut m, &Interval::exact(nv), &Options::default());
+        assert_eq!(t, Tree::Literal(VarId(0), false));
+    }
+
+    #[test]
+    fn interval_preferring_constant() {
+        // [0, x]: the constant 0 is a member; the decomposer should take it.
+        let mut m = Manager::new();
+        let v = m.new_var();
+        let iv = Interval::new(NodeId::FALSE, v);
+        let (t, _) = decompose(&mut m, &iv, &Options::default());
+        assert_eq!(t, Tree::Const(false));
+    }
+
+    #[test]
+    fn greedy_strategy_also_verifies() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(5);
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let t = m.or(ab, cd);
+        let f = m.or(t, vs[4]);
+        let iv = Interval::exact(f);
+        let opts = Options { strategy: PartitionStrategy::Greedy, ..Default::default() };
+        let (tree, _) = decompose(&mut m, &iv, &opts);
+        verify(&mut m, &iv, &tree);
+    }
+
+    #[test]
+    fn random_functions_always_verify() {
+        // Deterministic pseudo-random truth tables over 5 vars; every
+        // decomposition must compose back into the interval.
+        let mut seed = 0xabcdef12345678u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..10 {
+            let mut m = Manager::new();
+            m.new_vars(5);
+            let bits: u32 = (next() & 0xffff_ffff) as u32;
+            // Build f from its truth table.
+            let mut f = NodeId::FALSE;
+            for row in 0u32..32 {
+                if bits >> (row % 32) & 1 == 1 {
+                    let assignment: Vec<(VarId, bool)> =
+                        (0..5).map(|i| (VarId(i), row >> i & 1 == 1)).collect();
+                    let mt = m.minterm(&assignment);
+                    f = m.or(f, mt);
+                }
+            }
+            let dc_bits: u32 = (next() & 0xffff_ffff) as u32;
+            let mut dc = NodeId::FALSE;
+            for row in 0u32..32 {
+                if dc_bits >> (row % 32) & 1 == 1 && row % 3 == 0 {
+                    let assignment: Vec<(VarId, bool)> =
+                        (0..5).map(|i| (VarId(i), row >> i & 1 == 1)).collect();
+                    let mt = m.minterm(&assignment);
+                    dc = m.or(dc, mt);
+                }
+            }
+            let iv = Interval::with_dontcare(&mut m, f, dc);
+            let (tree, _) = decompose(&mut m, &iv, &Options::default());
+            let g = tree.to_bdd(&mut m);
+            assert!(iv.contains(&mut m, g), "trial {trial} failed: {tree}");
+        }
+    }
+}

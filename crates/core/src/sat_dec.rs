@@ -1,0 +1,488 @@
+//! SAT-based bi-decomposability checks — the approach of Lee, Jiang &
+//! Hung (DAC 2008, the paper's reference \[14\]), reimplemented as a
+//! baseline: decomposability is phrased as the *unsatisfiability* of a
+//! small multi-copy formula over the function.
+//!
+//! For `f = g1 + g2` with `g1` vacuous in `A` and `g2` vacuous in `B`,
+//! the decomposition fails exactly when some onset minterm `x` has an
+//! offset twin `y` reachable by changing only `A`-variables *and* an
+//! offset twin `z` reachable by changing only `B`-variables — then
+//! neither `g1` (which cannot tell `x` from `y`) nor `g2` (ditto `z`)
+//! may cover `x`. So:
+//!
+//! ```text
+//! OR-decomposable(A, B)  ⟺  UNSAT[ f(x) ∧ ¬f(y) ∧ ¬f(z)
+//!                                   ∧ x =_{∖A} y ∧ x =_{∖B} z ]
+//! ```
+//!
+//! XOR similarly refutes Proposition 3.1 with four copies. The function
+//! is handed over as a BDD and encoded into CNF by Tseitin translation
+//! over its nodes (each BDD node is one `ITE` constraint), so the
+//! baseline shares the exact same function representation as the
+//! symbolic engine — the comparison isolates the *method*.
+//!
+//! Fixed-partition checks mirror [`crate::or_dec::decomposable`];
+//! [`grow_or_partition`] additionally implements \[14\]'s unsat-core-guided
+//! partition growing for OR.
+
+use crate::Interval;
+use std::collections::HashMap;
+use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_sat::{Lit, Solver};
+
+/// Tseitin-encodes the BDD `f` over the literal assignment `inputs`
+/// (function variable → SAT literal) and returns a literal equivalent to
+/// `f`'s value. Fresh auxiliary variables are created per BDD node.
+fn encode_bdd(
+    solver: &mut Solver,
+    m: &Manager,
+    f: NodeId,
+    inputs: &HashMap<VarId, Lit>,
+    memo: &mut HashMap<NodeId, Lit>,
+    constants: &mut Option<(Lit, Lit)>,
+) -> Lit {
+    if let Some(&l) = memo.get(&f) {
+        return l;
+    }
+    let lit = if f.is_terminal() {
+        let (t, ff) = *constants.get_or_insert_with(|| {
+            let t = Lit::pos(solver.new_var());
+            solver.add_clause([t]);
+            let ff = Lit::pos(solver.new_var());
+            solver.add_clause([!ff]);
+            (t, ff)
+        });
+        if f.is_true() {
+            t
+        } else {
+            ff
+        }
+    } else {
+        let v = m.top_var(f).expect("non-terminal");
+        let sel = *inputs
+            .get(&v)
+            .unwrap_or_else(|| panic!("no SAT literal for function variable {v}"));
+        let (lo, hi) = m.branches(f);
+        let lo_lit = encode_bdd(solver, m, lo, inputs, memo, constants);
+        let hi_lit = encode_bdd(solver, m, hi, inputs, memo, constants);
+        let n = Lit::pos(solver.new_var());
+        // n ↔ ITE(sel, hi, lo)
+        solver.add_clause([!sel, !hi_lit, n]);
+        solver.add_clause([!sel, hi_lit, !n]);
+        solver.add_clause([sel, !lo_lit, n]);
+        solver.add_clause([sel, lo_lit, !n]);
+        n
+    };
+    memo.insert(f, lit);
+    lit
+}
+
+/// One copy of the function's input space: fresh SAT variables per
+/// function variable, shared with another copy outside the given set.
+fn input_copy(
+    solver: &mut Solver,
+    vars: &[VarId],
+    base: Option<(&HashMap<VarId, Lit>, &[VarId])>,
+) -> HashMap<VarId, Lit> {
+    let mut out = HashMap::new();
+    for &v in vars {
+        let lit = match base {
+            Some((base_map, free)) if !free.contains(&v) => base_map[&v],
+            _ => Lit::pos(solver.new_var()),
+        };
+        out.insert(v, lit);
+    }
+    out
+}
+
+/// SAT-based OR decomposability check for a completely specified
+/// function: `g1` vacuous in `a_vacuous`, `g2` vacuous in `b_vacuous`.
+/// Agrees exactly with [`crate::or_dec::decomposable`] on exact
+/// intervals.
+pub fn or_decomposable(
+    m: &Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+) -> bool {
+    let mut solver = Solver::new();
+    let mut constants = None;
+    let x = input_copy(&mut solver, vars, None);
+    let y = input_copy(&mut solver, vars, Some((&x, a_vacuous)));
+    let z = input_copy(&mut solver, vars, Some((&x, b_vacuous)));
+    let fx = encode_bdd(&mut solver, m, f, &x, &mut HashMap::new(), &mut constants);
+    let fy = encode_bdd(&mut solver, m, f, &y, &mut HashMap::new(), &mut constants);
+    let fz = encode_bdd(&mut solver, m, f, &z, &mut HashMap::new(), &mut constants);
+    solver.add_clause([fx]);
+    solver.add_clause([!fy]);
+    solver.add_clause([!fz]);
+    !solver.solve().is_sat()
+}
+
+/// SAT-based AND decomposability: the OR question on the complement.
+pub fn and_decomposable(
+    m: &mut Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+) -> bool {
+    let nf = m.not(f);
+    or_decomposable(m, nf, vars, a_vacuous, b_vacuous)
+}
+
+/// SAT-based XOR decomposability check for a completely specified
+/// function (Proposition 3.1 refuted by a 4-copy formula): SAT iff some
+/// `A`-flip changes `f` for one `B`-part but not another.
+pub fn xor_decomposable(
+    m: &Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+) -> bool {
+    let mut solver = Solver::new();
+    let mut constants = None;
+    // p = (a, b, c); q = (a', b, c); r = (a, b', c); s = (a', b', c).
+    let p = input_copy(&mut solver, vars, None);
+    let q = input_copy(&mut solver, vars, Some((&p, a_vacuous)));
+    let r = input_copy(&mut solver, vars, Some((&p, b_vacuous)));
+    // s shares a' with q on A, b' with r on B, c with p elsewhere.
+    let mut s_map = HashMap::new();
+    for &v in vars {
+        let lit = if a_vacuous.contains(&v) {
+            q[&v]
+        } else if b_vacuous.contains(&v) {
+            r[&v]
+        } else {
+            p[&v]
+        };
+        s_map.insert(v, lit);
+    }
+    let fp = encode_bdd(&mut solver, m, f, &p, &mut HashMap::new(), &mut constants);
+    let fq = encode_bdd(&mut solver, m, f, &q, &mut HashMap::new(), &mut constants);
+    let fr = encode_bdd(&mut solver, m, f, &r, &mut HashMap::new(), &mut constants);
+    let fs = encode_bdd(&mut solver, m, f, &s_map, &mut HashMap::new(), &mut constants);
+    // f(p) ≠ f(q):
+    let d1 = Lit::pos(solver.new_var());
+    xor_constraint(&mut solver, fp, fq, d1);
+    solver.add_clause([d1]);
+    // f(r) = f(s):
+    let d2 = Lit::pos(solver.new_var());
+    xor_constraint(&mut solver, fr, fs, d2);
+    solver.add_clause([!d2]);
+    !solver.solve().is_sat()
+}
+
+/// Unsat-core-guided OR-partition growing — the signature move of \[14\]:
+/// one refutation proves decomposability *and* its core reveals which
+/// variable-equality constraints mattered, so every variable whose
+/// constraint is absent from the core joins a vacuity set at once
+/// (instead of one greedy re-check per variable).
+///
+/// Starting from the seed pair (`seed_a` exclusive to `g2`'s side,
+/// `seed_b` to `g1`'s), returns grown vacuity sets `(A, B)` with the
+/// decomposition `f = g1(x∖A) + g2(x∖B)` verified by a final solve, or
+/// `None` when even the seed pair is infeasible.
+pub fn grow_or_partition(
+    m: &Manager,
+    f: NodeId,
+    vars: &[VarId],
+    seed_a: VarId,
+    seed_b: VarId,
+) -> Option<(Vec<VarId>, Vec<VarId>)> {
+    let mut solver = Solver::new();
+    let mut constants = None;
+    // Three fully independent copies; equalities are *conditional* on
+    // assumption literals so the partition can move between solves.
+    let x = input_copy(&mut solver, vars, None);
+    let y = input_copy(&mut solver, vars, Some((&x, vars)));
+    let z = input_copy(&mut solver, vars, Some((&x, vars)));
+    let mut eq_y: HashMap<VarId, Lit> = HashMap::new();
+    let mut eq_z: HashMap<VarId, Lit> = HashMap::new();
+    for &v in vars {
+        let ey = Lit::pos(solver.new_var());
+        solver.add_clause([!ey, !x[&v], y[&v]]);
+        solver.add_clause([!ey, x[&v], !y[&v]]);
+        eq_y.insert(v, ey);
+        let ez = Lit::pos(solver.new_var());
+        solver.add_clause([!ez, !x[&v], z[&v]]);
+        solver.add_clause([!ez, x[&v], !z[&v]]);
+        eq_z.insert(v, ez);
+    }
+    let fx = encode_bdd(&mut solver, m, f, &x, &mut HashMap::new(), &mut constants);
+    let fy = encode_bdd(&mut solver, m, f, &y, &mut HashMap::new(), &mut constants);
+    let fz = encode_bdd(&mut solver, m, f, &z, &mut HashMap::new(), &mut constants);
+    solver.add_clause([fx]);
+    solver.add_clause([!fy]);
+    solver.add_clause([!fz]);
+
+    let mut a: Vec<VarId> = vec![seed_a];
+    let mut b: Vec<VarId> = vec![seed_b];
+    let mut verified: Option<(Vec<VarId>, Vec<VarId>)> = None;
+    loop {
+        // Enforce equality outside the current vacuity sets.
+        let assumptions: Vec<Lit> = vars
+            .iter()
+            .flat_map(|&v| {
+                let mut out = Vec::new();
+                if !a.contains(&v) {
+                    out.push(eq_y[&v]);
+                }
+                if !b.contains(&v) {
+                    out.push(eq_z[&v]);
+                }
+                out
+            })
+            .collect();
+        match solver.solve_with_assumptions(&assumptions) {
+            symbi_sat::SolveResult::Sat => {
+                // Over-relaxed (or the seed itself fails): fall back to
+                // the last verified partition.
+                return verified;
+            }
+            symbi_sat::SolveResult::Unsat { core } => {
+                let grown_a: Vec<VarId> = vars
+                    .iter()
+                    .copied()
+                    .filter(|&v| a.contains(&v) || !core.contains(&eq_y[&v]))
+                    .collect();
+                let grown_b: Vec<VarId> = vars
+                    .iter()
+                    .copied()
+                    .filter(|&v| b.contains(&v) || !core.contains(&eq_z[&v]))
+                    .collect();
+                let settled = grown_a.len() == a.len() && grown_b.len() == b.len();
+                verified = Some((a.clone(), b.clone()));
+                if settled {
+                    return verified;
+                }
+                a = grown_a;
+                b = grown_b;
+            }
+        }
+    }
+}
+
+/// Adds clauses for `out ↔ (a ⊕ b)`.
+fn xor_constraint(solver: &mut Solver, a: Lit, b: Lit, out: Lit) {
+    solver.add_clause([!a, !b, !out]);
+    solver.add_clause([a, b, !out]);
+    solver.add_clause([!a, b, out]);
+    solver.add_clause([a, !b, out]);
+}
+
+/// Convenience: dispatches a SAT check for an exact interval and any
+/// primitive kind, mirroring the BDD-based check APIs.
+pub fn decomposable(
+    m: &mut Manager,
+    kind: crate::DecKind,
+    interval: &Interval,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+) -> bool {
+    assert!(
+        interval.is_exact(),
+        "the SAT baseline handles completely specified functions"
+    );
+    match kind {
+        crate::DecKind::Or => or_decomposable(m, interval.lower, vars, a_vacuous, b_vacuous),
+        crate::DecKind::And => {
+            and_decomposable(m, interval.lower, vars, a_vacuous, b_vacuous)
+        }
+        crate::DecKind::Xor => {
+            xor_decomposable(m, interval.lower, vars, a_vacuous, b_vacuous)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{or_dec, xor_dec};
+
+    fn from_tt(m: &mut Manager, n: usize, tt: u64) -> NodeId {
+        let mut f = NodeId::FALSE;
+        for row in 0..1u64 << n {
+            if tt >> row & 1 == 1 {
+                let assignment: Vec<(VarId, bool)> =
+                    (0..n).map(|i| (VarId(i as u32), row >> i & 1 == 1)).collect();
+                let mt = m.minterm(&assignment);
+                f = m.or(f, mt);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn or_check_agrees_with_bdd_on_known_cases() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let f = m.or(ab, cd);
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        assert!(or_decomposable(&m, f, &vars, &[VarId(2), VarId(3)], &[VarId(0), VarId(1)]));
+        // A = {a}, B = {b}: both halves lose part of the ab product — the
+        // onset minterm ab·c̄d̄ has offset twins via either flip.
+        assert!(!or_decomposable(&m, f, &vars, &[VarId(0)], &[VarId(1)]));
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_bdd_checks() {
+        // Random 4-var functions, all 81 disjoint-ish vacuity splits.
+        let mut seed = 0x5eed_cafe_f00du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..12 {
+            let tt = next() & 0xffff;
+            let mut m = Manager::with_vars(4);
+            let f = from_tt(&mut m, 4, tt);
+            let iv = Interval::exact(f);
+            let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+            for mask_a in 0u32..16 {
+                for mask_b in 0u32..16 {
+                    if mask_a & mask_b != 0 {
+                        continue; // keep vacuity sets disjoint, as in \[14\]
+                    }
+                    let a: Vec<VarId> =
+                        (0..4).filter(|&i| mask_a >> i & 1 == 1).map(VarId).collect();
+                    let b: Vec<VarId> =
+                        (0..4).filter(|&i| mask_b >> i & 1 == 1).map(VarId).collect();
+                    let bdd_or = or_dec::decomposable(&mut m, &iv, &a, &b);
+                    let sat_or = or_decomposable(&m, f, &vars, &a, &b);
+                    assert_eq!(bdd_or, sat_or, "OR tt={tt:04x} A={a:?} B={b:?}");
+                    let bdd_xor = xor_dec::decomposable(&mut m, &iv, &vars, &a, &b);
+                    let sat_xor = xor_decomposable(&m, f, &vars, &a, &b);
+                    assert_eq!(bdd_xor, sat_xor, "XOR tt={tt:04x} A={a:?} B={b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn core_guided_growth_finds_the_full_split() {
+        // f = ab + cd seeded with (c, a): A should grow to {c, d} and B
+        // to {a, b} — the perfect disjoint split — in very few solves.
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let f = m.or(ab, cd);
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        let (a, b) =
+            grow_or_partition(&m, f, &vars, VarId(2), VarId(0)).expect("seed is feasible");
+        // Whatever exactly was grown, it must be a feasible partition…
+        let iv = Interval::exact(f);
+        assert!(crate::or_dec::decomposable(&mut m, &iv, &a, &b), "A={a:?} B={b:?}");
+        // …that strictly extends the seeds.
+        assert!(a.len() + b.len() >= 3, "core growth made no progress: A={a:?} B={b:?}");
+        assert!(a.contains(&VarId(2)));
+        assert!(b.contains(&VarId(0)));
+    }
+
+    #[test]
+    fn core_guided_growth_rejects_bad_seeds() {
+        // Parity admits no OR split at all.
+        let mut m = Manager::new();
+        let vs = m.new_vars(3);
+        let t = m.xor(vs[0], vs[1]);
+        let f = m.xor(t, vs[2]);
+        assert!(grow_or_partition(
+            &m,
+            f,
+            &(0..3u32).map(VarId).collect::<Vec<_>>(),
+            VarId(0),
+            VarId(1)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn core_guided_growth_always_feasible_on_random_functions() {
+        let mut seed = 0x00dd_f00d_1234u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..16 {
+            let tt = next() & 0xffff_ffff;
+            let mut m = Manager::with_vars(5);
+            let f = from_tt(&mut m, 5, tt);
+            if f.is_terminal() {
+                continue;
+            }
+            let vars: Vec<VarId> = (0..5u32).map(VarId).collect();
+            let sa = VarId((next() % 5) as u32);
+            let sb = VarId(((sa.index() + 1 + (next() % 4) as usize) % 5) as u32);
+            if let Some((a, b)) = grow_or_partition(&m, f, &vars, sa, sb) {
+                let iv = Interval::exact(f);
+                assert!(
+                    crate::or_dec::decomposable(&mut m, &iv, &a, &b),
+                    "tt={tt:08x} A={a:?} B={b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn and_duality() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let l = m.or(vs[0], vs[1]);
+        let r = m.or(vs[2], vs[3]);
+        let f = m.and(l, r);
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        assert!(and_decomposable(
+            &mut m,
+            f,
+            &vars,
+            &[VarId(2), VarId(3)],
+            &[VarId(0), VarId(1)]
+        ));
+        assert!(!or_decomposable(&m, f, &vars, &[VarId(2), VarId(3)], &[VarId(0), VarId(1)]));
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(3);
+        let t = m.xor(vs[0], vs[1]);
+        let f = m.xor(t, vs[2]);
+        let iv = Interval::exact(f);
+        let vars: Vec<VarId> = (0..3u32).map(VarId).collect();
+        assert!(decomposable(
+            &mut m,
+            crate::DecKind::Xor,
+            &iv,
+            &vars,
+            &[VarId(2)],
+            &[VarId(0), VarId(1)]
+        ));
+        assert!(!decomposable(
+            &mut m,
+            crate::DecKind::Or,
+            &iv,
+            &vars,
+            &[VarId(2)],
+            &[VarId(0), VarId(1)]
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "completely specified")]
+    fn rejects_proper_intervals() {
+        let mut m = Manager::new();
+        let v = m.new_var();
+        let iv = Interval::new(NodeId::FALSE, v);
+        decomposable(&mut m, crate::DecKind::Or, &iv, &[VarId(0)], &[], &[]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Golden tests reproducing the paper's in-text profile tables at the
+//! sizes that are cheap enough for the unit-test suite:
+//!
+//! - §3.4.1: OR decomposition of multiplexers — best partition sizes and
+//!   number of choices,
+//! - §3.4.2: XOR decomposition of ripple-carry-adder sum bits — best
+//!   partition sizes.
+
+use crate::{or_dec, xor_dec, Interval};
+use symbi_bdd::{Manager, NodeId, VarId};
+
+/// Builds a `2^k`-way multiplexer: controls first (vars `0..k`), then data
+/// (vars `k..k+2^k`).
+fn mux(m: &mut Manager, k: usize) -> (NodeId, Vec<VarId>) {
+    let width = 1 << k;
+    let controls = m.new_vars(k);
+    let data = m.new_vars(width);
+    let mut f = NodeId::FALSE;
+    for (i, &d) in data.iter().enumerate() {
+        let mut sel = NodeId::TRUE;
+        for (j, &c) in controls.iter().enumerate() {
+            let lit = if i >> j & 1 == 1 { c } else { m.not(c) };
+            sel = m.and(sel, lit);
+        }
+        let term = m.and(sel, d);
+        f = m.or(f, term);
+    }
+    let vars: Vec<VarId> = (0..(k + width) as u32).map(VarId).collect();
+    (f, vars)
+}
+
+/// Ripple-carry adder over `n`-bit operands plus carry-in; returns the sum
+/// bits. Variable order: `cin, a0, b0, a1, b1, …`.
+fn adder_sum_bits(m: &mut Manager, n: usize) -> (Vec<NodeId>, Vec<VarId>) {
+    let cin = m.new_var();
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = m.new_var();
+        let b = m.new_var();
+        let axb = m.xor(a, b);
+        let sum = m.xor(axb, carry);
+        let ab = m.and(a, b);
+        let ac = m.and(axb, carry);
+        carry = m.or(ab, ac);
+        sums.push(sum);
+    }
+    let vars: Vec<VarId> = (0..(1 + 2 * n) as u32).map(VarId).collect();
+    (sums, vars)
+}
+
+#[test]
+fn mux_table_row_width_2() {
+    // Paper row: Control 2, Data 4 → best partition (4, 4), 6 choices.
+    let mut m = Manager::new();
+    let (f, vars) = mux(&mut m, 2);
+    let iv = Interval::exact(f);
+    let mut ch = or_dec::Choices::compute(&mut m, &iv, &vars);
+    assert!(ch.is_feasible());
+    let best = ch.best_balanced().expect("multiplexers OR-decompose");
+    assert_eq!(best, (4, 4));
+    let count = ch.count_choices(4, 4);
+    assert!((count - 6.0).abs() < 1e-6, "paper reports 6 choices, got {count}");
+}
+
+#[test]
+fn mux_table_row_width_3() {
+    // Paper row: Control 3, Data 8 → best partition (7, 7), 70 choices.
+    let mut m = Manager::new();
+    let (f, vars) = mux(&mut m, 3);
+    let iv = Interval::exact(f);
+    let mut ch = or_dec::Choices::compute(&mut m, &iv, &vars);
+    let best = ch.best_balanced().expect("multiplexers OR-decompose");
+    assert_eq!(best, (7, 7));
+    let count = ch.count_choices(7, 7);
+    assert!((count - 70.0).abs() < 1e-3, "paper reports 70 choices, got {count}");
+}
+
+#[test]
+fn mux_partition_structure() {
+    // The balanced split of the 4-way mux keeps both controls shared and
+    // splits the data lines 2/2.
+    let mut m = Manager::new();
+    let (f, vars) = mux(&mut m, 2);
+    let iv = Interval::exact(f);
+    let mut ch = or_dec::Choices::compute(&mut m, &iv, &vars);
+    let p = ch.pick_balanced_partition().expect("feasible");
+    let controls = [VarId(0), VarId(1)];
+    for c in controls {
+        assert!(p.g1_vars.contains(&c), "controls must be shared");
+        assert!(p.g2_vars.contains(&c), "controls must be shared");
+    }
+    assert_eq!(p.shared(), controls.to_vec());
+    // Verify with explicit witnesses.
+    let a_vac: Vec<VarId> = vars.iter().copied().filter(|v| !p.g1_vars.contains(v)).collect();
+    let b_vac: Vec<VarId> = vars.iter().copied().filter(|v| !p.g2_vars.contains(v)).collect();
+    let (g1, g2) = or_dec::witnesses(&mut m, &iv, &a_vac, &b_vac);
+    let composed = m.or(g1, g2);
+    assert_eq!(composed, f);
+}
+
+#[test]
+fn adder_table_row_s2() {
+    // Paper row: sum bit s2, 7 inputs → best partition (2, 5).
+    let mut m = Manager::new();
+    let (sums, _) = adder_sum_bits(&mut m, 3);
+    let s2 = sums[2];
+    let support = m.support(s2);
+    assert_eq!(support.len(), 7);
+    let iv = Interval::exact(s2);
+    let mut ch = xor_dec::Choices::compute(&mut m, &iv, &support);
+    let best = ch.best_balanced().expect("sum bits XOR-decompose");
+    assert_eq!(best, (2, 5), "paper reports best partition (2, 5)");
+}
+
+#[test]
+fn adder_s2_partition_verifies() {
+    let mut m = Manager::new();
+    let (sums, _) = adder_sum_bits(&mut m, 3);
+    let s2 = sums[2];
+    let support = m.support(s2);
+    let iv = Interval::exact(s2);
+    let mut ch = xor_dec::Choices::compute(&mut m, &iv, &support);
+    let p = ch.pick_balanced_partition().expect("feasible");
+    // g1 must be the top-bit pair {a2, b2} (the only 2-variable half).
+    let (k1, k2) = p.sizes();
+    let small = if k1 <= k2 { &p.g1_vars } else { &p.g2_vars };
+    assert_eq!(small, &vec![VarId(5), VarId(6)], "small side is {{a2, b2}}");
+    let a_vac: Vec<VarId> = support.iter().copied().filter(|v| !p.g1_vars.contains(v)).collect();
+    let b_vac: Vec<VarId> = support.iter().copied().filter(|v| !p.g2_vars.contains(v)).collect();
+    let (g1, g2) =
+        xor_dec::witnesses(&mut m, &iv, &support, &a_vac, &b_vac).expect("constructs");
+    let composed = m.xor(g1, g2);
+    assert_eq!(composed, s2);
+}
+
+#[test]
+fn greedy_agrees_with_implicit_on_small_adder() {
+    // §3.4.2 compares implicit and greedy: on s2 both must find a
+    // non-trivial partition, and the implicit one is at least as balanced.
+    let mut m = Manager::new();
+    let (sums, _) = adder_sum_bits(&mut m, 3);
+    let s2 = sums[2];
+    let support = m.support(s2);
+    let iv = Interval::exact(s2);
+    let greedy =
+        crate::greedy::grow(&mut m, crate::DecKind::Xor, &iv, &support).expect("decomposable");
+    let (gk1, gk2) = greedy.sizes(support.len());
+    let mut ch = xor_dec::Choices::compute(&mut m, &iv, &support);
+    let (ik1, ik2) = ch.best_balanced().expect("decomposable");
+    assert!(ik1.max(ik2) <= gk1.max(gk2));
+}

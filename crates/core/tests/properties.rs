@@ -1,0 +1,203 @@
+//! Property-based tests for the decomposition engine: every decomposition
+//! the library reports must verify, across random (incompletely
+//! specified) functions.
+
+use proptest::prelude::*;
+use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_core::{and_dec, greedy, or_dec, recursive, xor_dec, DecKind, Interval};
+
+fn from_tt(m: &mut Manager, n: usize, tt: u64) -> NodeId {
+    let mut f = NodeId::FALSE;
+    for row in 0..1u64 << n {
+        if tt >> row & 1 == 1 {
+            let assignment: Vec<(VarId, bool)> =
+                (0..n).map(|i| (VarId(i as u32), row >> i & 1 == 1)).collect();
+            let mt = m.minterm(&assignment);
+            f = m.or(f, mt);
+        }
+    }
+    f
+}
+
+/// Random interval from a function truth table and a (sparser) DC table.
+fn interval_from(m: &mut Manager, n: usize, tt: u64, dc_tt: u64) -> Interval {
+    let f = from_tt(m, n, tt);
+    let dc = from_tt(m, n, dc_tt & dc_tt >> 1); // thin the DC set a little
+    Interval::with_dontcare(m, f, dc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn interval_algebra(tt in any::<u64>(), dc in any::<u64>()) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let iv = interval_from(&mut m, n, tt, dc);
+        prop_assert!(iv.is_consistent(&mut m));
+        // f itself is always a member.
+        let f = from_tt(&mut m, n, tt);
+        prop_assert!(iv.contains(&mut m, f));
+        // Complement duality: g ∈ [l,u] ⟺ ¬g ∈ [ū, l̄].
+        let comp = iv.complement(&mut m);
+        let nf = m.not(f);
+        prop_assert!(comp.contains(&mut m, nf));
+        // reduce_support keeps consistency and membership of some member.
+        let (reduced, removed) = iv.reduce_support(&mut m);
+        prop_assert!(reduced.is_consistent(&mut m));
+        let member = reduced.pick_member(&mut m);
+        prop_assert!(iv.contains(&mut m, member));
+        // Removed variables really are gone from the member.
+        let supp = m.support(member);
+        for v in removed {
+            prop_assert!(!supp.contains(&v));
+        }
+    }
+
+    #[test]
+    fn or_witnesses_always_verify(tt in any::<u64>(), dc in any::<u64>(), mask in any::<u8>()) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let iv = interval_from(&mut m, n, tt, dc);
+        // Random disjoint vacuity sets from the mask bits.
+        let a_vac: Vec<VarId> =
+            (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| VarId(i as u32)).collect();
+        let b_vac: Vec<VarId> =
+            (0..n).filter(|&i| mask >> i & 1 == 0).map(|i| VarId(i as u32)).collect();
+        if or_dec::decomposable(&mut m, &iv, &a_vac, &b_vac) {
+            let (g1, g2) = or_dec::witnesses(&mut m, &iv, &a_vac, &b_vac);
+            let composed = m.or(g1, g2);
+            prop_assert!(iv.contains(&mut m, composed));
+            // Vacuity respected.
+            for v in &a_vac {
+                prop_assert!(!m.support(g1).contains(v));
+            }
+            for v in &b_vac {
+                prop_assert!(!m.support(g2).contains(v));
+            }
+        }
+        // AND duality mirror.
+        if and_dec::decomposable(&mut m, &iv, &a_vac, &b_vac) {
+            let (g1, g2) = and_dec::witnesses(&mut m, &iv, &a_vac, &b_vac);
+            let composed = m.and(g1, g2);
+            prop_assert!(iv.contains(&mut m, composed));
+        }
+    }
+
+    #[test]
+    fn symbolic_bi_sound_for_or(tt in any::<u64>(), dc in any::<u64>()) {
+        // Every partition reported feasible by the symbolic Bi must pass
+        // the explicit check and produce verifying witnesses.
+        let n = 5;
+        let mut m = Manager::with_vars(n);
+        let iv = interval_from(&mut m, n, (tt as u32) as u64, (dc as u32) as u64);
+        let vars: Vec<VarId> = (0..n as u32).map(VarId).collect();
+        let mut ch = or_dec::Choices::compute(&mut m, &iv, &vars);
+        for (k1, k2) in ch.feasible_pairs(false) {
+            if let Some(pair) = ch.pick_partition(k1, k2) {
+                let a_vac: Vec<VarId> =
+                    vars.iter().copied().filter(|v| !pair.g1_vars.contains(v)).collect();
+                let b_vac: Vec<VarId> =
+                    vars.iter().copied().filter(|v| !pair.g2_vars.contains(v)).collect();
+                prop_assert!(or_dec::decomposable(&mut m, &iv, &a_vac, &b_vac));
+                let (g1, g2) = or_dec::witnesses(&mut m, &iv, &a_vac, &b_vac);
+                let composed = m.or(g1, g2);
+                prop_assert!(iv.contains(&mut m, composed));
+            }
+        }
+    }
+
+    #[test]
+    fn xor_check_exact_iff_construction_succeeds(tt in any::<u64>(), mask in any::<u8>()) {
+        // For completely specified functions the XOR condition is exact:
+        // the cofactor construction must succeed whenever it holds.
+        let n = 5;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, (tt as u32) as u64);
+        let iv = Interval::exact(f);
+        let vars: Vec<VarId> = (0..n as u32).map(VarId).collect();
+        let a_vac: Vec<VarId> =
+            (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| VarId(i as u32)).collect();
+        let b_vac: Vec<VarId> =
+            (0..n).filter(|&i| mask >> i & 1 == 0).map(|i| VarId(i as u32)).collect();
+        let check = xor_dec::decomposable(&mut m, &iv, &vars, &a_vac, &b_vac);
+        let witness = xor_dec::witnesses(&mut m, &iv, &vars, &a_vac, &b_vac);
+        prop_assert_eq!(check, witness.is_some());
+        if let Some((g1, g2)) = witness {
+            let composed = m.xor(g1, g2);
+            prop_assert_eq!(composed, f);
+            for v in &a_vac {
+                prop_assert!(!m.support(g1).contains(v));
+            }
+            for v in &b_vac {
+                prop_assert!(!m.support(g2).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_decomposition_always_verifies(tt in any::<u64>(), dc in any::<u64>()) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let iv = interval_from(&mut m, n, tt, dc);
+        let (tree, _) = recursive::decompose(&mut m, &iv, &recursive::Options::default());
+        let g = tree.to_bdd(&mut m);
+        prop_assert!(iv.contains(&mut m, g), "tree {} not a member", tree);
+        // Tree invariants.
+        prop_assert!(tree.depth() <= tree.num_gates() + 1);
+        let neg = tree.clone().negate();
+        let ng = neg.to_bdd(&mut m);
+        let expected = m.not(g);
+        prop_assert_eq!(ng, expected);
+    }
+
+    #[test]
+    fn greedy_results_are_feasible(tt in any::<u64>()) {
+        let n = 5;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, (tt as u32) as u64);
+        let iv = Interval::exact(f);
+        let vars: Vec<VarId> = (0..n as u32).map(VarId).collect();
+        for kind in [DecKind::Or, DecKind::And, DecKind::Xor] {
+            if let Some(outcome) = greedy::grow(&mut m, kind, &iv, &vars) {
+                let feasible = match kind {
+                    DecKind::Or => {
+                        or_dec::decomposable(&mut m, &iv, &outcome.a_vacuous, &outcome.b_vacuous)
+                    }
+                    DecKind::And => {
+                        and_dec::decomposable(&mut m, &iv, &outcome.a_vacuous, &outcome.b_vacuous)
+                    }
+                    DecKind::Xor => xor_dec::decomposable(
+                        &mut m,
+                        &iv,
+                        &vars,
+                        &outcome.a_vacuous,
+                        &outcome.b_vacuous,
+                    ),
+                };
+                prop_assert!(feasible, "{kind} greedy returned infeasible sets");
+            }
+        }
+    }
+
+    #[test]
+    fn best_balanced_is_minimal(tt in any::<u32>()) {
+        // No feasible pair may have a strictly smaller max than the
+        // reported best.
+        let n = 5;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, u64::from(tt));
+        let iv = Interval::exact(f);
+        let vars: Vec<VarId> = (0..n as u32).map(VarId).collect();
+        let mut ch = or_dec::Choices::compute(&mut m, &iv, &vars);
+        let pairs = ch.feasible_pairs(false);
+        if let Some((b1, b2)) = ch.best_balanced() {
+            let best_max = b1.max(b2);
+            for (k1, k2) in pairs {
+                if k1.max(k2) < n {
+                    prop_assert!(k1.max(k2) >= best_max);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Lowering to an and/inverter netlist: every gate becomes a balanced
+//! tree of 2-input ANDs and inverters (the "and/inv expansion" whose node
+//! count Table 3.2 reports, and the input form of the technology mapper).
+
+use crate::{GateKind, Netlist, NodeKind, SignalId};
+use std::collections::HashMap;
+
+/// Structural-hashing builder for and/inv netlists.
+#[derive(Debug)]
+pub struct AigBuilder {
+    /// The netlist being built (gates restricted to And2/Not).
+    pub out: Netlist,
+    and_hash: HashMap<(SignalId, SignalId), SignalId>,
+    not_hash: HashMap<SignalId, SignalId>,
+}
+
+impl AigBuilder {
+    /// Creates a builder for a fresh netlist with the given name.
+    pub fn new(name: &str) -> Self {
+        AigBuilder { out: Netlist::new(name), and_hash: HashMap::new(), not_hash: HashMap::new() }
+    }
+
+    /// Hash-consed inverter.
+    pub fn not(&mut self, a: SignalId) -> SignalId {
+        if let Some(&x) = self.not_hash.get(&a) {
+            return x;
+        }
+        let name = self.out.fresh_name("inv");
+        let x = self.out.add_gate(name, GateKind::Not, vec![a]);
+        self.not_hash.insert(a, x);
+        self.not_hash.insert(x, a);
+        x
+    }
+
+    /// Hash-consed 2-input AND.
+    pub fn and2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        if a == b {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&x) = self.and_hash.get(&key) {
+            return x;
+        }
+        let name = self.out.fresh_name("and");
+        let x = self.out.add_gate(name, GateKind::And, vec![key.0, key.1]);
+        self.and_hash.insert(key, x);
+        x
+    }
+
+    /// Balanced AND of many operands.
+    pub fn and_many(&mut self, mut ops: Vec<SignalId>) -> SignalId {
+        assert!(!ops.is_empty(), "and_many needs at least one operand");
+        while ops.len() > 1 {
+            let mut next = Vec::with_capacity(ops.len().div_ceil(2));
+            for pair in ops.chunks(2) {
+                next.push(if pair.len() == 2 { self.and2(pair[0], pair[1]) } else { pair[0] });
+            }
+            ops = next;
+        }
+        ops[0]
+    }
+
+    /// OR through De Morgan.
+    pub fn or2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let x = self.and2(na, nb);
+        self.not(x)
+    }
+
+    /// XOR as three ANDs.
+    pub fn xor2(&mut self, a: SignalId, b: SignalId) -> SignalId {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let t1 = self.and2(a, nb);
+        let t2 = self.and2(na, b);
+        self.or2(t1, t2)
+    }
+}
+
+/// Lowers `n` into an equivalent netlist whose only gates are 2-input
+/// `And` and `Not` (plus untouched latches, constants, and interface).
+///
+/// # Panics
+///
+/// Panics if `n` fails validation.
+pub fn to_aig(n: &Netlist) -> Netlist {
+    n.validate().expect("aig conversion requires a valid netlist");
+    let mut b = AigBuilder::new(n.name());
+    let mut map: HashMap<SignalId, SignalId> = HashMap::new();
+    for &i in n.inputs() {
+        map.insert(i, b.out.add_input(n.signal_name(i).to_string()));
+    }
+    for &l in n.latches() {
+        map.insert(l, b.out.add_latch(n.signal_name(l).to_string(), n.latch_init(l)));
+    }
+    for s in n.signals() {
+        if let NodeKind::Const(v) = n.kind(s) {
+            map.insert(s, b.out.add_const(n.signal_name(s).to_string(), v));
+        }
+    }
+    for g in n.topo_order().expect("validated") {
+        let NodeKind::Gate(kind) = n.kind(g) else { unreachable!() };
+        let fanins: Vec<SignalId> = n.fanins(g).iter().map(|f| map[f]).collect();
+        let lowered = match kind {
+            GateKind::And => b.and_many(fanins),
+            GateKind::Nand => {
+                let x = b.and_many(fanins);
+                b.not(x)
+            }
+            GateKind::Or => {
+                let inverted: Vec<SignalId> = fanins.iter().map(|&f| b.not(f)).collect();
+                let x = b.and_many(inverted);
+                b.not(x)
+            }
+            GateKind::Nor => {
+                let inverted: Vec<SignalId> = fanins.iter().map(|&f| b.not(f)).collect();
+                b.and_many(inverted)
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut acc = fanins[0];
+                for &f in &fanins[1..] {
+                    acc = b.xor2(acc, f);
+                }
+                if kind == GateKind::Xnor {
+                    b.not(acc)
+                } else {
+                    acc
+                }
+            }
+            GateKind::Not => b.not(fanins[0]),
+            GateKind::Buf => fanins[0],
+        };
+        map.insert(g, lowered);
+    }
+    for &l in n.latches() {
+        let next = map[&n.latch_next(l).expect("validated")];
+        b.out.set_latch_next(map[&l], next);
+    }
+    for (name, sig) in n.outputs() {
+        b.out.add_output(name.clone(), map[sig]);
+    }
+    b.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::random_co_simulation;
+
+    #[test]
+    fn aig_preserves_behaviour() {
+        let text = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(f)\nOUTPUT(g)\n\
+q = DFF(d)\nx = XOR(a, b, q)\nf = NAND(x, c)\ng = NOR(a, c)\nd = OR(f, g)\n";
+        let n = crate::bench::parse(text).unwrap();
+        let aig = to_aig(&n);
+        assert!(random_co_simulation(&n, &aig, 32, 1234));
+        // Only And/Not gates remain.
+        for s in aig.signals() {
+            if let NodeKind::Gate(kind) = aig.kind(s) {
+                assert!(matches!(kind, GateKind::And | GateKind::Not), "{kind}");
+                if kind == GateKind::And {
+                    assert_eq!(aig.fanins(s).len(), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hashing_shares_structure() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate("g1", GateKind::And, vec![a, b]);
+        let g2 = n.add_gate("g2", GateKind::And, vec![b, a]);
+        let f = n.add_gate("f", GateKind::Or, vec![g1, g2]);
+        n.add_output("f", f);
+        let aig = to_aig(&n);
+        // g1 and g2 collapse; f = OR(x, x) = x: just one AND survives.
+        assert_eq!(
+            aig.signals()
+                .filter(|&s| matches!(aig.kind(s), NodeKind::Gate(GateKind::And)))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn builder_or_and_xor_identities() {
+        let mut b = AigBuilder::new("t");
+        let a = b.out.add_input("a");
+        let c = b.out.add_input("c");
+        let or1 = b.or2(a, c);
+        let or2 = b.or2(c, a);
+        assert_eq!(or1, or2, "or is hashed commutatively");
+        let x1 = b.xor2(a, c);
+        let x2 = b.xor2(c, a);
+        assert_eq!(x1, x2);
+        let nn = b.not(a);
+        let back = b.not(nn);
+        assert_eq!(back, a, "double inversion cancels in the builder");
+    }
+}

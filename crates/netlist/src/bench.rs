@@ -1,0 +1,328 @@
+//! ISCAS-89 `.bench` format reader and writer.
+//!
+//! The format, as distributed with the ISCAS/MCNC benchmark suites:
+//!
+//! ```text
+//! # comment
+//! INPUT(a)
+//! OUTPUT(f)
+//! q = DFF(d)
+//! f = AND(a, q)
+//! d = NOT(f)
+//! ```
+//!
+//! Gates may take any number of fanins; `DFF` declares a latch whose
+//! initial value is 0 (the ISCAS convention). Signals may be referenced
+//! before they are defined.
+
+use crate::{GateKind, Netlist, NodeKind, ParseNetlistError, SignalId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses `.bench` text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] describing the first malformed line,
+/// unknown gate keyword, duplicate definition, or dangling reference.
+pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
+    enum Pending {
+        Input,
+        Dff(String),
+        Gate(GateKind, Vec<String>),
+    }
+    let mut model_name = String::from("bench");
+    let mut defs: Vec<(String, Pending)> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut defined: HashMap<String, usize> = HashMap::new();
+    let mut init_one: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            if let Some(rest) = raw.trim().strip_prefix("# name:") {
+                model_name = rest.trim().to_string();
+            } else if let Some(rest) = raw.trim().strip_prefix("# init:") {
+                // Extension: "# init: <latch> = 1" records a non-zero
+                // power-up value (the plain format assumes all-zero).
+                if let Some((latch, value)) = rest.split_once('=') {
+                    if value.trim() == "1" {
+                        init_one.push(latch.trim().to_string());
+                    }
+                }
+            }
+            continue;
+        }
+        let err = |message: String| ParseNetlistError::Syntax { line: lineno + 1, message };
+        if let Some(rest) = strip_call(line, "INPUT") {
+            let name = rest.trim().to_string();
+            if name.is_empty() {
+                return Err(err("empty INPUT name".into()));
+            }
+            if defined.insert(name.clone(), defs.len()).is_some() {
+                return Err(ParseNetlistError::DuplicateName(name));
+            }
+            defs.push((name, Pending::Input));
+        } else if let Some(rest) = strip_call(line, "OUTPUT") {
+            let name = rest.trim().to_string();
+            if name.is_empty() {
+                return Err(err("empty OUTPUT name".into()));
+            }
+            outputs.push(name);
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let name = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            let (func, args) = rhs
+                .split_once('(')
+                .ok_or_else(|| err(format!("expected `gate(args)`, found `{rhs}`")))?;
+            let args = args
+                .strip_suffix(')')
+                .ok_or_else(|| err("missing closing parenthesis".into()))?;
+            let fanins: Vec<String> =
+                args.split(',').map(|a| a.trim().to_string()).filter(|a| !a.is_empty()).collect();
+            let func = func.trim();
+            let pending = if func.eq_ignore_ascii_case("DFF") {
+                if fanins.len() != 1 {
+                    return Err(err(format!("DFF takes exactly one fanin, got {}", fanins.len())));
+                }
+                Pending::Dff(fanins[0].clone())
+            } else {
+                let kind = GateKind::from_bench_name(func)
+                    .ok_or_else(|| err(format!("unknown gate `{func}`")))?;
+                if fanins.is_empty() || (kind.is_unary() && fanins.len() != 1) {
+                    return Err(ParseNetlistError::BadArity {
+                        gate: name,
+                        kind,
+                        arity: fanins.len(),
+                    });
+                }
+                Pending::Gate(kind, fanins)
+            };
+            if defined.insert(name.clone(), defs.len()).is_some() {
+                return Err(ParseNetlistError::DuplicateName(name));
+            }
+            defs.push((name, pending));
+        } else {
+            return Err(err(format!("unrecognized line `{line}`")));
+        }
+    }
+
+    // Two-pass construction: declare all signals, then wire fanins.
+    let mut n = Netlist::new(model_name);
+    let mut ids: HashMap<&str, SignalId> = HashMap::new();
+    for (name, pending) in &defs {
+        let id = match pending {
+            Pending::Input => n.add_input(name.clone()),
+            Pending::Dff(_) => n.add_latch(name.clone(), init_one.iter().any(|x| x == name)),
+            Pending::Gate(kind, fanins) => {
+                // Defer fanin resolution; create with a placeholder self
+                // reference is not possible, so collect gates for later.
+                let _ = (kind, fanins);
+                continue;
+            }
+        };
+        ids.insert(name.as_str(), id);
+    }
+    // Gates need their fanins declared; topologically they may reference
+    // other gates defined later, so create gate nodes in a second sweep
+    // with placeholder-free resolution: first declare every gate with
+    // empty fanins is not allowed, so instead resolve names after all
+    // signals exist. Declare gates now (fanins may be forward references
+    // to other gates), using a dummy fanin that we patch in pass three.
+    for (name, pending) in &defs {
+        if let Pending::Gate(kind, _) = pending {
+            let id = n.add_gate(name.clone(), *kind, vec![SignalId(0)]);
+            ids.insert(name.as_str(), id);
+        }
+    }
+    // Pass three: wire everything.
+    let lookup = |ids: &HashMap<&str, SignalId>, name: &str| {
+        ids.get(name).copied().ok_or_else(|| ParseNetlistError::UnknownSignal(name.to_string()))
+    };
+    for (name, pending) in &defs {
+        match pending {
+            Pending::Input => {}
+            Pending::Dff(next) => {
+                let latch = ids[name.as_str()];
+                let next = lookup(&ids, next)?;
+                n.set_latch_next(latch, next);
+            }
+            Pending::Gate(_, fanins) => {
+                let gate = ids[name.as_str()];
+                let resolved: Result<Vec<SignalId>, _> =
+                    fanins.iter().map(|f| lookup(&ids, f)).collect();
+                n.nodes[gate.index()].fanins = resolved?;
+            }
+        }
+    }
+    for out in &outputs {
+        let id = lookup(&ids, out)?;
+        n.add_output(out.clone(), id);
+    }
+    n.validate()?;
+    Ok(n)
+}
+
+fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword).or_else(|| {
+        if line.len() >= keyword.len() && line[..keyword.len()].eq_ignore_ascii_case(keyword) {
+            Some(&line[keyword.len()..])
+        } else {
+            None
+        }
+    })?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    rest.strip_suffix(')')
+}
+
+/// Serializes a [`Netlist`] to `.bench` text.
+///
+/// Constants are lowered to `AND(x, NOT(x))` / `OR(x, NOT(x))` stubs over
+/// the first input, since the format has no constant primitive.
+pub fn write(n: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# name: {}", n.name());
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} latches, {} gates",
+        n.num_inputs(),
+        n.num_outputs(),
+        n.num_latches(),
+        n.num_gates()
+    );
+    for &i in n.inputs() {
+        let _ = writeln!(out, "INPUT({})", n.signal_name(i));
+    }
+    for (name, _) in n.outputs() {
+        let _ = writeln!(out, "OUTPUT({name})");
+    }
+    // Alias outputs whose name differs from their driving signal.
+    for (name, sig) in n.outputs() {
+        if name != n.signal_name(*sig) && n.signal(name).is_none() {
+            let _ = writeln!(out, "{name} = BUFF({})", n.signal_name(*sig));
+        }
+    }
+    for &l in n.latches() {
+        if n.latch_init(l) {
+            let _ = writeln!(out, "# init: {} = 1", n.signal_name(l));
+        }
+        let next = n.latch_next(l).expect("validated netlist");
+        let _ = writeln!(out, "{} = DFF({})", n.signal_name(l), n.signal_name(next));
+    }
+    for s in n.signals() {
+        match n.kind(s) {
+            NodeKind::Gate(kind) => {
+                let fanins: Vec<&str> = n.fanins(s).iter().map(|&f| n.signal_name(f)).collect();
+                let _ =
+                    writeln!(out, "{} = {}({})", n.signal_name(s), kind, fanins.join(", "));
+            }
+            NodeKind::Const(value) => {
+                // No constant primitive in .bench: use a tautology/contradiction.
+                let seed = n
+                    .inputs()
+                    .first()
+                    .or_else(|| n.latches().first())
+                    .map(|&x| n.signal_name(x).to_string())
+                    .unwrap_or_else(|| "__seed".to_string());
+                let name = n.signal_name(s);
+                let _ = writeln!(out, "{name}_inv = NOT({seed})");
+                if value {
+                    let _ = writeln!(out, "{name} = OR({seed}, {name}_inv)");
+                } else {
+                    let _ = writeln!(out, "{name} = AND({seed}, {name}_inv)");
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOGGLE: &str = "\
+# a toggling latch gated by an input
+INPUT(en)
+OUTPUT(f)
+q = DFF(d)
+f = AND(en, q)
+d = NOT(q)
+";
+
+    #[test]
+    fn parse_simple() {
+        let n = parse(TOGGLE).expect("parses");
+        assert_eq!(n.num_inputs(), 1);
+        assert_eq!(n.num_latches(), 1);
+        assert_eq!(n.num_outputs(), 1);
+        assert_eq!(n.num_gates(), 2);
+        let q = n.signal("q").unwrap();
+        assert_eq!(n.latch_init(q), false);
+        assert_eq!(n.signal_name(n.latch_next(q).unwrap()), "d");
+    }
+
+    #[test]
+    fn parse_forward_references() {
+        // d references f which is defined later.
+        let text = "INPUT(a)\nOUTPUT(d)\nd = NOT(f)\nf = AND(a, a)\n";
+        let n = parse(text).expect("forward references are legal");
+        assert_eq!(n.num_gates(), 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let n = parse(TOGGLE).unwrap();
+        let text = write(&n);
+        let n2 = parse(&text).expect("round trip parses");
+        assert_eq!(n.num_inputs(), n2.num_inputs());
+        assert_eq!(n.num_latches(), n2.num_latches());
+        assert_eq!(n.num_gates(), n2.num_gates());
+        assert_eq!(n.outputs().len(), n2.outputs().len());
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let text = "INPUT(a)\nf = FROB(a)\nOUTPUT(f)\n";
+        assert!(matches!(parse(text), Err(ParseNetlistError::Syntax { .. })));
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let text = "INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n";
+        assert_eq!(
+            parse(text).err(),
+            Some(ParseNetlistError::UnknownSignal("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let text = "INPUT(a)\nINPUT(a)\n";
+        assert_eq!(parse(text).err(), Some(ParseNetlistError::DuplicateName("a".into())));
+    }
+
+    #[test]
+    fn dff_arity_checked() {
+        let text = "INPUT(a)\nq = DFF(a, a)\n";
+        assert!(matches!(parse(text), Err(ParseNetlistError::Syntax { .. })));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nINPUT(a)  # trailing comment\nOUTPUT(f)\nf = BUFF(a)\n";
+        let n = parse(text).expect("parses");
+        assert_eq!(n.num_gates(), 1);
+    }
+
+    #[test]
+    fn multi_input_gates() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(f)\nf = NAND(a, b, c)\n";
+        let n = parse(text).unwrap();
+        let f = n.signal("f").unwrap();
+        assert_eq!(n.fanins(f).len(), 3);
+        assert_eq!(n.kind(f), NodeKind::Gate(GateKind::Nand));
+    }
+}

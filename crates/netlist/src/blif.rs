@@ -1,0 +1,423 @@
+//! A BLIF (Berkeley Logic Interchange Format) subset.
+//!
+//! Supported constructs: `.model`, `.inputs`, `.outputs`, `.latch`
+//! (with optional type/control fields and initial value), `.names` with a
+//! single-output cover, `.end`, comments (`#`) and line continuations
+//! (`\`). Covers are expanded into AND/OR/NOT gates at parse time, so the
+//! in-memory representation stays a plain gate netlist; the writer emits
+//! one `.names` block per gate.
+
+use crate::{GateKind, Netlist, NodeKind, ParseNetlistError, SignalId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+struct Cover {
+    output: String,
+    inputs: Vec<String>,
+    /// Rows of (input pattern, output value). Patterns use '0', '1', '-'.
+    rows: Vec<(String, bool)>,
+}
+
+/// Parses BLIF text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a [`ParseNetlistError`] for malformed directives, inconsistent
+/// cover rows, duplicate definitions, or dangling references.
+pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
+    // Join continuation lines, strip comments.
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let no_comment = raw.split('#').next().unwrap_or("");
+        let trimmed = no_comment.trim_end();
+        if pending.is_empty() {
+            pending_line = lineno + 1;
+        }
+        if let Some(stripped) = trimmed.strip_suffix('\\') {
+            pending.push_str(stripped);
+            pending.push(' ');
+        } else {
+            pending.push_str(trimmed);
+            let whole = std::mem::take(&mut pending);
+            if !whole.trim().is_empty() {
+                lines.push((pending_line, whole));
+            }
+        }
+    }
+
+    let mut model = String::from("blif");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut latches: Vec<(String, String, bool)> = Vec::new(); // (input, output, init)
+    let mut covers: Vec<Cover> = Vec::new();
+
+    let mut i = 0;
+    while i < lines.len() {
+        let (lineno, line) = &lines[i];
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().unwrap_or("");
+        let err = |message: String| ParseNetlistError::Syntax { line: *lineno, message };
+        match head {
+            ".model" => {
+                if let Some(name) = tokens.next() {
+                    model = name.to_string();
+                }
+            }
+            ".inputs" => input_names.extend(tokens.map(str::to_string)),
+            ".outputs" => output_names.extend(tokens.map(str::to_string)),
+            ".latch" => {
+                let fields: Vec<&str> = tokens.collect();
+                let (input, output, init) = match fields.len() {
+                    2 => (fields[0], fields[1], false),
+                    3 => (fields[0], fields[1], fields[2] == "1"),
+                    5 => (fields[0], fields[1], fields[4] == "1"),
+                    n => return Err(err(format!(".latch takes 2, 3, or 5 fields, got {n}"))),
+                };
+                latches.push((input.to_string(), output.to_string(), init));
+            }
+            ".names" => {
+                let mut names: Vec<String> = tokens.map(str::to_string).collect();
+                let output = names.pop().ok_or_else(|| err(".names needs an output".into()))?;
+                let mut rows = Vec::new();
+                while i + 1 < lines.len() && !lines[i + 1].1.trim_start().starts_with('.') {
+                    i += 1;
+                    let (rowno, row) = &lines[i];
+                    let parts: Vec<&str> = row.split_whitespace().collect();
+                    let (pattern, value) = match parts.len() {
+                        1 if names.is_empty() => (String::new(), parts[0] == "1"),
+                        2 => (parts[0].to_string(), parts[1] == "1"),
+                        _ => {
+                            return Err(ParseNetlistError::Syntax {
+                                line: *rowno,
+                                message: format!("malformed cover row `{row}`"),
+                            })
+                        }
+                    };
+                    if pattern.len() != names.len() {
+                        return Err(ParseNetlistError::Syntax {
+                            line: *rowno,
+                            message: format!(
+                                "cover row width {} does not match {} inputs",
+                                pattern.len(),
+                                names.len()
+                            ),
+                        });
+                    }
+                    rows.push((pattern, value));
+                }
+                covers.push(Cover { output, inputs: names, rows });
+            }
+            ".end" => break,
+            ".exdc" | ".subckt" | ".gate" => {
+                return Err(err(format!("unsupported BLIF construct `{head}`")))
+            }
+            _ => return Err(err(format!("unrecognized directive `{head}`"))),
+        }
+        i += 1;
+    }
+
+    // Build the netlist: inputs, latch outputs, then expanded covers.
+    let mut n = Netlist::new(model);
+    let mut ids: HashMap<String, SignalId> = HashMap::new();
+    for name in &input_names {
+        if ids.contains_key(name) {
+            return Err(ParseNetlistError::DuplicateName(name.clone()));
+        }
+        ids.insert(name.clone(), n.add_input(name.clone()));
+    }
+    for (_, output, init) in &latches {
+        if ids.contains_key(output) {
+            return Err(ParseNetlistError::DuplicateName(output.clone()));
+        }
+        ids.insert(output.clone(), n.add_latch(output.clone(), *init));
+    }
+    // Expand covers in dependency order: multiple passes until settled
+    // (BLIF permits any declaration order).
+    let mut remaining: Vec<&Cover> = covers.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|cover| {
+            if !cover.inputs.iter().all(|name| ids.contains_key(name)) {
+                return true; // try again next pass
+            }
+            let sig = expand_cover(&mut n, cover, &ids);
+            ids.insert(cover.output.clone(), sig);
+            false
+        });
+        if remaining.len() == before {
+            // No progress: an input is genuinely undefined.
+            let missing = remaining
+                .iter()
+                .flat_map(|c| c.inputs.iter())
+                .find(|name| !ids.contains_key(*name))
+                .cloned()
+                .unwrap_or_else(|| remaining[0].output.clone());
+            return Err(ParseNetlistError::UnknownSignal(missing));
+        }
+    }
+    for (input, output, _) in &latches {
+        let next = *ids
+            .get(input)
+            .ok_or_else(|| ParseNetlistError::UnknownSignal(input.clone()))?;
+        let latch = ids[output];
+        n.set_latch_next(latch, next);
+    }
+    for name in &output_names {
+        let sig = *ids
+            .get(name)
+            .ok_or_else(|| ParseNetlistError::UnknownSignal(name.clone()))?;
+        n.add_output(name.clone(), sig);
+    }
+    n.validate()?;
+    Ok(n)
+}
+
+/// Expands one single-output cover into gates, returning the signal that
+/// carries the cover's function under its declared name.
+fn expand_cover(n: &mut Netlist, cover: &Cover, ids: &HashMap<String, SignalId>) -> SignalId {
+    // Constant cover.
+    if cover.inputs.is_empty() {
+        let value = cover.rows.iter().any(|&(_, v)| v);
+        return n.add_const(cover.output.clone(), value);
+    }
+    let on_rows: Vec<&(String, bool)> = cover.rows.iter().filter(|&&(_, v)| v).collect();
+    let off_rows = cover.rows.len() - on_rows.len();
+    // BLIF requires a cover to be all-onset or all-offset; mixed covers are
+    // treated as onset rows only (matching common tool behaviour).
+    let (rows, complement): (Vec<&String>, bool) = if !on_rows.is_empty() {
+        (on_rows.iter().map(|&(p, _)| p).collect(), false)
+    } else if off_rows > 0 {
+        (cover.rows.iter().map(|(p, _)| p).collect(), true)
+    } else {
+        // Empty cover = constant 0.
+        return n.add_const(cover.output.clone(), false);
+    };
+
+    let mut product_signals: Vec<SignalId> = Vec::new();
+    for (ri, pattern) in rows.iter().enumerate() {
+        let mut literals: Vec<SignalId> = Vec::new();
+        for (ci, ch) in pattern.chars().enumerate() {
+            let base = ids[&cover.inputs[ci]];
+            match ch {
+                '1' => literals.push(base),
+                '0' => {
+                    let inv =
+                        n.add_gate(n.fresh_name(&format!("{}_n{ri}_{ci}_", cover.output)), GateKind::Not, vec![base]);
+                    literals.push(inv);
+                }
+                _ => {} // '-' don't care
+            }
+        }
+        let product = match literals.len() {
+            0 => {
+                // Row of all don't-cares = tautology.
+                n.add_const(n.fresh_name(&format!("{}_taut", cover.output)), true)
+            }
+            1 => literals[0],
+            _ => n.add_gate(
+                n.fresh_name(&format!("{}_p{ri}_", cover.output)),
+                GateKind::And,
+                literals,
+            ),
+        };
+        product_signals.push(product);
+    }
+    let sum = match product_signals.len() {
+        1 => {
+            if complement {
+                n.add_gate(cover.output.clone(), GateKind::Not, vec![product_signals[0]])
+            } else {
+                n.add_gate(cover.output.clone(), GateKind::Buf, vec![product_signals[0]])
+            }
+        }
+        _ => {
+            let kind = if complement { GateKind::Nor } else { GateKind::Or };
+            n.add_gate(cover.output.clone(), kind, product_signals)
+        }
+    };
+    sum
+}
+
+/// Serializes a [`Netlist`] to BLIF text, one `.names` block per gate.
+pub fn write(n: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", n.name());
+    let inputs: Vec<&str> = n.inputs().iter().map(|&i| n.signal_name(i)).collect();
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<&str> = n.outputs().iter().map(|(name, _)| name.as_str()).collect();
+    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+    for &l in n.latches() {
+        let next = n.latch_next(l).expect("validated netlist");
+        let init = u8::from(n.latch_init(l));
+        let _ = writeln!(out, ".latch {} {} {init}", n.signal_name(next), n.signal_name(l));
+    }
+    // Outputs whose name differs from their driving signal need a buffer.
+    for (name, sig) in n.outputs() {
+        if name != n.signal_name(*sig) {
+            let _ = writeln!(out, ".names {} {name}\n1 1", n.signal_name(*sig));
+        }
+    }
+    for s in n.signals() {
+        let name = n.signal_name(s);
+        match n.kind(s) {
+            NodeKind::Const(v) => {
+                let _ = writeln!(out, ".names {name}");
+                if v {
+                    let _ = writeln!(out, "1");
+                }
+            }
+            NodeKind::Gate(kind) => {
+                let fanins: Vec<&str> = n.fanins(s).iter().map(|&f| n.signal_name(f)).collect();
+                let _ = writeln!(out, ".names {} {name}", fanins.join(" "));
+                let k = fanins.len();
+                match kind {
+                    GateKind::And => {
+                        let _ = writeln!(out, "{} 1", "1".repeat(k));
+                    }
+                    GateKind::Nand => {
+                        let _ = writeln!(out, "{} 0", "1".repeat(k));
+                    }
+                    GateKind::Or => {
+                        for i in 0..k {
+                            let mut row = vec!['-'; k];
+                            row[i] = '1';
+                            let _ = writeln!(out, "{} 1", row.iter().collect::<String>());
+                        }
+                    }
+                    GateKind::Nor => {
+                        let _ = writeln!(out, "{} 1", "0".repeat(k));
+                    }
+                    GateKind::Xor | GateKind::Xnor => {
+                        // Enumerate parities (gate fanin counts are small).
+                        let want_odd = kind == GateKind::Xor;
+                        for bits in 0u32..1 << k {
+                            let parity = bits.count_ones() % 2 == 1;
+                            if parity == want_odd {
+                                let row: String = (0..k)
+                                    .map(|i| if bits >> i & 1 == 1 { '1' } else { '0' })
+                                    .collect();
+                                let _ = writeln!(out, "{row} 1");
+                            }
+                        }
+                    }
+                    GateKind::Not => {
+                        let _ = writeln!(out, "0 1");
+                    }
+                    GateKind::Buf => {
+                        let _ = writeln!(out, "1 1");
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::random_co_simulation;
+
+    const SMALL: &str = "\
+.model small
+.inputs a b
+.outputs f
+.latch d q 0
+.names a q t
+11 1
+.names t b f
+1- 1
+-1 1
+.names f d
+0 1
+.end
+";
+
+    #[test]
+    fn parse_small() {
+        let n = parse(SMALL).expect("parses");
+        assert_eq!(n.name(), "small");
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_latches(), 1);
+        assert_eq!(n.num_outputs(), 1);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn cover_semantics_or() {
+        // f = a + b via two onset rows.
+        let text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n1- 1\n-1 1\n.end\n";
+        let n = parse(text).unwrap();
+        let mut sim = crate::sim::Simulator::new(&n);
+        let out = sim.eval_comb(&[0b0011, 0b0101]);
+        assert_eq!(out[0] & 0b1111, 0b0111);
+    }
+
+    #[test]
+    fn offset_cover_complements() {
+        // f = NOT(a AND b) via an offset row.
+        let text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n";
+        let n = parse(text).unwrap();
+        let mut sim = crate::sim::Simulator::new(&n);
+        let out = sim.eval_comb(&[0b0011, 0b0101]);
+        assert_eq!(out[0] & 0b1111, 0b1110);
+    }
+
+    #[test]
+    fn constant_covers() {
+        let text = ".model t\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n";
+        let n = parse(text).unwrap();
+        let mut sim = crate::sim::Simulator::new(&n);
+        let out = sim.eval_comb(&[0]);
+        assert_eq!(out[0], u64::MAX);
+        assert_eq!(out[1], 0);
+    }
+
+    #[test]
+    fn round_trip_behaviour_preserved() {
+        let n = parse(SMALL).unwrap();
+        let text = write(&n);
+        let n2 = parse(&text).expect("round trip parses");
+        assert!(random_co_simulation(&n, &n2, 16, 7));
+    }
+
+    #[test]
+    fn bench_netlists_survive_blif_round_trip() {
+        let bench_text = "\
+INPUT(a)\nINPUT(b)\nOUTPUT(f)\nq = DFF(d)\nx = XOR(a, q)\nf = NAND(x, b)\nd = NOR(f, a)\n";
+        let n = crate::bench::parse(bench_text).unwrap();
+        let blif_text = write(&n);
+        let n2 = parse(&blif_text).expect("round trip parses");
+        assert!(random_co_simulation(&n, &n2, 32, 99));
+    }
+
+    #[test]
+    fn latch_init_values() {
+        let text = ".model t\n.inputs a\n.outputs q\n.latch a q 1\n.end\n";
+        let n = parse(text).unwrap();
+        let q = n.signal("q").unwrap();
+        assert!(n.latch_init(q));
+        // 5-field form.
+        let text5 = ".model t\n.inputs a\n.outputs q\n.latch a q re clk 1\n.end\n";
+        let n5 = parse(text5).unwrap();
+        assert!(n5.latch_init(n5.signal("q").unwrap()));
+    }
+
+    #[test]
+    fn undefined_signal_reported() {
+        let text = ".model t\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n";
+        assert_eq!(parse(text).err(), Some(ParseNetlistError::UnknownSignal("ghost".into())));
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model t\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n";
+        let n = parse(text).unwrap();
+        assert_eq!(n.num_inputs(), 2);
+    }
+}

@@ -1,0 +1,463 @@
+//! Structural pre-processing: the paper's "structurally pre-processed to
+//! remove cloned, dead, and constant latches" (§3.6), plus constant
+//! propagation, buffer collapsing, and structural hashing.
+//!
+//! [`clean`] rebuilds the netlist from scratch, iterating until no further
+//! simplification applies, and reports what was removed.
+
+use crate::{GateKind, Netlist, NodeKind, SignalId};
+use std::collections::{HashMap, HashSet};
+
+/// What one [`clean`] run removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CleanReport {
+    /// Latches unreachable from any primary output.
+    pub dead_latches: usize,
+    /// Latches proven to hold a constant (next state constant and equal to
+    /// the initial value, or self-looped).
+    pub constant_latches: usize,
+    /// Latches merged into an identical twin (same next-state signal and
+    /// initial value).
+    pub cloned_latches: usize,
+    /// Gates removed by constant propagation, deduplication, or death.
+    pub gates_removed: usize,
+    /// Number of rebuild iterations until fixpoint.
+    pub iterations: usize,
+}
+
+/// Either an existing signal in the rebuilt netlist or a known constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Repr {
+    Const(bool),
+    Sig(SignalId),
+}
+
+/// Builder wrapper that hash-conses gates and folds constants while the
+/// cleaned netlist is reconstructed.
+struct Rebuilder {
+    out: Netlist,
+    hash: HashMap<(GateKind, Vec<SignalId>), SignalId>,
+    not_of: HashMap<SignalId, SignalId>,
+    const_sigs: [Option<SignalId>; 2],
+}
+
+impl Rebuilder {
+    fn new(name: &str) -> Self {
+        Rebuilder {
+            out: Netlist::new(name),
+            hash: HashMap::new(),
+            not_of: HashMap::new(),
+            const_sigs: [None, None],
+        }
+    }
+
+    fn negate(&mut self, r: Repr) -> Repr {
+        match r {
+            Repr::Const(b) => Repr::Const(!b),
+            Repr::Sig(s) => {
+                if let Some(&n) = self.not_of.get(&s) {
+                    return Repr::Sig(n);
+                }
+                let name = self.out.fresh_name("clean_n");
+                let n = self.out.add_gate(name, GateKind::Not, vec![s]);
+                self.not_of.insert(s, n);
+                self.not_of.insert(n, s);
+                Repr::Sig(n)
+            }
+        }
+    }
+
+    fn gate(&mut self, kind: GateKind, fanins: Vec<Repr>, preferred_name: &str) -> Repr {
+        match kind {
+            GateKind::Buf => fanins[0],
+            GateKind::Not => self.negate(fanins[0]),
+            GateKind::And | GateKind::Nand => {
+                let inner = self.and_like(fanins, preferred_name);
+                if kind == GateKind::Nand {
+                    self.negate(inner)
+                } else {
+                    inner
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                let inner = self.or_like(fanins, preferred_name);
+                if kind == GateKind::Nor {
+                    self.negate(inner)
+                } else {
+                    inner
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let inner = self.xor_like(fanins, preferred_name);
+                if kind == GateKind::Xnor {
+                    self.negate(inner)
+                } else {
+                    inner
+                }
+            }
+        }
+    }
+
+    fn and_like(&mut self, fanins: Vec<Repr>, name: &str) -> Repr {
+        let mut sigs: Vec<SignalId> = Vec::new();
+        for f in fanins {
+            match f {
+                Repr::Const(false) => return Repr::Const(false),
+                Repr::Const(true) => {}
+                Repr::Sig(s) => sigs.push(s),
+            }
+        }
+        sigs.sort_unstable();
+        sigs.dedup();
+        // x · ¬x = 0 via the inverter registry.
+        for &s in &sigs {
+            if let Some(&ns) = self.not_of.get(&s) {
+                if sigs.binary_search(&ns).is_ok() {
+                    return Repr::Const(false);
+                }
+            }
+        }
+        match sigs.len() {
+            0 => Repr::Const(true),
+            1 => Repr::Sig(sigs[0]),
+            _ => Repr::Sig(self.hashed(GateKind::And, sigs, name)),
+        }
+    }
+
+    fn or_like(&mut self, fanins: Vec<Repr>, name: &str) -> Repr {
+        let mut sigs: Vec<SignalId> = Vec::new();
+        for f in fanins {
+            match f {
+                Repr::Const(true) => return Repr::Const(true),
+                Repr::Const(false) => {}
+                Repr::Sig(s) => sigs.push(s),
+            }
+        }
+        sigs.sort_unstable();
+        sigs.dedup();
+        for &s in &sigs {
+            if let Some(&ns) = self.not_of.get(&s) {
+                if sigs.binary_search(&ns).is_ok() {
+                    return Repr::Const(true);
+                }
+            }
+        }
+        match sigs.len() {
+            0 => Repr::Const(false),
+            1 => Repr::Sig(sigs[0]),
+            _ => Repr::Sig(self.hashed(GateKind::Or, sigs, name)),
+        }
+    }
+
+    fn xor_like(&mut self, fanins: Vec<Repr>, name: &str) -> Repr {
+        let mut parity = false;
+        let mut counts: HashMap<SignalId, usize> = HashMap::new();
+        for f in fanins {
+            match f {
+                Repr::Const(b) => parity ^= b,
+                Repr::Sig(s) => *counts.entry(s).or_insert(0) += 1,
+            }
+        }
+        let mut sigs: Vec<SignalId> =
+            counts.into_iter().filter(|&(_, c)| c % 2 == 1).map(|(s, _)| s).collect();
+        sigs.sort_unstable();
+        let base = match sigs.len() {
+            0 => Repr::Const(false),
+            1 => Repr::Sig(sigs[0]),
+            _ => Repr::Sig(self.hashed(GateKind::Xor, sigs, name)),
+        };
+        if parity {
+            self.negate(base)
+        } else {
+            base
+        }
+    }
+
+    fn hashed(&mut self, kind: GateKind, sigs: Vec<SignalId>, name: &str) -> SignalId {
+        if let Some(&s) = self.hash.get(&(kind, sigs.clone())) {
+            return s;
+        }
+        let gate_name = if self.out.signal(name).is_none() {
+            name.to_string()
+        } else {
+            self.out.fresh_name("clean_g")
+        };
+        let s = self.out.add_gate(gate_name, kind, sigs.clone());
+        self.hash.insert((kind, sigs), s);
+        s
+    }
+
+    fn materialize(&mut self, r: Repr, name_hint: &str) -> SignalId {
+        match r {
+            Repr::Sig(s) => s,
+            Repr::Const(b) => {
+                if let Some(s) = self.const_sigs[usize::from(b)] {
+                    return s;
+                }
+                let name = if self.out.signal(name_hint).is_none() {
+                    name_hint.to_string()
+                } else {
+                    self.out.fresh_name("clean_c")
+                };
+                let s = self.out.add_const(name, b);
+                self.const_sigs[usize::from(b)] = Some(s);
+                s
+            }
+        }
+    }
+}
+
+/// Runs one rebuild pass; returns the new netlist and whether anything
+/// changed structurally.
+fn clean_once(n: &Netlist, report: &mut CleanReport) -> Netlist {
+    // --- Latch analyses on the input netlist -------------------------
+    // Liveness: transitive fanin of outputs, traversing latch next edges.
+    let mut live: HashSet<SignalId> = HashSet::new();
+    let mut stack: Vec<SignalId> = n.outputs().iter().map(|&(_, s)| s).collect();
+    while let Some(s) = stack.pop() {
+        if !live.insert(s) {
+            continue;
+        }
+        stack.extend(n.fanins(s).iter().copied());
+    }
+
+    // Constant latches: self-loop holds init; constant next equal to init.
+    // (A constant next *different* from init is constant only from cycle 1
+    // on; it is left alone, as the paper's conservative cleanup would.)
+    let mut latch_value: HashMap<SignalId, Repr> = HashMap::new();
+    for &l in n.latches() {
+        let next = n.latch_next(l).expect("validated netlist");
+        let init = n.latch_init(l);
+        if next == l {
+            latch_value.insert(l, Repr::Const(init));
+        } else if let NodeKind::Const(c) = n.kind(next) {
+            if c == init {
+                latch_value.insert(l, Repr::Const(c));
+            }
+        }
+    }
+
+    // Cloned latches: identical (next, init) merge into the first.
+    let mut clone_rep: HashMap<(SignalId, bool), SignalId> = HashMap::new();
+    let mut clone_of: HashMap<SignalId, SignalId> = HashMap::new();
+    for &l in n.latches() {
+        if latch_value.contains_key(&l) || !live.contains(&l) {
+            continue;
+        }
+        let key = (n.latch_next(l).expect("validated"), n.latch_init(l));
+        match clone_rep.get(&key) {
+            Some(&rep) => {
+                clone_of.insert(l, rep);
+            }
+            None => {
+                clone_rep.insert(key, l);
+            }
+        }
+    }
+
+    // --- Rebuild ------------------------------------------------------
+    let mut rb = Rebuilder::new(n.name());
+    let mut map: HashMap<SignalId, Repr> = HashMap::new();
+    for &i in n.inputs() {
+        // Inputs always survive so the interface is stable.
+        let s = rb.out.add_input(n.signal_name(i).to_string());
+        map.insert(i, Repr::Sig(s));
+    }
+    for &l in n.latches() {
+        if let Some(&v) = latch_value.get(&l) {
+            map.insert(l, v);
+            report.constant_latches += usize::from(live.contains(&l));
+            continue;
+        }
+        if !live.contains(&l) {
+            report.dead_latches += 1;
+            continue;
+        }
+        if clone_of.contains_key(&l) {
+            report.cloned_latches += 1;
+            continue; // resolved after representatives exist
+        }
+        let s = rb.out.add_latch(n.signal_name(l).to_string(), n.latch_init(l));
+        map.insert(l, Repr::Sig(s));
+    }
+    for (&l, &rep) in &clone_of {
+        let v = map[&rep];
+        map.insert(l, v);
+    }
+    // Constants.
+    for s in n.signals() {
+        if let NodeKind::Const(b) = n.kind(s) {
+            map.insert(s, Repr::Const(b));
+        }
+    }
+    // Gates in topo order.
+    for g in n.topo_order().expect("validated netlist") {
+        if !live.contains(&g) {
+            report.gates_removed += 1;
+            continue;
+        }
+        let NodeKind::Gate(kind) = n.kind(g) else { unreachable!() };
+        let fanins: Vec<Repr> = n.fanins(g).iter().map(|f| map[f]).collect();
+        let r = rb.gate(kind, fanins, n.signal_name(g));
+        map.insert(g, r);
+    }
+    // Latch next wiring.
+    for &l in n.latches() {
+        if let Repr::Sig(new_l) = map.get(&l).copied().unwrap_or(Repr::Const(false)) {
+            if clone_of.contains_key(&l) || latch_value.contains_key(&l) {
+                continue;
+            }
+            if !matches!(rb.out.kind(new_l), NodeKind::Latch { .. }) {
+                continue;
+            }
+            let next_repr = map[&n.latch_next(l).expect("validated")];
+            let hint = format!("{}_next", n.signal_name(l));
+            let next_sig = rb.materialize(next_repr, &hint);
+            rb.out.set_latch_next(new_l, next_sig);
+        }
+    }
+    // Outputs.
+    for (name, sig) in n.outputs() {
+        let repr = map[sig];
+        let hint = format!("{name}_const");
+        let s = rb.materialize(repr, &hint);
+        rb.out.add_output(name.clone(), s);
+    }
+    rb.out
+}
+
+/// Cleans a netlist to fixpoint. The result has the same primary
+/// input/output interface and identical sequential behaviour (checkable
+/// with [`crate::sim::random_co_simulation`]).
+pub fn clean(n: &Netlist) -> (Netlist, CleanReport) {
+    let mut report = CleanReport::default();
+    let mut current = n.clone();
+    // Fixpoint detection compares serialized forms: equal node counts are
+    // not enough, since a pass can rewire without shrinking and expose
+    // new simplifications to the next pass.
+    let mut fingerprint = crate::bench::write(&current);
+    for _ in 0..32 {
+        report.iterations += 1;
+        let next = clean_once(&current, &mut report);
+        let next_fingerprint = crate::bench::write(&next);
+        let unchanged = next_fingerprint == fingerprint;
+        current = next;
+        fingerprint = next_fingerprint;
+        if unchanged {
+            break;
+        }
+    }
+    (current, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::random_co_simulation;
+
+    #[test]
+    fn dead_latch_removed() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let live = n.add_latch("live", false);
+        let dead = n.add_latch("dead", false);
+        let d1 = n.add_gate("d1", GateKind::Xor, vec![a, live]);
+        let d2 = n.add_gate("d2", GateKind::And, vec![a, dead]);
+        n.set_latch_next(live, d1);
+        n.set_latch_next(dead, d2);
+        n.add_output("o", live);
+        let (cleaned, report) = clean(&n);
+        assert_eq!(cleaned.num_latches(), 1);
+        assert!(report.dead_latches >= 1);
+        assert!(random_co_simulation(&n, &cleaned, 16, 3));
+    }
+
+    #[test]
+    fn constant_self_loop_latch_removed() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let q = n.add_latch("q", false);
+        n.set_latch_next(q, q); // holds 0 forever
+        let f = n.add_gate("f", GateKind::Or, vec![a, q]);
+        n.add_output("o", f);
+        let (cleaned, report) = clean(&n);
+        assert_eq!(cleaned.num_latches(), 0);
+        assert!(report.constant_latches >= 1);
+        // f = a + 0 = a: the OR gate should vanish too.
+        assert_eq!(cleaned.num_gates(), 0);
+        assert!(random_co_simulation(&n, &cleaned, 16, 5));
+    }
+
+    #[test]
+    fn cloned_latches_merged() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let q1 = n.add_latch("q1", false);
+        let q2 = n.add_latch("q2", false);
+        n.set_latch_next(q1, a);
+        n.set_latch_next(q2, a);
+        let f = n.add_gate("f", GateKind::Xor, vec![q1, q2]); // always 0
+        let g = n.add_gate("g", GateKind::And, vec![q1, a]);
+        n.add_output("f", f);
+        n.add_output("g", g);
+        let (cleaned, report) = clean(&n);
+        assert!(report.cloned_latches >= 1);
+        assert!(cleaned.num_latches() <= 1);
+        assert!(random_co_simulation(&n, &cleaned, 16, 11));
+    }
+
+    #[test]
+    fn constant_propagation_through_gates() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let zero = n.add_const("zero", false);
+        let x = n.add_gate("x", GateKind::And, vec![a, zero]); // 0
+        let y = n.add_gate("y", GateKind::Or, vec![x, a]); // a
+        let z = n.add_gate("z", GateKind::Xor, vec![y, a]); // 0
+        n.add_output("o", z);
+        let (cleaned, _) = clean(&n);
+        assert_eq!(cleaned.num_gates(), 0);
+        assert!(random_co_simulation(&n, &cleaned, 8, 17));
+    }
+
+    #[test]
+    fn structural_hashing_merges_duplicate_gates() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate("g1", GateKind::And, vec![a, b]);
+        let g2 = n.add_gate("g2", GateKind::And, vec![b, a]);
+        let f = n.add_gate("f", GateKind::Xor, vec![g1, g2]); // always 0
+        n.add_output("o", f);
+        let (cleaned, _) = clean(&n);
+        assert_eq!(cleaned.num_gates(), 0, "xor of identical gates is 0");
+        assert!(random_co_simulation(&n, &cleaned, 8, 23));
+    }
+
+    #[test]
+    fn interface_is_preserved() {
+        let mut n = Netlist::new("t");
+        let _unused = n.add_input("unused");
+        let a = n.add_input("a");
+        let f = n.add_gate("f", GateKind::Buf, vec![a]);
+        n.add_output("o", f);
+        let (cleaned, _) = clean(&n);
+        assert_eq!(cleaned.num_inputs(), 2, "inputs are interface, never dropped");
+        assert_eq!(cleaned.num_outputs(), 1);
+        assert!(random_co_simulation(&n, &cleaned, 8, 29));
+    }
+
+    #[test]
+    fn double_negation_cancelled() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let n1 = n.add_gate("n1", GateKind::Not, vec![a]);
+        let n2 = n.add_gate("n2", GateKind::Not, vec![n1]);
+        let f = n.add_gate("f", GateKind::And, vec![n2, a]);
+        n.add_output("o", f);
+        let (cleaned, _) = clean(&n);
+        // f = a: everything melts away.
+        assert_eq!(cleaned.num_gates(), 0);
+        assert!(random_co_simulation(&n, &cleaned, 8, 31));
+    }
+}

@@ -1,0 +1,137 @@
+//! Gate kinds supported by the netlist (the ISCAS-89 primitive set plus
+//! XNOR, which appears in some benchmark distributions).
+
+use std::fmt;
+
+/// Logic function of a multi-input gate.
+///
+/// `Not` and `Buf` are unary; every other kind accepts two or more fanins
+/// ([`crate::Netlist::add_gate`] validates arity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Conjunction of all fanins.
+    And,
+    /// Disjunction of all fanins.
+    Or,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Parity of all fanins.
+    Xor,
+    /// Complemented parity.
+    Xnor,
+    /// Inverter (single fanin).
+    Not,
+    /// Buffer (single fanin).
+    Buf,
+}
+
+impl GateKind {
+    /// Evaluates the gate on bit-parallel words, one bit per pattern.
+    pub fn eval_words(self, fanins: &[u64]) -> u64 {
+        match self {
+            GateKind::And => fanins.iter().copied().fold(u64::MAX, |a, b| a & b),
+            GateKind::Or => fanins.iter().copied().fold(0, |a, b| a | b),
+            GateKind::Nand => !fanins.iter().copied().fold(u64::MAX, |a, b| a & b),
+            GateKind::Nor => !fanins.iter().copied().fold(0, |a, b| a | b),
+            GateKind::Xor => fanins.iter().copied().fold(0, |a, b| a ^ b),
+            GateKind::Xnor => !fanins.iter().copied().fold(0, |a, b| a ^ b),
+            GateKind::Not => !fanins[0],
+            GateKind::Buf => fanins[0],
+        }
+    }
+
+    /// Is this a single-input gate?
+    pub fn is_unary(self) -> bool {
+        matches!(self, GateKind::Not | GateKind::Buf)
+    }
+
+    /// Number of two-input AND nodes in the gate's and-inverter-graph
+    /// expansion with `n` fanins — inverters are free, XOR/XNOR cost three
+    /// ANDs per stage (the usual AIG accounting behind the paper's `AND`
+    /// column in Table 3.2).
+    pub fn aig_and_count(self, n: usize) -> usize {
+        match self {
+            GateKind::Not | GateKind::Buf => 0,
+            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor => n.saturating_sub(1),
+            GateKind::Xor | GateKind::Xnor => 3 * n.saturating_sub(1),
+        }
+    }
+
+    /// The `.bench` keyword for this gate.
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            GateKind::And => "AND",
+            GateKind::Or => "OR",
+            GateKind::Nand => "NAND",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUFF",
+        }
+    }
+
+    /// Parses a `.bench` keyword (case-insensitive).
+    pub fn from_bench_name(s: &str) -> Option<GateKind> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "AND" => GateKind::And,
+            "OR" => GateKind::Or,
+            "NAND" => GateKind::Nand,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "NOT" | "INV" => GateKind::Not,
+            "BUFF" | "BUF" => GateKind::Buf,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_words_basic() {
+        assert_eq!(GateKind::And.eval_words(&[0b1100, 0b1010]), 0b1000);
+        assert_eq!(GateKind::Or.eval_words(&[0b1100, 0b1010]), 0b1110);
+        assert_eq!(GateKind::Xor.eval_words(&[0b1100, 0b1010]), 0b0110);
+        assert_eq!(GateKind::Nand.eval_words(&[u64::MAX, u64::MAX]), 0);
+        assert_eq!(GateKind::Not.eval_words(&[0]), u64::MAX);
+        assert_eq!(GateKind::Buf.eval_words(&[42]), 42);
+    }
+
+    #[test]
+    fn bench_name_round_trip() {
+        for kind in [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+        ] {
+            assert_eq!(GateKind::from_bench_name(kind.bench_name()), Some(kind));
+        }
+        assert_eq!(GateKind::from_bench_name("dff"), None);
+        assert_eq!(GateKind::from_bench_name("inv"), Some(GateKind::Not));
+    }
+
+    #[test]
+    fn aig_counts() {
+        assert_eq!(GateKind::And.aig_and_count(2), 1);
+        assert_eq!(GateKind::And.aig_and_count(4), 3);
+        assert_eq!(GateKind::Xor.aig_and_count(2), 3);
+        assert_eq!(GateKind::Not.aig_and_count(1), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Sequential gate-level netlists for the `symbi` logic-synthesis suite.
+//!
+//! The [`Netlist`] type models a synchronous sequential circuit the way the
+//! ISCAS-89 benchmarks do: primary inputs, primary outputs, D flip-flops
+//! (latches, in the paper's terminology) with an initial value, and
+//! multi-input logic gates. On top of it this crate provides:
+//!
+//! - [`bench`]: ISCAS-89 `.bench` format parsing and writing,
+//! - [`blif`]: a BLIF subset (`.names` covers are expanded to gates),
+//! - [`sim`]: 64-way parallel sequential simulation,
+//! - [`clean`]: the paper's structural pre-processing — removal of cloned,
+//!   dead, and constant latches (§3.6), plus constant propagation and
+//!   structural hashing,
+//! - [`cone`]: extraction of combinational cones as BDDs,
+//! - [`stats`]: size metrics including the `and/inv` expansion count used
+//!   in Table 3.2.
+//!
+//! # Example
+//!
+//! ```
+//! use symbi_netlist::{GateKind, Netlist};
+//!
+//! let mut n = Netlist::new("toggle");
+//! let en = n.add_input("en");
+//! let q = n.add_latch("q", false);
+//! let t = n.add_gate("t", GateKind::Xor, vec![en, q]);
+//! n.set_latch_next(q, t);
+//! n.add_output("out", t);
+//! assert_eq!(n.num_latches(), 1);
+//! ```
+
+pub mod aig;
+pub mod bench;
+pub mod blif;
+pub mod clean;
+pub mod cone;
+mod gate;
+mod netlist;
+pub mod sec;
+pub mod sim;
+pub mod stats;
+
+pub use gate::GateKind;
+pub use netlist::{Netlist, NodeKind, ParseNetlistError, SignalId};

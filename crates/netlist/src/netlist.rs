@@ -1,0 +1,544 @@
+//! The sequential netlist data structure.
+
+use crate::gate::GateKind;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Handle to a signal (the output net of an input, latch, gate, or
+/// constant) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) u32);
+
+impl SignalId {
+    /// Raw index into the netlist's node table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// What drives a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Primary input.
+    Input,
+    /// D flip-flop output with the given initial value; its single fanin
+    /// (once set) is the next-state function.
+    Latch {
+        /// Power-up value (ISCAS-89 circuits reset to 0).
+        init: bool,
+    },
+    /// Logic gate.
+    Gate(GateKind),
+    /// Constant driver.
+    Const(bool),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub name: String,
+    pub kind: NodeKind,
+    pub fanins: Vec<SignalId>,
+}
+
+/// Error raised by netlist construction, validation, and the parsers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseNetlistError {
+    /// A signal name was declared twice.
+    DuplicateName(String),
+    /// A referenced signal name was never declared.
+    UnknownSignal(String),
+    /// A gate was given an arity its kind does not allow.
+    BadArity { gate: String, kind: GateKind, arity: usize },
+    /// A latch was left without a next-state fanin.
+    DanglingLatch(String),
+    /// The combinational logic contains a cycle through the named signal.
+    CombinationalCycle(String),
+    /// Malformed input text.
+    Syntax { line: usize, message: String },
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::DuplicateName(n) => write!(f, "duplicate signal name `{n}`"),
+            ParseNetlistError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
+            ParseNetlistError::BadArity { gate, kind, arity } => {
+                write!(f, "gate `{gate}` of kind {kind} cannot take {arity} fanins")
+            }
+            ParseNetlistError::DanglingLatch(n) => {
+                write!(f, "latch `{n}` has no next-state fanin")
+            }
+            ParseNetlistError::CombinationalCycle(n) => {
+                write!(f, "combinational cycle through `{n}`")
+            }
+            ParseNetlistError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseNetlistError {}
+
+/// A synchronous sequential circuit: primary inputs and outputs, D
+/// flip-flops ("latches"), and multi-input gates.
+///
+/// Signals are created through the `add_*` methods and referenced by
+/// [`SignalId`]. Names are unique. Latches are created first and wired to
+/// their next-state function later with [`Netlist::set_latch_next`], which
+/// is what lets state feedback loops be expressed.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    name: String,
+    pub(crate) nodes: Vec<Node>,
+    inputs: Vec<SignalId>,
+    latches: Vec<SignalId>,
+    outputs: Vec<(String, SignalId)>,
+    by_name: HashMap<String, SignalId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given model name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), ..Default::default() }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn insert(&mut self, name: String, kind: NodeKind, fanins: Vec<SignalId>) -> SignalId {
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate signal name `{name}` (use try_* constructors for fallible insertion)"
+        );
+        let id = SignalId(self.nodes.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nodes.push(Node { name, kind, fanins });
+        id
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_input(&mut self, name: impl Into<String>) -> SignalId {
+        let id = self.insert(name.into(), NodeKind::Input, Vec::new());
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a latch (D flip-flop) with the given initial value. Wire its
+    /// next-state fanin later with [`Netlist::set_latch_next`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_latch(&mut self, name: impl Into<String>, init: bool) -> SignalId {
+        let id = self.insert(name.into(), NodeKind::Latch { init }, Vec::new());
+        self.latches.push(id);
+        id
+    }
+
+    /// Sets (or replaces) the next-state fanin of `latch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is not a latch.
+    pub fn set_latch_next(&mut self, latch: SignalId, next: SignalId) {
+        assert!(
+            matches!(self.nodes[latch.index()].kind, NodeKind::Latch { .. }),
+            "{latch} is not a latch"
+        );
+        self.nodes[latch.index()].fanins = vec![next];
+    }
+
+    /// Adds a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is taken or the arity is invalid for `kind`
+    /// (unary kinds take exactly one fanin, others at least one).
+    pub fn add_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        fanins: Vec<SignalId>,
+    ) -> SignalId {
+        let name = name.into();
+        let ok = if kind.is_unary() { fanins.len() == 1 } else { !fanins.is_empty() };
+        assert!(ok, "gate `{name}` of kind {kind} cannot take {} fanins", fanins.len());
+        self.insert(name, NodeKind::Gate(kind), fanins)
+    }
+
+    /// Adds a constant driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn add_const(&mut self, name: impl Into<String>, value: bool) -> SignalId {
+        self.insert(name.into(), NodeKind::Const(value), Vec::new())
+    }
+
+    /// Declares `signal` as a primary output under `name`.
+    pub fn add_output(&mut self, name: impl Into<String>, signal: SignalId) {
+        self.outputs.push((name.into(), signal));
+    }
+
+    /// Redirects primary output `index` to a different signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_output_signal(&mut self, index: usize, signal: SignalId) {
+        self.outputs[index].1 = signal;
+    }
+
+    /// Looks a signal up by name.
+    pub fn signal(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a signal.
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.nodes[s.index()].name
+    }
+
+    /// The driver kind of a signal.
+    pub fn kind(&self, s: SignalId) -> NodeKind {
+        self.nodes[s.index()].kind
+    }
+
+    /// The fanins of a signal (empty for inputs/constants; the single
+    /// next-state fanin for wired latches).
+    pub fn fanins(&self, s: SignalId) -> &[SignalId] {
+        &self.nodes[s.index()].fanins
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// Latches in declaration order.
+    pub fn latches(&self) -> &[SignalId] {
+        &self.latches
+    }
+
+    /// Primary outputs as `(name, signal)` pairs.
+    pub fn outputs(&self) -> &[(String, SignalId)] {
+        &self.outputs
+    }
+
+    /// Initial value of a latch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not a latch.
+    pub fn latch_init(&self, s: SignalId) -> bool {
+        match self.nodes[s.index()].kind {
+            NodeKind::Latch { init } => init,
+            _ => panic!("{s} is not a latch"),
+        }
+    }
+
+    /// Next-state fanin of a latch, if wired.
+    pub fn latch_next(&self, s: SignalId) -> Option<SignalId> {
+        match self.nodes[s.index()].kind {
+            NodeKind::Latch { .. } => self.nodes[s.index()].fanins.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of latches.
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of logic gates (inputs, latches, constants not counted).
+    pub fn num_gates(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Gate(_))).count()
+    }
+
+    /// Total number of signals.
+    pub fn num_signals(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All signals in creation order.
+    pub fn signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.nodes.len() as u32).map(SignalId)
+    }
+
+    /// Gates in a topological order (every gate after all its fanins;
+    /// inputs, latch outputs, and constants are sources).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNetlistError::CombinationalCycle`] if the gate logic
+    /// is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<SignalId>, ParseNetlistError> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let mut marks = vec![Mark::White; self.nodes.len()];
+        let mut order = Vec::new();
+        // Iterative DFS with an explicit stack to survive deep netlists.
+        for root in self.signals() {
+            if marks[root.index()] != Mark::White {
+                continue;
+            }
+            let mut stack: Vec<(SignalId, usize)> = vec![(root, 0)];
+            while let Some(&(s, child)) = stack.last() {
+                let node = &self.nodes[s.index()];
+                let is_gate = matches!(node.kind, NodeKind::Gate(_));
+                if child == 0 {
+                    if marks[s.index()] == Mark::Black {
+                        stack.pop();
+                        continue;
+                    }
+                    marks[s.index()] = Mark::Grey;
+                }
+                // Latches break combinational paths: don't descend into
+                // their next-state fanin here.
+                let fanins: &[SignalId] = if is_gate { &node.fanins } else { &[] };
+                if child < fanins.len() {
+                    let f = fanins[child];
+                    stack.last_mut().expect("nonempty").1 += 1;
+                    match marks[f.index()] {
+                        Mark::White => stack.push((f, 0)),
+                        Mark::Grey => {
+                            return Err(ParseNetlistError::CombinationalCycle(
+                                self.nodes[f.index()].name.clone(),
+                            ))
+                        }
+                        Mark::Black => {}
+                    }
+                } else {
+                    marks[s.index()] = Mark::Black;
+                    if is_gate {
+                        order.push(s);
+                    }
+                    stack.pop();
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// Checks structural sanity: every latch wired, every fanin reference
+    /// valid, gate logic acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), ParseNetlistError> {
+        for &l in &self.latches {
+            if self.latch_next(l).is_none() {
+                return Err(ParseNetlistError::DanglingLatch(
+                    self.nodes[l.index()].name.clone(),
+                ));
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// The combinational support of `s`: the primary inputs and latch
+    /// outputs its cone reads (latches are not traversed through).
+    pub fn support(&self, s: SignalId) -> Vec<SignalId> {
+        let mut seen = HashSet::new();
+        let mut leaves = HashSet::new();
+        let mut stack = vec![s];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) {
+                continue;
+            }
+            match self.nodes[x.index()].kind {
+                NodeKind::Input | NodeKind::Latch { .. } => {
+                    leaves.insert(x);
+                }
+                NodeKind::Const(_) => {}
+                NodeKind::Gate(_) => stack.extend(self.nodes[x.index()].fanins.iter().copied()),
+            }
+        }
+        let mut out: Vec<SignalId> = leaves.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Present-state support: the latches in [`Netlist::support`] — the
+    /// `supp_ps(f)` of §3.5.1.
+    pub fn support_ps(&self, s: SignalId) -> Vec<SignalId> {
+        self.support(s)
+            .into_iter()
+            .filter(|&x| matches!(self.nodes[x.index()].kind, NodeKind::Latch { .. }))
+            .collect()
+    }
+
+    /// Fanout lists for every signal (combinational edges plus latch
+    /// next-state edges).
+    pub fn fanouts(&self) -> Vec<Vec<SignalId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for s in self.signals() {
+            for &f in &self.nodes[s.index()].fanins {
+                out[f.index()].push(s);
+            }
+        }
+        out
+    }
+
+    /// Generates a fresh signal name with the given prefix.
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let mut i = self.nodes.len();
+        loop {
+            let candidate = format!("{prefix}{i}");
+            if !self.by_name.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter2() -> Netlist {
+        // 2-bit counter with enable.
+        let mut n = Netlist::new("counter2");
+        let en = n.add_input("en");
+        let q0 = n.add_latch("q0", false);
+        let q1 = n.add_latch("q1", false);
+        let d0 = n.add_gate("d0", GateKind::Xor, vec![q0, en]);
+        let carry = n.add_gate("carry", GateKind::And, vec![q0, en]);
+        let d1 = n.add_gate("d1", GateKind::Xor, vec![q1, carry]);
+        n.set_latch_next(q0, d0);
+        n.set_latch_next(q1, d1);
+        n.add_output("msb", d1);
+        n
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let n = counter2();
+        assert_eq!(n.num_inputs(), 1);
+        assert_eq!(n.num_latches(), 2);
+        assert_eq!(n.num_gates(), 3);
+        assert_eq!(n.signal("q0"), Some(SignalId(1)));
+        assert_eq!(n.signal_name(SignalId(1)), "q0");
+        assert!(n.signal("nope").is_none());
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn topo_order_respects_fanins() {
+        let n = counter2();
+        let order = n.topo_order().expect("acyclic");
+        let pos: HashMap<SignalId, usize> =
+            order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        for &g in &order {
+            for &f in n.fanins(g) {
+                if matches!(n.kind(f), NodeKind::Gate(_)) {
+                    assert!(pos[&f] < pos[&g]);
+                }
+            }
+        }
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn latch_breaks_cycles() {
+        // q -> d (NOT q) -> q is fine because the loop passes a latch.
+        let mut n = Netlist::new("inverting");
+        let q = n.add_latch("q", false);
+        let d = n.add_gate("d", GateKind::Not, vec![q]);
+        n.set_latch_next(q, d);
+        assert!(n.validate().is_ok());
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut n = Netlist::new("cyclic");
+        let a = n.add_input("a");
+        // Forward-reference trick: create gate g1 with a placeholder fanin,
+        // then patch. We simulate a cycle by two mutually dependent gates.
+        let g1 = n.add_gate("g1", GateKind::And, vec![a, a]);
+        let g2 = n.add_gate("g2", GateKind::Or, vec![g1, a]);
+        // Introduce the cycle by patching g1's fanin to g2.
+        n.nodes[g1.index()].fanins[1] = g2;
+        assert!(matches!(
+            n.validate(),
+            Err(ParseNetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_latch_detected() {
+        let mut n = Netlist::new("bad");
+        n.add_latch("q", false);
+        assert_eq!(
+            n.validate(),
+            Err(ParseNetlistError::DanglingLatch("q".into()))
+        );
+    }
+
+    #[test]
+    fn support_stops_at_latches() {
+        let n = counter2();
+        let d1 = n.signal("d1").unwrap();
+        let supp = n.support(d1);
+        let names: Vec<&str> = supp.iter().map(|&s| n.signal_name(s)).collect();
+        assert_eq!(names, vec!["en", "q0", "q1"]);
+        let ps = n.support_ps(d1);
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn fresh_names_do_not_collide() {
+        let mut n = Netlist::new("t");
+        n.add_input("n0");
+        let fresh = n.fresh_name("n");
+        assert!(n.signal(&fresh).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate signal name")]
+    fn duplicate_names_panic() {
+        let mut n = Netlist::new("t");
+        n.add_input("a");
+        n.add_input("a");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot take")]
+    fn bad_arity_panics() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        n.add_gate("g", GateKind::Not, vec![a, b]);
+    }
+}

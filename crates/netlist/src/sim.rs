@@ -1,0 +1,229 @@
+//! 64-way bit-parallel sequential simulation.
+//!
+//! Each signal carries a 64-bit word; bit `i` of every word belongs to
+//! simulation pattern `i`, so one pass evaluates 64 input patterns at
+//! once. Used by the test suite as a behavioural oracle (e.g. to check
+//! that [`crate::clean`] preserves sequential behaviour) and by
+//! `symbi-reach` to cross-check reachability over-approximations.
+
+use crate::{Netlist, NodeKind, SignalId};
+
+/// Bit-parallel simulator holding the current latch state for 64
+/// simulation patterns.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<SignalId>,
+    /// Current value word per signal.
+    values: Vec<u64>,
+    /// Latch state words (indexed like `netlist.latches()`).
+    state: Vec<u64>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with every pattern in the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails [`Netlist::validate`].
+    pub fn new(netlist: &'a Netlist) -> Self {
+        netlist.validate().expect("simulating an invalid netlist");
+        let order = netlist.topo_order().expect("validated netlist is acyclic");
+        let state = netlist
+            .latches()
+            .iter()
+            .map(|&l| if netlist.latch_init(l) { u64::MAX } else { 0 })
+            .collect();
+        Simulator { netlist, order, values: vec![0; netlist.num_signals()], state }
+    }
+
+    /// Resets all patterns to the initial state.
+    pub fn reset(&mut self) {
+        for (word, &l) in self.state.iter_mut().zip(self.netlist.latches()) {
+            *word = if self.netlist.latch_init(l) { u64::MAX } else { 0 };
+        }
+    }
+
+    /// Current state words, one per latch.
+    pub fn state(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Overrides the current state words (for directed state exploration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the latch count.
+    pub fn set_state(&mut self, state: &[u64]) {
+        assert_eq!(state.len(), self.state.len(), "state width mismatch");
+        self.state.copy_from_slice(state);
+    }
+
+    /// Evaluates the combinational logic for the given input words and
+    /// advances the latches one clock tick. Returns the output words in
+    /// [`Netlist::outputs`] order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the input count.
+    pub fn step(&mut self, inputs: &[u64]) -> Vec<u64> {
+        let outputs = self.eval_comb(inputs);
+        // Latch update after the combinational pass.
+        let next: Vec<u64> = self
+            .netlist
+            .latches()
+            .iter()
+            .map(|&l| self.values[self.netlist.latch_next(l).expect("validated").index()])
+            .collect();
+        self.state.copy_from_slice(&next);
+        outputs
+    }
+
+    /// Evaluates combinational logic only (no state advance); returns
+    /// output words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the input count.
+    pub fn eval_comb(&mut self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.netlist.num_inputs(), "input width mismatch");
+        for (&sig, &word) in self.netlist.inputs().iter().zip(inputs) {
+            self.values[sig.index()] = word;
+        }
+        for (&sig, &word) in self.netlist.latches().iter().zip(&self.state) {
+            self.values[sig.index()] = word;
+        }
+        for s in self.netlist.signals() {
+            if let NodeKind::Const(v) = self.netlist.kind(s) {
+                self.values[s.index()] = if v { u64::MAX } else { 0 };
+            }
+        }
+        let mut fanin_words: Vec<u64> = Vec::with_capacity(8);
+        for &g in &self.order {
+            fanin_words.clear();
+            fanin_words
+                .extend(self.netlist.fanins(g).iter().map(|&f| self.values[f.index()]));
+            let NodeKind::Gate(kind) = self.netlist.kind(g) else {
+                unreachable!("topo order contains only gates");
+            };
+            self.values[g.index()] = kind.eval_words(&fanin_words);
+        }
+        self.netlist.outputs().iter().map(|&(_, s)| self.values[s.index()]).collect()
+    }
+
+    /// Value word currently held by `signal` (after the last evaluation).
+    pub fn value(&self, signal: SignalId) -> u64 {
+        self.values[signal.index()]
+    }
+}
+
+/// Runs `steps` clock cycles of random-input simulation on two netlists
+/// with identical interfaces and reports whether every output word agreed
+/// on every cycle. A cheap behavioural-equivalence smoke test.
+///
+/// # Panics
+///
+/// Panics if the interfaces (input/output counts) differ.
+pub fn random_co_simulation(
+    a: &Netlist,
+    b: &Netlist,
+    steps: usize,
+    seed: u64,
+) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input count mismatch");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output count mismatch");
+    let mut sa = Simulator::new(a);
+    let mut sb = Simulator::new(b);
+    let mut rng = seed | 1;
+    let mut next = move || {
+        // xorshift64*
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        rng.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    for _ in 0..steps {
+        let inputs: Vec<u64> = (0..a.num_inputs()).map(|_| next()).collect();
+        if sa.step(&inputs) != sb.step(&inputs) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn toggle() -> Netlist {
+        let mut n = Netlist::new("toggle");
+        let en = n.add_input("en");
+        let q = n.add_latch("q", false);
+        let d = n.add_gate("d", GateKind::Xor, vec![en, q]);
+        n.set_latch_next(q, d);
+        n.add_output("q_out", q);
+        n
+    }
+
+    #[test]
+    fn toggle_flips_with_enable() {
+        let n = toggle();
+        let mut sim = Simulator::new(&n);
+        // Pattern 0: enable always 1 → q toggles 0,1,0,1...
+        // Pattern 1: enable always 0 → q stays 0.
+        let en = 0b01;
+        let mut qs = Vec::new();
+        for _ in 0..4 {
+            let out = sim.step(&[en]);
+            qs.push(out[0] & 0b11);
+        }
+        assert_eq!(qs, vec![0b00, 0b01, 0b00, 0b01]);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let n = toggle();
+        let mut sim = Simulator::new(&n);
+        sim.step(&[u64::MAX]);
+        assert_ne!(sim.state()[0], 0);
+        sim.reset();
+        assert_eq!(sim.state()[0], 0);
+    }
+
+    #[test]
+    fn init_one_latch_starts_high() {
+        let mut n = Netlist::new("t");
+        let q = n.add_latch("q", true);
+        let d = n.add_gate("d", GateKind::Buf, vec![q]);
+        n.set_latch_next(q, d);
+        n.add_output("o", q);
+        let mut sim = Simulator::new(&n);
+        let out = sim.step(&[]);
+        assert_eq!(out[0], u64::MAX);
+    }
+
+    #[test]
+    fn co_simulation_detects_difference() {
+        let a = toggle();
+        let mut b = toggle();
+        // Sabotage b: output the complement.
+        let q = b.signal("q").unwrap();
+        let nq = b.add_gate("nq", GateKind::Not, vec![q]);
+        b.set_output_signal(0, nq);
+        assert!(!random_co_simulation(&a, &b, 8, 42));
+        assert!(random_co_simulation(&a, &a.clone(), 8, 42));
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let one = n.add_const("one", true);
+        let f = n.add_gate("f", GateKind::And, vec![a, one]);
+        n.add_output("f", f);
+        let mut sim = Simulator::new(&n);
+        let out = sim.eval_comb(&[0b1010]);
+        assert_eq!(out[0], 0b1010);
+    }
+}

@@ -1,0 +1,97 @@
+//! Netlist size metrics, including the and/inv expansion count that
+//! the paper's Table 3.2 reports in its `AND` column.
+
+use crate::{Netlist, NodeKind};
+use std::fmt;
+
+/// Summary statistics of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Latches.
+    pub latches: usize,
+    /// Logic gates of any arity.
+    pub gates: usize,
+    /// Two-input AND nodes in the and/inverter-graph expansion.
+    pub aig_ands: usize,
+    /// Sum of gate fanin counts (a literal-count proxy).
+    pub literals: usize,
+    /// Longest combinational path, in gate levels.
+    pub depth: usize,
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} i/o, {} latches, {} gates ({} AND2, {} literals, depth {})",
+            self.inputs, self.outputs, self.latches, self.gates, self.aig_ands,
+            self.literals, self.depth
+        )
+    }
+}
+
+/// Computes [`NetlistStats`] for a validated netlist.
+///
+/// # Panics
+///
+/// Panics if the netlist has combinational cycles.
+pub fn stats(n: &Netlist) -> NetlistStats {
+    let order = n.topo_order().expect("stats requires an acyclic netlist");
+    let mut level = vec![0usize; n.num_signals()];
+    let mut aig_ands = 0;
+    let mut literals = 0;
+    let mut depth = 0;
+    for &g in &order {
+        let NodeKind::Gate(kind) = n.kind(g) else { unreachable!() };
+        let fanins = n.fanins(g);
+        literals += fanins.len();
+        aig_ands += kind.aig_and_count(fanins.len());
+        let lvl = 1 + fanins.iter().map(|f| level[f.index()]).max().unwrap_or(0);
+        level[g.index()] = lvl;
+        depth = depth.max(lvl);
+    }
+    NetlistStats {
+        inputs: n.num_inputs(),
+        outputs: n.num_outputs(),
+        latches: n.num_latches(),
+        gates: order.len(),
+        aig_ands,
+        literals,
+        depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn counts_and_depth() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_gate("g1", GateKind::And, vec![a, b, c]); // 2 AND2
+        let g2 = n.add_gate("g2", GateKind::Xor, vec![g1, c]); // 3 AND2
+        n.add_output("o", g2);
+        let s = stats(&n);
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.gates, 2);
+        assert_eq!(s.aig_ands, 2 + 3);
+        assert_eq!(s.literals, 3 + 2);
+        assert_eq!(s.depth, 2);
+        assert!(s.to_string().contains("depth 2"));
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let n = Netlist::new("empty");
+        let s = stats(&n);
+        assert_eq!(s, NetlistStats::default());
+    }
+}

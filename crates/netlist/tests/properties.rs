@@ -1,0 +1,152 @@
+//! Property-based tests over randomly generated netlists: format round
+//! trips, cleanup and AIG lowering must preserve sequential behaviour.
+
+use proptest::prelude::*;
+use symbi_netlist::{aig, bench, blif, clean, sim, GateKind, Netlist, SignalId};
+
+/// Strategy description of a random sequential netlist: a seed plus size
+/// knobs; the netlist itself is built deterministically from them.
+#[derive(Debug, Clone)]
+struct NetSpec {
+    seed: u64,
+    inputs: usize,
+    latches: usize,
+    gates: usize,
+}
+
+fn net_spec() -> impl Strategy<Value = NetSpec> {
+    (any::<u64>(), 1usize..5, 0usize..5, 1usize..25).prop_map(|(seed, inputs, latches, gates)| {
+        NetSpec { seed, inputs, latches, gates }
+    })
+}
+
+fn build(spec: &NetSpec) -> Netlist {
+    let mut state = spec.seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut n = Netlist::new("prop");
+    let mut pool: Vec<SignalId> = Vec::new();
+    for i in 0..spec.inputs {
+        pool.push(n.add_input(format!("i{i}")));
+    }
+    let latches: Vec<SignalId> =
+        (0..spec.latches).map(|i| n.add_latch(format!("q{i}"), next() & 1 == 1)).collect();
+    pool.extend(latches.iter().copied());
+    let kinds = [
+        GateKind::And,
+        GateKind::Or,
+        GateKind::Nand,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    for g in 0..spec.gates {
+        let kind = kinds[(next() % 8) as usize];
+        let arity = if kind.is_unary() { 1 } else { 1 + (next() % 3) as usize + 1 };
+        let fanins: Vec<SignalId> =
+            (0..arity).map(|_| pool[(next() % pool.len() as u64) as usize]).collect();
+        let fanins = if kind.is_unary() { vec![fanins[0]] } else { fanins };
+        pool.push(n.add_gate(format!("g{g}"), kind, fanins));
+    }
+    for (i, &l) in latches.iter().enumerate() {
+        let src = pool[(next() % pool.len() as u64) as usize];
+        n.set_latch_next(l, src);
+        let _ = i;
+    }
+    // Two outputs from the tail of the pool.
+    n.add_output("o0", pool[pool.len() - 1]);
+    n.add_output("o1", pool[(next() % pool.len() as u64) as usize]);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_netlists_validate(spec in net_spec()) {
+        let n = build(&spec);
+        prop_assert!(n.validate().is_ok());
+        prop_assert!(n.topo_order().is_ok());
+    }
+
+    #[test]
+    fn bench_round_trip_preserves_behaviour(spec in net_spec()) {
+        let n = build(&spec);
+        let text = bench::write(&n);
+        let back = bench::parse(&text).expect("writer output parses");
+        prop_assert_eq!(back.num_inputs(), n.num_inputs());
+        prop_assert_eq!(back.num_latches(), n.num_latches());
+        prop_assert!(sim::random_co_simulation(&n, &back, 24, spec.seed));
+    }
+
+    #[test]
+    fn blif_round_trip_preserves_behaviour(spec in net_spec()) {
+        let n = build(&spec);
+        let text = blif::write(&n);
+        let back = blif::parse(&text).expect("writer output parses");
+        prop_assert!(sim::random_co_simulation(&n, &back, 24, spec.seed ^ 0xabc));
+    }
+
+    #[test]
+    fn cleanup_preserves_behaviour_and_shrinks(spec in net_spec()) {
+        let n = build(&spec);
+        let (cleaned, _) = clean::clean(&n);
+        prop_assert!(cleaned.validate().is_ok());
+        // Canonicalization may split NAND/NOR/XNOR into gate+inverter, so
+        // raw signal count can grow, but never past one inverter per gate.
+        prop_assert!(cleaned.num_signals() <= 2 * n.num_signals() + 2);
+        let before = symbi_netlist::stats::stats(&n);
+        let after = symbi_netlist::stats::stats(&cleaned);
+        prop_assert!(after.aig_ands <= before.aig_ands, "and/inv size never grows");
+        prop_assert!(sim::random_co_simulation(&n, &cleaned, 32, spec.seed ^ 0x123));
+    }
+
+    #[test]
+    fn aig_lowering_preserves_behaviour(spec in net_spec()) {
+        let n = build(&spec);
+        let lowered = aig::to_aig(&n);
+        prop_assert!(sim::random_co_simulation(&n, &lowered, 24, spec.seed ^ 0x777));
+        // AND gates are binary, inverters unary, nothing else.
+        for s in lowered.signals() {
+            if let symbi_netlist::NodeKind::Gate(kind) = lowered.kind(s) {
+                match kind {
+                    GateKind::And => prop_assert_eq!(lowered.fanins(s).len(), 2),
+                    GateKind::Not => prop_assert_eq!(lowered.fanins(s).len(), 1),
+                    other => prop_assert!(false, "unexpected gate {} in AIG", other),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cleanup_is_idempotent(spec in net_spec()) {
+        let n = build(&spec);
+        let (once, _) = clean::clean(&n);
+        let (twice, report) = clean::clean(&once);
+        prop_assert_eq!(once.num_signals(), twice.num_signals());
+        prop_assert_eq!(report.dead_latches, 0);
+        prop_assert_eq!(report.constant_latches, 0);
+        prop_assert_eq!(report.cloned_latches, 0);
+    }
+
+    #[test]
+    fn stats_are_consistent(spec in net_spec()) {
+        let n = build(&spec);
+        let s = symbi_netlist::stats::stats(&n);
+        prop_assert_eq!(s.inputs, n.num_inputs());
+        prop_assert_eq!(s.latches, n.num_latches());
+        prop_assert_eq!(s.gates, n.num_gates());
+        prop_assert!(s.depth <= s.gates);
+        // AIG lowering cannot beat the and/inv estimate by definition of
+        // the estimate... but hashing may: only check an upper bound.
+        let lowered = aig::to_aig(&n);
+        let ls = symbi_netlist::stats::stats(&lowered);
+        prop_assert!(ls.aig_ands <= s.aig_ands);
+    }
+}

@@ -1,0 +1,29 @@
+//! Partitioned forward reachability analysis and unreachable-state
+//! don't-care extraction (§3.5.1 of Kravets & Mishchenko, DATE 2009).
+//!
+//! The paper performs "state-space exploration with forward reachability
+//! analysis for overlapping subsets of registers", selected by structural
+//! dependence so that the present-state support of each function of
+//! interest lands in at least one partition. Latches outside a partition
+//! are treated as free inputs during image computation, which makes each
+//! per-partition reachable set an **over-approximation** of the true
+//! projection — and therefore its complement a sound under-approximation
+//! of the unreachable states, safe to use as don't cares.
+//!
+//! Entry points:
+//!
+//! - [`partition_latches`]: the overlapping partition heuristic,
+//! - [`Reachability::analyze`]: fixed-point image computation per
+//!   partition, each in its own BDD manager ("node space"),
+//! - [`Reachability::care_set`]: projects and conjoins the partition
+//!   results over a signal's present-state support, transferring them into
+//!   the caller's manager (the "common node space" of §3.5.3).
+
+mod partition;
+mod reach;
+
+pub use partition::{partition_latches, Partition, PartitionOptions};
+pub use reach::{ReachStats, Reachability, ReachabilityOptions};
+
+#[cfg(test)]
+mod tests_integration;

@@ -1,0 +1,242 @@
+//! Overlapping latch partitioning by structural dependence (§3.5.1).
+//!
+//! Goals, quoting the paper:
+//!
+//! > For each function f, present-state inputs supp_ps(f) are represented
+//! > in at least one partition. Each partition selects additional logic to
+//! > maximize accuracy of reachability analysis.
+//!
+//! The heuristic below collects the present-state supports of every
+//! next-state and primary-output function, then first-fit packs them into
+//! partitions capped at [`PartitionOptions::max_latches`] (the paper
+//! "typically limited to 100 latches"), preferring partitions with the
+//! largest overlap (a connectivity cost measure). Each partition is then
+//! *closed* under next-state dependence up to the cap, so the transition
+//! relation of its own latches reads as few free external latches as
+//! possible.
+
+use std::collections::{HashMap, HashSet};
+use symbi_netlist::{Netlist, SignalId};
+
+/// One overlapping latch subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Latch output signals in this partition, sorted by id.
+    pub latches: Vec<SignalId>,
+}
+
+impl Partition {
+    /// Does this partition contain every latch in `support`?
+    pub fn covers(&self, support: &[SignalId]) -> bool {
+        support.iter().all(|s| self.latches.binary_search(s).is_ok())
+    }
+}
+
+/// Tuning knobs for [`partition_latches`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionOptions {
+    /// Hard cap on latches per partition (the paper uses ~100).
+    pub max_latches: usize,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions { max_latches: 100 }
+    }
+}
+
+/// Computes overlapping latch partitions for `netlist`.
+///
+/// Every present-state support of a next-state or output function that
+/// fits under the cap is fully contained in at least one partition;
+/// oversized supports are truncated to the cap (their functions then see a
+/// partial care set, which is still sound).
+pub fn partition_latches(netlist: &Netlist, options: PartitionOptions) -> Vec<Partition> {
+    let cap = options.max_latches.max(1);
+
+    // Present-state supports of all functions of interest.
+    let mut supports: Vec<Vec<SignalId>> = Vec::new();
+    for &l in netlist.latches() {
+        let next = netlist.latch_next(l).expect("validated netlist");
+        let mut supp = netlist.support_ps(next);
+        // The latch itself belongs with its cone for image accuracy.
+        if supp.binary_search(&l).is_err() {
+            supp.push(l);
+            supp.sort_unstable();
+        }
+        supports.push(supp);
+    }
+    for &(_, out) in netlist.outputs() {
+        supports.push(netlist.support_ps(out));
+    }
+    supports.retain(|s| !s.is_empty());
+    for s in &mut supports {
+        s.truncate(cap);
+    }
+    // Largest supports first: they are hardest to place.
+    supports.sort_by_key(|s| std::cmp::Reverse(s.len()));
+    supports.dedup();
+
+    let mut partitions: Vec<HashSet<SignalId>> = Vec::new();
+    for supp in &supports {
+        if partitions.iter().any(|p| supp.iter().all(|s| p.contains(s))) {
+            continue; // already covered
+        }
+        // Find the partition that can absorb this support with the best
+        // connectivity (largest overlap), if any stays under the cap.
+        // Disjoint supports start their own partition: packing unrelated
+        // state machines together only multiplies the product diameter
+        // without sharpening either projection.
+        let mut best: Option<(usize, usize)> = None; // (index, overlap)
+        for (i, p) in partitions.iter().enumerate() {
+            let overlap = supp.iter().filter(|s| p.contains(s)).count();
+            let grown = p.len() + supp.len() - overlap;
+            if overlap > 0 && grown <= cap && best.map_or(true, |(_, o)| overlap > o) {
+                best = Some((i, overlap));
+            }
+        }
+        match best {
+            Some((i, _)) => partitions[i].extend(supp.iter().copied()),
+            None => partitions.push(supp.iter().copied().collect()),
+        }
+    }
+    if partitions.is_empty() && !netlist.latches().is_empty() {
+        // No function reads any state (degenerate); analyze all latches in
+        // capped chunks anyway so don't cares are still available.
+        for chunk in netlist.latches().chunks(cap) {
+            partitions.push(chunk.iter().copied().collect());
+        }
+    }
+
+    // Closure: pull in latches the partition's next-state logic depends on,
+    // while room remains (improves image accuracy — "additional logic to
+    // maximize accuracy").
+    let ps_deps: HashMap<SignalId, Vec<SignalId>> = netlist
+        .latches()
+        .iter()
+        .map(|&l| {
+            let next = netlist.latch_next(l).expect("validated netlist");
+            (l, netlist.support_ps(next))
+        })
+        .collect();
+    for p in &mut partitions {
+        let mut frontier: Vec<SignalId> = p.iter().copied().collect();
+        while p.len() < cap {
+            let mut added = Vec::new();
+            for &l in &frontier {
+                for &dep in ps_deps.get(&l).into_iter().flatten() {
+                    if p.len() + added.len() >= cap {
+                        break;
+                    }
+                    if !p.contains(&dep) && !added.contains(&dep) {
+                        added.push(dep);
+                    }
+                }
+            }
+            if added.is_empty() {
+                break;
+            }
+            p.extend(added.iter().copied());
+            frontier = added;
+        }
+    }
+
+    let mut out: Vec<Partition> = partitions
+        .into_iter()
+        .map(|set| {
+            let mut latches: Vec<SignalId> = set.into_iter().collect();
+            latches.sort_unstable();
+            Partition { latches }
+        })
+        .collect();
+    // Drop partitions subsumed by others (overlap is fine, duplication is
+    // wasted work).
+    out.sort_by_key(|p| std::cmp::Reverse(p.latches.len()));
+    let mut kept: Vec<Partition> = Vec::new();
+    for p in out {
+        if !kept.iter().any(|k| p.latches.iter().all(|l| k.latches.binary_search(l).is_ok())) {
+            kept.push(p);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_netlist::GateKind;
+
+    /// Chain of `n` latches: q0 <- in, q_{i} <- q_{i-1}; output reads last.
+    fn shift_register(n: usize) -> Netlist {
+        let mut net = Netlist::new("shift");
+        let input = net.add_input("in");
+        let latches: Vec<SignalId> = (0..n).map(|i| net.add_latch(format!("q{i}"), false)).collect();
+        net.set_latch_next(latches[0], input);
+        for i in 1..n {
+            net.set_latch_next(latches[i], latches[i - 1]);
+        }
+        let out = net.add_gate("o", GateKind::Buf, vec![latches[n - 1]]);
+        net.add_output("o", out);
+        net
+    }
+
+    #[test]
+    fn supports_are_covered() {
+        let net = shift_register(6);
+        let parts = partition_latches(&net, PartitionOptions::default());
+        for &l in net.latches() {
+            let next = net.latch_next(l).unwrap();
+            let mut supp = net.support_ps(next);
+            if supp.binary_search(&l).is_err() {
+                supp.push(l);
+                supp.sort_unstable();
+            }
+            assert!(
+                parts.iter().any(|p| p.covers(&supp)),
+                "support of {} not covered",
+                net.signal_name(l)
+            );
+        }
+    }
+
+    #[test]
+    fn cap_respected() {
+        let net = shift_register(20);
+        let opts = PartitionOptions { max_latches: 5 };
+        let parts = partition_latches(&net, opts);
+        assert!(!parts.is_empty());
+        for p in &parts {
+            assert!(p.latches.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn single_partition_when_small() {
+        let net = shift_register(4);
+        let parts = partition_latches(&net, PartitionOptions::default());
+        // Everything fits in one closed partition.
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].latches.len(), 4);
+    }
+
+    #[test]
+    fn no_latches_no_partitions() {
+        let mut net = Netlist::new("comb");
+        let a = net.add_input("a");
+        let g = net.add_gate("g", GateKind::Not, vec![a]);
+        net.add_output("o", g);
+        let parts = partition_latches(&net, PartitionOptions::default());
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn covers_checks_membership() {
+        let net = shift_register(3);
+        let latches = net.latches();
+        let mut sorted = vec![latches[0], latches[2]];
+        sorted.sort_unstable();
+        let p = Partition { latches: sorted };
+        assert!(p.covers(&[latches[0]]));
+        assert!(!p.covers(&[latches[1]]));
+    }
+}

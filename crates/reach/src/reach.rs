@@ -1,0 +1,437 @@
+//! BDD forward reachability per latch partition, and don't-care retrieval.
+
+use crate::partition::{partition_latches, Partition, PartitionOptions};
+use std::collections::HashMap;
+use symbi_bdd::hash::FxHashMap;
+use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_netlist::cone::ConeExtractor;
+use symbi_netlist::{Netlist, SignalId};
+
+/// Tuning knobs for [`Reachability::analyze`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReachabilityOptions {
+    /// Partitioning configuration.
+    pub partition: PartitionOptions,
+    /// Cap on fixed-point iterations per partition; on hitting it the
+    /// partition conservatively reports every state reachable.
+    pub max_iterations: usize,
+    /// Cap on BDD nodes per partition manager; same conservative fallback.
+    pub node_limit: usize,
+}
+
+impl Default for ReachabilityOptions {
+    fn default() -> Self {
+        ReachabilityOptions {
+            partition: PartitionOptions::default(),
+            max_iterations: 10_000,
+            node_limit: 1_000_000,
+        }
+    }
+}
+
+/// Outcome statistics of an analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReachStats {
+    /// Number of latch partitions analyzed.
+    pub partitions: usize,
+    /// Total image iterations across partitions.
+    pub iterations: usize,
+    /// Number of partitions that hit a resource cap and fell back to
+    /// "everything reachable".
+    pub bailed_out: usize,
+    /// `log2` of the (conjunctively approximated) reachable state count —
+    /// the `log2 states` column of Table 3.1.
+    pub log2_states: f64,
+}
+
+#[derive(Debug)]
+struct PartitionReach {
+    latches: Vec<SignalId>,
+    manager: Manager,
+    /// Reachable set over the partition's present-state variables.
+    reach: NodeId,
+    /// Latch output signal → present-state variable in `manager`.
+    ps_var: HashMap<SignalId, VarId>,
+    iterations: usize,
+    bailed: bool,
+}
+
+/// Result of partitioned forward reachability on one netlist.
+///
+/// Each partition's reachable set lives in its own manager; use
+/// [`Reachability::care_set`] to project and conjoin the relevant
+/// partitions into your own manager.
+#[derive(Debug)]
+pub struct Reachability {
+    parts: Vec<PartitionReach>,
+    num_latches: usize,
+}
+
+impl Reachability {
+    /// Runs forward reachability on every partition of `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation.
+    pub fn analyze(netlist: &Netlist, options: ReachabilityOptions) -> Self {
+        netlist.validate().expect("reachability requires a valid netlist");
+        let partitions = partition_latches(netlist, options.partition);
+        // Adaptive splitting: a partition that exhausts its resource caps
+        // is split in half and each half re-analyzed — every subset's
+        // reachable set is still an over-approximation of the truth, so
+        // splitting trades precision for tractability, never soundness.
+        let mut worklist: Vec<Partition> = partitions;
+        let mut parts = Vec::new();
+        while let Some(p) = worklist.pop() {
+            let analyzed = analyze_partition(netlist, &p, &options);
+            if analyzed.bailed && p.latches.len() > 8 {
+                let mid = p.latches.len() / 2;
+                worklist.push(Partition { latches: p.latches[..mid].to_vec() });
+                worklist.push(Partition { latches: p.latches[mid..].to_vec() });
+            } else {
+                parts.push(analyzed);
+            }
+        }
+        Reachability { parts, num_latches: netlist.num_latches() }
+    }
+
+    /// A no-information analysis: every state considered reachable. Used
+    /// as the "No states" arm of the paper's Table 3.1 experiment.
+    pub fn trivial(netlist: &Netlist) -> Self {
+        Reachability { parts: Vec::new(), num_latches: netlist.num_latches() }
+    }
+
+    /// Number of analyzed partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Builds the care set (projection of the reachable over-approximation)
+    /// over the given latch support, inside `dst`. `var_of` maps each latch
+    /// signal in `support` to its variable in `dst`. States outside the
+    /// returned set are **unreachable** and may be used as don't cares.
+    ///
+    /// Latches not covered by any partition contribute no constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a latch in `support` is missing from `var_of`.
+    pub fn care_set(
+        &mut self,
+        support: &[SignalId],
+        dst: &mut Manager,
+        var_of: &HashMap<SignalId, VarId>,
+    ) -> NodeId {
+        let mut acc = NodeId::TRUE;
+        for part in &mut self.parts {
+            let in_support: Vec<SignalId> = part
+                .latches
+                .iter()
+                .copied()
+                .filter(|l| support.contains(l))
+                .collect();
+            if in_support.is_empty() {
+                continue;
+            }
+            // Quantify away partition latches outside the support...
+            let away: Vec<VarId> = part
+                .latches
+                .iter()
+                .filter(|l| !support.contains(l))
+                .map(|l| part.ps_var[l])
+                .collect();
+            let projected = part.manager.exists(part.reach, &away);
+            // ...and transfer the projection into the caller's space.
+            let var_map: FxHashMap<VarId, VarId> = in_support
+                .iter()
+                .map(|l| {
+                    let dst_var = *var_of
+                        .get(l)
+                        .unwrap_or_else(|| panic!("no destination variable for latch {l}"));
+                    (part.ps_var[l], dst_var)
+                })
+                .collect();
+            let transferred = dst.transfer_from(&part.manager, projected, &var_map);
+            acc = dst.and(acc, transferred);
+        }
+        acc
+    }
+
+    /// `log2` of the reachable-state count under the conjunction of all
+    /// partition over-approximations (the `log2 states` of Table 3.1).
+    /// With no partitions this is simply the latch count.
+    pub fn log2_states(&self) -> f64 {
+        if self.parts.is_empty() {
+            return self.num_latches as f64;
+        }
+        // Global space: one variable per latch that appears in any
+        // partition; uncovered latches contribute a free factor of 2 each.
+        let mut global = Manager::new();
+        let mut var_of: HashMap<SignalId, VarId> = HashMap::new();
+        let mut covered = 0usize;
+        for part in &self.parts {
+            for &l in &part.latches {
+                var_of.entry(l).or_insert_with(|| {
+                    covered += 1;
+                    let v = VarId(global.num_vars() as u32);
+                    global.new_var();
+                    v
+                });
+            }
+        }
+        let mut acc = NodeId::TRUE;
+        for part in &self.parts {
+            let var_map: FxHashMap<VarId, VarId> =
+                part.latches.iter().map(|l| (part.ps_var[l], var_of[l])).collect();
+            let t = global.transfer_from(&part.manager, part.reach, &var_map);
+            acc = global.and(acc, t);
+        }
+        let frac = global.sat_fraction(acc);
+        let uncovered = self.num_latches.saturating_sub(covered);
+        // frac == 0 cannot happen: the initial state is always reachable.
+        frac.log2() + covered as f64 + uncovered as f64
+    }
+
+    /// Aggregate statistics of the analysis.
+    pub fn stats(&self) -> ReachStats {
+        ReachStats {
+            partitions: self.parts.len(),
+            iterations: self.parts.iter().map(|p| p.iterations).sum(),
+            bailed_out: self.parts.iter().filter(|p| p.bailed).count(),
+            log2_states: self.log2_states(),
+        }
+    }
+}
+
+fn analyze_partition(
+    netlist: &Netlist,
+    partition: &Partition,
+    options: &ReachabilityOptions,
+) -> PartitionReach {
+    let k = partition.latches.len();
+    let mut m = Manager::new();
+    // Layout: (present_i, next_i) interleaved per latch, then free inputs.
+    let mut ps_var: HashMap<SignalId, VarId> = HashMap::new();
+    let mut ns_var: Vec<VarId> = Vec::with_capacity(k);
+    for (i, &l) in partition.latches.iter().enumerate() {
+        ps_var.insert(l, VarId(2 * i as u32));
+        ns_var.push(VarId(2 * i as u32 + 1));
+        m.new_var();
+        m.new_var();
+    }
+    // Free leaves: union of supports of the partition's next-state cones,
+    // minus partition latches.
+    let mut cone_map: HashMap<SignalId, VarId> = ps_var.clone();
+    let mut free_vars: Vec<VarId> = Vec::new();
+    for &l in &partition.latches {
+        let next = netlist.latch_next(l).expect("validated netlist");
+        for s in netlist.support(next) {
+            cone_map.entry(s).or_insert_with(|| {
+                let v = VarId(m.num_vars() as u32);
+                m.new_var();
+                free_vars.push(v);
+                v
+            });
+        }
+    }
+    // Next-state functions and transition conjuncts.
+    let mut extractor = ConeExtractor::new(netlist, cone_map);
+    let mut conjuncts: Vec<NodeId> = Vec::with_capacity(k);
+    for (i, &l) in partition.latches.iter().enumerate() {
+        let next = netlist.latch_next(l).expect("validated netlist");
+        let delta = extractor.bdd(&mut m, next);
+        let nv = m.var(ns_var[i]);
+        conjuncts.push(m.xnor(nv, delta));
+    }
+    // Quantification schedule: a variable is quantified right after the
+    // last conjunct that mentions it (early quantification).
+    let present_vars: Vec<VarId> = partition.latches.iter().map(|l| ps_var[l]).collect();
+    let mut quantify: Vec<VarId> = present_vars.clone();
+    quantify.extend(free_vars.iter().copied());
+    let mut last_use: HashMap<VarId, usize> = quantify.iter().map(|&v| (v, 0)).collect();
+    for (idx, &c) in conjuncts.iter().enumerate() {
+        for v in m.support(c) {
+            if let Some(slot) = last_use.get_mut(&v) {
+                *slot = (*slot).max(idx + 1);
+            }
+        }
+    }
+    let schedule: Vec<Vec<VarId>> = (0..=conjuncts.len())
+        .map(|idx| {
+            quantify.iter().copied().filter(|v| last_use[v] == idx).collect()
+        })
+        .collect();
+
+    // Initial state.
+    let init_assign: Vec<(VarId, bool)> = partition
+        .latches
+        .iter()
+        .map(|&l| (ps_var[&l], netlist.latch_init(l)))
+        .collect();
+    let init = m.minterm(&init_assign);
+
+    // Fixed point.
+    let rename_pairs: Vec<(VarId, VarId)> = partition
+        .latches
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (ns_var[i], ps_var[&l]))
+        .collect();
+    let mut reach = init;
+    let mut frontier = init;
+    let mut iterations = 0usize;
+    let mut bailed = false;
+    loop {
+        if iterations >= options.max_iterations || m.stats().nodes > options.node_limit {
+            bailed = true;
+            reach = NodeId::TRUE;
+            break;
+        }
+        iterations += 1;
+        // Image of the frontier with early quantification.
+        let mut product = m.exists(frontier, &schedule[0]);
+        for (idx, &c) in conjuncts.iter().enumerate() {
+            let cube = m.cube(&schedule[idx + 1]);
+            product = m.and_exists(product, c, cube);
+        }
+        let image = m.rename(product, &rename_pairs);
+        let fresh = m.diff(image, reach);
+        if fresh.is_false() {
+            break;
+        }
+        reach = m.or(reach, image);
+        frontier = fresh;
+        m.clear_cache();
+    }
+
+    PartitionReach { latches: partition.latches.clone(), manager: m, reach, ps_var, iterations, bailed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_netlist::GateKind;
+
+    /// 3-bit binary counter that sticks at 7 (next = count unless at max).
+    fn saturating_counter() -> Netlist {
+        let mut n = Netlist::new("sat3");
+        let q: Vec<SignalId> = (0..3).map(|i| n.add_latch(format!("q{i}"), false)).collect();
+        // carry chain: inc0 = 1 (toggle q0), inc1 = q0, inc2 = q0&q1
+        let at_max = n.add_gate("at_max", GateKind::And, vec![q[0], q[1], q[2]]);
+        let not_max = n.add_gate("not_max", GateKind::Not, vec![at_max]);
+        let t0 = n.add_gate("t0", GateKind::Xor, vec![q[0], not_max]);
+        let c1 = n.add_gate("c1", GateKind::And, vec![q[0], not_max]);
+        let t1 = n.add_gate("t1", GateKind::Xor, vec![q[1], c1]);
+        let c2 = n.add_gate("c2", GateKind::And, vec![q[1], c1]);
+        let t2 = n.add_gate("t2", GateKind::Xor, vec![q[2], c2]);
+        n.set_latch_next(q[0], t0);
+        n.set_latch_next(q[1], t1);
+        n.set_latch_next(q[2], t2);
+        n.add_output("msb", q[2]);
+        n
+    }
+
+    /// One-hot ring of 4 latches starting 1000: only 4 reachable states.
+    fn one_hot_ring() -> Netlist {
+        let mut n = Netlist::new("ring4");
+        let q: Vec<SignalId> = (0..4)
+            .map(|i| n.add_latch(format!("q{i}"), i == 0))
+            .collect();
+        for i in 0..4 {
+            n.set_latch_next(q[(i + 1) % 4], q[i]);
+        }
+        n.add_output("o", q[3]);
+        n
+    }
+
+    #[test]
+    fn counter_reaches_all_states() {
+        let n = saturating_counter();
+        let mut r = Reachability::analyze(&n, ReachabilityOptions::default());
+        let stats = r.stats();
+        assert_eq!(stats.partitions, 1);
+        assert!(!r.parts[0].bailed);
+        assert!((stats.log2_states - 3.0).abs() < 1e-9, "all 8 states reachable");
+    }
+
+    #[test]
+    fn ring_reaches_only_one_hot_states() {
+        let n = one_hot_ring();
+        let mut r = Reachability::analyze(&n, ReachabilityOptions::default());
+        let stats = r.stats();
+        assert!((stats.log2_states - 2.0).abs() < 1e-9, "4 of 16 states reachable");
+    }
+
+    #[test]
+    fn care_set_excludes_unreachable() {
+        let n = one_hot_ring();
+        let mut r = Reachability::analyze(&n, ReachabilityOptions::default());
+        let latches: Vec<SignalId> = n.latches().to_vec();
+        let mut dst = Manager::with_vars(4);
+        let var_of: HashMap<SignalId, VarId> =
+            latches.iter().enumerate().map(|(i, &l)| (l, VarId(i as u32))).collect();
+        let care = r.care_set(&latches, &mut dst, &var_of);
+        // One-hot states are reachable (care), all-zero is not.
+        assert!(dst.eval(care, &[true, false, false, false]));
+        assert!(dst.eval(care, &[false, false, true, false]));
+        assert!(!dst.eval(care, &[false, false, false, false]));
+        assert!(!dst.eval(care, &[true, true, false, false]));
+    }
+
+    #[test]
+    fn care_set_projection_is_sound() {
+        let n = one_hot_ring();
+        let mut r = Reachability::analyze(&n, ReachabilityOptions::default());
+        // Project onto two latches: states (q0,q1) ∈ {00,01,10} reachable.
+        let latches: Vec<SignalId> = n.latches()[..2].to_vec();
+        let mut dst = Manager::with_vars(2);
+        let var_of: HashMap<SignalId, VarId> =
+            latches.iter().enumerate().map(|(i, &l)| (l, VarId(i as u32))).collect();
+        let care = r.care_set(&latches, &mut dst, &var_of);
+        assert!(dst.eval(care, &[false, false]));
+        assert!(dst.eval(care, &[true, false]));
+        assert!(dst.eval(care, &[false, true]));
+        assert!(!dst.eval(care, &[true, true]), "q0 and q1 never both hot");
+    }
+
+    #[test]
+    fn trivial_analysis_constrains_nothing() {
+        let n = one_hot_ring();
+        let mut r = Reachability::trivial(&n);
+        let latches: Vec<SignalId> = n.latches().to_vec();
+        let mut dst = Manager::with_vars(4);
+        let var_of: HashMap<SignalId, VarId> =
+            latches.iter().enumerate().map(|(i, &l)| (l, VarId(i as u32))).collect();
+        let care = r.care_set(&latches, &mut dst, &var_of);
+        assert!(care.is_true());
+        assert!((r.log2_states() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_cap_falls_back_conservatively() {
+        let n = saturating_counter();
+        let opts = ReachabilityOptions { max_iterations: 1, ..Default::default() };
+        let mut r = Reachability::analyze(&n, opts);
+        assert!(r.stats().bailed_out >= 1);
+        assert!((r.log2_states() - 3.0).abs() < 1e-9, "fallback claims everything");
+    }
+
+    #[test]
+    fn simulation_states_are_inside_care_set() {
+        // Soundness cross-check: any state visited by simulation must be
+        // in the care set.
+        let n = saturating_counter();
+        let mut r = Reachability::analyze(&n, ReachabilityOptions::default());
+        let latches: Vec<SignalId> = n.latches().to_vec();
+        let mut dst = Manager::with_vars(3);
+        let var_of: HashMap<SignalId, VarId> =
+            latches.iter().enumerate().map(|(i, &l)| (l, VarId(i as u32))).collect();
+        let care = r.care_set(&latches, &mut dst, &var_of);
+        let mut sim = symbi_netlist::sim::Simulator::new(&n);
+        for _ in 0..10 {
+            let state: Vec<bool> = sim.state().iter().map(|&w| w & 1 == 1).collect();
+            assert!(dst.eval(care, &state), "simulated state {state:?} outside care set");
+            sim.step(&[]);
+        }
+    }
+}

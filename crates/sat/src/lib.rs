@@ -1,0 +1,35 @@
+//! A small conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This is the substrate for the SAT-based bi-decomposition baseline of
+//! Lee, Jiang & Hung (DAC 2008) — the approach the paper discusses as the
+//! main alternative to its symbolic formulation. The solver implements
+//! the standard recipe in the MiniSat tradition \[11\]:
+//!
+//! - two-watched-literal unit propagation,
+//! - first-UIP conflict analysis with clause learning,
+//! - VSIDS-style activity-driven branching with decay,
+//! - non-chronological backtracking and Luby-free geometric restarts,
+//! - incremental solving under assumptions, with extraction of the
+//!   subset of assumptions used in a refutation (the "unsat core over
+//!   assumptions" that \[14\] exploits to grow variable partitions).
+//!
+//! # Example
+//!
+//! ```
+//! use symbi_sat::{Lit, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause([Lit::neg(a)]);
+//! assert!(s.solve().is_sat());
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+mod solver;
+
+pub use solver::{Lit, SolveResult, Solver, Var};
+
+#[cfg(test)]
+mod tests_dimacs_style;

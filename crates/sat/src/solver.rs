@@ -1,0 +1,706 @@
+//! The CDCL solver core.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable with a phase. Encoded as `var << 1 | sign`
+/// (sign 1 = negated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// Literal of `v` with the given phase (`true` = positive).
+    pub fn with_phase(v: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(v)
+        } else {
+            Lit::neg(v)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Is this literal negated?
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "¬{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+/// Outcome of [`Solver::solve`] / [`Solver::solve_with_assumptions`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (read it with [`Solver::value`]).
+    Sat,
+    /// Unsatisfiable; under assumptions, `core` lists a subset of the
+    /// assumption literals sufficient for the refutation.
+    Unsat {
+        /// Subset of the assumptions used to derive the contradiction
+        /// (empty when the formula is unsatisfiable outright).
+        core: Vec<Lit>,
+    },
+}
+
+impl SolveResult {
+    /// Is this the satisfiable outcome?
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+type ClauseRef = u32;
+
+/// A CDCL SAT solver (see the crate docs for the feature list).
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// watches[lit.code()] = clauses currently watching `lit`.
+    watches: Vec<Vec<ClauseRef>>,
+    assigns: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Saved phases for phase-saving heuristic.
+    polarity: Vec<bool>,
+    ok: bool,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+    /// Statistics: conflicts, decisions, propagations.
+    pub stats: SolverStats,
+}
+
+/// Search statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Branching decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver { var_inc: 1.0, ok: true, ..Default::default() }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(None);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.assigns[l.var().index()].map(|b| b ^ l.is_neg())
+    }
+
+    /// Model value of `v` after a SAT answer (`None` if unassigned — the
+    /// variable was irrelevant).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.assigns[v.index()]
+    }
+
+    /// Adds a clause. Returns `false` if the formula became trivially
+    /// unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after a solve left decisions on the trail (the
+    /// solver always backtracks fully, so this only guards misuse) or if
+    /// a literal mentions an undeclared variable.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        assert!(self.trail_lim.is_empty(), "clauses must be added at decision level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        for &l in &lits {
+            assert!(l.var().index() < self.num_vars(), "undeclared variable {l}");
+        }
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / falsified-literal simplification at level 0.
+        let mut simplified = Vec::with_capacity(lits.len());
+        for &l in &lits {
+            if lits.contains(&!l) {
+                return true; // tautology: always satisfied
+            }
+            match self.lit_value(l) {
+                Some(true) => return true, // already satisfied
+                Some(false) => {}          // drop falsified literal
+                None => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(simplified[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach(simplified);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, lits: Vec<Lit>) {
+        let cref = self.clauses.len() as ClauseRef;
+        self.watches[(!lits[0]).code()].push(cref);
+        self.watches[(!lits[1]).code()].push(cref);
+        self.clauses.push(Clause { lits });
+    }
+
+    fn enqueue(&mut self, l: Lit, from: Option<ClauseRef>) -> bool {
+        match self.lit_value(l) {
+            Some(b) => b,
+            None => {
+                let v = l.var().index();
+                self.assigns[v] = Some(!l.is_neg());
+                self.level[v] = self.trail_lim.len() as u32;
+                self.reason[v] = from;
+                self.polarity[v] = !l.is_neg();
+                self.trail.push(l);
+                self.stats.propagations += 1;
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            // Clauses watching ¬p must find a new watch or propagate.
+            let mut watchers = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            while i < watchers.len() {
+                let cref = watchers[i];
+                let keep = {
+                    let lits = &mut self.clauses[cref as usize].lits;
+                    // Normalize: watched literals are lits[0], lits[1];
+                    // the falsified one goes to position 1.
+                    if lits[0] == !p {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], !p);
+                    true
+                };
+                let _ = keep;
+                let first = self.clauses[cref as usize].lits[0];
+                if self.lit_value(first) == Some(true) {
+                    i += 1;
+                    continue; // clause satisfied, keep watching
+                }
+                // Look for a new literal to watch.
+                let mut new_watch = None;
+                {
+                    let lits = &self.clauses[cref as usize].lits;
+                    for (k, &l) in lits.iter().enumerate().skip(2) {
+                        if self.lit_value(l) != Some(false) {
+                            new_watch = Some(k);
+                            break;
+                        }
+                    }
+                }
+                if let Some(k) = new_watch {
+                    let lits = &mut self.clauses[cref as usize].lits;
+                    lits.swap(1, k);
+                    let w = !lits[1];
+                    self.watches[w.code()].push(cref);
+                    watchers.swap_remove(i);
+                    continue; // do not advance i: swapped a new element in
+                }
+                // No new watch: clause is unit or conflicting.
+                if !self.enqueue(first, Some(cref)) {
+                    // Conflict: restore remaining watchers and bail.
+                    self.watches[p.code()].extend(watchers.drain(..));
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                i += 1;
+            }
+            // Non-removed watchers keep watching ¬p.
+            let existing = std::mem::take(&mut self.watches[p.code()]);
+            watchers.extend(existing);
+            self.watches[p.code()] = watchers;
+        }
+        None
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn backtrack_to(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize];
+        for &l in &self.trail[lim..] {
+            let v = l.var().index();
+            self.assigns[v] = None;
+            self.reason[v] = None;
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis: returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = conflict;
+        loop {
+            {
+                let lits: Vec<Lit> = self.clauses[cref as usize].lits.clone();
+                let skip = usize::from(p.is_some());
+                for &q in lits.iter().skip(0) {
+                    if Some(q) == p {
+                        continue;
+                    }
+                    let _ = skip;
+                    let v = q.var();
+                    if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                        self.seen[v.index()] = true;
+                        self.bump(v);
+                        if self.level[v.index()] >= self.decision_level() {
+                            counter += 1;
+                        } else {
+                            learnt.push(q);
+                        }
+                    }
+                }
+            }
+            // Find the next trail literal at the current level to resolve.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !lit;
+                break;
+            }
+            cref = self.reason[lit.var().index()].expect("non-decision has a reason");
+            p = Some(lit);
+        }
+        // Backjump level = highest level among the non-UIP literals.
+        let mut bt = 0u32;
+        let mut second = 1usize;
+        for (i, &l) in learnt.iter().enumerate().skip(1) {
+            let lv = self.level[l.var().index()];
+            if lv > bt {
+                bt = lv;
+                second = i;
+            }
+        }
+        if learnt.len() > 1 {
+            learnt.swap(1, second);
+        }
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, bt)
+    }
+
+    /// Collects the assumption literals underlying the falsification of
+    /// `lit` (MiniSat's `analyzeFinal`): walks the reason graph down to
+    /// decision literals, which during assumption handling are exactly
+    /// the assumptions.
+    fn analyze_final(&mut self, lit: Lit, assumptions: &[Lit]) -> Vec<Lit> {
+        let mut core = Vec::new();
+        if self.decision_level() == 0 {
+            return core;
+        }
+        self.seen[lit.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let t = self.trail[i];
+            let v = t.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            match self.reason[v.index()] {
+                None => {
+                    // A decision — under assumption handling, an assumption.
+                    if let Some(&a) = assumptions.iter().find(|&&a| a.var() == v) {
+                        core.push(a);
+                    }
+                }
+                Some(cref) => {
+                    let lits = self.clauses[cref as usize].lits.clone();
+                    for q in lits {
+                        if self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[lit.var().index()] = false;
+        for s in &mut self.seen {
+            *s = false;
+        }
+        core
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        let mut best: Option<Var> = None;
+        let mut best_act = f64::NEG_INFINITY;
+        for i in 0..self.num_vars() {
+            if self.assigns[i].is_none() && self.activity[i] > best_act {
+                best_act = self.activity[i];
+                best = Some(Var(i as u32));
+            }
+        }
+        best.map(|v| Lit::with_phase(v, self.polarity[v.index()]))
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.backtrack_to(0);
+        if !self.ok {
+            return SolveResult::Unsat { core: Vec::new() };
+        }
+        if let Some(_c) = self.propagate() {
+            self.ok = false;
+            return SolveResult::Unsat { core: Vec::new() };
+        }
+        // Enqueue assumptions, each on its own decision level.
+        for &a in assumptions {
+            match self.lit_value(a) {
+                Some(true) => {
+                    self.new_decision_level();
+                }
+                Some(false) => {
+                    let core = self.analyze_final(!a, assumptions);
+                    let mut core = core;
+                    core.push(a);
+                    core.sort_unstable();
+                    core.dedup();
+                    self.backtrack_to(0);
+                    return SolveResult::Unsat { core };
+                }
+                None => {
+                    self.new_decision_level();
+                    self.enqueue(a, None);
+                    if let Some(conflict) = self.propagate() {
+                        // Conflict directly under assumptions.
+                        let lits = self.clauses[conflict as usize].lits.clone();
+                        let mut core = Vec::new();
+                        for l in lits {
+                            core.extend(self.analyze_final(!l, assumptions));
+                        }
+                        for &x in assumptions {
+                            if x.var() == a.var() {
+                                core.push(x);
+                            }
+                        }
+                        core.sort_unstable();
+                        core.dedup();
+                        self.backtrack_to(0);
+                        return SolveResult::Unsat { core };
+                    }
+                }
+            }
+        }
+        let assumption_level = self.decision_level();
+
+        // Main CDCL loop with geometric restarts.
+        let mut conflicts_until_restart = 100u64;
+        let mut conflict_budget = conflicts_until_restart;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() <= assumption_level {
+                    // Refuted under the assumptions.
+                    let lits = self.clauses[conflict as usize].lits.clone();
+                    let mut core = Vec::new();
+                    for l in lits {
+                        core.extend(self.analyze_final(!l, assumptions));
+                    }
+                    core.sort_unstable();
+                    core.dedup();
+                    self.backtrack_to(0);
+                    if assumptions.is_empty() {
+                        self.ok = false;
+                    }
+                    return SolveResult::Unsat { core };
+                }
+                let (learnt, bt_level) = self.analyze(conflict);
+                let bt = bt_level.max(assumption_level);
+                self.backtrack_to(bt);
+                let assert_lit = learnt[0];
+                if learnt.len() == 1 && bt == 0 {
+                    self.enqueue(assert_lit, None);
+                } else {
+                    let cref = self.clauses.len() as ClauseRef;
+                    if learnt.len() >= 2 {
+                        self.watches[(!learnt[0]).code()].push(cref);
+                        self.watches[(!learnt[1]).code()].push(cref);
+                        self.clauses.push(Clause { lits: learnt });
+                        self.enqueue(assert_lit, Some(cref));
+                    } else {
+                        self.enqueue(assert_lit, None);
+                    }
+                }
+                self.var_inc *= 1.0 / 0.95; // VSIDS decay
+                conflict_budget = conflict_budget.saturating_sub(1);
+                if conflict_budget == 0 {
+                    // Restart: keep learnt clauses, drop decisions.
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = conflicts_until_restart * 3 / 2;
+                    conflict_budget = conflicts_until_restart;
+                    self.backtrack_to(assumption_level);
+                }
+            } else {
+                match self.pick_branch() {
+                    None => return SolveResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.new_decision_level();
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(spec: &[i32], vars: &[Var]) -> Vec<Lit> {
+        spec.iter()
+            .map(|&i| {
+                let v = vars[(i.unsigned_abs() - 1) as usize];
+                if i > 0 {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(lits(&[1], &vars));
+        s.add_clause(lits(&[-1, 2], &vars));
+        s.add_clause(lits(&[-2, 3], &vars));
+        s.add_clause(lits(&[-3, 4], &vars));
+        assert!(s.solve().is_sat());
+        for &v in &vars {
+            assert_eq!(s.value(v), Some(true));
+        }
+    }
+
+    #[test]
+    fn trivially_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        assert!(!s.add_clause([Lit::neg(v)]));
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p_{i,j}: pigeon i in hole j. Each pigeon somewhere; no two
+        // pigeons share a hole.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> =
+            (0..3).map(|_| (0..2).map(|_| s.new_var()).collect()).collect();
+        for i in 0..3 {
+            s.add_clause([Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in i1 + 1..3 {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn xor_chain_sat_with_model() {
+        // x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 = 1 → x2 = 0, x3 = 1.
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        // x1 ⊕ x2: (x1∨x2)(¬x1∨¬x2)
+        s.add_clause(lits(&[1, 2], &vars));
+        s.add_clause(lits(&[-1, -2], &vars));
+        s.add_clause(lits(&[2, 3], &vars));
+        s.add_clause(lits(&[-2, -3], &vars));
+        s.add_clause(lits(&[1], &vars));
+        assert!(s.solve().is_sat());
+        assert_eq!(s.value(vars[0]), Some(true));
+        assert_eq!(s.value(vars[1]), Some(false));
+        assert_eq!(s.value(vars[2]), Some(true));
+    }
+
+    #[test]
+    fn assumptions_and_core() {
+        // (a ∨ b), (¬a ∨ c), (¬b ∨ c): assuming ¬c forces ¬a, ¬b → conflict.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        s.add_clause([Lit::neg(a), Lit::pos(c)]);
+        s.add_clause([Lit::neg(b), Lit::pos(c)]);
+        // Satisfiable outright.
+        assert!(s.solve().is_sat());
+        // Unsat under ¬c, and the core mentions ¬c.
+        match s.solve_with_assumptions(&[Lit::neg(c)]) {
+            SolveResult::Unsat { core } => {
+                assert!(core.contains(&Lit::neg(c)), "core {core:?}");
+            }
+            SolveResult::Sat => panic!("must be unsat under ¬c"),
+        }
+        // Solver remains usable and satisfiable afterwards.
+        assert!(s.solve().is_sat());
+        assert!(s.solve_with_assumptions(&[Lit::pos(c)]).is_sat());
+    }
+
+    #[test]
+    fn core_is_subset_of_assumptions() {
+        // Independent constraint islands: only the island actually
+        // falsified shows in the core.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let z = s.new_var();
+        s.add_clause([Lit::pos(x)]);
+        match s.solve_with_assumptions(&[Lit::pos(y), Lit::neg(x), Lit::pos(z)]) {
+            SolveResult::Unsat { core } => {
+                assert!(core.contains(&Lit::neg(x)));
+                assert!(!core.contains(&Lit::pos(y)), "y is irrelevant: {core:?}");
+                assert!(!core.contains(&Lit::pos(z)), "z is irrelevant: {core:?}");
+            }
+            SolveResult::Sat => panic!("must be unsat"),
+        }
+    }
+
+    #[test]
+    fn tautologies_ignored() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause([Lit::pos(v), Lit::neg(v)]));
+        assert!(s.solve().is_sat());
+    }
+}

@@ -1,0 +1,129 @@
+//! Randomized stress tests: the solver against a brute-force oracle on
+//! random 3-CNF instances around the phase-transition density.
+
+use crate::{Lit, Solver, Var};
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<(usize, bool)>]) -> bool {
+    'outer: for bits in 0u32..1 << num_vars {
+        for clause in clauses {
+            let ok = clause.iter().any(|&(v, pos)| (bits >> v & 1 == 1) == pos);
+            if !ok {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[test]
+fn random_3cnf_matches_brute_force() {
+    let mut rng = Rng(0x1234_5678_9abc_def1);
+    let mut sat_seen = 0;
+    let mut unsat_seen = 0;
+    for trial in 0..200 {
+        let num_vars = 5 + (rng.next() % 6) as usize; // 5..10
+        // Around 4.3 clauses/var straddles the SAT/UNSAT transition.
+        let num_clauses = num_vars * 4 + (rng.next() % 8) as usize;
+        let clauses: Vec<Vec<(usize, bool)>> = (0..num_clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| ((rng.next() % num_vars as u64) as usize, rng.next() & 1 == 1))
+                    .collect()
+            })
+            .collect();
+        let expect = brute_force_sat(num_vars, &clauses);
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+        for clause in &clauses {
+            s.add_clause(clause.iter().map(|&(v, pos)| Lit::with_phase(vars[v], pos)));
+        }
+        let got = s.solve().is_sat();
+        assert_eq!(got, expect, "trial {trial}");
+        if got {
+            sat_seen += 1;
+            // Verify the model.
+            for clause in &clauses {
+                let ok = clause
+                    .iter()
+                    .any(|&(v, pos)| s.value(vars[v]).unwrap_or(false) == pos);
+                assert!(ok, "trial {trial}: model violates a clause");
+            }
+        } else {
+            unsat_seen += 1;
+        }
+    }
+    assert!(sat_seen > 20, "test corpus should include satisfiable instances");
+    assert!(unsat_seen > 20, "test corpus should include unsatisfiable instances");
+}
+
+#[test]
+fn assumption_solving_matches_clause_addition() {
+    // solve_with_assumptions([l…]) must agree with adding the unit
+    // clauses and solving, on random instances.
+    let mut rng = Rng(0xfeed_beef_1234_5678);
+    for trial in 0..100 {
+        let num_vars = 5 + (rng.next() % 4) as usize;
+        let num_clauses = num_vars * 3;
+        let clauses: Vec<Vec<(usize, bool)>> = (0..num_clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| ((rng.next() % num_vars as u64) as usize, rng.next() & 1 == 1))
+                    .collect()
+            })
+            .collect();
+        let assumption_var = (rng.next() % num_vars as u64) as usize;
+        let assumption_phase = rng.next() & 1 == 1;
+
+        let build = |with_unit: bool| -> (Solver, Vec<Var>) {
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..num_vars).map(|_| s.new_var()).collect();
+            for clause in &clauses {
+                s.add_clause(
+                    clause.iter().map(|&(v, pos)| Lit::with_phase(vars[v], pos)),
+                );
+            }
+            if with_unit {
+                s.add_clause([Lit::with_phase(vars[assumption_var], assumption_phase)]);
+            }
+            (s, vars)
+        };
+        let (mut with_assumption, vars) = build(false);
+        let a = Lit::with_phase(vars[assumption_var], assumption_phase);
+        let via_assumption = with_assumption.solve_with_assumptions(&[a]).is_sat();
+        let (mut with_unit, _) = build(true);
+        let via_unit = with_unit.solve().is_sat();
+        assert_eq!(via_assumption, via_unit, "trial {trial}");
+    }
+}
+
+#[test]
+fn solver_is_reusable_across_many_queries() {
+    // Incremental use: alternate assumptions over the same instance.
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+    // Ring of implications v0 → v1 → … → v7 → v0.
+    for i in 0..8 {
+        s.add_clause([Lit::neg(vars[i]), Lit::pos(vars[(i + 1) % 8])]);
+    }
+    for i in 0..8 {
+        assert!(s.solve_with_assumptions(&[Lit::pos(vars[i])]).is_sat());
+        assert!(s.solve_with_assumptions(&[Lit::neg(vars[i])]).is_sat());
+        // Asserting vi and ¬vj forces a contradiction through the ring.
+        let r = s.solve_with_assumptions(&[Lit::pos(vars[i]), Lit::neg(vars[(i + 3) % 8])]);
+        assert!(!r.is_sat(), "implication ring violated at {i}");
+    }
+}

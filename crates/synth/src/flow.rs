@@ -1,0 +1,410 @@
+//! The paper's Algorithm 1 (§3.5.3): the logic-optimization loop.
+//!
+//! ```text
+//! create latch partitions of a design;
+//! selectively collapse logic;
+//! while (more logic to decompose) do
+//!     select a signal and its function f(x);
+//!     retrieve unreachable states u(x);
+//!     abstract vars from interval [f·ū, f + u];
+//!     apply bi-decomposition to interval;
+//! end while
+//! ```
+//!
+//! Signals are processed in topological order. Each candidate cone is
+//! collapsed to a BDD over its leaves (primary inputs and latch outputs),
+//! widened by the unreachable-state don't cares of its present-state
+//! support, recursively bi-decomposed into 2-input primitives, and
+//! re-emitted through a structure-hashing builder so decompositions share
+//! logic across cones (Figure 3.2). Cones too wide to collapse are copied
+//! unchanged.
+
+use crate::share::TreeEmitter;
+use std::collections::HashMap;
+use symbi_bdd::{Manager, VarId};
+use symbi_core::{recursive, Interval};
+use symbi_netlist::clean::clean;
+use symbi_netlist::cone::ConeExtractor;
+use symbi_netlist::{Netlist, NodeKind, SignalId};
+use symbi_reach::{Reachability, ReachabilityOptions};
+
+/// Options for [`optimize`].
+#[derive(Debug, Clone, Copy)]
+pub struct SynthesisOptions {
+    /// Reachability configuration; `None` disables state analysis (the
+    /// "no states" arm of the experiments).
+    pub reach: Option<ReachabilityOptions>,
+    /// Recursive bi-decomposition options.
+    pub decompose: recursive::Options,
+    /// Cones with more leaves than this are copied, not collapsed
+    /// (the paper's "selectively collapse logic").
+    pub max_cone_support: usize,
+    /// Only replace a cone when the decomposition's estimated cost beats
+    /// the existing structure (the paper's "assessed impact … over
+    /// existing circuit structure"). Disable to force re-implementation.
+    pub accept_only_improvements: bool,
+}
+
+impl Default for SynthesisOptions {
+    fn default() -> Self {
+        SynthesisOptions {
+            reach: Some(ReachabilityOptions::default()),
+            decompose: recursive::Options::default(),
+            max_cone_support: 20,
+            accept_only_improvements: true,
+        }
+    }
+}
+
+/// What [`optimize`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SynthesisReport {
+    /// Candidate signals examined (outputs + next-state functions).
+    pub candidates: usize,
+    /// Cones actually collapsed and re-decomposed.
+    pub decomposed: usize,
+    /// Cones skipped for excessive support.
+    pub skipped_wide: usize,
+    /// Decomposed cones rejected because the original structure was
+    /// cheaper.
+    pub rejected: usize,
+    /// Aggregated decomposition step counters.
+    pub steps: recursive::Stats,
+    /// Tree-emitter sharing hits (Figure 3.2 reuse events).
+    pub sharing_hits: usize,
+    /// `log2` of the reachable-state estimate (latch count when state
+    /// analysis is off).
+    pub log2_states: f64,
+}
+
+/// Runs Algorithm 1 on `netlist`, returning the optimized netlist (same
+/// interface) and a report.
+///
+/// # Panics
+///
+/// Panics if the netlist fails validation.
+pub fn optimize(netlist: &Netlist, options: &SynthesisOptions) -> (Netlist, SynthesisReport) {
+    let (cleaned, _) = clean(netlist);
+    let mut report = SynthesisReport::default();
+
+    // Partitioned reachability (or the trivial no-information analysis).
+    let mut reach = match options.reach {
+        Some(opts) => Reachability::analyze(&cleaned, opts),
+        None => Reachability::trivial(&cleaned),
+    };
+    report.log2_states = reach.log2_states();
+
+    // One manager for the whole pass: leaves (PIs + latches) get fixed
+    // variables up front, ordered by the fanin-DFS heuristic so cone BDDs
+    // stay small regardless of declaration order.
+    let mut m = Manager::new();
+    let mut extractor = ConeExtractor::with_dfs_layout(&cleaned, &mut m);
+    let var_of_latch: HashMap<SignalId, VarId> = cleaned
+        .latches()
+        .iter()
+        .map(|&l| (l, extractor.var_of(l).expect("layout covers latches")))
+        .collect();
+    let var_to_leaf: HashMap<VarId, SignalId> =
+        extractor.var_map().iter().map(|(&s, &v)| (v, s)).collect();
+
+    // Reference counts (fanout edges + output references) for the
+    // fanout-free-cone cost estimate.
+    let mut ref_counts: Vec<usize> = cleaned.fanouts().iter().map(Vec::len).collect();
+    for &(_, s) in cleaned.outputs() {
+        ref_counts[s.index()] += 1;
+    }
+
+    // Candidates: next-state functions, primary outputs, AND every
+    // multi-fanout internal gate — the paper re-implements signals "in
+    // terms of their cone inputs or in terms of other intermediate
+    // signals". Topological order makes each candidate a cut point for
+    // the ones after it.
+    let mut is_root: Vec<bool> = vec![false; cleaned.num_signals()];
+    for &l in cleaned.latches() {
+        is_root[cleaned.latch_next(l).expect("validated").index()] = true;
+    }
+    for &(_, s) in cleaned.outputs() {
+        is_root[s.index()] = true;
+    }
+    let topo = cleaned.topo_order().expect("validated");
+    let mut candidates: Vec<SignalId> = topo
+        .iter()
+        .copied()
+        .filter(|&g| is_root[g.index()] || ref_counts[g.index()] >= 2)
+        .collect();
+    // Roots that are not gates (outputs wired straight to latches,
+    // inputs, or constants).
+    for s in cleaned.signals() {
+        if is_root[s.index()] && !matches!(cleaned.kind(s), NodeKind::Gate(_)) {
+            candidates.push(s);
+        }
+    }
+
+    // Rebuild target: same interface, shared-structure builder.
+    let mut emitter = TreeEmitter::new(&cleaned);
+    let mut rebuilt: HashMap<SignalId, SignalId> = HashMap::new();
+    let mut var_to_leaf = var_to_leaf;
+
+    for &signal in &candidates {
+        report.candidates += 1;
+        if rebuilt.contains_key(&signal) {
+            continue;
+        }
+        let support = local_support(&cleaned, signal, extractor.var_map());
+        let new_sig = if support.len() <= options.max_cone_support
+            && matches!(cleaned.kind(signal), NodeKind::Gate(_) | NodeKind::Latch { .. })
+        {
+            report.decomposed += 1;
+            let f = extractor.bdd(&mut m, signal);
+            // Retrieve unreachable states over the cone's present-state
+            // support and widen the specification.
+            let ps: Vec<SignalId> = support
+                .iter()
+                .copied()
+                .filter(|s| matches!(cleaned.kind(*s), NodeKind::Latch { .. }))
+                .collect();
+            let care = reach.care_set(&ps, &mut m, &var_of_latch);
+            let unreachable = m.not(care);
+            let interval = Interval::with_dontcare(&mut m, f, unreachable);
+            let (tree, stats) = recursive::decompose(&mut m, &interval, &options.decompose);
+            report.steps.or_steps += stats.or_steps;
+            report.steps.and_steps += stats.and_steps;
+            report.steps.xor_steps += stats.xor_steps;
+            report.steps.shannon_steps += stats.shannon_steps;
+            report.steps.vars_abstracted += stats.vars_abstracted;
+            if options.accept_only_improvements
+                && tree.aig_cost() > mffc_cost(&cleaned, signal, &ref_counts, extractor.var_map())
+            {
+                report.rejected += 1;
+                emitter.copy_cone(&cleaned, signal)
+            } else {
+                emitter.emit(&tree, &var_to_leaf)
+            }
+        } else {
+            report.skipped_wide +=
+                usize::from(matches!(cleaned.kind(signal), NodeKind::Gate(_)));
+            emitter.copy_cone(&cleaned, signal)
+        };
+        rebuilt.insert(signal, new_sig);
+        // The processed candidate becomes a cut point: later cones read it
+        // as a fresh variable bound to its rebuilt implementation.
+        if matches!(cleaned.kind(signal), NodeKind::Gate(_)) {
+            let v = VarId(m.num_vars() as u32);
+            m.new_var();
+            extractor.add_leaf(&mut m, signal, v);
+            var_to_leaf.insert(v, signal);
+            emitter.set_redirect(signal, new_sig);
+        }
+    }
+    report.sharing_hits = emitter.sharing_hits();
+
+    // Wire latches and outputs in the rebuilt netlist.
+    let mut out = emitter.into_netlist();
+    for &l in cleaned.latches() {
+        let next = cleaned.latch_next(l).expect("validated");
+        let new_latch = out.signal(cleaned.signal_name(l)).expect("latch copied");
+        out.set_latch_next(new_latch, rebuilt[&next]);
+    }
+    for (name, sig) in cleaned.outputs() {
+        out.add_output(name.clone(), rebuilt[sig]);
+    }
+    let (final_netlist, _) = clean(&out);
+    (final_netlist, report)
+}
+
+/// Runs [`optimize`] repeatedly until a pass stops improving the and/inv
+/// size (or `max_passes` is hit) — the "re-synthesis loop of
+/// well-optimized designs" the paper names as future work. Returns the
+/// final netlist, the per-pass reports, and the and/inv sizes after each
+/// pass.
+///
+/// # Panics
+///
+/// Panics if the netlist fails validation.
+pub fn optimize_iterated(
+    netlist: &Netlist,
+    options: &SynthesisOptions,
+    max_passes: usize,
+) -> (Netlist, Vec<SynthesisReport>, Vec<usize>) {
+    let mut current = netlist.clone();
+    let mut reports = Vec::new();
+    let mut sizes = Vec::new();
+    let mut last_size = symbi_netlist::stats::stats(&clean(netlist).0).aig_ands;
+    for _ in 0..max_passes.max(1) {
+        let (next, report) = optimize(&current, options);
+        let size = symbi_netlist::stats::stats(&next).aig_ands;
+        reports.push(report);
+        sizes.push(size);
+        current = next;
+        if size >= last_size {
+            break; // no further progress
+        }
+        last_size = size;
+    }
+    (current, reports, sizes)
+}
+
+/// and/inv cost of a signal's *maximum fanout-free cone*: the gates that
+/// exist only to feed this signal and would vanish if it were rewritten.
+/// Logic shared with other cones is excluded, so accepting a tree whose
+/// cost does not exceed this bound can never grow the circuit.
+fn mffc_cost(
+    netlist: &Netlist,
+    root: SignalId,
+    ref_counts: &[usize],
+    boundaries: &HashMap<SignalId, VarId>,
+) -> usize {
+    let mut refs: HashMap<SignalId, usize> = HashMap::new();
+    let mut cost = 0usize;
+    let mut stack = vec![root];
+    while let Some(s) = stack.pop() {
+        let NodeKind::Gate(kind) = netlist.kind(s) else { continue };
+        if s != root && boundaries.contains_key(&s) {
+            continue; // cut point: owned by its own candidate
+        }
+        cost += kind.aig_and_count(netlist.fanins(s).len());
+        for &f in netlist.fanins(s) {
+            let slot = refs.entry(f).or_insert_with(|| ref_counts[f.index()]);
+            *slot = slot.saturating_sub(1);
+            if *slot == 0 {
+                stack.push(f);
+            }
+        }
+    }
+    cost
+}
+
+/// Combinational support of `signal` with the extractor's registered
+/// leaves (inputs, latches, and processed cut points) as boundaries.
+fn local_support(
+    netlist: &Netlist,
+    signal: SignalId,
+    leaves: &HashMap<SignalId, VarId>,
+) -> Vec<SignalId> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    let mut stack = vec![signal];
+    while let Some(s) = stack.pop() {
+        if !seen.insert(s) {
+            continue;
+        }
+        if s != signal && leaves.contains_key(&s) {
+            out.push(s);
+            continue;
+        }
+        match netlist.kind(s) {
+            NodeKind::Input | NodeKind::Latch { .. } => out.push(s),
+            NodeKind::Const(_) => {}
+            NodeKind::Gate(_) => stack.extend(netlist.fanins(s).iter().copied()),
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_netlist::sim::random_co_simulation;
+    use symbi_netlist::GateKind;
+
+    /// One-hot ring whose output logic can exploit unreachable states.
+    fn ring_with_logic() -> Netlist {
+        let mut n = Netlist::new("ring");
+        let en = n.add_input("en");
+        let q: Vec<SignalId> = (0..4).map(|i| n.add_latch(format!("q{i}"), i == 0)).collect();
+        let nen = n.add_gate("nen", GateKind::Not, vec![en]);
+        for i in 0..4 {
+            let sh = n.add_gate(format!("sh{i}"), GateKind::And, vec![en, q[(i + 3) % 4]]);
+            let ho = n.add_gate(format!("ho{i}"), GateKind::And, vec![nen, q[i]]);
+            let nx = n.add_gate(format!("nx{i}"), GateKind::Or, vec![sh, ho]);
+            n.set_latch_next(q[i], nx);
+        }
+        // Output: "exactly one of q0,q1 hot" — under the one-hot invariant
+        // this is just q0 + q1.
+        let x01 = n.add_gate("x01", GateKind::Xor, vec![q[0], q[1]]);
+        let both = n.add_gate("both", GateKind::And, vec![q[0], q[1]]);
+        let nboth = n.add_gate("nboth", GateKind::Not, vec![both]);
+        let o = n.add_gate("o", GateKind::And, vec![x01, nboth]);
+        n.add_output("one_hot01", o);
+        n
+    }
+
+    #[test]
+    fn optimize_preserves_reachable_behaviour() {
+        let n = ring_with_logic();
+        let (opt, report) = optimize(&n, &SynthesisOptions::default());
+        assert!(report.decomposed > 0);
+        // Behaviour from the initial state must be identical (don't cares
+        // only ever differ on unreachable states).
+        assert!(random_co_simulation(&n, &opt, 40, 77));
+    }
+
+    #[test]
+    fn state_analysis_shrinks_logic() {
+        let n = ring_with_logic();
+        let with = optimize(&n, &SynthesisOptions::default()).0;
+        let without =
+            optimize(&n, &SynthesisOptions { reach: None, ..Default::default() }).0;
+        let s_with = symbi_netlist::stats::stats(&with);
+        let s_without = symbi_netlist::stats::stats(&without);
+        assert!(
+            s_with.aig_ands <= s_without.aig_ands,
+            "don't cares can only help: {} vs {}",
+            s_with.aig_ands,
+            s_without.aig_ands
+        );
+    }
+
+    #[test]
+    fn no_state_arm_is_equivalent_everywhere() {
+        // Without don't cares the optimized circuit must agree from any
+        // state, not just reachable ones: check combinationally.
+        let n = ring_with_logic();
+        let (opt, _) = optimize(&n, &SynthesisOptions { reach: None, ..Default::default() });
+        // Co-simulate from several forced states.
+        let mut sim_a = symbi_netlist::sim::Simulator::new(&n);
+        let mut sim_b = symbi_netlist::sim::Simulator::new(&opt);
+        for state in [[1u64, 0, 0, 0], [1, 1, 0, 0], [0, 0, 0, 0], [1, 1, 1, 1]] {
+            sim_a.set_state(&state);
+            sim_b.set_state(&state);
+            assert_eq!(sim_a.eval_comb(&[u64::MAX]), sim_b.eval_comb(&[u64::MAX]));
+        }
+    }
+
+    #[test]
+    fn report_counts_candidates() {
+        let n = ring_with_logic();
+        let (_, report) = optimize(&n, &SynthesisOptions::default());
+        // At least the 4 next-state functions + 1 output; multi-fanout
+        // internal gates add more.
+        assert!(report.candidates >= 5, "got {}", report.candidates);
+        assert!(report.log2_states <= 2.0 + 1e-9, "4 reachable states of 16");
+    }
+
+    #[test]
+    fn iterated_optimization_converges_and_stays_correct() {
+        let n = ring_with_logic();
+        let (opt, reports, sizes) = optimize_iterated(&n, &SynthesisOptions::default(), 4);
+        assert!(!reports.is_empty());
+        // Sizes are non-increasing up to the terminating pass.
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0] || w == &sizes[sizes.len() - 2..]);
+        }
+        assert!(random_co_simulation(&n, &opt, 40, 4242));
+    }
+
+    #[test]
+    fn wide_cones_are_copied() {
+        let mut n = Netlist::new("wide");
+        let ins: Vec<SignalId> = (0..20).map(|i| n.add_input(format!("i{i}"))).collect();
+        let g = n.add_gate("g", GateKind::And, ins);
+        n.add_output("g", g);
+        let opts = SynthesisOptions { max_cone_support: 8, ..Default::default() };
+        let (opt, report) = optimize(&n, &opts);
+        assert_eq!(report.skipped_wide, 1);
+        assert_eq!(report.decomposed, 0);
+        assert!(random_co_simulation(&n, &opt, 8, 3));
+    }
+}

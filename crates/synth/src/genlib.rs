@@ -1,0 +1,458 @@
+//! Standard-cell library handling: a `genlib`-subset parser and an
+//! embedded mcnc-like library.
+//!
+//! The paper's Table 3.2 baseline is "optimized against \[the\] publicly
+//! available mcnc.genlib library"; this module supplies an equivalent
+//! library (areas and load-dependent delays in the same style) plus a
+//! parser for the classic SIS `genlib` syntax:
+//!
+//! ```text
+//! GATE nand2 2.0 O=!(a*b); PIN * INV 1 999 1.0 0.2 1.0 0.2
+//! ```
+//!
+//! Cell functions are stored as truth tables over the declared pin order,
+//! so the technology mapper can match them against cut functions.
+
+use std::fmt;
+
+/// A library cell: single-output function over up to [`MAX_PINS`] pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Cell name.
+    pub name: String,
+    /// Area (literal-equivalents in the mcnc tradition).
+    pub area: f64,
+    /// Input pin names, in truth-table bit order.
+    pub pins: Vec<String>,
+    /// Truth table over the pins: bit `i` is the output for the input
+    /// assignment whose bit `j` is `i >> j & 1`.
+    pub table: u16,
+    /// Intrinsic (block) delay.
+    pub delay_block: f64,
+    /// Delay per unit of fanout load.
+    pub delay_fanout: f64,
+}
+
+/// Maximum supported cell arity (truth tables are stored in a `u16`).
+pub const MAX_PINS: usize = 4;
+
+impl Cell {
+    /// Number of input pins.
+    pub fn arity(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+/// A cell library.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Library {
+    /// All cells.
+    pub cells: Vec<Cell>,
+}
+
+/// Error from [`Library::parse_genlib`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGenlibError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseGenlibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "genlib error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseGenlibError {}
+
+impl Library {
+    /// Parses the SIS `genlib` subset: `GATE name area out=expr; PIN …`.
+    /// Expressions use `!` (negation), `*` (AND), `+` (OR), `^` (XOR),
+    /// parentheses, and the constants `0`/`1` (`CONST0`/`CONST1` gates are
+    /// skipped). Only the first `PIN` line's delay parameters are used,
+    /// reading the rise block and fanout values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line.
+    pub fn parse_genlib(text: &str) -> Result<Library, ParseGenlibError> {
+        let mut cells = Vec::new();
+        // Join physical lines: a GATE statement runs to the next GATE.
+        let mut statements: Vec<(usize, String)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("GATE") || statements.is_empty() {
+                statements.push((lineno + 1, line.to_string()));
+            } else {
+                let last = statements.last_mut().expect("nonempty");
+                last.1.push(' ');
+                last.1.push_str(line);
+            }
+        }
+        for (lineno, stmt) in statements {
+            let err = |message: String| ParseGenlibError { line: lineno, message };
+            let rest = match stmt.strip_prefix("GATE") {
+                Some(r) => r.trim(),
+                None => return Err(err(format!("expected GATE, found `{stmt}`"))),
+            };
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or_else(|| err("missing cell name".into()))?.to_string();
+            let area: f64 = parts
+                .next()
+                .ok_or_else(|| err("missing area".into()))?
+                .parse()
+                .map_err(|e| err(format!("bad area: {e}")))?;
+            let tail = parts.collect::<Vec<_>>().join(" ");
+            if tail.is_empty() {
+                return Err(err("missing function".into()));
+            }
+            let tail = tail.as_str();
+            let (func, pin_part) = match tail.split_once(';') {
+                Some((f, p)) => (f.trim(), p.trim()),
+                None => (tail.trim(), ""),
+            };
+            let (_out, expr_text) = func
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected `out=expr`, found `{func}`")))?;
+            // Constant cells carry no pins; the mapper doesn't use them.
+            if expr_text.trim() == "0" || expr_text.trim() == "1" {
+                continue;
+            }
+            let (table, pins) = parse_expr(expr_text)
+                .map_err(|message| err(format!("bad expression `{expr_text}`: {message}")))?;
+            if pins.len() > MAX_PINS {
+                continue; // wider cells are legal genlib but unmatchable here
+            }
+            // PIN name/`*` phase load max-load rise-block rise-fanout
+            // fall-block fall-fanout.
+            let mut delay_block = 1.0;
+            let mut delay_fanout = 0.2;
+            if let Some(pin_text) = pin_part.strip_prefix("PIN") {
+                let fields: Vec<&str> = pin_text.split_whitespace().collect();
+                if fields.len() >= 6 {
+                    delay_block = fields[4].parse().unwrap_or(1.0);
+                    delay_fanout = fields[5].parse().unwrap_or(0.2);
+                }
+            }
+            cells.push(Cell { name, area, pins, table, delay_block, delay_fanout });
+        }
+        Ok(Library { cells })
+    }
+
+    /// The embedded mcnc-like library: inverter, buffer, NAND/NOR 2–4,
+    /// AND/OR 2, XOR/XNOR 2, AOI/OAI 21 and 22 — the workhorse subset of
+    /// `mcnc.genlib` with its characteristic area/delay ratios.
+    pub fn mcnc_like() -> Library {
+        Library::parse_genlib(MCNC_LIKE_GENLIB).expect("embedded library parses")
+    }
+
+    /// Cells with the given arity.
+    pub fn cells_of_arity(&self, arity: usize) -> impl Iterator<Item = &Cell> {
+        self.cells.iter().filter(move |c| c.arity() == arity)
+    }
+
+    /// The inverter (smallest-area arity-1 cell whose table is NOT).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has no inverter.
+    pub fn inverter(&self) -> &Cell {
+        self.cells
+            .iter()
+            .filter(|c| c.arity() == 1 && c.table & 0b11 == 0b01)
+            .min_by(|a, b| a.area.total_cmp(&b.area))
+            .expect("library must contain an inverter")
+    }
+}
+
+/// The embedded library text (mcnc-style values).
+pub const MCNC_LIKE_GENLIB: &str = r#"
+# mcnc.genlib-style cell set (areas in literal equivalents)
+GATE inv1   1.0 O=!a;          PIN * INV 1 999 0.9 0.3 0.9 0.3
+GATE buf1   2.0 O=a;           PIN * NONINV 1 999 1.0 0.2 1.0 0.2
+GATE nand2  2.0 O=!(a*b);      PIN * INV 1 999 1.0 0.2 1.0 0.2
+GATE nand3  3.0 O=!(a*b*c);    PIN * INV 1 999 1.1 0.3 1.1 0.3
+GATE nand4  4.0 O=!(a*b*c*d);  PIN * INV 1 999 1.4 0.4 1.4 0.4
+GATE nor2   2.0 O=!(a+b);      PIN * INV 1 999 1.4 0.5 1.4 0.5
+GATE nor3   3.0 O=!(a+b+c);    PIN * INV 1 999 2.4 0.7 2.4 0.7
+GATE nor4   4.0 O=!(a+b+c+d);  PIN * INV 1 999 3.8 1.0 3.8 1.0
+GATE and2   3.0 O=a*b;         PIN * NONINV 1 999 1.9 0.3 1.9 0.3
+GATE or2    3.0 O=a+b;         PIN * NONINV 1 999 2.4 0.3 2.4 0.3
+GATE xor2   5.0 O=a^b;         PIN * UNKNOWN 2 999 1.9 0.5 1.9 0.5
+GATE xnor2  5.0 O=!(a^b);      PIN * UNKNOWN 2 999 2.1 0.5 2.1 0.5
+GATE aoi21  3.0 O=!(a*b+c);    PIN * INV 1 999 1.6 0.4 1.6 0.4
+GATE aoi22  4.0 O=!(a*b+c*d);  PIN * INV 1 999 2.0 0.4 2.0 0.4
+GATE oai21  3.0 O=!((a+b)*c);  PIN * INV 1 999 1.6 0.4 1.6 0.4
+GATE oai22  4.0 O=!((a+b)*(c+d)); PIN * INV 1 999 2.0 0.4 2.0 0.4
+GATE mux21  6.0 O=s*a+!s*b;    PIN * UNKNOWN 2 999 2.0 0.5 2.0 0.5
+"#;
+
+/// Parses a genlib Boolean expression; returns the truth table and the
+/// pin names in first-appearance order.
+fn parse_expr(text: &str) -> Result<(u16, Vec<String>), String> {
+    let mut pins: Vec<String> = Vec::new();
+    let tokens = tokenize(text)?;
+    let mut pos = 0usize;
+    let table = parse_or(&tokens, &mut pos, &mut pins)?;
+    if pos != tokens.len() {
+        return Err(format!("trailing tokens after position {pos}"));
+    }
+    if pins.len() > 16 {
+        return Err("too many pins".into());
+    }
+    Ok((table, pins))
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Pin(String),
+    Not,
+    And,
+    Or,
+    Xor,
+    LParen,
+    RParen,
+    Const(bool),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '!' => {
+                chars.next();
+                out.push(Token::Not);
+            }
+            '*' | '&' => {
+                chars.next();
+                out.push(Token::And);
+            }
+            '+' | '|' => {
+                chars.next();
+                out.push(Token::Or);
+            }
+            '^' => {
+                chars.next();
+                out.push(Token::Xor);
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::RParen);
+            }
+            '0' => {
+                chars.next();
+                out.push(Token::Const(false));
+            }
+            '1' => {
+                chars.next();
+                out.push(Token::Const(true));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Pin(name));
+            }
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn pin_mask(pins: &mut Vec<String>, name: &str) -> Result<u16, String> {
+    let idx = match pins.iter().position(|p| p == name) {
+        Some(i) => i,
+        None => {
+            if pins.len() >= MAX_PINS {
+                // Still parse wider cells; the caller filters them.
+                pins.push(name.to_string());
+                return Ok(0); // placeholder; table becomes meaningless but unused
+            }
+            pins.push(name.to_string());
+            pins.len() - 1
+        }
+    };
+    // Truth table column for pin `idx` over up to MAX_PINS inputs.
+    let mut mask = 0u16;
+    for row in 0..16u16 {
+        if row >> idx & 1 == 1 {
+            mask |= 1 << row;
+        }
+    }
+    Ok(mask)
+}
+
+fn parse_or(tokens: &[Token], pos: &mut usize, pins: &mut Vec<String>) -> Result<u16, String> {
+    let mut acc = parse_and(tokens, pos, pins)?;
+    while matches!(tokens.get(*pos), Some(Token::Or)) {
+        *pos += 1;
+        acc |= parse_and(tokens, pos, pins)?;
+    }
+    Ok(acc)
+}
+
+fn parse_and(tokens: &[Token], pos: &mut usize, pins: &mut Vec<String>) -> Result<u16, String> {
+    let mut acc = parse_xor(tokens, pos, pins)?;
+    loop {
+        match tokens.get(*pos) {
+            Some(Token::And) => {
+                *pos += 1;
+                acc &= parse_xor(tokens, pos, pins)?;
+            }
+            // Juxtaposition (`ab`) is not genlib, but an implicit AND
+            // before `(`/`!`/pin keeps us liberal in what we accept.
+            Some(Token::LParen | Token::Not | Token::Pin(_)) => {
+                acc &= parse_xor(tokens, pos, pins)?;
+            }
+            _ => break,
+        }
+    }
+    Ok(acc)
+}
+
+fn parse_xor(tokens: &[Token], pos: &mut usize, pins: &mut Vec<String>) -> Result<u16, String> {
+    let mut acc = parse_atom(tokens, pos, pins)?;
+    while matches!(tokens.get(*pos), Some(Token::Xor)) {
+        *pos += 1;
+        acc ^= parse_atom(tokens, pos, pins)?;
+    }
+    Ok(acc)
+}
+
+fn parse_atom(tokens: &[Token], pos: &mut usize, pins: &mut Vec<String>) -> Result<u16, String> {
+    match tokens.get(*pos) {
+        Some(Token::Not) => {
+            *pos += 1;
+            Ok(!parse_atom(tokens, pos, pins)?)
+        }
+        Some(Token::LParen) => {
+            *pos += 1;
+            let inner = parse_or(tokens, pos, pins)?;
+            match tokens.get(*pos) {
+                Some(Token::RParen) => {
+                    *pos += 1;
+                    Ok(inner)
+                }
+                _ => Err("missing `)`".into()),
+            }
+        }
+        Some(Token::Pin(name)) => {
+            let name = name.clone();
+            *pos += 1;
+            pin_mask(pins, &name)
+        }
+        Some(Token::Const(b)) => {
+            *pos += 1;
+            Ok(if *b { 0xffff } else { 0 })
+        }
+        other => Err(format!("unexpected token {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(cell: &Cell, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), cell.arity());
+        let row: usize = inputs.iter().enumerate().map(|(i, &b)| usize::from(b) << i).sum();
+        cell.table >> row & 1 == 1
+    }
+
+    #[test]
+    fn embedded_library_parses() {
+        let lib = Library::mcnc_like();
+        assert!(lib.cells.len() >= 15);
+        assert_eq!(lib.inverter().name, "inv1");
+    }
+
+    #[test]
+    fn nand2_truth_table() {
+        let lib = Library::mcnc_like();
+        let nand2 = lib.cells.iter().find(|c| c.name == "nand2").unwrap();
+        assert_eq!(nand2.arity(), 2);
+        assert!(eval(nand2, &[false, false]));
+        assert!(eval(nand2, &[true, false]));
+        assert!(!eval(nand2, &[true, true]));
+    }
+
+    #[test]
+    fn aoi21_truth_table() {
+        let lib = Library::mcnc_like();
+        let aoi = lib.cells.iter().find(|c| c.name == "aoi21").unwrap();
+        // O = !(a*b + c)
+        for bits in 0..8u16 {
+            let (a, b, c) = (bits & 1 == 1, bits >> 1 & 1 == 1, bits >> 2 & 1 == 1);
+            assert_eq!(eval(aoi, &[a, b, c]), !((a && b) || c), "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn mux_truth_table() {
+        let lib = Library::mcnc_like();
+        let mux = lib.cells.iter().find(|c| c.name == "mux21").unwrap();
+        assert_eq!(mux.arity(), 3);
+        // Pin order is first appearance: s, a, b.
+        for bits in 0..8u16 {
+            let (s, a, b) = (bits & 1 == 1, bits >> 1 & 1 == 1, bits >> 2 & 1 == 1);
+            assert_eq!(eval(mux, &[s, a, b]), if s { a } else { b });
+        }
+    }
+
+    #[test]
+    fn xor_parse() {
+        let lib = Library::parse_genlib("GATE x 1.0 O=a^b^c; PIN * UNKNOWN 1 999 1 0.1 1 0.1")
+            .unwrap();
+        let cell = &lib.cells[0];
+        for bits in 0..8u16 {
+            let ones = (bits & 0b111).count_ones();
+            assert_eq!(cell.table >> bits & 1 == 1, ones % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn delay_fields_read() {
+        let lib = Library::mcnc_like();
+        let nor4 = lib.cells.iter().find(|c| c.name == "nor4").unwrap();
+        assert!((nor4.delay_block - 3.8).abs() < 1e-9);
+        assert!((nor4.delay_fanout - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let err = Library::parse_genlib("GATE broken").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+        let err2 = Library::parse_genlib("GATE g 1.0 O=a*); PIN * INV 1 999 1 1 1 1").unwrap_err();
+        assert!(err2.message.contains("bad expression"));
+    }
+
+    #[test]
+    fn wide_cells_skipped_not_fatal() {
+        let lib = Library::parse_genlib(
+            "GATE wide 5.0 O=a*b*c*d*e; PIN * INV 1 999 1 1 1 1\nGATE inv 1.0 O=!a; PIN * INV 1 999 1 1 1 1",
+        )
+        .unwrap();
+        assert_eq!(lib.cells.len(), 1);
+        assert_eq!(lib.cells[0].name, "inv");
+    }
+}

@@ -1,0 +1,39 @@
+//! Sequential synthesis flow and technology mapping for the `symbi`
+//! suite: the paper's Algorithm 1 (§3.5.3) plus the infrastructure its
+//! Table 3.2 evaluation needs.
+//!
+//! - [`flow`]: the logic-optimization loop — partitioned reachability,
+//!   selective collapse, unreachable-state don't cares, recursive
+//!   symbolic bi-decomposition, structure-sharing re-emission,
+//! - [`share`]: the hash-consing tree emitter behind Figure 3.2's logic
+//!   reuse,
+//! - [`genlib`]: a `genlib` parser and the embedded mcnc-like cell
+//!   library,
+//! - [`map`]: a cut-based technology mapper reporting area and
+//!   load-dependent delay.
+//!
+//! # Example
+//!
+//! ```
+//! use symbi_netlist::{GateKind, Netlist};
+//! use symbi_synth::flow::{optimize, SynthesisOptions};
+//! use symbi_synth::genlib::Library;
+//! use symbi_synth::map::{map, MapMode};
+//!
+//! let mut n = Netlist::new("demo");
+//! let a = n.add_input("a");
+//! let q = n.add_latch("q", false);
+//! let d = n.add_gate("d", GateKind::Xor, vec![a, q]);
+//! n.set_latch_next(q, d);
+//! n.add_output("o", d);
+//!
+//! let (optimized, report) = optimize(&n, &SynthesisOptions::default());
+//! assert!(report.candidates > 0);
+//! let mapped = map(&optimized, &Library::mcnc_like(), MapMode::Area);
+//! assert!(mapped.area > 0.0);
+//! ```
+
+pub mod flow;
+pub mod genlib;
+pub mod map;
+pub mod share;

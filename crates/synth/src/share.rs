@@ -1,0 +1,298 @@
+//! Structure-sharing emission of decomposition trees (Figure 3.2).
+//!
+//! The paper selects partitions that "re-use logic … present in the
+//! network but not in the fanin of f". [`TreeEmitter`] realizes the same
+//! effect constructively: every 2-input primitive emitted by any
+//! decomposition is hash-consed, so when a later cone derives a `g1` that
+//! already exists, it is shared rather than duplicated — and the hit is
+//! counted.
+
+use std::collections::HashMap;
+use symbi_bdd::VarId;
+use symbi_core::recursive::Tree;
+use symbi_core::DecKind;
+use symbi_netlist::{GateKind, Netlist, NodeKind, SignalId};
+
+/// Emits [`Tree`]s into a netlist with global structural hashing.
+#[derive(Debug)]
+pub struct TreeEmitter {
+    out: Netlist,
+    /// Source leaf (input/latch) → new signal.
+    leaf_map: HashMap<SignalId, SignalId>,
+    gate_hash: HashMap<(GateKind, SignalId, SignalId), SignalId>,
+    not_hash: HashMap<SignalId, SignalId>,
+    const_sigs: [Option<SignalId>; 2],
+    copied: HashMap<SignalId, SignalId>,
+    /// Source signals redirected to an already-rebuilt implementation
+    /// (cut points of the synthesis flow).
+    redirect: HashMap<SignalId, SignalId>,
+    hits: usize,
+}
+
+impl TreeEmitter {
+    /// Creates an emitter whose netlist shares `src`'s interface: same
+    /// inputs and latches (latches still unwired), same names.
+    pub fn new(src: &Netlist) -> Self {
+        let mut out = Netlist::new(src.name());
+        let mut leaf_map = HashMap::new();
+        for &i in src.inputs() {
+            leaf_map.insert(i, out.add_input(src.signal_name(i).to_string()));
+        }
+        for &l in src.latches() {
+            leaf_map.insert(l, out.add_latch(src.signal_name(l).to_string(), src.latch_init(l)));
+        }
+        TreeEmitter {
+            out,
+            leaf_map,
+            gate_hash: HashMap::new(),
+            not_hash: HashMap::new(),
+            const_sigs: [None, None],
+            copied: HashMap::new(),
+            redirect: HashMap::new(),
+            hits: 0,
+        }
+    }
+
+    /// Declares that source signal `src` is implemented by `replacement`
+    /// in the rebuilt netlist; [`TreeEmitter::emit`] literals and
+    /// [`TreeEmitter::copy_cone`] walks will use it from now on.
+    pub fn set_redirect(&mut self, src: SignalId, replacement: SignalId) {
+        self.redirect.insert(src, replacement);
+    }
+
+    /// Number of times an emitted node was already present (shared).
+    pub fn sharing_hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Finishes and returns the netlist (latches still need wiring).
+    pub fn into_netlist(self) -> Netlist {
+        self.out
+    }
+
+    fn constant(&mut self, value: bool) -> SignalId {
+        if let Some(s) = self.const_sigs[usize::from(value)] {
+            return s;
+        }
+        let name = self.out.fresh_name(if value { "const1_" } else { "const0_" });
+        let s = self.out.add_const(name, value);
+        self.const_sigs[usize::from(value)] = Some(s);
+        s
+    }
+
+    fn invert(&mut self, a: SignalId) -> SignalId {
+        if let Some(&x) = self.not_hash.get(&a) {
+            self.hits += 1;
+            return x;
+        }
+        let name = self.out.fresh_name("n");
+        let x = self.out.add_gate(name, GateKind::Not, vec![a]);
+        self.not_hash.insert(a, x);
+        self.not_hash.insert(x, a);
+        x
+    }
+
+    fn gate2(&mut self, kind: GateKind, a: SignalId, b: SignalId) -> SignalId {
+        if a == b {
+            return match kind {
+                GateKind::And | GateKind::Or => a,
+                GateKind::Xor => self.constant(false),
+                _ => unreachable!("emitter only builds AND/OR/XOR"),
+            };
+        }
+        let key = if a <= b { (kind, a, b) } else { (kind, b, a) };
+        if let Some(&x) = self.gate_hash.get(&key) {
+            self.hits += 1;
+            return x;
+        }
+        let name = self.out.fresh_name("g");
+        let x = self.out.add_gate(name, kind, vec![key.1, key.2]);
+        self.gate_hash.insert(key, x);
+        x
+    }
+
+    /// Emits a decomposition tree; `var_to_leaf` maps BDD variables back
+    /// to the source netlist's leaf signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree mentions a variable with no leaf mapping.
+    pub fn emit(&mut self, tree: &Tree, var_to_leaf: &HashMap<VarId, SignalId>) -> SignalId {
+        match tree {
+            Tree::Const(b) => self.constant(*b),
+            Tree::Literal(v, phase) => {
+                let src_leaf = *var_to_leaf
+                    .get(v)
+                    .unwrap_or_else(|| panic!("no leaf mapped to variable {v}"));
+                let leaf = self
+                    .redirect
+                    .get(&src_leaf)
+                    .or_else(|| self.leaf_map.get(&src_leaf))
+                    .copied()
+                    .unwrap_or_else(|| panic!("variable {v} maps to an unbuilt signal"));
+                if *phase {
+                    leaf
+                } else {
+                    self.invert(leaf)
+                }
+            }
+            Tree::Op(kind, a, b) => {
+                let ea = self.emit(a, var_to_leaf);
+                let eb = self.emit(b, var_to_leaf);
+                let gk = match kind {
+                    DecKind::Or => GateKind::Or,
+                    DecKind::And => GateKind::And,
+                    DecKind::Xor => GateKind::Xor,
+                };
+                self.gate2(gk, ea, eb)
+            }
+        }
+    }
+
+    /// Deep-copies the combinational cone of `signal` from `src` (used for
+    /// cones too wide to collapse). Gates are memoized so overlapping
+    /// copied cones share structure.
+    pub fn copy_cone(&mut self, src: &Netlist, signal: SignalId) -> SignalId {
+        if let Some(&s) = self.redirect.get(&signal) {
+            return s;
+        }
+        if let Some(&s) = self.copied.get(&signal) {
+            return s;
+        }
+        if let Some(&leaf) = self.leaf_map.get(&signal) {
+            return leaf;
+        }
+        let new_sig = match src.kind(signal) {
+            NodeKind::Const(b) => self.constant(b),
+            NodeKind::Gate(kind) => {
+                let fanins: Vec<SignalId> =
+                    src.fanins(signal).iter().map(|&f| self.copy_cone(src, f)).collect();
+                match (kind, fanins.len()) {
+                    (GateKind::Not, _) => self.invert(fanins[0]),
+                    (GateKind::Buf, _) => fanins[0],
+                    (GateKind::And | GateKind::Or | GateKind::Xor, 2) => {
+                        self.gate2(kind, fanins[0], fanins[1])
+                    }
+                    _ => {
+                        let name = self.out.fresh_name("c");
+                        self.out.add_gate(name, kind, fanins)
+                    }
+                }
+            }
+            NodeKind::Input | NodeKind::Latch { .. } => {
+                unreachable!("leaves handled through leaf_map")
+            }
+        };
+        self.copied.insert(signal, new_sig);
+        new_sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_bdd::Manager;
+    use symbi_core::recursive::Tree;
+
+    fn setup() -> (Netlist, TreeEmitter, HashMap<VarId, SignalId>) {
+        let mut src = Netlist::new("t");
+        let a = src.add_input("a");
+        let b = src.add_input("b");
+        let q = src.add_latch("q", false);
+        let d = src.add_gate("d", GateKind::Xor, vec![a, q]);
+        src.set_latch_next(q, d);
+        src.add_output("o", d);
+        let emitter = TreeEmitter::new(&src);
+        let var_to_leaf: HashMap<VarId, SignalId> =
+            [(VarId(0), a), (VarId(1), b), (VarId(2), q)].into_iter().collect();
+        (src, emitter, var_to_leaf)
+    }
+
+    #[test]
+    fn emit_shares_identical_subtrees() {
+        let (_, mut emitter, map) = setup();
+        let subtree = || {
+            Tree::Op(
+                DecKind::And,
+                Box::new(Tree::Literal(VarId(0), true)),
+                Box::new(Tree::Literal(VarId(1), true)),
+            )
+        };
+        let t1 = Tree::Op(DecKind::Or, Box::new(subtree()), Box::new(Tree::Literal(VarId(2), true)));
+        let t2 = Tree::Op(DecKind::Xor, Box::new(subtree()), Box::new(Tree::Literal(VarId(1), false)));
+        let s1 = emitter.emit(&t1, &map);
+        let s2 = emitter.emit(&t2, &map);
+        assert_ne!(s1, s2);
+        assert!(emitter.sharing_hits() >= 1, "the AND(a,b) must be reused");
+    }
+
+    #[test]
+    fn emit_respects_commutativity() {
+        let (_, mut emitter, map) = setup();
+        let t1 = Tree::Op(
+            DecKind::And,
+            Box::new(Tree::Literal(VarId(0), true)),
+            Box::new(Tree::Literal(VarId(1), true)),
+        );
+        let t2 = Tree::Op(
+            DecKind::And,
+            Box::new(Tree::Literal(VarId(1), true)),
+            Box::new(Tree::Literal(VarId(0), true)),
+        );
+        let s1 = emitter.emit(&t1, &map);
+        let s2 = emitter.emit(&t2, &map);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn copy_cone_memoizes() {
+        let (src, mut emitter, _) = setup();
+        let d = src.signal("d").unwrap();
+        let c1 = emitter.copy_cone(&src, d);
+        let c2 = emitter.copy_cone(&src, d);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn constants_are_unique() {
+        let (_, mut emitter, map) = setup();
+        let s1 = emitter.emit(&Tree::Const(true), &map);
+        let s2 = emitter.emit(&Tree::Const(true), &map);
+        assert_eq!(s1, s2);
+        let s3 = emitter.emit(&Tree::Const(false), &map);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn emitted_tree_function_is_correct() {
+        // Emit OR(AND(a, !q), q) and verify by simulation against BDD.
+        let (_src, mut emitter, map) = setup();
+        let tree = Tree::Op(
+            DecKind::Or,
+            Box::new(Tree::Op(
+                DecKind::And,
+                Box::new(Tree::Literal(VarId(0), true)),
+                Box::new(Tree::Literal(VarId(2), false)),
+            )),
+            Box::new(Tree::Literal(VarId(2), true)),
+        );
+        let root = emitter.emit(&tree, &map);
+        let mut out = emitter.into_netlist();
+        // Wire the latch trivially and expose the root.
+        let q_new = out.signal("q").unwrap();
+        out.set_latch_next(q_new, q_new);
+        out.add_output("root", root);
+        let mut m = Manager::with_vars(3);
+        let f = tree.to_bdd(&mut m);
+        let mut sim = symbi_netlist::sim::Simulator::new(&out);
+        for bits in 0..8u64 {
+            let a = bits & 1;
+            let b = bits >> 1 & 1;
+            let q = bits >> 2 & 1;
+            sim.set_state(&[q.wrapping_neg()]);
+            let got = sim.eval_comb(&[a.wrapping_neg(), b.wrapping_neg()])[0] & 1 == 1;
+            let expect = m.eval(f, &[a == 1, b == 1, q == 1]);
+            assert_eq!(got, expect, "bits {bits:03b}");
+        }
+    }
+}

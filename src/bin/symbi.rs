@@ -1,0 +1,261 @@
+//! `symbi` — command-line front end to the synthesis suite.
+//!
+//! ```text
+//! symbi stats     <file>
+//! symbi convert   <in> <out>
+//! symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
+//! symbi check     <a> <b> [--frames N] [--exact]
+//! symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]
+//! ```
+//!
+//! `decompose --dc` widens the signal's specification with
+//! unreachable-state don't cares before computing the choices — the
+//! paper's Figure 3.1 flow on your own netlist.
+//!
+//! Netlist formats are chosen by extension: `.bench` (ISCAS-89) or
+//! `.blif`.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+use symbi::bdd::Manager;
+use symbi::core::{and_dec, or_dec, xor_dec, Interval};
+use symbi::netlist::cone::ConeExtractor;
+use symbi::netlist::{bench, blif, clean, sec, stats, Netlist};
+use symbi::reach::Reachability;
+use symbi::synth::flow::{optimize, SynthesisOptions};
+use symbi::synth::genlib::Library;
+use symbi::synth::map::{map, MapMode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("optimize") => cmd_optimize(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        Some("decompose") => cmd_decompose(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("symbi: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  symbi stats     <file>
+  symbi convert   <in> <out>
+  symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
+  symbi check     <a> <b> [--frames N] [--exact]
+  symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]";
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    match ext {
+        "blif" => blif::parse(&text).map_err(|e| format!("{path}: {e}")),
+        _ => bench::parse(&text).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+fn save(n: &Netlist, path: &str) -> Result<(), String> {
+    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    let text = match ext {
+        "blif" => blif::write(n),
+        _ => bench::write(n),
+    };
+    std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats: missing file")?;
+    let n = load(path)?;
+    let s = stats::stats(&n);
+    println!("{}: {}", n.name(), s);
+    let (cleaned, report) = clean::clean(&n);
+    let cs = stats::stats(&cleaned);
+    println!("after cleanup: {cs}");
+    println!(
+        "  removed: {} dead, {} constant, {} cloned latches; {} gates",
+        report.dead_latches, report.constant_latches, report.cloned_latches,
+        report.gates_removed
+    );
+    let reach = Reachability::analyze(&cleaned, Default::default());
+    let rs = reach.stats();
+    println!(
+        "reachable states: 2^{:.1} of 2^{} ({} partitions, {} image iterations{})",
+        rs.log2_states,
+        cs.latches,
+        rs.partitions,
+        rs.iterations,
+        if rs.bailed_out > 0 { ", some approximated" } else { "" }
+    );
+    let mapped = map(&cleaned, &Library::mcnc_like(), MapMode::Area);
+    println!("mapped (mcnc-like): area {:.1}, delay {:.1}, {} cells", mapped.area, mapped.delay, mapped.cells);
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("convert: expected <in> <out>".into());
+    };
+    let n = load(input)?;
+    save(&n, output)?;
+    println!("wrote {output}");
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("optimize: missing file")?;
+    let n = load(path)?;
+    let mut options = SynthesisOptions::default();
+    if args.iter().any(|a| a == "--no-states") {
+        options.reach = None;
+    }
+    if args.iter().any(|a| a == "--no-xor") {
+        options.decompose.use_xor = false;
+    }
+    if let Some(v) = flag_value(args, "--max-support") {
+        options.max_cone_support =
+            v.parse().map_err(|e| format!("--max-support: {e}"))?;
+    }
+    let before = stats::stats(&n);
+    let library = Library::mcnc_like();
+    let (pre, _) = clean::clean(&n);
+    let pre_mapped = map(&pre, &library, MapMode::Area);
+    let (optimized, report) = optimize(&n, &options);
+    let after = stats::stats(&optimized);
+    let post_mapped = map(&optimized, &library, MapMode::Area);
+    println!("before: {before}");
+    println!("after:  {after}");
+    println!(
+        "candidates {} — decomposed {}, rejected {}, skipped {}, sharing hits {}",
+        report.candidates, report.decomposed, report.rejected, report.skipped_wide,
+        report.sharing_hits
+    );
+    println!("log2(reachable states) = {:.1}", report.log2_states);
+    println!(
+        "mapped area {:.1} → {:.1} ({:.3}), delay {:.1} → {:.1} ({:.3})",
+        pre_mapped.area,
+        post_mapped.area,
+        post_mapped.area / pre_mapped.area,
+        pre_mapped.delay,
+        post_mapped.delay,
+        post_mapped.delay / pre_mapped.delay
+    );
+    if let Some(out) = flag_value(args, "-o") {
+        save(&optimized, out)?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let (Some(pa), Some(pb)) = (args.first(), args.get(1)) else {
+        return Err("check: expected <a> <b>".into());
+    };
+    let a = load(pa)?;
+    let b = load(pb)?;
+    if args.iter().any(|x| x == "--exact") {
+        match sec::product_machine_check(&a, &b, 100_000) {
+            Some(true) => println!("EQUIVALENT (product-machine reachability)"),
+            Some(false) => {
+                println!("NOT EQUIVALENT");
+                return Err("designs differ".into());
+            }
+            None => return Err("inconclusive: iteration cap reached".into()),
+        }
+        return Ok(());
+    }
+    let frames = match flag_value(args, "--frames") {
+        Some(v) => v.parse().map_err(|e| format!("--frames: {e}"))?,
+        None => 16,
+    };
+    match sec::bounded_check(&a, &b, frames) {
+        sec::SecResult::Equivalent => {
+            println!("EQUIVALENT for {frames} frames (bounded check)");
+            Ok(())
+        }
+        sec::SecResult::Counterexample { trace, output } => {
+            println!("NOT EQUIVALENT: output #{output} differs after {} frames", trace.len());
+            for (t, frame) in trace.iter().enumerate() {
+                let bits: String =
+                    frame.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                println!("  frame {t}: inputs {bits}");
+            }
+            Err("designs differ".into())
+        }
+    }
+}
+
+fn cmd_decompose(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("decompose: missing file")?;
+    let signal_name = flag_value(args, "--signal").ok_or("decompose: missing --signal")?;
+    let kind = flag_value(args, "--kind").unwrap_or("or");
+    let n = load(path)?;
+    let sig = n
+        .signal(signal_name)
+        .ok_or_else(|| format!("no signal named `{signal_name}`"))?;
+    let mut m = Manager::new();
+    let mut ext = ConeExtractor::with_default_layout(&n, &mut m);
+    let f = ext.bdd(&mut m, sig);
+    let support = m.support(f);
+    println!("{signal_name}: {} support variables, {} BDD nodes", support.len(), m.size(f));
+    // Map variables back to leaf names for readable output.
+    let names: HashMap<_, _> = ext
+        .var_map()
+        .iter()
+        .map(|(&s, &v)| (v, n.signal_name(s).to_string()))
+        .collect();
+    let spec = if args.iter().any(|a| a == "--dc") {
+        let mut reach = Reachability::analyze(&n, Default::default());
+        let ps = n.support_ps(sig);
+        let var_of: HashMap<_, _> = ps
+            .iter()
+            .map(|&l| (l, ext.var_of(l).expect("latch leaves are mapped")))
+            .collect();
+        let care = reach.care_set(&ps, &mut m, &var_of);
+        let unreachable = m.not(care);
+        let dc_states = m.sat_fraction(unreachable);
+        println!("unreachable don't cares cover {:.1}% of the space", dc_states * 100.0);
+        Interval::with_dontcare(&mut m, f, unreachable)
+    } else {
+        Interval::exact(f)
+    };
+    let mut choices = match kind {
+        "or" => or_dec::Choices::compute(&mut m, &spec, &support),
+        "and" => and_dec::Choices::compute(&mut m, &spec, &support),
+        "xor" => xor_dec::Choices::compute(&mut m, &spec, &support),
+        other => return Err(format!("--kind: expected or|and|xor, got `{other}`")),
+    };
+    println!("Bi BDD size: {}", choices.bi_size());
+    let pairs = choices.feasible_pairs(true);
+    println!("non-dominated feasible size pairs: {pairs:?}");
+    match choices.pick_balanced_partition() {
+        Some(p) => {
+            let pretty = |vars: &[symbi::bdd::VarId]| -> Vec<&str> {
+                vars.iter().map(|v| names[v].as_str()).collect()
+            };
+            println!("best balanced partition {:?}:", p.sizes());
+            println!("  supp(g1) = {:?}", pretty(&p.g1_vars));
+            println!("  supp(g2) = {:?}", pretty(&p.g2_vars));
+            println!("  shared   = {:?}", pretty(&p.shared()));
+        }
+        None => println!("no non-trivial {kind} decomposition exists"),
+    }
+    Ok(())
+}

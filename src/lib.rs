@@ -1,0 +1,42 @@
+//! `symbi` — sequential logic synthesis using symbolic bi-decomposition.
+//!
+//! Umbrella crate re-exporting the whole suite, a Rust reproduction of
+//! Kravets & Mishchenko, *"Sequential Logic Synthesis Using Symbolic
+//! Bi-decomposition"* (DATE 2009):
+//!
+//! - [`bdd`]: the BDD package everything rides on,
+//! - [`netlist`]: sequential gate-level networks, `.bench`/BLIF I/O,
+//! - [`reach`]: partitioned forward reachability and unreachable-state
+//!   don't cares,
+//! - [`core`]: intervals, parameterized abstraction, symbolic OR/AND/XOR
+//!   bi-decomposition and choice exploration (the paper's contribution),
+//! - [`synth`]: the Algorithm 1 synthesis loop and technology mapping,
+//! - [`circuits`]: deterministic benchmark-circuit generators.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the experiment index.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use symbi::bdd::{Manager, VarId};
+//! use symbi::core::{or_dec, Interval};
+//!
+//! // f = ab + cd, completely specified.
+//! let mut m = Manager::new();
+//! let vs = m.new_vars(4);
+//! let ab = m.and(vs[0], vs[1]);
+//! let cd = m.and(vs[2], vs[3]);
+//! let f = m.or(ab, cd);
+//! let spec = Interval::exact(f);
+//! let vars: Vec<VarId> = (0..4).map(VarId).collect();
+//! let mut choices = or_dec::Choices::compute(&mut m, &spec, &vars);
+//! assert_eq!(choices.best_balanced(), Some((2, 2)));
+//! ```
+
+pub use symbi_bdd as bdd;
+pub use symbi_circuits as circuits;
+pub use symbi_core as core;
+pub use symbi_netlist as netlist;
+pub use symbi_reach as reach;
+pub use symbi_sat as sat;
+pub use symbi_synth as synth;

@@ -1,0 +1,220 @@
+//! Cross-crate integration tests: parse → clean → reach → decompose →
+//! synthesize → map, exercised through the umbrella crate's public API.
+
+use std::collections::HashMap;
+use symbi::bdd::{Manager, VarId};
+use symbi::circuits::iscas_like;
+use symbi::core::{or_dec, recursive, Interval};
+use symbi::netlist::cone::ConeExtractor;
+use symbi::netlist::sim::random_co_simulation;
+use symbi::netlist::{bench, blif, clean, stats, NodeKind};
+use symbi::reach::{Reachability, ReachabilityOptions};
+use symbi::synth::flow::{optimize, SynthesisOptions};
+use symbi::synth::genlib::Library;
+use symbi::synth::map::{map, MapMode};
+
+/// A small control circuit exercised by most tests below.
+fn gray_counter_bench() -> &'static str {
+    "
+# name: gray3
+INPUT(en)
+OUTPUT(o0)
+OUTPUT(o1)
+q0 = DFF(d0)
+q1 = DFF(d1)
+q2 = DFF(d2)
+nen = NOT(en)
+t0 = XOR(q0, q1)
+nt0 = NOT(t0)
+d0a = AND(en, nt0)
+d0b = AND(nen, q0)
+d0 = OR(d0a, d0b)
+nq2 = NOT(q2)
+gsel = AND(q0, nq2)
+t1 = XOR(q1, gsel)
+d1a = AND(en, t1)
+d1b = AND(nen, q1)
+d1 = OR(d1a, d1b)
+gsel2 = AND(q1, q0)
+t2 = XOR(q2, gsel2)
+d2a = AND(en, t2)
+d2b = AND(nen, q2)
+d2 = OR(d2a, d2b)
+o0 = XOR(q0, q2)
+o1 = AND(q1, q2)
+"
+}
+
+#[test]
+fn parse_clean_roundtrip_preserves_behaviour() {
+    let n = bench::parse(gray_counter_bench()).expect("parses");
+    let (cleaned, _) = clean::clean(&n);
+    assert!(random_co_simulation(&n, &cleaned, 64, 11));
+    // Through BLIF and back.
+    let text = blif::write(&cleaned);
+    let back = blif::parse(&text).expect("blif round trip");
+    assert!(random_co_simulation(&cleaned, &back, 64, 13));
+}
+
+#[test]
+fn reachability_dontcares_flow_into_decomposition() {
+    let n = bench::parse(gray_counter_bench()).expect("parses");
+    let (cleaned, _) = clean::clean(&n);
+    let mut reach = Reachability::analyze(&cleaned, ReachabilityOptions::default());
+    let mut m = Manager::new();
+    let mut ext = ConeExtractor::with_default_layout(&cleaned, &mut m);
+    let var_of: HashMap<_, _> = cleaned
+        .latches()
+        .iter()
+        .map(|&l| (l, ext.var_of(l).expect("mapped")))
+        .collect();
+    // Decompose every output with its unreachable-state don't cares and
+    // verify membership of each result.
+    for &(_, sig) in cleaned.outputs() {
+        let f = ext.bdd(&mut m, sig);
+        let ps: Vec<_> = cleaned.support_ps(sig);
+        let care = reach.care_set(&ps, &mut m, &var_of);
+        let dc = m.not(care);
+        let interval = Interval::with_dontcare(&mut m, f, dc);
+        let (tree, _) = recursive::decompose(&mut m, &interval, &recursive::Options::default());
+        let g = tree.to_bdd(&mut m);
+        assert!(interval.contains(&mut m, g), "output decomposition must verify");
+    }
+}
+
+#[test]
+fn full_synthesis_flow_on_generated_circuit() {
+    let n = iscas_like::by_name("s344").expect("known circuit");
+    let (optimized, report) = optimize(&n, &SynthesisOptions::default());
+    assert!(report.decomposed > 0);
+    assert!(random_co_simulation(&n, &optimized, 48, 99), "behaviour preserved");
+    // Mapping both sides works and the optimized one is not larger.
+    let lib = Library::mcnc_like();
+    let (pre, _) = clean::clean(&n);
+    let before = map(&pre, &lib, MapMode::Area);
+    let after = map(&optimized, &lib, MapMode::Area);
+    assert!(after.area <= before.area * 1.001, "{} > {}", after.area, before.area);
+}
+
+#[test]
+fn symbolic_choices_agree_with_witnesses_across_crates() {
+    // Build a function through the netlist path and decompose through the
+    // core path; the witnesses must verify in the shared manager.
+    let n = bench::parse(gray_counter_bench()).expect("parses");
+    let mut m = Manager::new();
+    let mut ext = ConeExtractor::with_default_layout(&n, &mut m);
+    let d1 = n.signal("d1").expect("exists");
+    let f = ext.bdd(&mut m, d1);
+    let support = m.support(f);
+    let spec = Interval::exact(f);
+    let mut choices = or_dec::Choices::compute(&mut m, &spec, &support);
+    if let Some(pair) = choices.pick_balanced_partition() {
+        let a_vac: Vec<VarId> =
+            support.iter().copied().filter(|v| !pair.g1_vars.contains(v)).collect();
+        let b_vac: Vec<VarId> =
+            support.iter().copied().filter(|v| !pair.g2_vars.contains(v)).collect();
+        assert!(or_dec::decomposable(&mut m, &spec, &a_vac, &b_vac));
+        let (g1, g2) = or_dec::witnesses(&mut m, &spec, &a_vac, &b_vac);
+        let composed = m.or(g1, g2);
+        assert!(spec.contains(&mut m, composed));
+    }
+}
+
+#[test]
+fn generated_suite_parses_cleans_and_validates() {
+    for spec in iscas_like::SPECS.iter().take(6) {
+        let n = iscas_like::generate(spec);
+        let text = bench::write(&n);
+        let back = bench::parse(&text).expect("generated circuits serialize");
+        assert!(random_co_simulation(&n, &back, 16, 7), "{}", spec.name);
+        let (cleaned, _) = clean::clean(&n);
+        assert!(cleaned.validate().is_ok());
+        let s = stats::stats(&cleaned);
+        assert!(s.gates > 0, "{}", spec.name);
+    }
+}
+
+#[test]
+fn optimizer_never_changes_interface() {
+    let n = iscas_like::by_name("s526").expect("known circuit");
+    let (optimized, _) = optimize(&n, &SynthesisOptions::default());
+    assert_eq!(optimized.num_inputs(), n.num_inputs());
+    assert_eq!(optimized.num_outputs(), n.num_outputs());
+    for (a, b) in n.outputs().iter().zip(optimized.outputs()) {
+        assert_eq!(a.0, b.0, "output names preserved in order");
+    }
+    // Latches may shrink (constants/clones) but never grow.
+    assert!(optimized.num_latches() <= n.num_latches());
+    // Inputs retain names.
+    for (&a, &b) in n.inputs().iter().zip(optimized.inputs()) {
+        assert_eq!(n.signal_name(a), optimized.signal_name(b));
+    }
+}
+
+#[test]
+fn no_state_optimization_is_combinationally_safe() {
+    // With reach disabled, the optimized circuit must agree on EVERY
+    // state, which we check by forcing arbitrary states.
+    let n = bench::parse(gray_counter_bench()).expect("parses");
+    let opts = SynthesisOptions { reach: None, ..Default::default() };
+    let (optimized, _) = optimize(&n, &opts);
+    let (cleaned, _) = clean::clean(&n);
+    assert_eq!(cleaned.num_latches(), optimized.num_latches());
+    let mut sim_a = symbi::netlist::sim::Simulator::new(&cleaned);
+    let mut sim_b = symbi::netlist::sim::Simulator::new(&optimized);
+    for state_bits in 0u64..8 {
+        let state: Vec<u64> = (0..3).map(|i| (state_bits >> i & 1).wrapping_neg()).collect();
+        sim_a.set_state(&state);
+        sim_b.set_state(&state);
+        for en in [0u64, u64::MAX] {
+            assert_eq!(sim_a.eval_comb(&[en]), sim_b.eval_comb(&[en]));
+        }
+    }
+}
+
+#[test]
+fn cone_extraction_matches_simulation_on_generated_circuit() {
+    let n = iscas_like::by_name("s344").expect("known");
+    let (cleaned, _) = clean::clean(&n);
+    let mut m = Manager::new();
+    let mut ext = ConeExtractor::with_default_layout(&cleaned, &mut m);
+    let mut sim = symbi::netlist::sim::Simulator::new(&cleaned);
+    // One random-ish assignment, checked for every output cone.
+    let inputs: Vec<u64> = (0..cleaned.num_inputs() as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+    let state: Vec<u64> =
+        (0..cleaned.num_latches() as u64).map(|i| i.wrapping_mul(0x51c7)).collect();
+    sim.set_state(&state);
+    let outs = sim.eval_comb(&inputs);
+    for (idx, &(_, sig)) in cleaned.outputs().iter().enumerate() {
+        let f = ext.bdd(&mut m, sig);
+        // Bit 0 of every word drives one concrete Boolean assignment.
+        let mut assignment = vec![false; m.num_vars()];
+        for (i, &s) in cleaned.inputs().iter().enumerate() {
+            assignment[ext.var_of(s).unwrap().index()] = inputs[i] & 1 == 1;
+        }
+        for (i, &s) in cleaned.latches().iter().enumerate() {
+            assignment[ext.var_of(s).unwrap().index()] = state[i] & 1 == 1;
+        }
+        assert_eq!(m.eval(f, &assignment), outs[idx] & 1 == 1, "output {idx}");
+    }
+}
+
+#[test]
+fn kinds_survive_full_pipeline() {
+    // Sanity: a netlist with every gate kind passes parse → clean → aig →
+    // map without losing behaviour.
+    let text = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(f)\n\
+g1 = NAND(a, b)\ng2 = NOR(b, c)\ng3 = XNOR(a, c)\ng4 = XOR(g1, g2)\n\
+g5 = BUFF(g3)\ng6 = NOT(g4)\nf = AND(g5, g6, a)\n";
+    let n = bench::parse(text).expect("parses");
+    let aig = symbi::netlist::aig::to_aig(&n);
+    assert!(random_co_simulation(&n, &aig, 16, 21));
+    let mapped = map(&n, &Library::mcnc_like(), MapMode::Area);
+    assert!(mapped.area > 0.0);
+    for s in aig.signals() {
+        if let NodeKind::Gate(kind) = aig.kind(s) {
+            assert!(matches!(kind, symbi::netlist::GateKind::And | symbi::netlist::GateKind::Not));
+        }
+    }
+}
