@@ -1,0 +1,390 @@
+//! Resource governance for potentially exponential symbolic operations.
+//!
+//! BDD operations have no useful worst-case bound: a pathological cone
+//! can make a single `ite` or image computation diverge. Production BDD
+//! packages (CUDD's `*Limit` API family) and modern SAT solvers treat
+//! resource-bounded execution as a first-class *result* rather than a
+//! crash, and the QBF bi-decomposition line of work relies on per-check
+//! timeouts with fallback between engines. [`ResourceGovernor`] is that
+//! layer for this workspace: a shared bundle of
+//!
+//! - a **recursion-step budget** (checked at every cache-miss recursion
+//!   step of the budgeted `Manager` ops),
+//! - a **live-node ceiling** (total allocated nodes in the manager),
+//! - a **wall-clock deadline**, and
+//! - a **cooperative cancellation flag** (settable from another thread
+//!   through a [`CancelHandle`]).
+//!
+//! Budgeted operations (`Manager::try_and`, `try_ite`, …) call
+//! [`ResourceGovernor::checkpoint`] once per cache-miss step and unwind
+//! with [`ResourceExhausted`] the moment any limit trips. Because the
+//! budgeted twins share the computed table with their unbudgeted
+//! counterparts, work done before exhaustion is not wasted: a retry (or
+//! a fallback on a smaller problem) starts from the warm cache.
+//!
+//! # Sub-budgets
+//!
+//! [`ResourceGovernor::fork_steps`] creates a child governor with its
+//! own (smaller) step budget whose steps *also* charge every ancestor.
+//! This is what degradation ladders need: try the expensive symbolic
+//! route under a fraction of the remaining budget, and on exhaustion
+//! fall back to a cheaper route that still has budget left — while a
+//! global cap over everything continues to count.
+//!
+//! # Example
+//!
+//! ```
+//! use symbi_bdd::{Manager, ResourceGovernor, ResourceExhausted};
+//!
+//! let mut m = Manager::new();
+//! let vars = m.new_vars(8);
+//! let gov = ResourceGovernor::unlimited().with_step_limit(2);
+//! let result = (1..8).try_fold(vars[0], |acc, i| m.try_xor(acc, vars[i], &gov));
+//! assert_eq!(result, Err(ResourceExhausted::Steps));
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a budgeted operation stopped early.
+///
+/// Returned by every `try_*` operation. The variants are ordered by how
+/// the caller typically reacts: step/node/deadline exhaustion usually
+/// triggers a fallback to a cheaper algorithm, while cancellation
+/// aborts the whole computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceExhausted {
+    /// The recursion-step budget ran out.
+    Steps,
+    /// The manager grew past the live-node ceiling.
+    Nodes,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The cancellation flag was raised.
+    Cancelled,
+}
+
+impl fmt::Display for ResourceExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceExhausted::Steps => write!(f, "recursion-step budget exhausted"),
+            ResourceExhausted::Nodes => write!(f, "live-node ceiling exceeded"),
+            ResourceExhausted::Deadline => write!(f, "wall-clock deadline passed"),
+            ResourceExhausted::Cancelled => write!(f, "operation cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceExhausted {}
+
+/// How often (in steps) the deadline is re-read from the system clock.
+/// `Instant::now()` costs tens of nanoseconds; amortizing it keeps the
+/// per-step overhead of a deadline-only governor to one atomic add.
+const DEADLINE_CHECK_PERIOD: u64 = 256;
+
+#[derive(Debug)]
+struct Inner {
+    /// `u64::MAX` means unlimited.
+    step_limit: u64,
+    steps: AtomicU64,
+    /// `usize::MAX` means unlimited.
+    node_limit: usize,
+    deadline: Option<Instant>,
+    cancel: Arc<AtomicBool>,
+    /// Ancestor whose budget this governor's steps also consume.
+    parent: Option<Arc<Inner>>,
+    /// Precomputed: false iff the only possible trip is cancellation,
+    /// letting `checkpoint` skip all accounting on unlimited governors.
+    metered: bool,
+}
+
+impl Inner {
+    fn charge(&self) -> Result<u64, ResourceExhausted> {
+        let n = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > self.step_limit {
+            return Err(ResourceExhausted::Steps);
+        }
+        Ok(n)
+    }
+}
+
+/// Cancels the computation driven by a [`ResourceGovernor`] from
+/// another thread (or a signal handler). Cheap to clone.
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Raises the flag; every governor sharing it fails its next
+    /// checkpoint with [`ResourceExhausted::Cancelled`].
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared, cloneable bundle of resource limits. See the
+/// [module documentation](self) for semantics.
+///
+/// `Clone` shares state: all clones observe the same step counter,
+/// deadline, and cancellation flag, so a governor can be handed to
+/// several phases of a flow and enforce one global budget.
+#[derive(Debug, Clone)]
+pub struct ResourceGovernor {
+    inner: Arc<Inner>,
+}
+
+impl Default for ResourceGovernor {
+    fn default() -> Self {
+        ResourceGovernor::unlimited()
+    }
+}
+
+impl ResourceGovernor {
+    fn from_parts(
+        step_limit: u64,
+        node_limit: usize,
+        deadline: Option<Instant>,
+        cancel: Arc<AtomicBool>,
+        parent: Option<Arc<Inner>>,
+    ) -> Self {
+        let metered = step_limit != u64::MAX
+            || node_limit != usize::MAX
+            || deadline.is_some()
+            || parent.is_some();
+        ResourceGovernor {
+            inner: Arc::new(Inner {
+                step_limit,
+                steps: AtomicU64::new(0),
+                node_limit,
+                deadline,
+                cancel,
+                parent,
+                metered,
+            }),
+        }
+    }
+
+    /// A governor that never trips (except through its cancel handle).
+    /// `checkpoint` on an unlimited governor costs one atomic load.
+    pub fn unlimited() -> Self {
+        ResourceGovernor::from_parts(
+            u64::MAX,
+            usize::MAX,
+            None,
+            Arc::new(AtomicBool::new(false)),
+            None,
+        )
+    }
+
+    /// Replaces the recursion-step budget. Resets the step counter;
+    /// intended for configuration before the governor is shared.
+    pub fn with_step_limit(self, limit: u64) -> Self {
+        let inner = &self.inner;
+        ResourceGovernor::from_parts(
+            limit,
+            inner.node_limit,
+            inner.deadline,
+            inner.cancel.clone(),
+            inner.parent.clone(),
+        )
+    }
+
+    /// Replaces the live-node ceiling (total allocated nodes in the
+    /// manager the budgeted operation runs in).
+    pub fn with_node_limit(self, limit: usize) -> Self {
+        let inner = &self.inner;
+        ResourceGovernor::from_parts(
+            inner.step_limit,
+            limit,
+            inner.deadline,
+            inner.cancel.clone(),
+            inner.parent.clone(),
+        )
+    }
+
+    /// Sets the wall-clock deadline to `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        let inner = &self.inner;
+        ResourceGovernor::from_parts(
+            inner.step_limit,
+            inner.node_limit,
+            Instant::now().checked_add(timeout),
+            inner.cancel.clone(),
+            inner.parent.clone(),
+        )
+    }
+
+    /// Creates a child governor with a fresh step budget of `limit`.
+    ///
+    /// The child shares the cancellation flag, deadline, and node
+    /// ceiling, and every step it charges is *also* charged to this
+    /// governor (and its ancestors). A degradation ladder gives its
+    /// expensive first attempt `fork_steps(remaining / 2)`: if the
+    /// attempt exhausts the fork, at least half the parent budget is
+    /// still available for the cheaper fallback.
+    pub fn fork_steps(&self, limit: u64) -> Self {
+        let inner = &self.inner;
+        ResourceGovernor::from_parts(
+            limit,
+            inner.node_limit,
+            inner.deadline,
+            inner.cancel.clone(),
+            Some(self.inner.clone()),
+        )
+    }
+
+    /// Steps consumed through this governor so far (including steps
+    /// charged by forked children).
+    pub fn steps_used(&self) -> u64 {
+        self.inner.steps.load(Ordering::Relaxed)
+    }
+
+    /// The live-node ceiling; `usize::MAX` if unlimited. Callers layering
+    /// their own cap on an inherited governor should keep the tighter of
+    /// the two.
+    pub fn node_limit(&self) -> usize {
+        self.inner.node_limit
+    }
+
+    /// Steps left before [`ResourceExhausted::Steps`]; `u64::MAX` if
+    /// unlimited. Does not consult ancestors.
+    pub fn remaining_steps(&self) -> u64 {
+        if self.inner.step_limit == u64::MAX {
+            return u64::MAX;
+        }
+        self.inner.step_limit.saturating_sub(self.steps_used())
+    }
+
+    /// A handle that cancels every computation using this governor (or
+    /// any clone/fork of it), safe to move to another thread.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle { flag: self.inner.cancel.clone() }
+    }
+
+    /// Raises the shared cancellation flag.
+    pub fn cancel(&self) {
+        self.inner.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the shared cancellation flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Records one unit of work and checks every limit. Budgeted
+    /// operations call this once per cache-miss recursion step with the
+    /// manager's current total node count.
+    ///
+    /// Deadline checks are amortized: the clock is read once per
+    /// [`DEADLINE_CHECK_PERIOD`] steps (and on the first step), so a
+    /// deadline can overshoot by at most that many steps of work.
+    #[inline]
+    pub fn checkpoint(&self, live_nodes: usize) -> Result<(), ResourceExhausted> {
+        let inner = &*self.inner;
+        if inner.cancel.load(Ordering::Relaxed) {
+            return Err(ResourceExhausted::Cancelled);
+        }
+        if !inner.metered {
+            return Ok(());
+        }
+        let n = inner.charge()?;
+        let mut ancestor = inner.parent.as_ref();
+        while let Some(a) = ancestor {
+            a.charge()?;
+            ancestor = a.parent.as_ref();
+        }
+        if live_nodes > inner.node_limit {
+            return Err(ResourceExhausted::Nodes);
+        }
+        if let Some(deadline) = inner.deadline {
+            if (n == 1 || n % DEADLINE_CHECK_PERIOD == 0) && Instant::now() >= deadline {
+                return Err(ResourceExhausted::Deadline);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let gov = ResourceGovernor::unlimited();
+        for _ in 0..10_000 {
+            assert_eq!(gov.checkpoint(usize::MAX - 1), Ok(()));
+        }
+        assert_eq!(gov.steps_used(), 0, "unlimited governor skips accounting");
+    }
+
+    #[test]
+    fn step_budget_trips_exactly() {
+        let gov = ResourceGovernor::unlimited().with_step_limit(5);
+        for _ in 0..5 {
+            assert_eq!(gov.checkpoint(0), Ok(()));
+        }
+        assert_eq!(gov.checkpoint(0), Err(ResourceExhausted::Steps));
+        assert_eq!(gov.remaining_steps(), 0);
+    }
+
+    #[test]
+    fn node_ceiling_trips() {
+        let gov = ResourceGovernor::unlimited().with_node_limit(100);
+        assert_eq!(gov.checkpoint(100), Ok(()));
+        assert_eq!(gov.checkpoint(101), Err(ResourceExhausted::Nodes));
+    }
+
+    #[test]
+    fn deadline_in_the_past_trips_on_first_step() {
+        let gov = ResourceGovernor::unlimited().with_timeout(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(gov.checkpoint(0), Err(ResourceExhausted::Deadline));
+    }
+
+    #[test]
+    fn cancel_handle_works_across_clones() {
+        let gov = ResourceGovernor::unlimited().with_step_limit(1000);
+        let clone = gov.clone();
+        let handle = gov.cancel_handle();
+        assert_eq!(clone.checkpoint(0), Ok(()));
+        handle.cancel();
+        assert_eq!(clone.checkpoint(0), Err(ResourceExhausted::Cancelled));
+        assert_eq!(gov.checkpoint(0), Err(ResourceExhausted::Cancelled));
+        assert!(gov.is_cancelled());
+    }
+
+    #[test]
+    fn fork_charges_parent() {
+        let parent = ResourceGovernor::unlimited().with_step_limit(10);
+        let child = parent.fork_steps(4);
+        for _ in 0..4 {
+            assert_eq!(child.checkpoint(0), Ok(()));
+        }
+        assert_eq!(child.checkpoint(0), Err(ResourceExhausted::Steps));
+        // The failed checkpoint still charged the child counter but the
+        // parent keeps the 4 successful steps plus the failed attempt.
+        assert_eq!(parent.steps_used(), 4);
+        assert_eq!(parent.remaining_steps(), 6);
+        for _ in 0..6 {
+            assert_eq!(parent.checkpoint(0), Ok(()));
+        }
+        assert_eq!(parent.checkpoint(0), Err(ResourceExhausted::Steps));
+    }
+
+    #[test]
+    fn fork_shares_cancellation() {
+        let parent = ResourceGovernor::unlimited();
+        let child = parent.fork_steps(100);
+        parent.cancel();
+        assert_eq!(child.checkpoint(0), Err(ResourceExhausted::Cancelled));
+    }
+}

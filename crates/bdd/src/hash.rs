@@ -67,14 +67,12 @@ mod tests {
 
     #[test]
     fn distinct_keys_hash_differently_in_practice() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let build = FxBuildHasher::default();
         let mut seen = std::collections::HashSet::new();
         for a in 0u32..100 {
             for b in 0u32..100 {
-                let mut h = build.build_hasher();
-                (a, b).hash(&mut h);
-                seen.insert(h.finish());
+                seen.insert(build.hash_one((a, b)));
             }
         }
         // Not a strict requirement, but collisions should be rare.
@@ -83,18 +81,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        use std::hash::{BuildHasher, Hash};
+        use std::hash::BuildHasher;
         let build = FxBuildHasher::default();
-        let once = {
-            let mut h = build.build_hasher();
-            (1u32, 2u32, 3u32).hash(&mut h);
-            h.finish()
-        };
-        let twice = {
-            let mut h = build.build_hasher();
-            (1u32, 2u32, 3u32).hash(&mut h);
-            h.finish()
-        };
+        let once = build.hash_one((1u32, 2u32, 3u32));
+        let twice = build.hash_one((1u32, 2u32, 3u32));
         assert_eq!(once, twice);
     }
 }

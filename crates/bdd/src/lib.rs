@@ -46,9 +46,11 @@
 //! ```
 
 mod analysis;
+mod budgeted;
 pub mod combin;
 mod compose;
 pub mod dot;
+mod governor;
 pub mod hash;
 mod manager;
 mod node;
@@ -56,6 +58,7 @@ mod quant;
 mod restrict;
 mod transfer;
 
+pub use governor::{CancelHandle, ResourceExhausted, ResourceGovernor};
 pub use manager::{Manager, ManagerStats};
 pub use node::{NodeId, VarId};
 

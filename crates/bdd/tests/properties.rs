@@ -3,7 +3,7 @@
 //! uniform over functions rather than over expression syntax).
 
 use proptest::prelude::*;
-use symbi_bdd::{combin, Manager, NodeId, VarId};
+use symbi_bdd::{combin, Manager, NodeId, ResourceGovernor, VarId};
 
 /// Builds the function of a truth table over `n` vars (row `r` = bit `r`).
 fn from_tt(m: &mut Manager, n: usize, tt: u64) -> NodeId {
@@ -186,5 +186,116 @@ proptest! {
         }
         prop_assert!(union.is_true());
         prop_assert_eq!(total, 1u128 << n);
+    }
+}
+
+// Budgeted twins: each `try_*` operation either returns exactly the
+// node its unbudgeted counterpart would (canonicity makes the ids
+// directly comparable) or fails with `ResourceExhausted` — it never
+// returns a wrong node and never panics, no matter how starved.
+//
+// The budgeted attempts run first, with the cache cleared before each
+// one, so the reference computations cannot warm the cache and mask a
+// starvation path.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn starved_twins_match_or_fail_cleanly(
+        tt1 in any::<u64>(),
+        tt2 in any::<u64>(),
+        budget in 0u64..600,
+    ) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt1);
+        let g = from_tt(&mut m, n, tt2);
+        let h = from_tt(&mut m, n, tt1.rotate_left(17) ^ tt2);
+        let qvars = [VarId(0), VarId(2), VarId(5)];
+        let cube = m.cube(&qvars);
+        let gov = || ResourceGovernor::unlimited().with_step_limit(budget);
+
+        m.clear_cache();
+        let t_and = m.try_and(f, g, &gov());
+        m.clear_cache();
+        let t_or = m.try_or(f, g, &gov());
+        m.clear_cache();
+        let t_xor = m.try_xor(f, g, &gov());
+        m.clear_cache();
+        let t_not = m.try_not(f, &gov());
+        m.clear_cache();
+        let t_ite = m.try_ite(f, g, h, &gov());
+        m.clear_cache();
+        let t_exists = m.try_exists(f, &qvars, &gov());
+        m.clear_cache();
+        let t_forall = m.try_forall(f, &qvars, &gov());
+        m.clear_cache();
+        let t_and_exists = m.try_and_exists(f, g, cube, &gov());
+        m.clear_cache();
+        let t_compose = m.try_compose(f, VarId(1), g, &gov());
+        m.clear_cache();
+        let t_restrict = m.try_restrict(f, g, &gov());
+        m.clear_cache();
+
+        let expected = [
+            (t_and, m.and(f, g)),
+            (t_or, m.or(f, g)),
+            (t_xor, m.xor(f, g)),
+            (t_not, m.not(f)),
+            (t_ite, m.ite(f, g, h)),
+            (t_exists, m.exists(f, &qvars)),
+            (t_forall, m.forall(f, &qvars)),
+            (t_and_exists, m.and_exists(f, g, cube)),
+            (t_compose, m.compose(f, VarId(1), g)),
+            (t_restrict, m.restrict(f, g)),
+        ];
+        for (attempt, reference) in expected {
+            // A clean refusal is always acceptable; a wrong node never is.
+            if let Ok(node) = attempt {
+                prop_assert_eq!(node, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_twins_always_match(tt1 in any::<u64>(), tt2 in any::<u64>()) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt1);
+        let g = from_tt(&mut m, n, tt2);
+        let qvars = [VarId(1), VarId(3)];
+        let gov = ResourceGovernor::unlimited();
+        let t_and = m.try_and(f, g, &gov).unwrap();
+        let t_xor = m.try_xor(f, g, &gov).unwrap();
+        let t_exists = m.try_exists(f, &qvars, &gov).unwrap();
+        let t_restrict = m.try_restrict(f, g, &gov).unwrap();
+        prop_assert_eq!(t_and, m.and(f, g));
+        prop_assert_eq!(t_xor, m.xor(f, g));
+        prop_assert_eq!(t_exists, m.exists(f, &qvars));
+        prop_assert_eq!(t_restrict, m.restrict(f, g));
+    }
+
+    #[test]
+    fn manager_survives_exhaustion(tt1 in any::<u64>(), tt2 in any::<u64>()) {
+        // A zero-step governor refuses all non-trivial work, but the
+        // manager stays fully usable afterwards: an unbudgeted retry
+        // gives the correct answer.
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt1);
+        let g = from_tt(&mut m, n, tt2);
+        m.clear_cache();
+        let starved = ResourceGovernor::unlimited().with_step_limit(0);
+        let attempt = m.try_and(f, g, &starved);
+        if let Ok(node) = attempt {
+            // Only terminal shortcuts can succeed with zero steps.
+            prop_assert!(
+                f.is_terminal() || g.is_terminal() || f == g,
+                "zero budget finished non-trivial work: {node:?}"
+            );
+        }
+        let reference = m.and(f, g);
+        let retry = m.try_and(f, g, &ResourceGovernor::unlimited()).unwrap();
+        prop_assert_eq!(retry, reference);
     }
 }

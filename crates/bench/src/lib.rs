@@ -266,7 +266,7 @@ fn best_decomposition(
     let mut consider = |kind: DecKind, pair: Option<(usize, usize)>| {
         if let Some((k1, k2)) = pair {
             let maxk = k1.max(k2);
-            if best.map_or(true, |(_, b)| maxk < b) {
+            if best.is_none_or(|(_, b)| maxk < b) {
                 best = Some((kind, maxk));
             }
         }

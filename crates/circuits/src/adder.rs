@@ -57,8 +57,8 @@ mod tests {
             }
             let out = sim.eval_comb(&inputs);
             let expect = a + b + cin;
-            for i in 0..4 {
-                assert_eq!(out[i] & 1, expect >> i & 1, "sum bit {i} of {a}+{b}+{cin}");
+            for (i, &bit) in out.iter().take(4).enumerate() {
+                assert_eq!(bit & 1, expect >> i & 1, "sum bit {i} of {a}+{b}+{cin}");
             }
             assert_eq!(out[4] & 1, expect >> 4 & 1, "carry out of {a}+{b}+{cin}");
         }

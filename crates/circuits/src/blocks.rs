@@ -65,11 +65,11 @@ pub fn binary_counter(
     let q: Vec<SignalId> =
         (0..k).map(|i| n.add_latch(format!("{prefix}_q{i}"), false)).collect();
     let mut carry = enable;
-    for i in 0..k {
-        let toggled = n.add_gate(format!("{prefix}_t{i}"), GateKind::Xor, vec![q[i], carry]);
-        n.set_latch_next(q[i], toggled);
+    for (i, &qi) in q.iter().enumerate() {
+        let toggled = n.add_gate(format!("{prefix}_t{i}"), GateKind::Xor, vec![qi, carry]);
+        n.set_latch_next(qi, toggled);
         if i + 1 < k {
-            carry = n.add_gate(format!("{prefix}_c{i}"), GateKind::And, vec![q[i], carry]);
+            carry = n.add_gate(format!("{prefix}_c{i}"), GateKind::And, vec![qi, carry]);
         }
     }
     q
@@ -151,14 +151,14 @@ fn less_than_const(n: &mut Netlist, prefix: &str, q: &[SignalId], bound: usize) 
     }
     // lt_i over bits [i..): standard MSB-first recursion.
     let mut lt = n.add_const(format!("{prefix}_f"), false);
-    for i in 0..q.len() {
+    for (i, &qi) in q.iter().enumerate() {
         let bit = bound >> i & 1 == 1;
         if bit {
             // q_i = 0 → strictly less (given higher bits equal); else recurse.
-            let nq = n.add_gate(format!("{prefix}_n{i}"), GateKind::Not, vec![q[i]]);
+            let nq = n.add_gate(format!("{prefix}_n{i}"), GateKind::Not, vec![qi]);
             lt = n.add_gate(format!("{prefix}_l{i}"), GateKind::Or, vec![nq, lt]);
         } else {
-            let nq = n.add_gate(format!("{prefix}_n{i}"), GateKind::Not, vec![q[i]]);
+            let nq = n.add_gate(format!("{prefix}_n{i}"), GateKind::Not, vec![qi]);
             lt = n.add_gate(format!("{prefix}_l{i}"), GateKind::And, vec![nq, lt]);
         }
     }
@@ -175,7 +175,7 @@ pub fn random_cone(
     rng: &mut StdRng,
 ) -> SignalId {
     assert!(!pool.is_empty(), "cone needs a non-empty signal pool");
-    let width = (pool.len().min(6)).max(2);
+    let width = pool.len().clamp(2, 6);
     let mut layer: Vec<SignalId> =
         (0..width).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
     for level in 0..levels {

@@ -10,7 +10,7 @@ use symbi_netlist::{GateKind, Netlist, SignalId};
 ///
 /// Panics if `k == 0` or `k > 16`.
 pub fn mux(k: usize) -> Netlist {
-    assert!(k >= 1 && k <= 16, "control width {k} out of range");
+    assert!((1..=16).contains(&k), "control width {k} out of range");
     let width = 1usize << k;
     let mut n = Netlist::new(format!("mux{k}"));
     let controls: Vec<SignalId> = (0..k).map(|i| n.add_input(format!("s{i}"))).collect();

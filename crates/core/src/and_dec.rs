@@ -6,7 +6,7 @@
 
 use crate::choices::ChoiceSet;
 use crate::{or_dec, Interval};
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 
 /// Existence check: is `[l, u]` AND-decomposable with `g1` vacuous in
 /// `a_vacuous` and `g2` vacuous in `b_vacuous`?
@@ -33,6 +33,31 @@ pub fn witnesses(
     (m.not(h1), m.not(h2))
 }
 
+/// Budgeted [`decomposable`].
+pub fn try_decomposable(
+    m: &mut Manager,
+    interval: &Interval,
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    gov: &ResourceGovernor,
+) -> Result<bool, ResourceExhausted> {
+    let comp = interval.try_complement(m, gov)?;
+    or_dec::try_decomposable(m, &comp, a_vacuous, b_vacuous, gov)
+}
+
+/// Budgeted [`witnesses`].
+pub fn try_witnesses(
+    m: &mut Manager,
+    interval: &Interval,
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    gov: &ResourceGovernor,
+) -> Result<(NodeId, NodeId), ResourceExhausted> {
+    let comp = interval.try_complement(m, gov)?;
+    let (h1, h2) = or_dec::try_witnesses(m, &comp, a_vacuous, b_vacuous, gov)?;
+    Ok((m.try_not(h1, gov)?, m.try_not(h2, gov)?))
+}
+
 /// The symbolic set of all feasible AND-decomposition supports.
 #[derive(Debug)]
 pub struct Choices;
@@ -43,6 +68,17 @@ impl Choices {
     pub fn compute(m: &mut Manager, interval: &Interval, vars: &[VarId]) -> ChoiceSet {
         let comp = interval.complement(m);
         or_dec::Choices::compute(m, &comp, vars)
+    }
+
+    /// Budgeted [`Choices::compute`].
+    pub fn try_compute(
+        m: &mut Manager,
+        interval: &Interval,
+        vars: &[VarId],
+        gov: &ResourceGovernor,
+    ) -> Result<ChoiceSet, ResourceExhausted> {
+        let comp = interval.try_complement(m, gov)?;
+        or_dec::Choices::try_compute(m, &comp, vars, gov)
     }
 }
 

@@ -16,7 +16,7 @@
 //!   imbalance), "favoring their disjoint selection".
 
 use symbi_bdd::combin;
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 
 /// A chosen variable partition, in the caller's variable ids.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -271,6 +271,144 @@ impl ChoiceSet {
             constrained = self.mgr.diff(constrained, minterm);
         }
         out
+    }
+
+    // --- Budgeted twins -------------------------------------------------
+    //
+    // Same query pipeline as the methods above with the heavy conjunction
+    // / quantification steps routed through the governor. The `combin`
+    // weight builders are polynomial-size and stay unmetered, but a
+    // checkpoint after each keeps deadline and cancellation live between
+    // probes.
+
+    /// Budgeted [`ChoiceSet::feasible_pairs`].
+    pub fn try_feasible_pairs(
+        &mut self,
+        purge_dominated: bool,
+        gov: &ResourceGovernor,
+    ) -> Result<Vec<(usize, usize)>, ResourceExhausted> {
+        let n = self.num_vars();
+        if !self.is_feasible() {
+            return Ok(Vec::new());
+        }
+        if n == 0 {
+            return Ok(vec![(0, 0)]);
+        }
+        let width = combin::bits_for(n);
+        let e1 = self.fresh_vars(width);
+        let e2 = self.fresh_vars(width);
+        let k1 = combin::weight_relation(&mut self.mgr, &self.c1, &e1);
+        gov.checkpoint(self.mgr.stats().nodes)?;
+        let k2 = combin::weight_relation(&mut self.mgr, &self.c2, &e2);
+        gov.checkpoint(self.mgr.stats().nodes)?;
+        let mut cs: Vec<VarId> = self.c1.clone();
+        cs.extend(self.c2.iter().copied());
+        let cube = self.mgr.cube(&cs);
+        let t = self.mgr.try_and(self.bi, k1, gov)?;
+        let t2 = self.mgr.try_and(t, k2, gov)?;
+        let mut bik = self.mgr.try_exists_cube(t2, cube, gov)?;
+
+        if purge_dominated {
+            bik = self.try_purge_dominated(bik, &e1, &e2, gov)?;
+        }
+
+        let mut out = Vec::new();
+        for s1 in 0..=n {
+            let enc1 = combin::encode_int(&mut self.mgr, &e1, s1);
+            let with1 = self.mgr.try_and(bik, enc1, gov)?;
+            if with1.is_false() {
+                continue;
+            }
+            for s2 in 0..=n {
+                let enc2 = combin::encode_int(&mut self.mgr, &e2, s2);
+                let both = self.mgr.try_and(with1, enc2, gov)?;
+                if !both.is_false() {
+                    out.push((s1, s2));
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Budgeted [`ChoiceSet::purge_dominated`].
+    fn try_purge_dominated(
+        &mut self,
+        bik: NodeId,
+        e1: &[VarId],
+        e2: &[VarId],
+        gov: &ResourceGovernor,
+    ) -> Result<NodeId, ResourceExhausted> {
+        let width = e1.len();
+        let p1 = self.fresh_vars(width);
+        let p2 = self.fresh_vars(width);
+        let rename: Vec<(VarId, VarId)> = e1
+            .iter()
+            .copied()
+            .zip(p1.iter().copied())
+            .chain(e2.iter().copied().zip(p2.iter().copied()))
+            .collect();
+        let bik_primed = self.mgr.try_rename(bik, &rename, gov)?;
+        let ge1 = combin::gte(&mut self.mgr, e1, &p1);
+        let ge2 = combin::gte(&mut self.mgr, e2, &p2);
+        let eq1 = combin::equ(&mut self.mgr, e1, &p1);
+        let eq2 = combin::equ(&mut self.mgr, e2, &p2);
+        gov.checkpoint(self.mgr.stats().nodes)?;
+        let both_eq = self.mgr.try_and(eq1, eq2, gov)?;
+        let strict = self.mgr.try_not(both_eq, gov)?;
+        let ge = self.mgr.try_and(ge1, ge2, gov)?;
+        let dom = self.mgr.try_and(ge, strict, gov)?;
+        let witness = self.mgr.try_and(bik_primed, dom, gov)?;
+        let mut primed: Vec<VarId> = p1;
+        primed.extend(p2);
+        let primed_cube = self.mgr.cube(&primed);
+        let dominated = self.mgr.try_exists_cube(witness, primed_cube, gov)?;
+        self.mgr.try_diff(bik, dominated, gov)
+    }
+
+    /// Budgeted [`ChoiceSet::best_balanced`].
+    pub fn try_best_balanced(
+        &mut self,
+        gov: &ResourceGovernor,
+    ) -> Result<Option<(usize, usize)>, ResourceExhausted> {
+        let n = self.num_vars();
+        Ok(self
+            .try_feasible_pairs(true, gov)?
+            .into_iter()
+            .filter(|&(a, b)| a.max(b) < n)
+            .min_by_key(|&(a, b)| (a.max(b), a + b, a.abs_diff(b))))
+    }
+
+    /// Budgeted [`ChoiceSet::pick_partition`].
+    pub fn try_pick_partition(
+        &mut self,
+        k1: usize,
+        k2: usize,
+        gov: &ResourceGovernor,
+    ) -> Result<Option<SupportPair>, ResourceExhausted> {
+        let w1 = combin::weight_exactly(&mut self.mgr, &self.c1, k1);
+        let w2 = combin::weight_exactly(&mut self.mgr, &self.c2, k2);
+        gov.checkpoint(self.mgr.stats().nodes)?;
+        let t = self.mgr.try_and(self.bi, w1, gov)?;
+        let constrained = self.mgr.try_and(t, w2, gov)?;
+        let Some(cube) = self.mgr.one_sat(constrained) else { return Ok(None) };
+        let on = |vars: &[VarId]| -> Vec<VarId> {
+            vars.iter()
+                .enumerate()
+                .filter(|&(_, &c)| cube.iter().any(|&(v, phase)| v == c && phase))
+                .map(|(i, _)| self.ext_vars[i])
+                .collect()
+        };
+        Ok(Some(SupportPair { g1_vars: on(&self.c1), g2_vars: on(&self.c2) }))
+    }
+
+    /// Budgeted [`ChoiceSet::pick_balanced_partition`].
+    pub fn try_pick_balanced_partition(
+        &mut self,
+        gov: &ResourceGovernor,
+    ) -> Result<Option<SupportPair>, ResourceExhausted> {
+        let Some((k1, k2)) = self.try_best_balanced(gov)? else { return Ok(None) };
+        self.try_pick_partition(k1, k2, gov)
     }
 
     fn fresh_vars(&mut self, n: usize) -> Vec<VarId> {

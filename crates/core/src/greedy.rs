@@ -10,7 +10,7 @@
 //! demonstrates.
 
 use crate::{and_dec, or_dec, xor_dec, DecKind, Interval};
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 
 /// Result of a greedy partition search.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +78,79 @@ pub fn grow(
         GreedyResult::Found(o) => Some(o),
         _ => None,
     }
+}
+
+fn try_check(
+    m: &mut Manager,
+    kind: DecKind,
+    interval: &Interval,
+    vars: &[VarId],
+    a: &[VarId],
+    b: &[VarId],
+    gov: &ResourceGovernor,
+) -> Result<bool, ResourceExhausted> {
+    match kind {
+        DecKind::Or => or_dec::try_decomposable(m, interval, a, b, gov),
+        DecKind::And => and_dec::try_decomposable(m, interval, a, b, gov),
+        DecKind::Xor => xor_dec::try_decomposable(m, interval, vars, a, b, gov),
+    }
+}
+
+/// Governed [`grow`]: the same seed-and-extend search with every inner
+/// decomposability check budgeted. Unlike [`grow_with_budget`]'s
+/// wall-clock-only deadline, the governor also fires *inside* a check the
+/// moment a step or node limit trips, so a single pathological check
+/// cannot blow past the budget. Returns `Ok(None)` when no seed pair is
+/// feasible, `Err` when the budget ran out mid-search.
+pub fn grow_governed(
+    m: &mut Manager,
+    kind: DecKind,
+    interval: &Interval,
+    vars: &[VarId],
+    gov: &ResourceGovernor,
+) -> Result<Option<GreedyOutcome>, ResourceExhausted> {
+    let mut checks = 0usize;
+    for (i, &seed_a) in vars.iter().enumerate() {
+        for &seed_b in &vars[i + 1..] {
+            checks += 1;
+            if !try_check(m, kind, interval, vars, &[seed_a], &[seed_b], gov)? {
+                continue;
+            }
+            let mut a = vec![seed_a];
+            let mut b = vec![seed_b];
+            for &x in vars {
+                if x == seed_a || x == seed_b {
+                    continue;
+                }
+                let a_first = a.len() <= b.len();
+                if a_first {
+                    a.push(x);
+                } else {
+                    b.push(x);
+                }
+                checks += 1;
+                if !try_check(m, kind, interval, vars, &a, &b, gov)? {
+                    if a_first {
+                        a.pop();
+                        b.push(x);
+                    } else {
+                        b.pop();
+                        a.push(x);
+                    }
+                    checks += 1;
+                    if !try_check(m, kind, interval, vars, &a, &b, gov)? {
+                        if a_first {
+                            b.pop();
+                        } else {
+                            a.pop();
+                        }
+                    }
+                }
+            }
+            return Ok(Some(GreedyOutcome { a_vacuous: a, b_vacuous: b, checks }));
+        }
+    }
+    Ok(None)
 }
 
 /// How the inner decomposability check is carried out.

@@ -4,7 +4,7 @@
 //! specified function by its lower and upper bounds. The interval is
 //! *consistent* (non-empty) iff `l ≤ u`.
 
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 
 /// An incompletely specified Boolean function, as the interval `[l, u]`.
 ///
@@ -137,6 +137,112 @@ impl Interval {
             // inconsistent polarity; clamp back into the bounds.
             let t = m.or(candidate, reduced.lower);
             m.and(t, reduced.upper)
+        }
+    }
+
+    // --- Budgeted twins -------------------------------------------------
+    //
+    // Same computations as the methods above, with every BDD operation
+    // routed through the governor. A successful call returns exactly what
+    // the unbudgeted method would (BDD canonicity).
+
+    /// Budgeted [`Interval::with_dontcare`].
+    pub fn try_with_dontcare(
+        m: &mut Manager,
+        f: NodeId,
+        dc: NodeId,
+        gov: &ResourceGovernor,
+    ) -> Result<Self, ResourceExhausted> {
+        Ok(Interval { lower: m.try_diff(f, dc, gov)?, upper: m.try_or(f, dc, gov)? })
+    }
+
+    /// Budgeted [`Interval::is_consistent`].
+    pub fn try_is_consistent(
+        &self,
+        m: &mut Manager,
+        gov: &ResourceGovernor,
+    ) -> Result<bool, ResourceExhausted> {
+        m.try_leq(self.lower, self.upper, gov)
+    }
+
+    /// Budgeted [`Interval::contains`].
+    pub fn try_contains(
+        &self,
+        m: &mut Manager,
+        f: NodeId,
+        gov: &ResourceGovernor,
+    ) -> Result<bool, ResourceExhausted> {
+        Ok(m.try_leq(self.lower, f, gov)? && m.try_leq(f, self.upper, gov)?)
+    }
+
+    /// Budgeted [`Interval::dontcare_set`].
+    pub fn try_dontcare_set(
+        &self,
+        m: &mut Manager,
+        gov: &ResourceGovernor,
+    ) -> Result<NodeId, ResourceExhausted> {
+        m.try_diff(self.upper, self.lower, gov)
+    }
+
+    /// Budgeted [`Interval::complement`].
+    pub fn try_complement(
+        &self,
+        m: &mut Manager,
+        gov: &ResourceGovernor,
+    ) -> Result<Interval, ResourceExhausted> {
+        Ok(Interval { lower: m.try_not(self.upper, gov)?, upper: m.try_not(self.lower, gov)? })
+    }
+
+    /// Budgeted [`Interval::abstract_vars`].
+    pub fn try_abstract_vars(
+        &self,
+        m: &mut Manager,
+        vars: &[VarId],
+        gov: &ResourceGovernor,
+    ) -> Result<Interval, ResourceExhausted> {
+        Ok(Interval {
+            lower: m.try_exists(self.lower, vars, gov)?,
+            upper: m.try_forall(self.upper, vars, gov)?,
+        })
+    }
+
+    /// Budgeted [`Interval::reduce_support`]: same greedy order, same
+    /// result on success.
+    pub fn try_reduce_support(
+        &self,
+        m: &mut Manager,
+        gov: &ResourceGovernor,
+    ) -> Result<(Interval, Vec<VarId>), ResourceExhausted> {
+        let mut current = *self;
+        let mut removed = Vec::new();
+        for v in self.support(m) {
+            let candidate = current.try_abstract_vars(m, &[v], gov)?;
+            if candidate.try_is_consistent(m, gov)? {
+                current = candidate;
+                removed.push(v);
+            }
+        }
+        Ok((current, removed))
+    }
+
+    /// Budgeted [`Interval::pick_member`].
+    pub fn try_pick_member(
+        &self,
+        m: &mut Manager,
+        gov: &ResourceGovernor,
+    ) -> Result<NodeId, ResourceExhausted> {
+        let (reduced, _) = self.try_reduce_support(m, gov)?;
+        if reduced.is_exact() {
+            return Ok(reduced.lower);
+        }
+        let dc = reduced.try_dontcare_set(m, gov)?;
+        let care = m.try_not(dc, gov)?;
+        let candidate = m.try_restrict(reduced.lower, care, gov)?;
+        if reduced.try_contains(m, candidate, gov)? {
+            Ok(candidate)
+        } else {
+            let t = m.try_or(candidate, reduced.lower, gov)?;
+            m.try_and(t, reduced.upper, gov)
         }
     }
 }

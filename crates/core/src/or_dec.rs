@@ -18,10 +18,10 @@
 //! ```
 
 use crate::choices::ChoiceSet;
-use crate::param::parameterize_forall;
+use crate::param::{parameterize_forall, try_parameterize_forall};
 use crate::Interval;
 use symbi_bdd::hash::FxHashMap;
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 
 /// Existence check (3.2): is `[l, u]` OR-decomposable with `g1` vacuous in
 /// `a_vacuous` and `g2` vacuous in `b_vacuous`?
@@ -47,6 +47,34 @@ pub fn witnesses(
     b_vacuous: &[VarId],
 ) -> (NodeId, NodeId) {
     (m.forall(interval.upper, a_vacuous), m.forall(interval.upper, b_vacuous))
+}
+
+/// Budgeted [`decomposable`].
+pub fn try_decomposable(
+    m: &mut Manager,
+    interval: &Interval,
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    gov: &ResourceGovernor,
+) -> Result<bool, ResourceExhausted> {
+    let u1 = m.try_forall(interval.upper, a_vacuous, gov)?;
+    let u2 = m.try_forall(interval.upper, b_vacuous, gov)?;
+    let rhs = m.try_or(u1, u2, gov)?;
+    m.try_leq(interval.lower, rhs, gov)
+}
+
+/// Budgeted [`witnesses`].
+pub fn try_witnesses(
+    m: &mut Manager,
+    interval: &Interval,
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    gov: &ResourceGovernor,
+) -> Result<(NodeId, NodeId), ResourceExhausted> {
+    Ok((
+        m.try_forall(interval.upper, a_vacuous, gov)?,
+        m.try_forall(interval.upper, b_vacuous, gov)?,
+    ))
 }
 
 /// *Weak* OR decomposition (Mishchenko–Steinbach–Perkowski's fallback
@@ -111,6 +139,37 @@ impl Choices {
         let body = mgr.or(t, u2);
         let bi = mgr.forall(body, &xs);
         ChoiceSet { mgr, bi, c1, c2, ext_vars: vars.to_vec() }
+    }
+
+    /// Budgeted [`Choices::compute`]: the `Bi` construction — the most
+    /// explosion-prone step of the whole flow — unwinds with
+    /// [`ResourceExhausted`] instead of running away. The node ceiling and
+    /// step budget meter the *private* manager the computation runs in.
+    pub fn try_compute(
+        m: &mut Manager,
+        interval: &Interval,
+        vars: &[VarId],
+        gov: &ResourceGovernor,
+    ) -> Result<ChoiceSet, ResourceExhausted> {
+        let n = vars.len();
+        let mut mgr = Manager::with_vars(3 * n);
+        let c1: Vec<VarId> = (0..n).map(|i| VarId(3 * i as u32)).collect();
+        let c2: Vec<VarId> = (0..n).map(|i| VarId(3 * i as u32 + 1)).collect();
+        let xs: Vec<VarId> = (0..n).map(|i| VarId(3 * i as u32 + 2)).collect();
+        let var_map: FxHashMap<VarId, VarId> =
+            vars.iter().copied().zip(xs.iter().copied()).collect();
+        let lower = mgr.transfer_from(m, interval.lower, &var_map);
+        let upper = mgr.transfer_from(m, interval.upper, &var_map);
+
+        let pairs1: Vec<(VarId, VarId)> = xs.iter().copied().zip(c1.iter().copied()).collect();
+        let pairs2: Vec<(VarId, VarId)> = xs.iter().copied().zip(c2.iter().copied()).collect();
+        let u1 = try_parameterize_forall(&mut mgr, upper, &pairs1, gov)?;
+        let u2 = try_parameterize_forall(&mut mgr, upper, &pairs2, gov)?;
+        let nl = mgr.try_not(lower, gov)?;
+        let t = mgr.try_or(nl, u1, gov)?;
+        let body = mgr.try_or(t, u2, gov)?;
+        let bi = mgr.try_forall(body, &xs, gov)?;
+        Ok(ChoiceSet { mgr, bi, c1, c2, ext_vars: vars.to_vec() })
     }
 }
 

@@ -14,7 +14,7 @@
 //! `∀x [L(c,x) → U(c,x)]`.
 
 use crate::Interval;
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 
 /// Builds `U(c, x)`: for each `(x, c_x)` pair, `c_x = 1` keeps `x`,
 /// `c_x = 0` universally abstracts it.
@@ -41,6 +41,39 @@ pub fn parameterize_exists(m: &mut Manager, f: NodeId, pairs: &[(VarId, VarId)])
         acc = m.ite(cnode, acc, abstracted);
     }
     acc
+}
+
+/// Budgeted [`parameterize_forall`]: identical chain, every `∀` and `ITE`
+/// consults the governor.
+pub fn try_parameterize_forall(
+    m: &mut Manager,
+    f: NodeId,
+    pairs: &[(VarId, VarId)],
+    gov: &ResourceGovernor,
+) -> Result<NodeId, ResourceExhausted> {
+    let mut acc = f;
+    for &(x, c) in pairs {
+        let abstracted = m.try_forall(acc, &[x], gov)?;
+        let cnode = m.var(c);
+        acc = m.try_ite(cnode, acc, abstracted, gov)?;
+    }
+    Ok(acc)
+}
+
+/// Budgeted [`parameterize_exists`].
+pub fn try_parameterize_exists(
+    m: &mut Manager,
+    f: NodeId,
+    pairs: &[(VarId, VarId)],
+    gov: &ResourceGovernor,
+) -> Result<NodeId, ResourceExhausted> {
+    let mut acc = f;
+    for &(x, c) in pairs {
+        let abstracted = m.try_exists(acc, &[x], gov)?;
+        let cnode = m.var(c);
+        acc = m.try_ite(cnode, acc, abstracted, gov)?;
+    }
+    Ok(acc)
 }
 
 /// Characteristic function, over the decision variables, of all variable

@@ -21,7 +21,7 @@
 //! terminates with leaves that are literals or constants.
 
 use crate::{and_dec, choices::SupportPair, greedy, or_dec, xor_dec, DecKind, Interval};
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 
 /// A tree of 2-input primitives over literal leaves.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -172,6 +172,12 @@ pub struct Stats {
     pub shannon_steps: usize,
     /// Variables removed by interval abstraction.
     pub vars_abstracted: usize,
+    /// Governed operations that hit a resource limit (only
+    /// [`try_decompose`] increments this; unbudgeted runs report 0).
+    pub budget_exhausted_ops: usize,
+    /// Degradation-ladder steps taken after an exhaustion: symbolic
+    /// partition search → greedy growth → Shannon expansion.
+    pub fallbacks_taken: usize,
 }
 
 /// Recursively decomposes a consistent interval into a [`Tree`] whose
@@ -384,6 +390,301 @@ fn best_partition(
     best
 }
 
+/// Budgeted [`decompose`] with a graceful-degradation ladder.
+///
+/// Runs the identical algorithm with every BDD operation routed through
+/// `gov`. When a *partition search* exhausts its budget the step degrades
+/// instead of dying:
+///
+/// 1. the symbolic `Bi` computation runs under a child governor holding
+///    half the remaining step budget (so a blow-up there cannot starve
+///    the fallbacks),
+/// 2. on exhaustion the step falls back to governed greedy growth,
+/// 3. on exhaustion again, to the Shannon expansion.
+///
+/// Only the *structural* operations — deriving sub-intervals, Shannon
+/// cofactors — propagate [`ResourceExhausted`], because without them no
+/// correct tree can be produced at all. Callers (the synthesis flow) keep
+/// the original cone in that case.
+///
+/// Under an unlimited governor this returns exactly what [`decompose`]
+/// returns (with zeroed budget counters), by BDD canonicity.
+pub fn try_decompose(
+    m: &mut Manager,
+    interval: &Interval,
+    options: &Options,
+    gov: &ResourceGovernor,
+) -> Result<(Tree, Stats), ResourceExhausted> {
+    assert!(
+        { interval.is_consistent(m) },
+        "cannot decompose an empty interval"
+    );
+    let mut stats = Stats::default();
+    let tree = try_decompose_rec(m, *interval, options, &mut stats, 0, gov)?;
+    Ok((tree, stats))
+}
+
+fn try_decompose_rec(
+    m: &mut Manager,
+    interval: Interval,
+    options: &Options,
+    stats: &mut Stats,
+    depth: usize,
+    gov: &ResourceGovernor,
+) -> Result<Tree, ResourceExhausted> {
+    let (iv, removed) = interval.try_reduce_support(m, gov)?;
+    stats.vars_abstracted += removed.len();
+
+    if iv.lower.is_false() {
+        return Ok(Tree::Const(false));
+    }
+    if iv.upper.is_true() {
+        return Ok(Tree::Const(true));
+    }
+    let support = iv.support(m);
+    debug_assert!(!support.is_empty(), "non-constant interval with empty support");
+
+    if support.len() == 1 {
+        let v = support[0];
+        let pos = m.var(v);
+        if iv.try_contains(m, pos, gov)? {
+            return Ok(Tree::Literal(v, true));
+        }
+        let neg = m.try_not(pos, gov)?;
+        if iv.try_contains(m, neg, gov)? {
+            return Ok(Tree::Literal(v, false));
+        }
+        unreachable!("a 1-variable non-constant interval contains a literal");
+    }
+
+    if depth < 256 {
+        if let Some((kind, pair)) = try_best_partition(m, &iv, &support, options, stats, gov)? {
+            let a_vac: Vec<VarId> =
+                support.iter().copied().filter(|v| !pair.g1_vars.contains(v)).collect();
+            let b_vac: Vec<VarId> =
+                support.iter().copied().filter(|v| !pair.g2_vars.contains(v)).collect();
+            match kind {
+                DecKind::Or => {
+                    stats.or_steps += 1;
+                    let (t1, t2) =
+                        try_split_or(m, &iv, &a_vac, &b_vac, options, stats, depth, gov)?;
+                    return Ok(Tree::Op(DecKind::Or, Box::new(t1), Box::new(t2)));
+                }
+                DecKind::And => {
+                    stats.and_steps += 1;
+                    let comp = iv.try_complement(m, gov)?;
+                    let (t1, t2) =
+                        try_split_or(m, &comp, &a_vac, &b_vac, options, stats, depth, gov)?;
+                    return Ok(Tree::Op(
+                        DecKind::And,
+                        Box::new(t1.negate()),
+                        Box::new(t2.negate()),
+                    ));
+                }
+                DecKind::Xor => {
+                    // An exhausted witness construction degrades to
+                    // Shannon like a failed one — the ladder's last rung
+                    // still produces a correct tree.
+                    match xor_dec::try_witnesses(m, &iv, &support, &a_vac, &b_vac, gov) {
+                        Ok(Some((g1, g2))) => {
+                            stats.xor_steps += 1;
+                            let t1 = try_decompose_rec(
+                                m,
+                                Interval::exact(g1),
+                                options,
+                                stats,
+                                depth + 1,
+                                gov,
+                            )?;
+                            let t2 = try_decompose_rec(
+                                m,
+                                Interval::exact(g2),
+                                options,
+                                stats,
+                                depth + 1,
+                                gov,
+                            )?;
+                            return Ok(Tree::Op(DecKind::Xor, Box::new(t1), Box::new(t2)));
+                        }
+                        Ok(None) => {}
+                        Err(_) => {
+                            stats.budget_exhausted_ops += 1;
+                            stats.fallbacks_taken += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    stats.shannon_steps += 1;
+    let mut best: Option<(usize, usize, VarId)> = None;
+    for &v in &support {
+        let hi_l = m.try_cofactor(iv.lower, v, true, gov)?;
+        let hi_u = m.try_cofactor(iv.upper, v, true, gov)?;
+        let lo_l = m.try_cofactor(iv.lower, v, false, gov)?;
+        let lo_u = m.try_cofactor(iv.upper, v, false, gov)?;
+        let hi_supp = Interval::new(hi_l, hi_u).support(m).len();
+        let lo_supp = Interval::new(lo_l, lo_u).support(m).len();
+        let key = (hi_supp.max(lo_supp), hi_supp + lo_supp);
+        if best.is_none() || key < (best.unwrap().0, best.unwrap().1) {
+            best = Some((key.0, key.1, v));
+        }
+    }
+    let v = best.expect("non-empty support").2;
+    let hi = Interval::new(
+        m.try_cofactor(iv.lower, v, true, gov)?,
+        m.try_cofactor(iv.upper, v, true, gov)?,
+    );
+    let lo = Interval::new(
+        m.try_cofactor(iv.lower, v, false, gov)?,
+        m.try_cofactor(iv.upper, v, false, gov)?,
+    );
+    let t_hi = try_decompose_rec(m, hi, options, stats, depth + 1, gov)?;
+    let t_lo = try_decompose_rec(m, lo, options, stats, depth + 1, gov)?;
+    let then_branch = Tree::Op(
+        DecKind::And,
+        Box::new(Tree::Literal(v, true)),
+        Box::new(t_hi),
+    );
+    let else_branch = Tree::Op(
+        DecKind::And,
+        Box::new(Tree::Literal(v, false)),
+        Box::new(t_lo),
+    );
+    Ok(Tree::Op(DecKind::Or, Box::new(then_branch), Box::new(else_branch)))
+}
+
+/// Governed [`split_or`].
+#[allow(clippy::too_many_arguments)]
+fn try_split_or(
+    m: &mut Manager,
+    iv: &Interval,
+    a_vac: &[VarId],
+    b_vac: &[VarId],
+    options: &Options,
+    stats: &mut Stats,
+    depth: usize,
+    gov: &ResourceGovernor,
+) -> Result<(Tree, Tree), ResourceExhausted> {
+    let u1 = m.try_forall(iv.upper, a_vac, gov)?;
+    let u2 = m.try_forall(iv.upper, b_vac, gov)?;
+    let uncovered = m.try_diff(iv.lower, u1, gov)?;
+    let l2 = m.try_exists(uncovered, b_vac, gov)?;
+    let iv2 = Interval::new(l2, u2);
+    let t2 = try_decompose_rec(m, iv2, options, stats, depth + 1, gov)?;
+    let g2 = t2.to_bdd(m);
+    let residual = m.try_diff(iv.lower, g2, gov)?;
+    let l1 = m.try_exists(residual, a_vac, gov)?;
+    let iv1 = Interval::new(l1, u1);
+    let t1 = try_decompose_rec(m, iv1, options, stats, depth + 1, gov)?;
+    Ok((t1, t2))
+}
+
+/// Governed [`best_partition`] — the degradation ladder lives here.
+///
+/// Per kind: the symbolic search runs under a child governor holding half
+/// the remaining step budget; if it exhausts, governed greedy growth takes
+/// over under the full remaining budget; if that exhausts too, the kind
+/// simply reports "no partition", which steers the caller into Shannon.
+fn try_best_partition(
+    m: &mut Manager,
+    iv: &Interval,
+    support: &[VarId],
+    options: &Options,
+    stats: &mut Stats,
+    gov: &ResourceGovernor,
+) -> Result<Option<(DecKind, SupportPair)>, ResourceExhausted> {
+    let n = support.len();
+    let symbolic = match options.strategy {
+        PartitionStrategy::Symbolic => true,
+        PartitionStrategy::Greedy => false,
+        PartitionStrategy::Auto(limit) => n <= limit,
+    };
+    let mut kinds = vec![DecKind::Or, DecKind::And];
+    if options.use_xor {
+        kinds.push(DecKind::Xor);
+    }
+    let mut best: Option<(DecKind, SupportPair)> = None;
+    let mut best_key = (usize::MAX, usize::MAX, usize::MAX);
+    for kind in kinds {
+        let pair = if symbolic {
+            let sub = gov.fork_steps(gov.remaining_steps() / 2);
+            let attempt = (|| {
+                let mut ch = match kind {
+                    DecKind::Or => or_dec::Choices::try_compute(m, iv, support, &sub)?,
+                    DecKind::And => and_dec::Choices::try_compute(m, iv, support, &sub)?,
+                    DecKind::Xor => xor_dec::Choices::try_compute(m, iv, support, &sub)?,
+                };
+                ch.try_pick_balanced_partition(&sub)
+            })();
+            match attempt {
+                Ok(p) => p,
+                Err(_) => {
+                    // Rung 2: greedy growth, again under half of what is
+                    // left — Shannon (rung 3) must keep a share of the
+                    // budget or the ladder would die on its last step.
+                    stats.budget_exhausted_ops += 1;
+                    stats.fallbacks_taken += 1;
+                    let greedy_sub = gov.fork_steps(gov.remaining_steps() / 2);
+                    match try_greedy_pair(m, kind, iv, support, &greedy_sub) {
+                        Ok(p) => p,
+                        Err(_) => {
+                            // Rung 3: no partition — Shannon handles it.
+                            stats.budget_exhausted_ops += 1;
+                            stats.fallbacks_taken += 1;
+                            None
+                        }
+                    }
+                }
+            }
+        } else {
+            let greedy_sub = gov.fork_steps(gov.remaining_steps() / 2);
+            match try_greedy_pair(m, kind, iv, support, &greedy_sub) {
+                Ok(p) => p,
+                Err(_) => {
+                    stats.budget_exhausted_ops += 1;
+                    stats.fallbacks_taken += 1;
+                    None
+                }
+            }
+        };
+        if let Some(p) = pair {
+            let (k1, k2) = p.sizes();
+            if k1.max(k2) >= n {
+                continue;
+            }
+            let key = (k1.max(k2), k1 + k2, p.shared().len());
+            if key < best_key {
+                best_key = key;
+                best = Some((kind, p));
+            }
+        }
+    }
+    Ok(best)
+}
+
+fn try_greedy_pair(
+    m: &mut Manager,
+    kind: DecKind,
+    iv: &Interval,
+    support: &[VarId],
+    gov: &ResourceGovernor,
+) -> Result<Option<SupportPair>, ResourceExhausted> {
+    Ok(greedy::grow_governed(m, kind, iv, support, gov)?.map(|o| SupportPair {
+        g1_vars: support
+            .iter()
+            .copied()
+            .filter(|v| !o.a_vacuous.contains(v))
+            .collect(),
+        g2_vars: support
+            .iter()
+            .copied()
+            .filter(|v| !o.b_vacuous.contains(v))
+            .collect(),
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,6 +799,65 @@ mod tests {
         let opts = Options { strategy: PartitionStrategy::Greedy, ..Default::default() };
         let (tree, _) = decompose(&mut m, &iv, &opts);
         verify(&mut m, &iv, &tree);
+    }
+
+    #[test]
+    fn governed_unlimited_matches_unbudgeted() {
+        let gov = ResourceGovernor::unlimited();
+        for use_xor in [true, false] {
+            let mut m = Manager::new();
+            let vs = m.new_vars(5);
+            let ab = m.and(vs[0], vs[1]);
+            let cd = m.and(vs[2], vs[3]);
+            let x = m.xor(vs[3], vs[4]);
+            let t = m.or(ab, cd);
+            let f = m.or(t, x);
+            let iv = Interval::exact(f);
+            let opts = Options { use_xor, ..Default::default() };
+            let (tree, stats) = decompose(&mut m, &iv, &opts);
+            let (gtree, gstats) = try_decompose(&mut m, &iv, &opts, &gov).expect("unlimited");
+            assert_eq!(gtree, tree, "unlimited governed run must reproduce the tree");
+            assert_eq!(gstats.budget_exhausted_ops, 0);
+            assert_eq!(gstats.fallbacks_taken, 0);
+            assert_eq!(
+                (stats.or_steps, stats.and_steps, stats.xor_steps, stats.shannon_steps),
+                (gstats.or_steps, gstats.and_steps, gstats.xor_steps, gstats.shannon_steps),
+            );
+        }
+    }
+
+    #[test]
+    fn starved_budgets_degrade_but_never_lie() {
+        // Sweep step budgets from starvation upward: every Ok tree must be
+        // a member of the interval; sufficiently large budgets succeed.
+        let mut succeeded = false;
+        let mut degraded = false;
+        for exp in 0..24u32 {
+            let budget = 1u64 << exp;
+            // Fresh manager per run: no warm cache, so small budgets bite.
+            let mut fresh = Manager::new();
+            let vs = fresh.new_vars(5);
+            let ab = fresh.and(vs[0], vs[1]);
+            let cd = fresh.and(vs[2], vs[3]);
+            let t = fresh.or(ab, cd);
+            let f2 = fresh.xor(t, vs[4]);
+            let iv2 = Interval::exact(f2);
+            let gov = ResourceGovernor::unlimited().with_step_limit(budget);
+            // A starved Err is fine: no tree, but also no wrong answer.
+            if let Ok((tree, stats)) = try_decompose(&mut fresh, &iv2, &Options::default(), &gov) {
+                let g = tree.to_bdd(&mut fresh);
+                assert!(
+                    iv2.contains(&mut fresh, g),
+                    "budget {budget}: tree {tree} not a member"
+                );
+                succeeded = true;
+                if stats.budget_exhausted_ops > 0 {
+                    degraded = true;
+                }
+            }
+        }
+        assert!(succeeded, "the largest budget must complete");
+        assert!(degraded, "some mid-range budget must exercise the ladder");
     }
 
     #[test]

@@ -33,7 +33,7 @@
 use crate::choices::ChoiceSet;
 use crate::Interval;
 use symbi_bdd::hash::FxHashMap;
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 
 /// Scratch space holding the interval bounds copied next to a parallel
 /// `y`-variable rail.
@@ -63,6 +63,18 @@ impl Scratch {
         let pairs: Vec<(VarId, VarId)> =
             set.iter().map(|&i| (self.xs[i], self.ys[i])).collect();
         self.mgr.rename(f, &pairs)
+    }
+
+    /// Budgeted [`Scratch::flip`].
+    fn try_flip(
+        &mut self,
+        f: NodeId,
+        set: &[usize],
+        gov: &ResourceGovernor,
+    ) -> Result<NodeId, ResourceExhausted> {
+        let pairs: Vec<(VarId, VarId)> =
+            set.iter().map(|&i| (self.xs[i], self.ys[i])).collect();
+        self.mgr.try_rename(f, &pairs, gov)
     }
 }
 
@@ -123,6 +135,43 @@ pub fn decomposable(
     holds.is_true()
 }
 
+/// Budgeted [`decomposable`].
+pub fn try_decomposable(
+    m: &mut Manager,
+    interval: &Interval,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    gov: &ResourceGovernor,
+) -> Result<bool, ResourceExhausted> {
+    let mut s = Scratch::new(m, interval, vars);
+    let a = positions(vars, a_vacuous);
+    let b = positions(vars, b_vacuous);
+    let ab: Vec<usize> = {
+        let mut t = a.clone();
+        t.extend(b.iter().copied());
+        t.sort_unstable();
+        t.dedup();
+        t
+    };
+    let l_a = s.try_flip(s.lower, &a, gov)?;
+    let u_a = s.try_flip(s.upper, &a, gov)?;
+    let l_b = s.try_flip(s.lower, &b, gov)?;
+    let u_b = s.try_flip(s.upper, &b, gov)?;
+    let l_ab = s.try_flip(s.lower, &ab, gov)?;
+    let u_ab = s.try_flip(s.upper, &ab, gov)?;
+    let must1 = s.mgr.try_xor(s.lower, l_a, gov)?;
+    let must2 = s.mgr.try_xor(s.upper, u_a, gov)?;
+    let premise = s.mgr.try_and(must1, must2, gov)?;
+    let dc_b = s.mgr.try_xor(l_b, u_b, gov)?;
+    let dc_ab = s.mgr.try_xor(l_ab, u_ab, gov)?;
+    let differ = s.mgr.try_xor(u_b, u_ab, gov)?;
+    let t = s.mgr.try_or(dc_b, dc_ab, gov)?;
+    let may = s.mgr.try_or(t, differ, gov)?;
+    let holds = s.mgr.try_implies(premise, may, gov)?;
+    Ok(holds.is_true())
+}
+
 /// Constructs `(g1, g2)` with `g1 ⊕ g2` a member of the interval, `g1`
 /// vacuous in `a_vacuous` and `g2` vacuous in `b_vacuous`, or `None` if no
 /// construction is found.
@@ -155,12 +204,52 @@ pub fn witnesses(
     None
 }
 
+/// Budgeted [`witnesses`]: same candidate order, same construction; a
+/// successful call returns exactly what the unbudgeted version would.
+pub fn try_witnesses(
+    m: &mut Manager,
+    interval: &Interval,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    gov: &ResourceGovernor,
+) -> Result<Option<(NodeId, NodeId)>, ResourceExhausted> {
+    let member = interval.try_pick_member(m, gov)?;
+    let candidates = [member, interval.lower, interval.upper];
+    for f in candidates {
+        let g1 = try_cofactor_set(m, f, a_vacuous, false, gov)?;
+        let f_b0 = try_cofactor_set(m, f, b_vacuous, false, gov)?;
+        let f_ab0 = try_cofactor_set(m, f_b0, a_vacuous, false, gov)?;
+        let g2 = m.try_xor(f_b0, f_ab0, gov)?;
+        let composed = m.try_xor(g1, g2, gov)?;
+        if interval.try_contains(m, composed, gov)? {
+            let _ = vars;
+            return Ok(Some((g1, g2)));
+        }
+    }
+    Ok(None)
+}
+
 fn cofactor_set(m: &mut Manager, f: NodeId, vars: &[VarId], value: bool) -> NodeId {
     let mut acc = f;
     for &v in vars {
         acc = m.cofactor(acc, v, value);
     }
     acc
+}
+
+fn try_cofactor_set(
+    m: &mut Manager,
+    f: NodeId,
+    vars: &[VarId],
+    value: bool,
+    gov: &ResourceGovernor,
+) -> Result<NodeId, ResourceExhausted> {
+    let mut acc = f;
+    for &v in vars {
+        acc = m.try_cofactor(acc, v, value, gov)?;
+    }
+    Ok(acc)
 }
 
 /// The symbolic set of all feasible XOR-decomposition supports (3.9).
@@ -227,6 +316,69 @@ impl Choices {
         quant.extend(ys.iter().copied());
         let bi = mgr.forall(body, &quant);
         ChoiceSet { mgr, bi, c1, c2, ext_vars: vars.to_vec() }
+    }
+
+    /// Budgeted [`Choices::compute`]: the doubled variable rail makes the
+    /// XOR `Bi` the largest symbolic object in the flow, so this is where
+    /// a node ceiling earns its keep.
+    pub fn try_compute(
+        m: &mut Manager,
+        interval: &Interval,
+        vars: &[VarId],
+        gov: &ResourceGovernor,
+    ) -> Result<ChoiceSet, ResourceExhausted> {
+        let n = vars.len();
+        let mut mgr = Manager::with_vars(4 * n);
+        let c1: Vec<VarId> = (0..n).map(|i| VarId(4 * i as u32)).collect();
+        let c2: Vec<VarId> = (0..n).map(|i| VarId(4 * i as u32 + 1)).collect();
+        let xs: Vec<VarId> = (0..n).map(|i| VarId(4 * i as u32 + 2)).collect();
+        let ys: Vec<VarId> = (0..n).map(|i| VarId(4 * i as u32 + 3)).collect();
+        let var_map: FxHashMap<VarId, VarId> =
+            vars.iter().copied().zip(xs.iter().copied()).collect();
+        let lower = mgr.transfer_from(m, interval.lower, &var_map);
+        let upper = mgr.transfer_from(m, interval.upper, &var_map);
+
+        let make_subst = |mgr: &mut Manager,
+                          sel: &dyn Fn(&mut Manager, usize) -> NodeId| {
+            let pairs: Vec<(VarId, NodeId)> = (0..n)
+                .map(|i| {
+                    let s = sel(mgr, i);
+                    let xv = mgr.var(xs[i]);
+                    let yv = mgr.var(ys[i]);
+                    let ite = mgr.ite(s, xv, yv);
+                    (xs[i], ite)
+                })
+                .collect();
+            mgr.register_substitution(&pairs)
+        };
+        let s1 = make_subst(&mut mgr, &|mgr, i| mgr.var(c1[i]));
+        let s2 = make_subst(&mut mgr, &|mgr, i| mgr.var(c2[i]));
+        let s12 = make_subst(&mut mgr, &|mgr, i| {
+            let a = mgr.var(c1[i]);
+            let b = mgr.var(c2[i]);
+            mgr.and(a, b)
+        });
+
+        let l1 = mgr.try_vector_compose(lower, s1, gov)?;
+        let u1 = mgr.try_vector_compose(upper, s1, gov)?;
+        let l2 = mgr.try_vector_compose(lower, s2, gov)?;
+        let u2 = mgr.try_vector_compose(upper, s2, gov)?;
+        let l12 = mgr.try_vector_compose(lower, s12, gov)?;
+        let u12 = mgr.try_vector_compose(upper, s12, gov)?;
+
+        let must1 = mgr.try_xor(lower, l1, gov)?;
+        let must2 = mgr.try_xor(upper, u1, gov)?;
+        let premise = mgr.try_and(must1, must2, gov)?;
+        let dc2 = mgr.try_xor(l2, u2, gov)?;
+        let dc12 = mgr.try_xor(l12, u12, gov)?;
+        let differ = mgr.try_xor(u2, u12, gov)?;
+        let t = mgr.try_or(dc2, dc12, gov)?;
+        let may = mgr.try_or(t, differ, gov)?;
+        let body = mgr.try_implies(premise, may, gov)?;
+        let mut quant: Vec<VarId> = xs.clone();
+        quant.extend(ys.iter().copied());
+        let bi = mgr.try_forall(body, &quant, gov)?;
+        Ok(ChoiceSet { mgr, bi, c1, c2, ext_vars: vars.to_vec() })
     }
 }
 

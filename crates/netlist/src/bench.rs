@@ -32,8 +32,9 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
         Gate(GateKind, Vec<String>),
     }
     let mut model_name = String::from("bench");
-    let mut defs: Vec<(String, Pending)> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
+    // (name, definition, 1-based source line)
+    let mut defs: Vec<(String, Pending, usize)> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
     let mut defined: HashMap<String, usize> = HashMap::new();
     let mut init_one: Vec<String> = Vec::new();
 
@@ -60,15 +61,15 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
                 return Err(err("empty INPUT name".into()));
             }
             if defined.insert(name.clone(), defs.len()).is_some() {
-                return Err(ParseNetlistError::DuplicateName(name));
+                return Err(ParseNetlistError::DuplicateName { name, line: lineno + 1 });
             }
-            defs.push((name, Pending::Input));
+            defs.push((name, Pending::Input, lineno + 1));
         } else if let Some(rest) = strip_call(line, "OUTPUT") {
             let name = rest.trim().to_string();
             if name.is_empty() {
                 return Err(err("empty OUTPUT name".into()));
             }
-            outputs.push(name);
+            outputs.push((name, lineno + 1));
         } else if let Some((lhs, rhs)) = line.split_once('=') {
             let name = lhs.trim().to_string();
             let rhs = rhs.trim();
@@ -99,64 +100,68 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
                 Pending::Gate(kind, fanins)
             };
             if defined.insert(name.clone(), defs.len()).is_some() {
-                return Err(ParseNetlistError::DuplicateName(name));
+                return Err(ParseNetlistError::DuplicateName { name, line: lineno + 1 });
             }
-            defs.push((name, pending));
+            defs.push((name, pending, lineno + 1));
         } else {
             return Err(err(format!("unrecognized line `{line}`")));
         }
     }
 
-    // Two-pass construction: declare all signals, then wire fanins.
-    let mut n = Netlist::new(model_name);
+    // Signals may be referenced before they are defined, so resolution
+    // happens entirely up front: inputs and latches are created first,
+    // then gates, and since [`Netlist`] assigns ids sequentially, every
+    // id is known before any node exists. This keeps construction free
+    // of placeholder fanins and lets every dangling reference carry the
+    // line it occurred on.
     let mut ids: HashMap<&str, SignalId> = HashMap::new();
-    for (name, pending) in &defs {
-        let id = match pending {
-            Pending::Input => n.add_input(name.clone()),
-            Pending::Dff(_) => n.add_latch(name.clone(), init_one.iter().any(|x| x == name)),
-            Pending::Gate(kind, fanins) => {
-                // Defer fanin resolution; create with a placeholder self
-                // reference is not possible, so collect gates for later.
-                let _ = (kind, fanins);
-                continue;
-            }
-        };
-        ids.insert(name.as_str(), id);
-    }
-    // Gates need their fanins declared; topologically they may reference
-    // other gates defined later, so create gate nodes in a second sweep
-    // with placeholder-free resolution: first declare every gate with
-    // empty fanins is not allowed, so instead resolve names after all
-    // signals exist. Declare gates now (fanins may be forward references
-    // to other gates), using a dummy fanin that we patch in pass three.
-    for (name, pending) in &defs {
-        if let Pending::Gate(kind, _) = pending {
-            let id = n.add_gate(name.clone(), *kind, vec![SignalId(0)]);
-            ids.insert(name.as_str(), id);
+    let mut next_id = 0u32;
+    for (name, pending, _) in &defs {
+        if !matches!(pending, Pending::Gate(..)) {
+            ids.insert(name.as_str(), SignalId(next_id));
+            next_id += 1;
         }
     }
-    // Pass three: wire everything.
-    let lookup = |ids: &HashMap<&str, SignalId>, name: &str| {
-        ids.get(name).copied().ok_or_else(|| ParseNetlistError::UnknownSignal(name.to_string()))
+    for (name, pending, _) in &defs {
+        if matches!(pending, Pending::Gate(..)) {
+            ids.insert(name.as_str(), SignalId(next_id));
+            next_id += 1;
+        }
+    }
+    let lookup = |name: &str, line: usize| {
+        ids.get(name).copied().ok_or_else(|| ParseNetlistError::UnknownSignal {
+            name: name.to_string(),
+            line,
+        })
     };
-    for (name, pending) in &defs {
+    // Everything resolvable: build the netlist with fully wired fanins.
+    let mut n = Netlist::new(model_name);
+    for (name, pending, _) in &defs {
         match pending {
-            Pending::Input => {}
-            Pending::Dff(next) => {
-                let latch = ids[name.as_str()];
-                let next = lookup(&ids, next)?;
-                n.set_latch_next(latch, next);
+            Pending::Input => {
+                n.add_input(name.clone());
             }
-            Pending::Gate(_, fanins) => {
-                let gate = ids[name.as_str()];
-                let resolved: Result<Vec<SignalId>, _> =
-                    fanins.iter().map(|f| lookup(&ids, f)).collect();
-                n.nodes[gate.index()].fanins = resolved?;
+            Pending::Dff(_) => {
+                n.add_latch(name.clone(), init_one.iter().any(|x| x == name));
             }
+            Pending::Gate(..) => {}
         }
     }
-    for out in &outputs {
-        let id = lookup(&ids, out)?;
+    for (name, pending, line) in &defs {
+        if let Pending::Gate(kind, fanins) = pending {
+            let resolved: Result<Vec<SignalId>, _> =
+                fanins.iter().map(|f| lookup(f, *line)).collect();
+            n.add_gate(name.clone(), *kind, resolved?);
+        }
+    }
+    for (name, pending, line) in &defs {
+        if let Pending::Dff(next) = pending {
+            let latch = ids[name.as_str()];
+            n.set_latch_next(latch, lookup(next, *line)?);
+        }
+    }
+    for (out, line) in &outputs {
+        let id = lookup(out, *line)?;
         n.add_output(out.clone(), id);
     }
     n.validate()?;
@@ -181,6 +186,10 @@ fn strip_call<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
 /// Constants are lowered to `AND(x, NOT(x))` / `OR(x, NOT(x))` stubs over
 /// the first input, since the format has no constant primitive.
 pub fn write(n: &Netlist) -> String {
+    // Emitted names: a signal whose name is claimed by an output alias is
+    // renamed, so the alias buffer below never collides or rebinds.
+    let names = n.writer_names();
+    let name_of = |s: SignalId| names[s.index()].as_str();
     let mut out = String::new();
     let _ = writeln!(out, "# name: {}", n.name());
     let _ = writeln!(
@@ -192,30 +201,29 @@ pub fn write(n: &Netlist) -> String {
         n.num_gates()
     );
     for &i in n.inputs() {
-        let _ = writeln!(out, "INPUT({})", n.signal_name(i));
+        let _ = writeln!(out, "INPUT({})", name_of(i));
     }
     for (name, _) in n.outputs() {
         let _ = writeln!(out, "OUTPUT({name})");
     }
     // Alias outputs whose name differs from their driving signal.
     for (name, sig) in n.outputs() {
-        if name != n.signal_name(*sig) && n.signal(name).is_none() {
-            let _ = writeln!(out, "{name} = BUFF({})", n.signal_name(*sig));
+        if name != name_of(*sig) {
+            let _ = writeln!(out, "{name} = BUFF({})", name_of(*sig));
         }
     }
     for &l in n.latches() {
         if n.latch_init(l) {
-            let _ = writeln!(out, "# init: {} = 1", n.signal_name(l));
+            let _ = writeln!(out, "# init: {} = 1", name_of(l));
         }
         let next = n.latch_next(l).expect("validated netlist");
-        let _ = writeln!(out, "{} = DFF({})", n.signal_name(l), n.signal_name(next));
+        let _ = writeln!(out, "{} = DFF({})", name_of(l), name_of(next));
     }
     for s in n.signals() {
         match n.kind(s) {
             NodeKind::Gate(kind) => {
-                let fanins: Vec<&str> = n.fanins(s).iter().map(|&f| n.signal_name(f)).collect();
-                let _ =
-                    writeln!(out, "{} = {}({})", n.signal_name(s), kind, fanins.join(", "));
+                let fanins: Vec<&str> = n.fanins(s).iter().map(|&f| name_of(f)).collect();
+                let _ = writeln!(out, "{} = {}({})", name_of(s), kind, fanins.join(", "));
             }
             NodeKind::Const(value) => {
                 // No constant primitive in .bench: use a tautology/contradiction.
@@ -223,9 +231,9 @@ pub fn write(n: &Netlist) -> String {
                     .inputs()
                     .first()
                     .or_else(|| n.latches().first())
-                    .map(|&x| n.signal_name(x).to_string())
+                    .map(|&x| name_of(x).to_string())
                     .unwrap_or_else(|| "__seed".to_string());
-                let name = n.signal_name(s);
+                let name = name_of(s);
                 let _ = writeln!(out, "{name}_inv = NOT({seed})");
                 if value {
                     let _ = writeln!(out, "{name} = OR({seed}, {name}_inv)");
@@ -260,7 +268,7 @@ d = NOT(q)
         assert_eq!(n.num_outputs(), 1);
         assert_eq!(n.num_gates(), 2);
         let q = n.signal("q").unwrap();
-        assert_eq!(n.latch_init(q), false);
+        assert!(!n.latch_init(q));
         assert_eq!(n.signal_name(n.latch_next(q).unwrap()), "d");
     }
 
@@ -294,14 +302,17 @@ d = NOT(q)
         let text = "INPUT(a)\nOUTPUT(f)\nf = AND(a, ghost)\n";
         assert_eq!(
             parse(text).err(),
-            Some(ParseNetlistError::UnknownSignal("ghost".into()))
+            Some(ParseNetlistError::UnknownSignal { name: "ghost".into(), line: 3 })
         );
     }
 
     #[test]
     fn duplicate_definition_rejected() {
         let text = "INPUT(a)\nINPUT(a)\n";
-        assert_eq!(parse(text).err(), Some(ParseNetlistError::DuplicateName("a".into())));
+        assert_eq!(
+            parse(text).err(),
+            Some(ParseNetlistError::DuplicateName { name: "a".into(), line: 2 })
+        );
     }
 
     #[test]
@@ -315,6 +326,24 @@ d = NOT(q)
         let text = "# header\n\nINPUT(a)  # trailing comment\nOUTPUT(f)\nf = BUFF(a)\n";
         let n = parse(text).expect("parses");
         assert_eq!(n.num_gates(), 1);
+    }
+
+    #[test]
+    fn output_name_colliding_with_other_signal_round_trips() {
+        // An output named like an unrelated gate: the writer must rename
+        // the gate so the `OUTPUT(g)` + `g = BUFF(...)` alias pair binds
+        // to the true driver instead of the unrelated gate.
+        let mut n = Netlist::new("collide");
+        let a = n.add_input("a");
+        let q = n.add_latch("q", false);
+        let g = n.add_gate("g", GateKind::Not, vec![a]);
+        n.set_latch_next(q, g);
+        n.add_output("g", q); // named like the gate, driven by the latch
+        n.add_output("o", g);
+        n.validate().unwrap();
+        let text = write(&n);
+        let back = parse(&text).expect("collision-free text");
+        assert!(crate::sim::random_co_simulation(&n, &back, 32, 7), "behaviour changed:\n{text}");
     }
 
     #[test]

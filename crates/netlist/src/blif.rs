@@ -17,6 +17,8 @@ struct Cover {
     inputs: Vec<String>,
     /// Rows of (input pattern, output value). Patterns use '0', '1', '-'.
     rows: Vec<(String, bool)>,
+    /// 1-based source line of the `.names` directive.
+    line: usize,
 }
 
 /// Parses BLIF text into a [`Netlist`].
@@ -49,9 +51,10 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
     }
 
     let mut model = String::from("blif");
-    let mut input_names: Vec<String> = Vec::new();
-    let mut output_names: Vec<String> = Vec::new();
-    let mut latches: Vec<(String, String, bool)> = Vec::new(); // (input, output, init)
+    let mut input_names: Vec<(String, usize)> = Vec::new();
+    let mut output_names: Vec<(String, usize)> = Vec::new();
+    // (input, output, init, line)
+    let mut latches: Vec<(String, String, bool, usize)> = Vec::new();
     let mut covers: Vec<Cover> = Vec::new();
 
     let mut i = 0;
@@ -66,8 +69,8 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
                     model = name.to_string();
                 }
             }
-            ".inputs" => input_names.extend(tokens.map(str::to_string)),
-            ".outputs" => output_names.extend(tokens.map(str::to_string)),
+            ".inputs" => input_names.extend(tokens.map(|t| (t.to_string(), *lineno))),
+            ".outputs" => output_names.extend(tokens.map(|t| (t.to_string(), *lineno))),
             ".latch" => {
                 let fields: Vec<&str> = tokens.collect();
                 let (input, output, init) = match fields.len() {
@@ -76,7 +79,7 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
                     5 => (fields[0], fields[1], fields[4] == "1"),
                     n => return Err(err(format!(".latch takes 2, 3, or 5 fields, got {n}"))),
                 };
-                latches.push((input.to_string(), output.to_string(), init));
+                latches.push((input.to_string(), output.to_string(), init, *lineno));
             }
             ".names" => {
                 let mut names: Vec<String> = tokens.map(str::to_string).collect();
@@ -108,7 +111,7 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
                     }
                     rows.push((pattern, value));
                 }
-                covers.push(Cover { output, inputs: names, rows });
+                covers.push(Cover { output, inputs: names, rows, line: *lineno });
             }
             ".end" => break,
             ".exdc" | ".subckt" | ".gate" => {
@@ -122,17 +125,35 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
     // Build the netlist: inputs, latch outputs, then expanded covers.
     let mut n = Netlist::new(model);
     let mut ids: HashMap<String, SignalId> = HashMap::new();
-    for name in &input_names {
+    for (name, line) in &input_names {
         if ids.contains_key(name) {
-            return Err(ParseNetlistError::DuplicateName(name.clone()));
+            return Err(ParseNetlistError::DuplicateName { name: name.clone(), line: *line });
         }
         ids.insert(name.clone(), n.add_input(name.clone()));
     }
-    for (_, output, init) in &latches {
+    for (_, output, init, line) in &latches {
         if ids.contains_key(output) {
-            return Err(ParseNetlistError::DuplicateName(output.clone()));
+            return Err(ParseNetlistError::DuplicateName {
+                name: output.clone(),
+                line: *line,
+            });
         }
         ids.insert(output.clone(), n.add_latch(output.clone(), *init));
+    }
+    // A cover redefining an input, a latch output, or another cover's
+    // output would collide during expansion; reject it up front.
+    {
+        let mut cover_outputs: HashMap<&str, usize> = HashMap::new();
+        for cover in &covers {
+            if ids.contains_key(&cover.output)
+                || cover_outputs.insert(cover.output.as_str(), cover.line).is_some()
+            {
+                return Err(ParseNetlistError::DuplicateName {
+                    name: cover.output.clone(),
+                    line: cover.line,
+                });
+            }
+        }
     }
     // Expand covers in dependency order: multiple passes until settled
     // (BLIF permits any declaration order).
@@ -148,27 +169,33 @@ pub fn parse(text: &str) -> Result<Netlist, ParseNetlistError> {
             false
         });
         if remaining.len() == before {
-            // No progress: an input is genuinely undefined.
-            let missing = remaining
+            // No progress: an input is genuinely undefined (or the covers
+            // form a combinational cycle; validation would also catch it).
+            let (missing, line) = remaining
                 .iter()
-                .flat_map(|c| c.inputs.iter())
-                .find(|name| !ids.contains_key(*name))
-                .cloned()
-                .unwrap_or_else(|| remaining[0].output.clone());
-            return Err(ParseNetlistError::UnknownSignal(missing));
+                .find_map(|c| {
+                    c.inputs
+                        .iter()
+                        .find(|name| !ids.contains_key(*name) && !remaining.iter().any(|r| &r.output == *name))
+                        .map(|name| (name.clone(), c.line))
+                })
+                .unwrap_or_else(|| (remaining[0].output.clone(), remaining[0].line));
+            return Err(ParseNetlistError::UnknownSignal { name: missing, line });
         }
     }
-    for (input, output, _) in &latches {
-        let next = *ids
-            .get(input)
-            .ok_or_else(|| ParseNetlistError::UnknownSignal(input.clone()))?;
+    for (input, output, _, line) in &latches {
+        let next = *ids.get(input).ok_or_else(|| ParseNetlistError::UnknownSignal {
+            name: input.clone(),
+            line: *line,
+        })?;
         let latch = ids[output];
         n.set_latch_next(latch, next);
     }
-    for name in &output_names {
-        let sig = *ids
-            .get(name)
-            .ok_or_else(|| ParseNetlistError::UnknownSignal(name.clone()))?;
+    for (name, line) in &output_names {
+        let sig = *ids.get(name).ok_or_else(|| ParseNetlistError::UnknownSignal {
+            name: name.clone(),
+            line: *line,
+        })?;
         n.add_output(name.clone(), sig);
     }
     n.validate()?;
@@ -225,7 +252,7 @@ fn expand_cover(n: &mut Netlist, cover: &Cover, ids: &HashMap<String, SignalId>)
         };
         product_signals.push(product);
     }
-    let sum = match product_signals.len() {
+    match product_signals.len() {
         1 => {
             if complement {
                 n.add_gate(cover.output.clone(), GateKind::Not, vec![product_signals[0]])
@@ -237,31 +264,34 @@ fn expand_cover(n: &mut Netlist, cover: &Cover, ids: &HashMap<String, SignalId>)
             let kind = if complement { GateKind::Nor } else { GateKind::Or };
             n.add_gate(cover.output.clone(), kind, product_signals)
         }
-    };
-    sum
+    }
 }
 
 /// Serializes a [`Netlist`] to BLIF text, one `.names` block per gate.
 pub fn write(n: &Netlist) -> String {
+    // Emitted names: a signal whose name is claimed by an output buffer
+    // below is renamed, so the buffer never redefines an existing signal.
+    let names = n.writer_names();
+    let name_of = |s: SignalId| names[s.index()].as_str();
     let mut out = String::new();
     let _ = writeln!(out, ".model {}", n.name());
-    let inputs: Vec<&str> = n.inputs().iter().map(|&i| n.signal_name(i)).collect();
+    let inputs: Vec<&str> = n.inputs().iter().map(|&i| name_of(i)).collect();
     let _ = writeln!(out, ".inputs {}", inputs.join(" "));
     let outputs: Vec<&str> = n.outputs().iter().map(|(name, _)| name.as_str()).collect();
     let _ = writeln!(out, ".outputs {}", outputs.join(" "));
     for &l in n.latches() {
         let next = n.latch_next(l).expect("validated netlist");
         let init = u8::from(n.latch_init(l));
-        let _ = writeln!(out, ".latch {} {} {init}", n.signal_name(next), n.signal_name(l));
+        let _ = writeln!(out, ".latch {} {} {init}", name_of(next), name_of(l));
     }
     // Outputs whose name differs from their driving signal need a buffer.
     for (name, sig) in n.outputs() {
-        if name != n.signal_name(*sig) {
-            let _ = writeln!(out, ".names {} {name}\n1 1", n.signal_name(*sig));
+        if name != name_of(*sig) {
+            let _ = writeln!(out, ".names {} {name}\n1 1", name_of(*sig));
         }
     }
     for s in n.signals() {
-        let name = n.signal_name(s);
+        let name = name_of(s);
         match n.kind(s) {
             NodeKind::Const(v) => {
                 let _ = writeln!(out, ".names {name}");
@@ -270,7 +300,7 @@ pub fn write(n: &Netlist) -> String {
                 }
             }
             NodeKind::Gate(kind) => {
-                let fanins: Vec<&str> = n.fanins(s).iter().map(|&f| n.signal_name(f)).collect();
+                let fanins: Vec<&str> = n.fanins(s).iter().map(|&f| name_of(f)).collect();
                 let _ = writeln!(out, ".names {} {name}", fanins.join(" "));
                 let k = fanins.len();
                 match kind {
@@ -411,7 +441,43 @@ INPUT(a)\nINPUT(b)\nOUTPUT(f)\nq = DFF(d)\nx = XOR(a, q)\nf = NAND(x, b)\nd = NO
     #[test]
     fn undefined_signal_reported() {
         let text = ".model t\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n";
-        assert_eq!(parse(text).err(), Some(ParseNetlistError::UnknownSignal("ghost".into())));
+        assert_eq!(
+            parse(text).err(),
+            Some(ParseNetlistError::UnknownSignal { name: "ghost".into(), line: 4 })
+        );
+    }
+
+    #[test]
+    fn cover_redefining_input_rejected() {
+        // Used to panic in expand_cover via the duplicate-name assert.
+        let text = ".model t\n.inputs f a\n.outputs f\n.names a f\n1 1\n.end\n";
+        assert_eq!(
+            parse(text).err(),
+            Some(ParseNetlistError::DuplicateName { name: "f".into(), line: 4 })
+        );
+        // Two covers driving the same name.
+        let text2 = ".model t\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end\n";
+        assert_eq!(
+            parse(text2).err(),
+            Some(ParseNetlistError::DuplicateName { name: "f".into(), line: 6 })
+        );
+    }
+
+    #[test]
+    fn output_name_colliding_with_other_signal_round_trips() {
+        // An output named like an unrelated gate: the writer must rename
+        // the gate, or the output buffer would redefine it (and the
+        // output would rebind to the wrong driver on parse-back).
+        let mut n = Netlist::new("collide");
+        let a = n.add_input("a");
+        let q = n.add_latch("q", false);
+        let g = n.add_gate("g", GateKind::Not, vec![a]);
+        n.set_latch_next(q, g);
+        n.add_output("g", q); // named like the gate, driven by the latch
+        n.add_output("o", g);
+        n.validate().unwrap();
+        let back = parse(&write(&n)).expect("collision-free text");
+        assert!(crate::sim::random_co_simulation(&n, &back, 32, 7));
     }
 
     #[test]

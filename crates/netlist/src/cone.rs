@@ -8,7 +8,7 @@
 
 use crate::{Netlist, NodeKind, SignalId};
 use std::collections::HashMap;
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 
 /// Computes a leaf ordering by depth-first traversal of the combinational
 /// fanin from the outputs and next-state functions — the classic
@@ -179,6 +179,80 @@ impl<'a> ConeExtractor<'a> {
             }
         }
         self.cache[&signal]
+    }
+
+    /// Budgeted [`ConeExtractor::bdd`]: identical traversal, but every
+    /// gate combination runs under `gov`. On exhaustion the partial
+    /// per-signal cache is kept, so a retry with a larger budget resumes
+    /// where this attempt stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cone reaches a leaf with no assigned variable.
+    pub fn try_bdd(
+        &mut self,
+        m: &mut Manager,
+        signal: SignalId,
+        gov: &ResourceGovernor,
+    ) -> Result<NodeId, ResourceExhausted> {
+        if let Some(&f) = self.cache.get(&signal) {
+            return Ok(f);
+        }
+        let mut stack: Vec<(SignalId, bool)> = vec![(signal, false)];
+        while let Some((s, expanded)) = stack.pop() {
+            if self.cache.contains_key(&s) {
+                continue;
+            }
+            match self.netlist.kind(s) {
+                NodeKind::Input | NodeKind::Latch { .. } => {
+                    let v = *self.var_map.get(&s).unwrap_or_else(|| {
+                        panic!(
+                            "cone leaf `{}` has no BDD variable assigned",
+                            self.netlist.signal_name(s)
+                        )
+                    });
+                    let node = m.var(v);
+                    self.cache.insert(s, node);
+                }
+                NodeKind::Const(b) => {
+                    self.cache.insert(s, if b { NodeId::TRUE } else { NodeId::FALSE });
+                }
+                NodeKind::Gate(kind) => {
+                    if expanded {
+                        let fanins: Vec<NodeId> =
+                            self.netlist.fanins(s).iter().map(|f| self.cache[f]).collect();
+                        let node = match kind {
+                            crate::GateKind::And => m.try_and_many(fanins, gov)?,
+                            crate::GateKind::Or => m.try_or_many(fanins, gov)?,
+                            crate::GateKind::Xor => m.try_xor_many(fanins, gov)?,
+                            crate::GateKind::Nand => {
+                                let x = m.try_and_many(fanins, gov)?;
+                                m.try_not(x, gov)?
+                            }
+                            crate::GateKind::Nor => {
+                                let x = m.try_or_many(fanins, gov)?;
+                                m.try_not(x, gov)?
+                            }
+                            crate::GateKind::Xnor => {
+                                let x = m.try_xor_many(fanins, gov)?;
+                                m.try_not(x, gov)?
+                            }
+                            crate::GateKind::Not => m.try_not(fanins[0], gov)?,
+                            crate::GateKind::Buf => fanins[0],
+                        };
+                        self.cache.insert(s, node);
+                    } else {
+                        stack.push((s, true));
+                        for &f in self.netlist.fanins(s) {
+                            if !self.cache.contains_key(&f) {
+                                stack.push((f, false));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(self.cache[&signal])
     }
 
     /// BDDs of all next-state functions, in latch declaration order.

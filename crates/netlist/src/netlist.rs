@@ -50,10 +50,13 @@ pub(crate) struct Node {
 /// Error raised by netlist construction, validation, and the parsers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseNetlistError {
-    /// A signal name was declared twice.
-    DuplicateName(String),
-    /// A referenced signal name was never declared.
-    UnknownSignal(String),
+    /// A signal name was declared twice. `line` is the 1-based source
+    /// line of the second declaration (0 when constructed outside a
+    /// parser).
+    DuplicateName { name: String, line: usize },
+    /// A referenced signal name was never declared. `line` is the 1-based
+    /// source line of the reference (0 when constructed outside a parser).
+    UnknownSignal { name: String, line: usize },
     /// A gate was given an arity its kind does not allow.
     BadArity { gate: String, kind: GateKind, arity: usize },
     /// A latch was left without a next-state fanin.
@@ -67,8 +70,18 @@ pub enum ParseNetlistError {
 impl fmt::Display for ParseNetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseNetlistError::DuplicateName(n) => write!(f, "duplicate signal name `{n}`"),
-            ParseNetlistError::UnknownSignal(n) => write!(f, "unknown signal `{n}`"),
+            ParseNetlistError::DuplicateName { name, line: 0 } => {
+                write!(f, "duplicate signal name `{name}`")
+            }
+            ParseNetlistError::DuplicateName { name, line } => {
+                write!(f, "duplicate signal name `{name}` on line {line}")
+            }
+            ParseNetlistError::UnknownSignal { name, line: 0 } => {
+                write!(f, "unknown signal `{name}`")
+            }
+            ParseNetlistError::UnknownSignal { name, line } => {
+                write!(f, "unknown signal `{name}` on line {line}")
+            }
             ParseNetlistError::BadArity { gate, kind, arity } => {
                 write!(f, "gate `{gate}` of kind {kind} cannot take {arity} fanins")
             }
@@ -287,6 +300,47 @@ impl Netlist {
     /// All signals in creation order.
     pub fn signals(&self) -> impl Iterator<Item = SignalId> + '_ {
         (0..self.nodes.len() as u32).map(SignalId)
+    }
+
+    /// Signal names safe for serialization, indexed by signal.
+    ///
+    /// In `.bench`/BLIF text an output whose name differs from its
+    /// driving signal becomes a buffer definition of that name, so a
+    /// *different* signal that merely shares the name would collide with
+    /// the buffer (or, worse, the output would silently rebind to it on
+    /// parse-back). Such signals are renamed `<name>__sig`; output and
+    /// interface semantics are untouched.
+    pub(crate) fn writer_names(&self) -> Vec<String> {
+        use std::collections::HashSet;
+        let claimed: HashSet<&str> = self
+            .outputs()
+            .iter()
+            .filter(|(name, sig)| name != self.signal_name(*sig))
+            .map(|(name, _)| name.as_str())
+            .collect();
+        let mut taken: HashSet<String> =
+            self.signals().map(|s| self.signal_name(s).to_string()).collect();
+        taken.extend(self.outputs().iter().map(|(name, _)| name.clone()));
+        self.signals()
+            .map(|s| {
+                let base = self.signal_name(s);
+                if !claimed.contains(base) {
+                    return base.to_string();
+                }
+                let mut i = 0usize;
+                loop {
+                    let candidate = if i == 0 {
+                        format!("{base}__sig")
+                    } else {
+                        format!("{base}__sig{i}")
+                    };
+                    if taken.insert(candidate.clone()) {
+                        return candidate;
+                    }
+                    i += 1;
+                }
+            })
+            .collect()
     }
 
     /// Gates in a topological order (every gate after all its fanins;

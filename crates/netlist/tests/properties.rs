@@ -62,11 +62,107 @@ fn build(spec: &NetSpec) -> Netlist {
     // Two outputs from the tail of the pool.
     n.add_output("o0", pool[pool.len() - 1]);
     n.add_output("o1", pool[(next() % pool.len() as u64) as usize]);
+    // And one whose name collides with an (often unrelated) internal
+    // signal — the writers must disambiguate, or parse-back rebinds it.
+    let stolen = n.signal_name(pool[(next() % pool.len() as u64) as usize]).to_string();
+    n.add_output(stolen, pool[(next() % pool.len() as u64) as usize]);
     n
+}
+
+/// Deterministically mangles well-formed netlist text: char deletions,
+/// insertions of format-significant tokens, line swaps, duplications, and
+/// truncation. The result is usually malformed in interesting ways —
+/// exactly what a total parser has to survive.
+fn mangle(text: &str, seed: u64) -> String {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    const TOKENS: &[&str] = &[
+        "(", ")", ",", "=", "#", ".", "\\", "\n", " ", "INPUT", "OUTPUT", "DFF", "AND(",
+        ".names", ".latch", ".inputs", ".end", "0", "1", "-", "é", "\t",
+    ];
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    for _ in 0..1 + next() % 8 {
+        if lines.is_empty() {
+            break;
+        }
+        let i = (next() % lines.len() as u64) as usize;
+        match next() % 6 {
+            0 => {
+                // Delete a char (char-boundary safe).
+                if let Some((pos, ch)) = lines[i].char_indices().last() {
+                    let cut = (next() % (pos as u64 + 1)) as usize;
+                    let cut = lines[i]
+                        .char_indices()
+                        .map(|(p, _)| p)
+                        .take_while(|&p| p <= cut)
+                        .last()
+                        .unwrap_or(pos);
+                    lines[i].remove(cut);
+                    let _ = ch;
+                }
+            }
+            1 => {
+                // Insert a token at a char boundary.
+                let tok = TOKENS[(next() % TOKENS.len() as u64) as usize];
+                let boundaries: Vec<usize> = lines[i]
+                    .char_indices()
+                    .map(|(p, _)| p)
+                    .chain([lines[i].len()])
+                    .collect();
+                let at = boundaries[(next() % boundaries.len() as u64) as usize];
+                lines[i].insert_str(at, tok);
+            }
+            2 => {
+                let j = (next() % lines.len() as u64) as usize;
+                lines.swap(i, j);
+            }
+            3 => {
+                let dup = lines[i].clone();
+                lines.insert(i, dup);
+            }
+            4 => {
+                lines.truncate(i);
+            }
+            _ => {
+                lines.remove(i);
+            }
+        }
+    }
+    lines.join("\n")
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bench_parser_never_panics(spec in net_spec(), mseed in any::<u64>()) {
+        let n = build(&spec);
+        let mangled = mangle(&bench::write(&n), mseed);
+        // Must return Ok or Err; a panic fails the test.
+        let _ = bench::parse(&mangled);
+    }
+
+    #[test]
+    fn blif_parser_never_panics(spec in net_spec(), mseed in any::<u64>()) {
+        let n = build(&spec);
+        let mangled = mangle(&blif::write(&n), mseed);
+        let _ = blif::parse(&mangled);
+    }
+
+    #[test]
+    fn cross_format_confusion_never_panics(spec in net_spec(), mseed in any::<u64>()) {
+        // Feed each parser the other format's text, mangled or not.
+        let n = build(&spec);
+        let _ = bench::parse(&blif::write(&n));
+        let _ = blif::parse(&bench::write(&n));
+        let _ = bench::parse(&mangle(&blif::write(&n), mseed));
+        let _ = blif::parse(&mangle(&bench::write(&n), mseed));
+    }
 
     #[test]
     fn generated_netlists_validate(spec in net_spec()) {

@@ -91,7 +91,7 @@ pub fn partition_latches(netlist: &Netlist, options: PartitionOptions) -> Vec<Pa
         for (i, p) in partitions.iter().enumerate() {
             let overlap = supp.iter().filter(|s| p.contains(s)).count();
             let grown = p.len() + supp.len() - overlap;
-            if overlap > 0 && grown <= cap && best.map_or(true, |(_, o)| overlap > o) {
+            if overlap > 0 && grown <= cap && best.is_none_or(|(_, o)| overlap > o) {
                 best = Some((i, overlap));
             }
         }

@@ -3,7 +3,7 @@
 use crate::partition::{partition_latches, Partition, PartitionOptions};
 use std::collections::HashMap;
 use symbi_bdd::hash::FxHashMap;
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 use symbi_netlist::cone::ConeExtractor;
 use symbi_netlist::{Netlist, SignalId};
 
@@ -15,8 +15,14 @@ pub struct ReachabilityOptions {
     /// Cap on fixed-point iterations per partition; on hitting it the
     /// partition conservatively reports every state reachable.
     pub max_iterations: usize,
-    /// Cap on BDD nodes per partition manager; same conservative fallback.
+    /// Cap on BDD nodes per partition manager, enforced *inside* every
+    /// image operation through the resource governor; same conservative
+    /// fallback.
     pub node_limit: usize,
+    /// Recursion-step budget per partition (`u64::MAX` = unlimited). A
+    /// partition that exhausts it falls back to "everything reachable",
+    /// or is split if large enough.
+    pub step_budget: u64,
 }
 
 impl Default for ReachabilityOptions {
@@ -25,6 +31,7 @@ impl Default for ReachabilityOptions {
             partition: PartitionOptions::default(),
             max_iterations: 10_000,
             node_limit: 1_000_000,
+            step_budget: u64::MAX,
         }
     }
 }
@@ -74,6 +81,25 @@ impl Reachability {
     ///
     /// Panics if the netlist fails validation.
     pub fn analyze(netlist: &Netlist, options: ReachabilityOptions) -> Self {
+        Reachability::analyze_governed(netlist, options, &ResourceGovernor::unlimited())
+    }
+
+    /// [`Reachability::analyze`] under an external resource governor:
+    /// each partition runs in a child governor (fresh step budget of
+    /// `options.step_budget`, charged back to `gov`), so a flow-level
+    /// deadline, node ceiling, or cancellation interrupts the analysis
+    /// *mid-image* rather than between fixed-point iterations. An
+    /// exhausted partition degrades to "everything reachable" — always
+    /// sound — or is split in half first if it is large enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist fails validation.
+    pub fn analyze_governed(
+        netlist: &Netlist,
+        options: ReachabilityOptions,
+        gov: &ResourceGovernor,
+    ) -> Self {
         netlist.validate().expect("reachability requires a valid netlist");
         let partitions = partition_latches(netlist, options.partition);
         // Adaptive splitting: a partition that exhausts its resource caps
@@ -83,7 +109,10 @@ impl Reachability {
         let mut worklist: Vec<Partition> = partitions;
         let mut parts = Vec::new();
         while let Some(p) = worklist.pop() {
-            let analyzed = analyze_partition(netlist, &p, &options);
+            let part_gov = gov
+                .fork_steps(options.step_budget)
+                .with_node_limit(gov.node_limit().min(options.node_limit));
+            let analyzed = analyze_partition(netlist, &p, &options, &part_gov);
             if analyzed.bailed && p.latches.len() > 8 {
                 let mid = p.latches.len() / 2;
                 worklist.push(Partition { latches: p.latches[..mid].to_vec() });
@@ -122,7 +151,23 @@ impl Reachability {
         dst: &mut Manager,
         var_of: &HashMap<SignalId, VarId>,
     ) -> NodeId {
+        self.try_care_set(support, dst, var_of, &ResourceGovernor::unlimited()).0
+    }
+
+    /// Governed [`Reachability::care_set`]. A partition whose projection
+    /// or conjunction exhausts `gov` is *skipped* — it contributes no
+    /// constraint, exactly as if it had never been analyzed, so the
+    /// returned set is still an over-approximation of the reachable
+    /// states. Returns the care set and the number of skipped partitions.
+    pub fn try_care_set(
+        &mut self,
+        support: &[SignalId],
+        dst: &mut Manager,
+        var_of: &HashMap<SignalId, VarId>,
+        gov: &ResourceGovernor,
+    ) -> (NodeId, usize) {
         let mut acc = NodeId::TRUE;
+        let mut skipped = 0usize;
         for part in &mut self.parts {
             let in_support: Vec<SignalId> = part
                 .latches
@@ -140,7 +185,6 @@ impl Reachability {
                 .filter(|l| !support.contains(l))
                 .map(|l| part.ps_var[l])
                 .collect();
-            let projected = part.manager.exists(part.reach, &away);
             // ...and transfer the projection into the caller's space.
             let var_map: FxHashMap<VarId, VarId> = in_support
                 .iter()
@@ -151,10 +195,20 @@ impl Reachability {
                     (part.ps_var[l], dst_var)
                 })
                 .collect();
-            let transferred = dst.transfer_from(&part.manager, projected, &var_map);
-            acc = dst.and(acc, transferred);
+            let part_manager = &mut part.manager;
+            let reach = part.reach;
+            let conjoined = (|| -> Result<NodeId, ResourceExhausted> {
+                let projected = part_manager.try_exists(reach, &away, gov)?;
+                // Transfer is linear in the projection — unbudgeted.
+                let transferred = dst.transfer_from(part_manager, projected, &var_map);
+                dst.try_and(acc, transferred, gov)
+            })();
+            match conjoined {
+                Ok(n) => acc = n,
+                Err(_) => skipped += 1,
+            }
         }
-        acc
+        (acc, skipped)
     }
 
     /// `log2` of the reachable-state count under the conjunction of all
@@ -207,6 +261,7 @@ fn analyze_partition(
     netlist: &Netlist,
     partition: &Partition,
     options: &ReachabilityOptions,
+    gov: &ResourceGovernor,
 ) -> PartitionReach {
     let k = partition.latches.len();
     let mut m = Manager::new();
@@ -234,75 +289,84 @@ fn analyze_partition(
             });
         }
     }
-    // Next-state functions and transition conjuncts.
-    let mut extractor = ConeExtractor::new(netlist, cone_map);
-    let mut conjuncts: Vec<NodeId> = Vec::with_capacity(k);
-    for (i, &l) in partition.latches.iter().enumerate() {
-        let next = netlist.latch_next(l).expect("validated netlist");
-        let delta = extractor.bdd(&mut m, next);
-        let nv = m.var(ns_var[i]);
-        conjuncts.push(m.xnor(nv, delta));
-    }
-    // Quantification schedule: a variable is quantified right after the
-    // last conjunct that mentions it (early quantification).
-    let present_vars: Vec<VarId> = partition.latches.iter().map(|l| ps_var[l]).collect();
-    let mut quantify: Vec<VarId> = present_vars.clone();
-    quantify.extend(free_vars.iter().copied());
-    let mut last_use: HashMap<VarId, usize> = quantify.iter().map(|&v| (v, 0)).collect();
-    for (idx, &c) in conjuncts.iter().enumerate() {
-        for v in m.support(c) {
-            if let Some(slot) = last_use.get_mut(&v) {
-                *slot = (*slot).max(idx + 1);
+    // Every BDD operation from here on runs under `gov`, so a tripped
+    // limit surfaces *inside* a cone build or image step, not at the next
+    // iteration boundary. The iteration cap reuses the `Steps` verdict.
+    let mut iterations = 0usize;
+    let governed = (|| -> Result<NodeId, ResourceExhausted> {
+        // Next-state functions and transition conjuncts.
+        let mut extractor = ConeExtractor::new(netlist, cone_map);
+        let mut conjuncts: Vec<NodeId> = Vec::with_capacity(k);
+        for (i, &l) in partition.latches.iter().enumerate() {
+            let next = netlist.latch_next(l).expect("validated netlist");
+            let delta = extractor.try_bdd(&mut m, next, gov)?;
+            let nv = m.var(ns_var[i]);
+            conjuncts.push(m.try_xnor(nv, delta, gov)?);
+        }
+        // Quantification schedule: a variable is quantified right after
+        // the last conjunct that mentions it (early quantification).
+        let present_vars: Vec<VarId> =
+            partition.latches.iter().map(|l| ps_var[l]).collect();
+        let mut quantify: Vec<VarId> = present_vars.clone();
+        quantify.extend(free_vars.iter().copied());
+        let mut last_use: HashMap<VarId, usize> =
+            quantify.iter().map(|&v| (v, 0)).collect();
+        for (idx, &c) in conjuncts.iter().enumerate() {
+            for v in m.support(c) {
+                if let Some(slot) = last_use.get_mut(&v) {
+                    *slot = (*slot).max(idx + 1);
+                }
             }
         }
-    }
-    let schedule: Vec<Vec<VarId>> = (0..=conjuncts.len())
-        .map(|idx| {
-            quantify.iter().copied().filter(|v| last_use[v] == idx).collect()
-        })
-        .collect();
+        let schedule: Vec<Vec<VarId>> = (0..=conjuncts.len())
+            .map(|idx| {
+                quantify.iter().copied().filter(|v| last_use[v] == idx).collect()
+            })
+            .collect();
 
-    // Initial state.
-    let init_assign: Vec<(VarId, bool)> = partition
-        .latches
-        .iter()
-        .map(|&l| (ps_var[&l], netlist.latch_init(l)))
-        .collect();
-    let init = m.minterm(&init_assign);
+        // Initial state.
+        let init_assign: Vec<(VarId, bool)> = partition
+            .latches
+            .iter()
+            .map(|&l| (ps_var[&l], netlist.latch_init(l)))
+            .collect();
+        let init = m.minterm(&init_assign);
 
-    // Fixed point.
-    let rename_pairs: Vec<(VarId, VarId)> = partition
-        .latches
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| (ns_var[i], ps_var[&l]))
-        .collect();
-    let mut reach = init;
-    let mut frontier = init;
-    let mut iterations = 0usize;
-    let mut bailed = false;
-    loop {
-        if iterations >= options.max_iterations || m.stats().nodes > options.node_limit {
-            bailed = true;
-            reach = NodeId::TRUE;
-            break;
+        // Fixed point.
+        let rename_pairs: Vec<(VarId, VarId)> = partition
+            .latches
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (ns_var[i], ps_var[&l]))
+            .collect();
+        let mut reach = init;
+        let mut frontier = init;
+        loop {
+            if iterations >= options.max_iterations {
+                return Err(ResourceExhausted::Steps);
+            }
+            iterations += 1;
+            // Image of the frontier with early quantification.
+            let mut product = m.try_exists(frontier, &schedule[0], gov)?;
+            for (idx, &c) in conjuncts.iter().enumerate() {
+                let cube = m.cube(&schedule[idx + 1]);
+                product = m.try_and_exists(product, c, cube, gov)?;
+            }
+            let image = m.try_rename(product, &rename_pairs, gov)?;
+            let fresh = m.try_diff(image, reach, gov)?;
+            if fresh.is_false() {
+                break;
+            }
+            reach = m.try_or(reach, image, gov)?;
+            frontier = fresh;
+            m.clear_cache();
         }
-        iterations += 1;
-        // Image of the frontier with early quantification.
-        let mut product = m.exists(frontier, &schedule[0]);
-        for (idx, &c) in conjuncts.iter().enumerate() {
-            let cube = m.cube(&schedule[idx + 1]);
-            product = m.and_exists(product, c, cube);
-        }
-        let image = m.rename(product, &rename_pairs);
-        let fresh = m.diff(image, reach);
-        if fresh.is_false() {
-            break;
-        }
-        reach = m.or(reach, image);
-        frontier = fresh;
-        m.clear_cache();
-    }
+        Ok(reach)
+    })();
+    let (reach, bailed) = match governed {
+        Ok(r) => (r, false),
+        Err(_) => (NodeId::TRUE, true),
+    };
 
     PartitionReach { latches: partition.latches.clone(), manager: m, reach, ps_var, iterations, bailed }
 }
@@ -347,7 +411,7 @@ mod tests {
     #[test]
     fn counter_reaches_all_states() {
         let n = saturating_counter();
-        let mut r = Reachability::analyze(&n, ReachabilityOptions::default());
+        let r = Reachability::analyze(&n, ReachabilityOptions::default());
         let stats = r.stats();
         assert_eq!(stats.partitions, 1);
         assert!(!r.parts[0].bailed);
@@ -357,7 +421,7 @@ mod tests {
     #[test]
     fn ring_reaches_only_one_hot_states() {
         let n = one_hot_ring();
-        let mut r = Reachability::analyze(&n, ReachabilityOptions::default());
+        let r = Reachability::analyze(&n, ReachabilityOptions::default());
         let stats = r.stats();
         assert!((stats.log2_states - 2.0).abs() < 1e-9, "4 of 16 states reachable");
     }
@@ -411,9 +475,65 @@ mod tests {
     fn iteration_cap_falls_back_conservatively() {
         let n = saturating_counter();
         let opts = ReachabilityOptions { max_iterations: 1, ..Default::default() };
-        let mut r = Reachability::analyze(&n, opts);
+        let r = Reachability::analyze(&n, opts);
         assert!(r.stats().bailed_out >= 1);
         assert!((r.log2_states() - 3.0).abs() < 1e-9, "fallback claims everything");
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned() {
+        let n = saturating_counter();
+        let a = Reachability::analyze(&n, ReachabilityOptions::default());
+        let b = Reachability::analyze_governed(
+            &n,
+            ReachabilityOptions::default(),
+            &ResourceGovernor::unlimited(),
+        );
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn starved_step_budget_bails_soundly() {
+        let n = one_hot_ring();
+        let opts = ReachabilityOptions { step_budget: 4, ..Default::default() };
+        let mut r = Reachability::analyze(&n, opts);
+        let stats = r.stats();
+        assert!(stats.bailed_out >= 1, "a 4-step budget cannot finish");
+        // The fallback claims everything reachable — sound, just useless.
+        assert!((stats.log2_states - 4.0).abs() < 1e-9);
+        let latches: Vec<SignalId> = n.latches().to_vec();
+        let mut dst = Manager::with_vars(4);
+        let var_of: HashMap<SignalId, VarId> =
+            latches.iter().enumerate().map(|(i, &l)| (l, VarId(i as u32))).collect();
+        let care = r.care_set(&latches, &mut dst, &var_of);
+        assert!(care.is_true(), "bailed partitions must not constrain anything");
+    }
+
+    #[test]
+    fn tiny_node_ceiling_trips_mid_operation() {
+        // A node limit this small trips inside the first cone build —
+        // before the old per-iteration check would ever have run.
+        let n = saturating_counter();
+        let opts = ReachabilityOptions { node_limit: 8, ..Default::default() };
+        let r = Reachability::analyze(&n, opts);
+        assert!(r.stats().bailed_out >= 1);
+        assert!((r.log2_states() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn starved_care_set_skips_partitions() {
+        let n = one_hot_ring();
+        let mut r = Reachability::analyze(&n, ReachabilityOptions::default());
+        // A strict sub-support forces a real projection, which a zero
+        // step budget cannot pay for.
+        let latches: Vec<SignalId> = n.latches()[..2].to_vec();
+        let mut dst = Manager::with_vars(2);
+        let var_of: HashMap<SignalId, VarId> =
+            latches.iter().enumerate().map(|(i, &l)| (l, VarId(i as u32))).collect();
+        let gov = ResourceGovernor::unlimited().with_step_limit(0);
+        let (care, skipped) = r.try_care_set(&latches, &mut dst, &var_of, &gov);
+        assert!(skipped >= 1);
+        assert!(care.is_true(), "skipped partitions contribute no constraint");
     }
 
     #[test]

@@ -29,7 +29,7 @@
 
 mod solver;
 
-pub use solver::{Lit, SolveResult, Solver, Var};
+pub use solver::{BudgetedSolveResult, Lit, SolveResult, Solver, Var};
 
 #[cfg(test)]
 mod tests_dimacs_style;

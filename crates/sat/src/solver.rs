@@ -98,6 +98,37 @@ impl SolveResult {
     }
 }
 
+/// Outcome of [`Solver::solve_budgeted`] /
+/// [`Solver::solve_budgeted_with_assumptions`]: a [`SolveResult`] plus
+/// the `Unknown` verdict of a solver that ran out of conflict budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetedSolveResult {
+    /// A satisfying assignment was found (read it with [`Solver::value`]).
+    Sat,
+    /// Unsatisfiable; under assumptions, `core` lists a subset of the
+    /// assumption literals sufficient for the refutation.
+    Unsat {
+        /// Subset of the assumptions used to derive the contradiction.
+        core: Vec<Lit>,
+    },
+    /// The conflict budget ran out before a verdict. The solver has
+    /// backtracked to level 0 and remains usable — learnt clauses are
+    /// kept, so a retry with a larger budget resumes smarter.
+    Unknown,
+}
+
+impl BudgetedSolveResult {
+    /// Is this the satisfiable outcome?
+    pub fn is_sat(&self) -> bool {
+        matches!(self, BudgetedSolveResult::Sat)
+    }
+
+    /// Did the budget run out before a verdict?
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, BudgetedSolveResult::Unknown)
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
@@ -295,7 +326,7 @@ impl Solver {
                 // No new watch: clause is unit or conflicting.
                 if !self.enqueue(first, Some(cref)) {
                     // Conflict: restore remaining watchers and bail.
-                    self.watches[p.code()].extend(watchers.drain(..));
+                    self.watches[p.code()].append(&mut watchers);
                     self.qhead = self.trail.len();
                     return Some(cref);
                 }
@@ -353,12 +384,10 @@ impl Solver {
         loop {
             {
                 let lits: Vec<Lit> = self.clauses[cref as usize].lits.clone();
-                let skip = usize::from(p.is_some());
-                for &q in lits.iter().skip(0) {
+                for &q in &lits {
                     if Some(q) == p {
                         continue;
                     }
-                    let _ = skip;
                     let v = q.var();
                     if !self.seen[v.index()] && self.level[v.index()] > 0 {
                         self.seen[v.index()] = true;
@@ -467,13 +496,45 @@ impl Solver {
 
     /// Solves under the given assumption literals.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        match self.search(assumptions, None) {
+            BudgetedSolveResult::Sat => SolveResult::Sat,
+            BudgetedSolveResult::Unsat { core } => SolveResult::Unsat { core },
+            BudgetedSolveResult::Unknown => {
+                unreachable!("unlimited search cannot exhaust its budget")
+            }
+        }
+    }
+
+    /// Solves with at most `max_conflicts` conflicts; returns
+    /// [`BudgetedSolveResult::Unknown`] if the budget runs out first.
+    /// The solver stays usable after an `Unknown` — clauses learnt
+    /// during the bounded run are kept for the next attempt.
+    pub fn solve_budgeted(&mut self, max_conflicts: u64) -> BudgetedSolveResult {
+        self.search(&[], Some(max_conflicts))
+    }
+
+    /// Budgeted solving under assumption literals; see
+    /// [`Solver::solve_budgeted`].
+    pub fn solve_budgeted_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> BudgetedSolveResult {
+        self.search(assumptions, Some(max_conflicts))
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: Option<u64>,
+    ) -> BudgetedSolveResult {
         self.backtrack_to(0);
         if !self.ok {
-            return SolveResult::Unsat { core: Vec::new() };
+            return BudgetedSolveResult::Unsat { core: Vec::new() };
         }
         if let Some(_c) = self.propagate() {
             self.ok = false;
-            return SolveResult::Unsat { core: Vec::new() };
+            return BudgetedSolveResult::Unsat { core: Vec::new() };
         }
         // Enqueue assumptions, each on its own decision level.
         for &a in assumptions {
@@ -488,7 +549,7 @@ impl Solver {
                     core.sort_unstable();
                     core.dedup();
                     self.backtrack_to(0);
-                    return SolveResult::Unsat { core };
+                    return BudgetedSolveResult::Unsat { core };
                 }
                 None => {
                     self.new_decision_level();
@@ -508,7 +569,7 @@ impl Solver {
                         core.sort_unstable();
                         core.dedup();
                         self.backtrack_to(0);
-                        return SolveResult::Unsat { core };
+                        return BudgetedSolveResult::Unsat { core };
                     }
                 }
             }
@@ -518,9 +579,19 @@ impl Solver {
         // Main CDCL loop with geometric restarts.
         let mut conflicts_until_restart = 100u64;
         let mut conflict_budget = conflicts_until_restart;
+        let mut remaining = max_conflicts;
         loop {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
+                if let Some(r) = remaining.as_mut() {
+                    if *r == 0 {
+                        // Budget spent: no verdict. Keep learnt clauses,
+                        // drop decisions, stay reusable.
+                        self.backtrack_to(0);
+                        return BudgetedSolveResult::Unknown;
+                    }
+                    *r -= 1;
+                }
                 if self.decision_level() <= assumption_level {
                     // Refuted under the assumptions.
                     let lits = self.clauses[conflict as usize].lits.clone();
@@ -534,7 +605,7 @@ impl Solver {
                     if assumptions.is_empty() {
                         self.ok = false;
                     }
-                    return SolveResult::Unsat { core };
+                    return BudgetedSolveResult::Unsat { core };
                 }
                 let (learnt, bt_level) = self.analyze(conflict);
                 let bt = bt_level.max(assumption_level);
@@ -564,7 +635,7 @@ impl Solver {
                 }
             } else {
                 match self.pick_branch() {
-                    None => return SolveResult::Sat,
+                    None => return BudgetedSolveResult::Sat,
                     Some(l) => {
                         self.stats.decisions += 1;
                         self.new_decision_level();
@@ -617,14 +688,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // i,j index a 2-D pigeon/hole grid
     fn pigeonhole_3_into_2_is_unsat() {
         // p_{i,j}: pigeon i in hole j. Each pigeon somewhere; no two
         // pigeons share a hole.
         let mut s = Solver::new();
         let p: Vec<Vec<Var>> =
             (0..3).map(|_| (0..2).map(|_| s.new_var()).collect()).collect();
-        for i in 0..3 {
-            s.add_clause([Lit::pos(p[i][0]), Lit::pos(p[i][1])]);
+        for row in &p {
+            s.add_clause([Lit::pos(row[0]), Lit::pos(row[1])]);
         }
         for j in 0..2 {
             for i1 in 0..3 {
@@ -702,5 +774,62 @@ mod tests {
         let v = s.new_var();
         assert!(s.add_clause([Lit::pos(v), Lit::neg(v)]));
         assert!(s.solve().is_sat());
+    }
+
+    /// Pigeonhole instance `n+1` pigeons into `n` holes — unsatisfiable
+    /// and exponentially hard for resolution, so a small conflict
+    /// budget is guaranteed to run out on a large enough `n`.
+    #[allow(clippy::needless_range_loop)] // i,j index a 2-D pigeon/hole grid
+    fn pigeonhole(n: usize) -> Solver {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> =
+            (0..n + 1).map(|_| (0..n).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+        }
+        for j in 0..n {
+            for i1 in 0..n + 1 {
+                for i2 in i1 + 1..n + 1 {
+                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn budgeted_solve_returns_unknown_then_finishes() {
+        let mut s = pigeonhole(7);
+        let before = s.stats.conflicts;
+        assert!(s.solve_budgeted(10).is_unknown());
+        assert!(s.stats.conflicts > before, "the bounded run did search");
+        // The solver is still usable: the unlimited run finishes the job.
+        assert!(!s.solve().is_sat());
+        // And a budgeted run on an already-refuted formula is immediate.
+        assert_eq!(s.solve_budgeted(0), BudgetedSolveResult::Unsat { core: Vec::new() });
+    }
+
+    #[test]
+    fn budgeted_solve_agrees_on_easy_instances() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        s.add_clause(lits(&[1, 2], &vars));
+        s.add_clause(lits(&[-1, 3], &vars));
+        assert!(s.solve_budgeted(1_000).is_sat());
+    }
+
+    #[test]
+    fn budgeted_assumptions_keep_core_contract() {
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause([Lit::pos(x)]);
+        match s.solve_budgeted_with_assumptions(&[Lit::neg(x), Lit::pos(y)], 1_000) {
+            BudgetedSolveResult::Unsat { core } => {
+                assert!(core.contains(&Lit::neg(x)));
+                assert!(!core.contains(&Lit::pos(y)));
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
     }
 }

@@ -21,12 +21,46 @@
 
 use crate::share::TreeEmitter;
 use std::collections::HashMap;
-use symbi_bdd::{Manager, VarId};
+use std::time::Duration;
+use symbi_bdd::{Manager, ResourceExhausted, ResourceGovernor, VarId};
 use symbi_core::{recursive, Interval};
 use symbi_netlist::clean::clean;
 use symbi_netlist::cone::ConeExtractor;
 use symbi_netlist::{Netlist, NodeKind, SignalId};
 use symbi_reach::{Reachability, ReachabilityOptions};
+
+/// Resource budget for one [`optimize`] run. The default is unlimited:
+/// the flow behaves exactly as if no governor existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetOptions {
+    /// Recursion-step budget granted to *each* candidate cone
+    /// (`u64::MAX` = unlimited). A candidate that exhausts it keeps its
+    /// original implementation.
+    pub candidate_steps: u64,
+    /// Live-node ceiling on the flow's BDD managers
+    /// (`usize::MAX` = unlimited).
+    pub node_limit: usize,
+    /// Wall-clock deadline for the whole run. Candidates processed after
+    /// it passes keep their original cones.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for BudgetOptions {
+    fn default() -> Self {
+        BudgetOptions { candidate_steps: u64::MAX, node_limit: usize::MAX, timeout: None }
+    }
+}
+
+impl BudgetOptions {
+    /// The governor implementing this budget.
+    pub fn governor(&self) -> ResourceGovernor {
+        let mut gov = ResourceGovernor::unlimited().with_node_limit(self.node_limit);
+        if let Some(t) = self.timeout {
+            gov = gov.with_timeout(t);
+        }
+        gov
+    }
+}
 
 /// Options for [`optimize`].
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +77,9 @@ pub struct SynthesisOptions {
     /// the existing structure (the paper's "assessed impact … over
     /// existing circuit structure"). Disable to force re-implementation.
     pub accept_only_improvements: bool,
+    /// Resource budget; candidates that exhaust it degrade gracefully to
+    /// their original cones instead of aborting the flow.
+    pub budget: BudgetOptions,
 }
 
 impl Default for SynthesisOptions {
@@ -52,6 +89,7 @@ impl Default for SynthesisOptions {
             decompose: recursive::Options::default(),
             max_cone_support: 20,
             accept_only_improvements: true,
+            budget: BudgetOptions::default(),
         }
     }
 }
@@ -75,6 +113,16 @@ pub struct SynthesisReport {
     /// `log2` of the reachable-state estimate (latch count when state
     /// analysis is off).
     pub log2_states: f64,
+    /// Candidates whose resource budget ran out before a correct
+    /// decomposition existed; their original cones were kept verbatim.
+    pub candidates_skipped: usize,
+    /// Governed operations that hit a resource limit anywhere in the
+    /// flow (decomposer ladder rungs, care-set projections, whole
+    /// candidates). Zero under the default unlimited budget.
+    pub budget_exhausted_ops: usize,
+    /// Degradation-ladder steps the decomposer took after an exhaustion
+    /// (symbolic partition search → greedy growth → Shannon).
+    pub fallbacks_taken: usize,
 }
 
 /// Runs Algorithm 1 on `netlist`, returning the optimized netlist (same
@@ -84,12 +132,29 @@ pub struct SynthesisReport {
 ///
 /// Panics if the netlist fails validation.
 pub fn optimize(netlist: &Netlist, options: &SynthesisOptions) -> (Netlist, SynthesisReport) {
+    optimize_governed(netlist, options, &options.budget.governor())
+}
+
+/// [`optimize`] under a caller-supplied governor — use this to share one
+/// budget (or one cancellation flag) across several flow invocations.
+/// Per-candidate step budgets from [`BudgetOptions::candidate_steps`] are
+/// forked off `gov`, so its own step limit, node ceiling, deadline, and
+/// cancel flag all still apply.
+///
+/// # Panics
+///
+/// Panics if the netlist fails validation.
+pub fn optimize_governed(
+    netlist: &Netlist,
+    options: &SynthesisOptions,
+    gov: &ResourceGovernor,
+) -> (Netlist, SynthesisReport) {
     let (cleaned, _) = clean(netlist);
     let mut report = SynthesisReport::default();
 
     // Partitioned reachability (or the trivial no-information analysis).
     let mut reach = match options.reach {
-        Some(opts) => Reachability::analyze(&cleaned, opts),
+        Some(opts) => Reachability::analyze_governed(&cleaned, opts, gov),
         None => Reachability::trivial(&cleaned),
     };
     report.log2_states = reach.log2_states();
@@ -154,31 +219,57 @@ pub fn optimize(netlist: &Netlist, options: &SynthesisOptions) -> (Netlist, Synt
         let new_sig = if support.len() <= options.max_cone_support
             && matches!(cleaned.kind(signal), NodeKind::Gate(_) | NodeKind::Latch { .. })
         {
-            report.decomposed += 1;
-            let f = extractor.bdd(&mut m, signal);
-            // Retrieve unreachable states over the cone's present-state
-            // support and widen the specification.
-            let ps: Vec<SignalId> = support
-                .iter()
-                .copied()
-                .filter(|s| matches!(cleaned.kind(*s), NodeKind::Latch { .. }))
-                .collect();
-            let care = reach.care_set(&ps, &mut m, &var_of_latch);
-            let unreachable = m.not(care);
-            let interval = Interval::with_dontcare(&mut m, f, unreachable);
-            let (tree, stats) = recursive::decompose(&mut m, &interval, &options.decompose);
-            report.steps.or_steps += stats.or_steps;
-            report.steps.and_steps += stats.and_steps;
-            report.steps.xor_steps += stats.xor_steps;
-            report.steps.shannon_steps += stats.shannon_steps;
-            report.steps.vars_abstracted += stats.vars_abstracted;
-            if options.accept_only_improvements
-                && tree.aig_cost() > mffc_cost(&cleaned, signal, &ref_counts, extractor.var_map())
-            {
-                report.rejected += 1;
-                emitter.copy_cone(&cleaned, signal)
-            } else {
-                emitter.emit(&tree, &var_to_leaf)
+            // Each candidate gets a fresh step budget forked off the flow
+            // governor; node ceiling, deadline, and cancellation are
+            // shared. An exhausted candidate keeps its original cone —
+            // Algorithm 1 degrades, it never dies.
+            let cand_gov = gov.fork_steps(options.budget.candidate_steps);
+            let attempt = (|| -> Result<_, ResourceExhausted> {
+                let f = extractor.try_bdd(&mut m, signal, &cand_gov)?;
+                // Retrieve unreachable states over the cone's
+                // present-state support and widen the specification.
+                let ps: Vec<SignalId> = support
+                    .iter()
+                    .copied()
+                    .filter(|s| matches!(cleaned.kind(*s), NodeKind::Latch { .. }))
+                    .collect();
+                // Partitions the budget cannot project are dropped from
+                // the care set — fewer don't cares, still sound.
+                let (care, dropped) =
+                    reach.try_care_set(&ps, &mut m, &var_of_latch, &cand_gov);
+                let unreachable = m.try_not(care, &cand_gov)?;
+                let interval = Interval::try_with_dontcare(&mut m, f, unreachable, &cand_gov)?;
+                let (tree, stats) =
+                    recursive::try_decompose(&mut m, &interval, &options.decompose, &cand_gov)?;
+                Ok((tree, stats, dropped))
+            })();
+            match attempt {
+                Ok((tree, stats, dropped)) => {
+                    report.decomposed += 1;
+                    report.steps.or_steps += stats.or_steps;
+                    report.steps.and_steps += stats.and_steps;
+                    report.steps.xor_steps += stats.xor_steps;
+                    report.steps.shannon_steps += stats.shannon_steps;
+                    report.steps.vars_abstracted += stats.vars_abstracted;
+                    report.steps.budget_exhausted_ops += stats.budget_exhausted_ops;
+                    report.steps.fallbacks_taken += stats.fallbacks_taken;
+                    report.budget_exhausted_ops += stats.budget_exhausted_ops + dropped;
+                    report.fallbacks_taken += stats.fallbacks_taken;
+                    if options.accept_only_improvements
+                        && tree.aig_cost()
+                            > mffc_cost(&cleaned, signal, &ref_counts, extractor.var_map())
+                    {
+                        report.rejected += 1;
+                        emitter.copy_cone(&cleaned, signal)
+                    } else {
+                        emitter.emit(&tree, &var_to_leaf)
+                    }
+                }
+                Err(_) => {
+                    report.candidates_skipped += 1;
+                    report.budget_exhausted_ops += 1;
+                    emitter.copy_cone(&cleaned, signal)
+                }
             }
         } else {
             report.skipped_wide +=

@@ -1,0 +1,93 @@
+//! Acceptance tests for the resource governor: a deliberately starved
+//! run must still finish with a sequentially equivalent netlist (keeping
+//! original cones where the budget ran out), and the default unlimited
+//! budget must be indistinguishable from an ungoverned flow.
+
+use std::time::Duration;
+use symbi_circuits::industrial::{generate, IndustrialSpec};
+use symbi_circuits::CircuitSpec;
+use symbi_netlist::{bench, sec, Netlist};
+use symbi_synth::flow::{optimize, optimize_governed, BudgetOptions, SynthesisOptions};
+
+/// A scaled-down seq4: same generator and name seed as the Table 3.2
+/// stand-in, with an interface small enough for an exact product-machine
+/// equivalence check.
+fn seq4_like() -> Netlist {
+    generate(&IndustrialSpec {
+        base: CircuitSpec { name: "seq4", inputs: 6, outputs: 4, latches: 7 },
+        and_nodes: 70,
+    })
+}
+
+#[test]
+fn starved_run_finishes_equivalent_with_skips() {
+    let n = seq4_like();
+    let options = SynthesisOptions {
+        budget: BudgetOptions { candidate_steps: 24, ..Default::default() },
+        ..Default::default()
+    };
+    let (opt, report) = optimize(&n, &options);
+    assert!(
+        report.candidates_skipped > 0,
+        "a 24-step budget cannot decompose every cone: {report:?}"
+    );
+    assert!(report.budget_exhausted_ops > 0);
+    // The skipped candidates kept their original cones, so the result is
+    // still sequentially equivalent to the input.
+    assert_eq!(
+        sec::product_machine_check(&n, &opt, 100_000),
+        Some(true),
+        "starved optimization must stay equivalent"
+    );
+}
+
+#[test]
+fn starved_reachability_and_flow_still_equivalent() {
+    // Starve reachability too: bailed partitions claim everything
+    // reachable, which only removes don't cares.
+    let n = seq4_like();
+    let mut options = SynthesisOptions {
+        budget: BudgetOptions { candidate_steps: 512, ..Default::default() },
+        ..Default::default()
+    };
+    if let Some(reach) = options.reach.as_mut() {
+        reach.step_budget = 100;
+    }
+    let (opt, _) = optimize(&n, &options);
+    assert_eq!(sec::product_machine_check(&n, &opt, 100_000), Some(true));
+}
+
+#[test]
+fn zero_timeout_degrades_to_copy() {
+    let n = seq4_like();
+    let options = SynthesisOptions {
+        budget: BudgetOptions { timeout: Some(Duration::ZERO), ..Default::default() },
+        ..Default::default()
+    };
+    let (opt, report) = optimize(&n, &options);
+    assert!(report.candidates_skipped > 0, "an expired deadline skips candidates");
+    assert_eq!(sec::product_machine_check(&n, &opt, 100_000), Some(true));
+}
+
+#[test]
+fn default_budget_reproduces_unlimited_flow_bit_for_bit() {
+    let n = seq4_like();
+    let default_opts = SynthesisOptions::default();
+    let (a, ra) = optimize(&n, &default_opts);
+    // An explicitly governed run with an unlimited governor...
+    let gov = BudgetOptions::default().governor();
+    let (b, rb) = optimize_governed(&n, &default_opts, &gov);
+    // ...and a huge *finite* budget (metered governor, never trips).
+    let finite_opts = SynthesisOptions {
+        budget: BudgetOptions { candidate_steps: 1 << 40, ..Default::default() },
+        ..Default::default()
+    };
+    let (c, rc) = optimize(&n, &finite_opts);
+    assert_eq!(bench::write(&a), bench::write(&b));
+    assert_eq!(bench::write(&a), bench::write(&c));
+    assert_eq!(ra, rb);
+    assert_eq!(ra, rc);
+    assert_eq!(ra.candidates_skipped, 0);
+    assert_eq!(ra.budget_exhausted_ops, 0);
+    assert_eq!(ra.fallbacks_taken, 0);
+}

@@ -4,9 +4,14 @@
 //! symbi stats     <file>
 //! symbi convert   <in> <out>
 //! symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
+//!                 [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
 //! symbi check     <a> <b> [--frames N] [--exact]
 //! symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]
 //! ```
+//!
+//! The `--budget-*` and `--timeout-ms` knobs bound the optimizer: a
+//! candidate whose budget runs out keeps its original logic, so the run
+//! always finishes with a correct netlist.
 //!
 //! `decompose --dc` widens the signal's specification with
 //! unreachable-state don't cares before computing the choices — the
@@ -55,6 +60,7 @@ usage:
   symbi stats     <file>
   symbi convert   <in> <out>
   symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
+                  [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
   symbi check     <a> <b> [--frames N] [--exact]
   symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]";
 
@@ -77,8 +83,14 @@ fn save(n: &Netlist, path: &str) -> Result<(), String> {
     std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))
 }
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.as_str())),
+            None => Err(format!("{name} requires a value")),
+        },
+    }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
@@ -129,9 +141,21 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--no-xor") {
         options.decompose.use_xor = false;
     }
-    if let Some(v) = flag_value(args, "--max-support") {
+    if let Some(v) = flag_value(args, "--max-support")? {
         options.max_cone_support =
             v.parse().map_err(|e| format!("--max-support: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--budget-steps")? {
+        options.budget.candidate_steps =
+            v.parse().map_err(|e| format!("--budget-steps: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--budget-nodes")? {
+        options.budget.node_limit =
+            v.parse().map_err(|e| format!("--budget-nodes: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--timeout-ms")? {
+        let ms: u64 = v.parse().map_err(|e| format!("--timeout-ms: {e}"))?;
+        options.budget.timeout = Some(std::time::Duration::from_millis(ms));
     }
     let before = stats::stats(&n);
     let library = Library::mcnc_like();
@@ -148,6 +172,12 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         report.sharing_hits
     );
     println!("log2(reachable states) = {:.1}", report.log2_states);
+    if report.budget_exhausted_ops > 0 || report.candidates_skipped > 0 {
+        println!(
+            "budget: {} candidates kept original logic, {} exhausted ops, {} fallbacks",
+            report.candidates_skipped, report.budget_exhausted_ops, report.fallbacks_taken
+        );
+    }
     println!(
         "mapped area {:.1} → {:.1} ({:.3}), delay {:.1} → {:.1} ({:.3})",
         pre_mapped.area,
@@ -157,7 +187,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         post_mapped.delay,
         post_mapped.delay / pre_mapped.delay
     );
-    if let Some(out) = flag_value(args, "-o") {
+    if let Some(out) = flag_value(args, "-o")? {
         save(&optimized, out)?;
         println!("wrote {out}");
     }
@@ -181,7 +211,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         }
         return Ok(());
     }
-    let frames = match flag_value(args, "--frames") {
+    let frames = match flag_value(args, "--frames")? {
         Some(v) => v.parse().map_err(|e| format!("--frames: {e}"))?,
         None => 16,
     };
@@ -204,8 +234,8 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 
 fn cmd_decompose(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("decompose: missing file")?;
-    let signal_name = flag_value(args, "--signal").ok_or("decompose: missing --signal")?;
-    let kind = flag_value(args, "--kind").unwrap_or("or");
+    let signal_name = flag_value(args, "--signal")?.ok_or("decompose: missing --signal")?;
+    let kind = flag_value(args, "--kind")?.unwrap_or("or");
     let n = load(path)?;
     let sig = n
         .signal(signal_name)

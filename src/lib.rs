@@ -34,6 +34,7 @@
 //! ```
 
 pub use symbi_bdd as bdd;
+pub use symbi_bdd::{CancelHandle, ResourceExhausted, ResourceGovernor};
 pub use symbi_circuits as circuits;
 pub use symbi_core as core;
 pub use symbi_netlist as netlist;

@@ -1,0 +1,395 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of the proptest 1.x API its tests use: the `proptest!`
+//! macro (with `#![proptest_config(...)]`), `any::<T>()` for integers
+//! and `bool`, integer range strategies, tuple strategies, `prop_map`,
+//! and the `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Semantics are simplified relative to real proptest: cases are drawn
+//! from a generator seeded deterministically from the test name (so
+//! failures reproduce across runs), and there is no shrinking — a
+//! failing case reports the case number and the assertion message.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Deterministic per-test random source (xoshiro256++ via splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name, then splitmix64 expansion.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut state = h;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A failed test case. Returned (via `Err`) by the `prop_assert!` family.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of values for one test parameter.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value (`proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the full range of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let r = rng.next_u64() as u128;
+                self.start.wrapping_add(((r * span) >> 64) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty range strategy");
+                let span = (high as u128).wrapping_sub(low as u128).wrapping_add(1);
+                let r = rng.next_u64() as u128;
+                low.wrapping_add(((r * span) >> 64) as $t)
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).generate(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Like `assert!`, but returns a [`TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but returns a [`TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but returns a [`TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares a block of property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in any::<u64>(), k in 0u32..6) {
+///         prop_assert!(x | u64::from(k) >= x);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); ) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                ::core::module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                #[allow(unreachable_code)]
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("proptest case {}/{} failed: {}", case + 1, config.cases, e);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+}
+
+pub mod strategy {
+    pub use super::{Just, Map, Strategy};
+}
+
+pub mod test_runner {
+    pub use super::{ProptestConfig as Config, TestCaseError, TestCaseResult, TestRng};
+}
+
+pub mod prelude {
+    pub use super::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..9, y in 1usize..=4, z in 10u64..) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!(z >= 10);
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (any::<u8>(), 0u32..4).prop_map(|(a, b)| (a, b * 2))) {
+            prop_assert_eq!(pair.1 % 2, 0);
+            prop_assert!(u32::from(pair.0) <= 255);
+        }
+
+        #[test]
+        fn early_return_ok(x in any::<u64>()) {
+            if x.is_multiple_of(2) {
+                return Ok(());
+            }
+            prop_assert!(x % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("name");
+        let mut b = TestRng::deterministic("name");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    use super::TestRng;
+}
