@@ -1,18 +1,22 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32]
-//!       [--quick] [--per-kind]
+//! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32
+//!        | sat-stats]
+//!       [--quick] [--per-kind] [--out <path>]
 //! ```
 //!
 //! `--quick` trims the expensive rows (mux width 6, adder s16, the two
 //! largest Table 3.1 circuits, the largest Table 3.2 blocks) so the whole
 //! run finishes in a few minutes. `--per-kind` adds the OR/AND/XOR win
-//! split to Table 3.1 (ablation A3).
+//! split to Table 3.1 (ablation A3). `sat-stats` profiles the CDCL engine
+//! on the paper-style SAT workloads and writes machine-readable
+//! `BENCH_sat.json` (`--out` overrides the path).
 
 use std::time::Duration;
 use symbi_bench::{
-    adder_row, figure31, figure32, mux_row, table31_row, table32_row, Table31Options,
+    adder_row, figure31, figure32, mux_row, table31_row, table32_row, write_sat_json,
+    Table31Options,
 };
 use symbi_circuits::{industrial, iscas_like};
 use symbi_synth::flow::SynthesisOptions;
@@ -21,10 +25,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let per_kind = args.iter().any(|a| a == "--per-kind");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sat.json".to_string());
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .find(|&(i, a)| {
+            let is_out_value = i > 0 && args[i - 1] == "--out";
+            !a.starts_with("--") && !is_out_value
+        })
+        .map(|(_, a)| a.as_str())
         .unwrap_or("all");
 
     match what {
@@ -34,6 +48,7 @@ fn main() {
         "table32" => table32(quick),
         "figure31" => print_figure31(),
         "figure32" => print_figure32(),
+        "sat-stats" => sat_stats(quick, &out_path),
         "all" => {
             print_figure31();
             print_figure32();
@@ -41,14 +56,39 @@ fn main() {
             adder_table(quick);
             table31(quick, per_kind);
             table32(quick);
+            sat_stats(quick, &out_path);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32] [--quick] [--per-kind]"
+                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats] [--quick] [--per-kind] [--out <path>]"
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn sat_stats(quick: bool, out_path: &str) {
+    println!("\n=== SAT engine statistics (written to {out_path}) ===");
+    println!(
+        "{:>24} {:>8} {:>9} {:>10} {:>10} {:>12} {:>8} {:>8}",
+        "Workload", "Verdict", "Time(s)", "Conflicts", "Decisions", "Propagations", "Restarts",
+        "MaxLBD"
+    );
+    let rows = write_sat_json(std::path::Path::new(out_path), quick)
+        .expect("failed to write BENCH_sat.json");
+    for r in &rows {
+        println!(
+            "{:>24} {:>8} {:>9.4} {:>10} {:>10} {:>12} {:>8} {:>8}",
+            r.name,
+            r.verdict,
+            r.seconds,
+            r.stats.conflicts,
+            r.stats.decisions,
+            r.stats.propagations,
+            r.stats.restarts,
+            r.stats.max_lbd,
+        );
     }
 }
 

@@ -12,6 +12,11 @@
 //! | Table 3.2                  | [`table32_row`] |
 //! | Figure 3.1                 | [`figure31`] |
 //! | Figure 3.2                 | [`figure32`] |
+//!
+//! [`sat_stats_rows`] additionally profiles the CDCL engine on the
+//! paper-style workloads (decomposability checks, core-guided partition
+//! growth, SAT-based bounded SEC) and [`write_sat_json`] dumps the
+//! result as machine-readable `BENCH_sat.json` for trend tracking.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -422,6 +427,170 @@ pub fn figure32() -> Figure32 {
         gates_before: before,
         gates_after: opt.num_gates(),
     }
+}
+
+// ---------------------------------------------------------------------
+// SAT-engine statistics (BENCH_sat.json)
+// ---------------------------------------------------------------------
+
+/// One profiled SAT workload: name, verdict, wall-clock, solver counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SatBenchRow {
+    /// Workload label (circuit + check kind).
+    pub name: String,
+    /// The check's boolean verdict (decomposable / equivalent / grown).
+    pub verdict: bool,
+    /// Wall-clock seconds of the SAT portion.
+    pub seconds: f64,
+    /// Solver counters accumulated over the workload's solves.
+    pub stats: symbi_sat::SolverStats,
+}
+
+/// Profiles the CDCL engine on the paper-style SAT workloads:
+/// adder sum-bit XOR checks (§3.4.2 cones), a multiplexer OR check
+/// (§3.4.1), core-guided partition growth (\[14\]'s signature move), and
+/// SAT-based bounded SEC validating an Algorithm 1 run on a Table
+/// 3.2-style block. `quick` trims the widest cones.
+pub fn sat_stats_rows(quick: bool) -> Vec<SatBenchRow> {
+    use symbi_core::sat_dec;
+    let mut rows = Vec::new();
+
+    // Adder sum-bit XOR decomposability (Table 3.1-style cones).
+    let bits: &[usize] = if quick { &[4, 6] } else { &[4, 6, 8, 10] };
+    for &bit in bits {
+        let netlist = adder::ripple_carry(bit + 1);
+        let mut m = Manager::new();
+        let mut ext = ConeExtractor::with_default_layout(&netlist, &mut m);
+        let sig = netlist.signal(&format!("s{bit}")).expect("sum bit exists");
+        let f = ext.bdd(&mut m, sig);
+        let support = m.support(f);
+        // The paper's winning partition for sum bits: {a_bit, b_bit} vs the
+        // carry chain — decomposable, so the solver proves UNSAT.
+        let n = support.len();
+        let (a_vac, b_vac) = (support[..n - 2].to_vec(), support[n - 2..].to_vec());
+        let start = Instant::now();
+        let (dec, stats) =
+            sat_dec::xor_decomposable_with_stats(&m, f, &support, &a_vac, &b_vac);
+        rows.push(SatBenchRow {
+            name: format!("adder_s{bit}_xor_check"),
+            verdict: dec,
+            seconds: start.elapsed().as_secs_f64(),
+            stats,
+        });
+    }
+
+    // Multiplexer OR decomposability (§3.4.1-style): data words split
+    // between the halves, controls shared.
+    let k = 3usize;
+    {
+        let netlist = mux::mux(k);
+        let mut m = Manager::new();
+        let mut ext = ConeExtractor::with_default_layout(&netlist, &mut m);
+        let f_sig = netlist.outputs()[0].1;
+        let f = ext.bdd(&mut m, f_sig);
+        let support = m.support(f);
+        let data: Vec<VarId> = support.iter().copied().skip(k).collect();
+        let half = data.len() / 2;
+        let (a_vac, b_vac) = (data[..half].to_vec(), data[half..].to_vec());
+        let start = Instant::now();
+        let (dec, stats) =
+            sat_dec::or_decomposable_with_stats(&m, f, &support, &a_vac, &b_vac);
+        rows.push(SatBenchRow {
+            name: format!("mux{k}_or_check"),
+            verdict: dec,
+            seconds: start.elapsed().as_secs_f64(),
+            stats,
+        });
+    }
+
+    // Core-guided OR-partition growth on the canonical ab + cd shape.
+    {
+        let mut m = Manager::new();
+        let vs = m.new_vars(6);
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let ef = m.and(vs[4], vs[5]);
+        let t = m.or(ab, cd);
+        let f = m.or(t, ef);
+        let vars: Vec<VarId> = (0..6u32).map(VarId).collect();
+        let start = Instant::now();
+        let (grown, stats) =
+            symbi_core::sat_dec::grow_or_partition_with_stats(&m, f, &vars, VarId(0), VarId(2));
+        rows.push(SatBenchRow {
+            name: "or_partition_growth".to_string(),
+            verdict: grown.is_some(),
+            seconds: start.elapsed().as_secs_f64(),
+            stats,
+        });
+    }
+
+    // SAT-based bounded SEC validating an Algorithm 1 run (Table
+    // 3.2-style): optimize the smallest industrial block and check the
+    // result against the original.
+    {
+        let netlist = symbi_circuits::industrial::by_name("seq6").expect("known block");
+        let frames = if quick { 4 } else { 8 };
+        let opts = SynthesisOptions {
+            validate_frames: Some(frames),
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let (_, report) = optimize(&netlist, &opts);
+        let v = report.sat_validation.expect("validation requested");
+        rows.push(SatBenchRow {
+            name: format!("seq6_flow_sec_{frames}f"),
+            verdict: v.equivalent,
+            seconds: start.elapsed().as_secs_f64(),
+            stats: v.solver,
+        });
+    }
+
+    rows
+}
+
+/// Serializes [`SatBenchRow`]s as JSON (written by hand — the workspace
+/// carries no serde) in a stable schema for longitudinal comparison.
+pub fn sat_stats_json(rows: &[SatBenchRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"symbi-sat-bench/v1\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let s = &r.stats;
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"verdict\": {}, \"seconds\": {:.6}, ",
+                "\"conflicts\": {}, \"decisions\": {}, \"propagations\": {}, ",
+                "\"restarts\": {}, \"learnt_clauses\": {}, \"deleted_clauses\": {}, ",
+                "\"db_reductions\": {}, \"max_lbd\": {}, \"max_live_learnt\": {}, ",
+                "\"minimized_literals\": {}}}{}\n"
+            ),
+            r.name,
+            r.verdict,
+            r.seconds,
+            s.conflicts,
+            s.decisions,
+            s.propagations,
+            s.restarts,
+            s.learnt_clauses,
+            s.deleted_clauses,
+            s.db_reductions,
+            s.max_lbd,
+            s.max_live_learnt,
+            s.minimized_literals,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs [`sat_stats_rows`] and writes [`sat_stats_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_sat_json(path: &std::path::Path, quick: bool) -> std::io::Result<Vec<SatBenchRow>> {
+    let rows = sat_stats_rows(quick);
+    std::fs::write(path, sat_stats_json(&rows))?;
+    Ok(rows)
 }
 
 // ---------------------------------------------------------------------

@@ -28,7 +28,10 @@
 use crate::Interval;
 use std::collections::HashMap;
 use symbi_bdd::{Manager, NodeId, VarId};
-use symbi_sat::{Lit, Solver};
+use symbi_sat::{Lit, Solver, SolverStats};
+
+/// A pair of vacuity sets `(A, B)`: `g1` is vacuous in `A`, `g2` in `B`.
+pub type Partition = (Vec<VarId>, Vec<VarId>);
 
 /// Tseitin-encodes the BDD `f` over the literal assignment `inputs`
 /// (function variable → SAT literal) and returns a literal equivalent to
@@ -106,6 +109,18 @@ pub fn or_decomposable(
     a_vacuous: &[VarId],
     b_vacuous: &[VarId],
 ) -> bool {
+    or_decomposable_with_stats(m, f, vars, a_vacuous, b_vacuous).0
+}
+
+/// [`or_decomposable`] plus the solver statistics of the check, for
+/// callers that track SAT effort (benchmarks, synthesis reports).
+pub fn or_decomposable_with_stats(
+    m: &Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+) -> (bool, SolverStats) {
     let mut solver = Solver::new();
     let mut constants = None;
     let x = input_copy(&mut solver, vars, None);
@@ -117,7 +132,8 @@ pub fn or_decomposable(
     solver.add_clause([fx]);
     solver.add_clause([!fy]);
     solver.add_clause([!fz]);
-    !solver.solve().is_sat()
+    let dec = !solver.solve().is_sat();
+    (dec, solver.stats)
 }
 
 /// SAT-based AND decomposability: the OR question on the complement.
@@ -128,8 +144,19 @@ pub fn and_decomposable(
     a_vacuous: &[VarId],
     b_vacuous: &[VarId],
 ) -> bool {
+    and_decomposable_with_stats(m, f, vars, a_vacuous, b_vacuous).0
+}
+
+/// [`and_decomposable`] plus the solver statistics of the check.
+pub fn and_decomposable_with_stats(
+    m: &mut Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+) -> (bool, SolverStats) {
     let nf = m.not(f);
-    or_decomposable(m, nf, vars, a_vacuous, b_vacuous)
+    or_decomposable_with_stats(m, nf, vars, a_vacuous, b_vacuous)
 }
 
 /// SAT-based XOR decomposability check for a completely specified
@@ -142,6 +169,17 @@ pub fn xor_decomposable(
     a_vacuous: &[VarId],
     b_vacuous: &[VarId],
 ) -> bool {
+    xor_decomposable_with_stats(m, f, vars, a_vacuous, b_vacuous).0
+}
+
+/// [`xor_decomposable`] plus the solver statistics of the check.
+pub fn xor_decomposable_with_stats(
+    m: &Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+) -> (bool, SolverStats) {
     let mut solver = Solver::new();
     let mut constants = None;
     // p = (a, b, c); q = (a', b, c); r = (a, b', c); s = (a', b', c).
@@ -172,7 +210,8 @@ pub fn xor_decomposable(
     let d2 = Lit::pos(solver.new_var());
     xor_constraint(&mut solver, fr, fs, d2);
     solver.add_clause([!d2]);
-    !solver.solve().is_sat()
+    let dec = !solver.solve().is_sat();
+    (dec, solver.stats)
 }
 
 /// Unsat-core-guided OR-partition growing — the signature move of \[14\]:
@@ -191,7 +230,19 @@ pub fn grow_or_partition(
     vars: &[VarId],
     seed_a: VarId,
     seed_b: VarId,
-) -> Option<(Vec<VarId>, Vec<VarId>)> {
+) -> Option<Partition> {
+    grow_or_partition_with_stats(m, f, vars, seed_a, seed_b).0
+}
+
+/// [`grow_or_partition`] plus the accumulated solver statistics of the
+/// whole growth loop (all incremental solves on the shared solver).
+pub fn grow_or_partition_with_stats(
+    m: &Manager,
+    f: NodeId,
+    vars: &[VarId],
+    seed_a: VarId,
+    seed_b: VarId,
+) -> (Option<Partition>, SolverStats) {
     let mut solver = Solver::new();
     let mut constants = None;
     // Three fully independent copies; equalities are *conditional* on
@@ -240,7 +291,7 @@ pub fn grow_or_partition(
             symbi_sat::SolveResult::Sat => {
                 // Over-relaxed (or the seed itself fails): fall back to
                 // the last verified partition.
-                return verified;
+                return (verified, solver.stats);
             }
             symbi_sat::SolveResult::Unsat { core } => {
                 let grown_a: Vec<VarId> = vars
@@ -256,7 +307,7 @@ pub fn grow_or_partition(
                 let settled = grown_a.len() == a.len() && grown_b.len() == b.len();
                 verified = Some((a.clone(), b.clone()));
                 if settled {
-                    return verified;
+                    return (verified, solver.stats);
                 }
                 a = grown_a;
                 b = grown_b;
@@ -283,17 +334,31 @@ pub fn decomposable(
     a_vacuous: &[VarId],
     b_vacuous: &[VarId],
 ) -> bool {
+    decomposable_with_stats(m, kind, interval, vars, a_vacuous, b_vacuous).0
+}
+
+/// [`decomposable`] plus the solver statistics of the dispatched check.
+pub fn decomposable_with_stats(
+    m: &mut Manager,
+    kind: crate::DecKind,
+    interval: &Interval,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+) -> (bool, SolverStats) {
     assert!(
         interval.is_exact(),
         "the SAT baseline handles completely specified functions"
     );
     match kind {
-        crate::DecKind::Or => or_decomposable(m, interval.lower, vars, a_vacuous, b_vacuous),
+        crate::DecKind::Or => {
+            or_decomposable_with_stats(m, interval.lower, vars, a_vacuous, b_vacuous)
+        }
         crate::DecKind::And => {
-            and_decomposable(m, interval.lower, vars, a_vacuous, b_vacuous)
+            and_decomposable_with_stats(m, interval.lower, vars, a_vacuous, b_vacuous)
         }
         crate::DecKind::Xor => {
-            xor_decomposable(m, interval.lower, vars, a_vacuous, b_vacuous)
+            xor_decomposable_with_stats(m, interval.lower, vars, a_vacuous, b_vacuous)
         }
     }
 }
@@ -431,6 +496,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn with_stats_variants_agree_and_report_work() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let f = m.or(ab, cd);
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        let a = [VarId(2), VarId(3)];
+        let b = [VarId(0), VarId(1)];
+        let (dec, stats) = or_decomposable_with_stats(&m, f, &vars, &a, &b);
+        assert_eq!(dec, or_decomposable(&m, f, &vars, &a, &b));
+        assert!(dec);
+        // A refutation of a multi-copy formula does real propagation.
+        assert!(stats.propagations > 0, "stats are empty: {stats:?}");
+        let (grown, grow_stats) =
+            grow_or_partition_with_stats(&m, f, &vars, VarId(2), VarId(0));
+        assert!(grown.is_some());
+        assert!(grow_stats.propagations > 0);
+        assert!(grow_stats.conflicts >= stats.conflicts.min(1));
+        let iv = Interval::exact(f);
+        let (dec2, xstats) = decomposable_with_stats(
+            &mut m,
+            crate::DecKind::Xor,
+            &iv,
+            &vars,
+            &a,
+            &b,
+        );
+        assert_eq!(dec2, xor_decomposable(&m, f, &vars, &a, &b));
+        assert!(xstats.propagations > 0);
     }
 
     #[test]

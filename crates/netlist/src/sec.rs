@@ -11,12 +11,18 @@
 //! - [`product_machine_check`]: full sequential equivalence by forward
 //!   reachability on the product machine — exact for designs whose joint
 //!   state space fits in BDDs.
+//! - [`bounded_check_sat`]: the same bounded unrolling phrased as
+//!   incremental SAT — each frame's gates are Tseitin-encoded into one
+//!   solver and every output miter is queried under an assumption, so
+//!   deep unrollings avoid BDD blowup and the check reports the solver's
+//!   effort statistics.
 //!
-//! Both return a counterexample trace on failure.
+//! All return a counterexample trace on failure.
 
 use crate::{GateKind, Netlist, NodeKind, SignalId};
 use std::collections::HashMap;
 use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_sat::{Lit, Solver, SolverStats};
 
 /// Result of an equivalence check.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +144,182 @@ pub fn bounded_check(a: &Netlist, b: &Netlist, frames: usize) -> SecResult {
         state_b = next_state(b, &val_b);
     }
     SecResult::Equivalent
+}
+
+/// Constant-true/false literals, created lazily once per solver.
+struct SatConsts {
+    true_lit: Option<Lit>,
+}
+
+impl SatConsts {
+    fn get(&mut self, solver: &mut Solver, value: bool) -> Lit {
+        let t = *self.true_lit.get_or_insert_with(|| {
+            let t = Lit::pos(solver.new_var());
+            solver.add_clause([t]);
+            t
+        });
+        if value {
+            t
+        } else {
+            !t
+        }
+    }
+}
+
+/// Tseitin-encodes one gate over already-encoded fanin literals.
+fn encode_gate(solver: &mut Solver, kind: GateKind, fanins: &[Lit]) -> Lit {
+    match kind {
+        GateKind::Buf => fanins[0],
+        GateKind::Not => !fanins[0],
+        GateKind::And | GateKind::Nand => {
+            let out = Lit::pos(solver.new_var());
+            let mut long = vec![out];
+            for &f in fanins {
+                solver.add_clause([!out, f]);
+                long.push(!f);
+            }
+            solver.add_clause(long);
+            if kind == GateKind::Nand {
+                !out
+            } else {
+                out
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let out = Lit::pos(solver.new_var());
+            let mut long = vec![!out];
+            for &f in fanins {
+                solver.add_clause([out, !f]);
+                long.push(f);
+            }
+            solver.add_clause(long);
+            if kind == GateKind::Nor {
+                !out
+            } else {
+                out
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = fanins[0];
+            for &f in &fanins[1..] {
+                let out = Lit::pos(solver.new_var());
+                // out ↔ acc ⊕ f
+                solver.add_clause([!acc, !f, !out]);
+                solver.add_clause([acc, f, !out]);
+                solver.add_clause([!acc, f, out]);
+                solver.add_clause([acc, !f, out]);
+                acc = out;
+            }
+            if kind == GateKind::Xnor {
+                !acc
+            } else {
+                acc
+            }
+        }
+    }
+}
+
+/// Encodes one combinational frame of `n`: returns the literal of every
+/// signal given per-frame input literals and current state literals.
+fn frame_lits(
+    solver: &mut Solver,
+    consts: &mut SatConsts,
+    n: &Netlist,
+    order: &[SignalId],
+    inputs: &[Lit],
+    state: &HashMap<SignalId, Lit>,
+) -> HashMap<SignalId, Lit> {
+    let mut value: HashMap<SignalId, Lit> = state.clone();
+    for (&sig, &lit) in n.inputs().iter().zip(inputs) {
+        value.insert(sig, lit);
+    }
+    for s in n.signals() {
+        if let NodeKind::Const(b) = n.kind(s) {
+            let l = consts.get(solver, b);
+            value.insert(s, l);
+        }
+    }
+    for &g in order {
+        let fanins: Vec<Lit> = n.fanins(g).iter().map(|f| value[f]).collect();
+        let NodeKind::Gate(kind) = n.kind(g) else { unreachable!() };
+        let lit = encode_gate(solver, kind, &fanins);
+        value.insert(g, lit);
+    }
+    value
+}
+
+/// Bounded sequential equivalence via incremental SAT: the same
+/// unrolling as [`bounded_check`], with every frame Tseitin-encoded into
+/// a single solver and each output miter queried under an assumption
+/// literal. Returns the verdict together with the solver statistics of
+/// the whole run.
+///
+/// Semantics match [`bounded_check`] exactly: the earliest diverging
+/// frame (and, within it, the lowest diverging output index) is
+/// reported, with an input trace reconstructed from the SAT model.
+///
+/// # Panics
+///
+/// Panics if the interfaces (input/output counts) differ or a netlist is
+/// invalid.
+pub fn bounded_check_sat(a: &Netlist, b: &Netlist, frames: usize) -> (SecResult, SolverStats) {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input counts must match");
+    assert_eq!(a.num_outputs(), b.num_outputs(), "output counts must match");
+    a.validate().expect("first netlist invalid");
+    b.validate().expect("second netlist invalid");
+    let order_a = a.topo_order().expect("validated");
+    let order_b = b.topo_order().expect("validated");
+    let mut solver = Solver::new();
+    let mut consts = SatConsts { true_lit: None };
+    let mut state_a: HashMap<SignalId, Lit> = a
+        .latches()
+        .iter()
+        .map(|&l| (l, consts.get(&mut solver, a.latch_init(l))))
+        .collect();
+    let mut state_b: HashMap<SignalId, Lit> = b
+        .latches()
+        .iter()
+        .map(|&l| (l, consts.get(&mut solver, b.latch_init(l))))
+        .collect();
+    let mut frame_inputs: Vec<Vec<Lit>> = Vec::with_capacity(frames);
+    for t in 0..frames {
+        let inputs: Vec<Lit> =
+            (0..a.num_inputs()).map(|_| Lit::pos(solver.new_var())).collect();
+        frame_inputs.push(inputs.clone());
+        let val_a = frame_lits(&mut solver, &mut consts, a, &order_a, &inputs, &state_a);
+        let val_b = frame_lits(&mut solver, &mut consts, b, &order_b, &inputs, &state_b);
+        for (idx, (&(_, sa), &(_, sb))) in a.outputs().iter().zip(b.outputs()).enumerate()
+        {
+            let diff = encode_gate(&mut solver, GateKind::Xor, &[val_a[&sa], val_b[&sb]]);
+            if solver.solve_with_assumptions(&[diff]).is_sat() {
+                let trace = frame_inputs[..=t]
+                    .iter()
+                    .map(|frame| {
+                        frame
+                            .iter()
+                            .map(|l| {
+                                // Unconstrained inputs default to false,
+                                // matching the BDD trace decoder.
+                                solver.value(l.var()).map(|b| b ^ l.is_neg()).unwrap_or(false)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                return (SecResult::Counterexample { trace, output: idx }, solver.stats);
+            }
+        }
+        state_a = a
+            .latches()
+            .iter()
+            .map(|&l| (l, val_a[&a.latch_next(l).expect("validated netlist")]))
+            .collect();
+        state_b = b
+            .latches()
+            .iter()
+            .map(|&l| (l, val_b[&b.latch_next(l).expect("validated netlist")]))
+            .collect();
+    }
+    (SecResult::Equivalent, solver.stats)
 }
 
 fn decode_trace(frame_vars: &[Vec<NodeId>], cube: &[(VarId, bool)]) -> Vec<Vec<bool>> {
@@ -360,5 +542,123 @@ mod tests {
         let a = toggle(false);
         let b = toggle(true);
         assert_eq!(product_machine_check(&a, &b, 0), None);
+    }
+
+    #[test]
+    fn sat_check_agrees_with_bdd_on_equivalent_machines() {
+        let a = toggle(false);
+        let b = toggle(true);
+        let (res, stats) = bounded_check_sat(&a, &b, 6);
+        assert!(res.is_equivalent());
+        // 6 frames × 1 output = 12 refuted miters worth of work.
+        assert!(stats.propagations > 0, "stats are empty: {stats:?}");
+    }
+
+    #[test]
+    fn sat_check_finds_the_same_divergence_frame_and_output() {
+        let a = toggle(false);
+        let mut b = toggle(false);
+        let q = b.signal("q").unwrap();
+        let nq = b.add_gate("bad", GateKind::Not, vec![q]);
+        b.set_output_signal(0, nq);
+        let (res, _) = bounded_check_sat(&a, &b, 4);
+        match res {
+            SecResult::Counterexample { trace, output } => {
+                assert_eq!(output, 0);
+                assert_eq!(trace.len(), 1, "differs in the very first frame");
+            }
+            SecResult::Equivalent => panic!("difference missed"),
+        }
+    }
+
+    #[test]
+    fn sat_counterexample_trace_is_replayable() {
+        // The deep-difference pair: the SAT trace must genuinely drive
+        // the machines apart when simulated.
+        let a = {
+            let mut n = Netlist::new("a");
+            let _ = n.add_input("i");
+            let c = n.add_const("zero", false);
+            n.add_output("o", c);
+            n
+        };
+        let b = {
+            let mut n = Netlist::new("b");
+            let i = n.add_input("i");
+            let q0 = n.add_latch("q0", false);
+            let q1 = n.add_latch("q1", false);
+            let q2 = n.add_latch("q2", false);
+            n.set_latch_next(q0, i);
+            n.set_latch_next(q1, q0);
+            n.set_latch_next(q2, q1);
+            let t = n.add_gate("t", GateKind::And, vec![q0, q1]);
+            let o = n.add_gate("o", GateKind::And, vec![t, q2]);
+            n.add_output("o", o);
+            n
+        };
+        let (res3, _) = bounded_check_sat(&a, &b, 3);
+        assert!(res3.is_equivalent(), "hidden for 3 frames");
+        let (res4, _) = bounded_check_sat(&a, &b, 4);
+        match res4 {
+            SecResult::Counterexample { trace, output } => {
+                assert_eq!(output, 0);
+                assert_eq!(trace.len(), 4);
+                // Replay on the simulator: outputs must differ at the end.
+                let mut sim_a = crate::sim::Simulator::new(&a);
+                let mut sim_b = crate::sim::Simulator::new(&b);
+                let (mut last_a, mut last_b) = (0u64, 0u64);
+                for frame in &trace {
+                    let words: Vec<u64> =
+                        frame.iter().map(|&x| if x { 1 } else { 0 }).collect();
+                    last_a = sim_a.step(&words)[0] & 1;
+                    last_b = sim_b.step(&words)[0] & 1;
+                }
+                assert_ne!(
+                    last_a, last_b,
+                    "trace {trace:?} does not distinguish the machines"
+                );
+            }
+            SecResult::Equivalent => panic!("difference missed at frame 4"),
+        }
+    }
+
+    #[test]
+    fn sat_check_handles_all_gate_kinds() {
+        // A combinational netlist using every gate kind, against an
+        // identically-built copy and against a subtly broken copy.
+        let build = |broken: bool| {
+            let mut n = Netlist::new("g");
+            let x = n.add_input("x");
+            let y = n.add_input("y");
+            let z = n.add_input("z");
+            let and = n.add_gate("and", GateKind::And, vec![x, y]);
+            let or = n.add_gate("or", GateKind::Or, vec![y, z]);
+            let xor = n.add_gate("xor", GateKind::Xor, vec![and, or]);
+            let nand = n.add_gate("nand", GateKind::Nand, vec![x, z]);
+            let nor = n.add_gate("nor", GateKind::Nor, vec![and, z]);
+            let xnor = n.add_gate("xnor", GateKind::Xnor, vec![nand, nor]);
+            let not = n.add_gate("not", GateKind::Not, vec![xor]);
+            let buf = n.add_gate("buf", GateKind::Buf, vec![xnor]);
+            let top = if broken {
+                n.add_gate("top", GateKind::Or, vec![not, buf])
+            } else {
+                n.add_gate("top", GateKind::And, vec![not, buf])
+            };
+            n.add_output("o", top);
+            n
+        };
+        let reference = build(false);
+        let same = build(false);
+        let (res, _) = bounded_check_sat(&reference, &same, 2);
+        assert!(res.is_equivalent());
+        assert_eq!(
+            bounded_check(&reference, &same, 2),
+            SecResult::Equivalent,
+            "BDD check agrees"
+        );
+        let broken = build(true);
+        let (res_broken, _) = bounded_check_sat(&reference, &broken, 2);
+        assert!(!res_broken.is_equivalent());
+        assert!(!bounded_check(&reference, &broken, 2).is_equivalent());
     }
 }

@@ -1,0 +1,170 @@
+//! Indexed binary max-heap over VSIDS activities.
+//!
+//! The heap stores variable indices ordered by an external activity
+//! array (passed into every operation so the solver keeps sole ownership
+//! of the scores). `pos` maps each variable to its slot in `heap`, which
+//! makes membership tests O(1) and lets [`OrderHeap::bumped`] restore the
+//! heap property with a single sift-up after an activity increase —
+//! activities only ever grow between rescales, and a rescale multiplies
+//! every score by the same constant, so no other reordering can occur.
+//!
+//! Invariants (checked in debug builds by [`OrderHeap::assert_valid`]):
+//! - `heap[pos[v]] == v` for every member `v`; `pos[v] == ABSENT` otherwise;
+//! - `act[heap[parent(i)]] >= act[heap[i]]` for every non-root slot `i`.
+
+const ABSENT: u32 = u32::MAX;
+
+/// An indexed max-heap of variable indices keyed by activity.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct OrderHeap {
+    heap: Vec<u32>,
+    pos: Vec<u32>,
+}
+
+impl OrderHeap {
+    /// Registers a fresh variable (initially absent from the heap).
+    pub fn push_var(&mut self) {
+        self.pos.push(ABSENT);
+    }
+
+    /// Is `v` currently in the heap?
+    pub fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != ABSENT
+    }
+
+    /// Inserts `v` unless already present. O(log n).
+    pub fn insert(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        let slot = self.heap.len();
+        self.heap.push(v);
+        self.pos[v as usize] = slot as u32;
+        self.sift_up(slot, act);
+    }
+
+    /// Removes and returns the variable with the highest activity. O(log n).
+    pub fn pop_max(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        self.pos[top as usize] = ABSENT;
+        if top != last {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    /// Restores order after `v`'s activity increased. O(log n).
+    pub fn bumped(&mut self, v: u32, act: &[f64]) {
+        let slot = self.pos[v as usize];
+        if slot != ABSENT {
+            self.sift_up(slot as usize, act);
+        }
+    }
+
+    /// Heap ordering: higher activity first, lower variable index on
+    /// ties. The index tie-break matches the "first maximum" the old
+    /// linear scan picked, keeping decision order (and thus search
+    /// trajectories) stable when many variables share a score.
+    fn precedes(a: u32, b: u32, act: &[f64]) -> bool {
+        let (aa, ab) = (act[a as usize], act[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !Self::precedes(self.heap[i], self.heap[parent], act) {
+                break;
+            }
+            self.swap_slots(parent, i);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let mut largest = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < self.heap.len()
+                    && Self::precedes(self.heap[child], self.heap[largest], act)
+                {
+                    largest = child;
+                }
+            }
+            if largest == i {
+                return;
+            }
+            self.swap_slots(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+
+    /// Debug-only structural check of both invariants.
+    #[cfg(debug_assertions)]
+    #[allow(dead_code)]
+    pub fn assert_valid(&self, act: &[f64]) {
+        for (slot, &v) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[v as usize], slot as u32, "pos/heap out of sync");
+            if slot > 0 {
+                let parent = self.heap[(slot - 1) / 2];
+                assert!(
+                    !Self::precedes(v, parent, act),
+                    "heap property violated at slot {slot}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = [0.5, 3.0, 1.0, 2.0, 0.0];
+        let mut h = OrderHeap::default();
+        for v in 0..5 {
+            h.push_var();
+            h.insert(v, &act);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&act)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn reinsert_and_bump() {
+        let mut act = vec![0.0; 4];
+        let mut h = OrderHeap::default();
+        for v in 0..4 {
+            h.push_var();
+            h.insert(v, &act);
+        }
+        assert!(h.contains(2));
+        // Duplicate insert is a no-op.
+        h.insert(2, &act);
+        // Bump 3 to the top.
+        act[3] = 9.0;
+        h.bumped(3, &act);
+        assert_eq!(h.pop_max(&act), Some(3));
+        assert!(!h.contains(3));
+        // Bumping an absent variable is a no-op; reinsertion honors order.
+        act[0] = 5.0;
+        h.bumped(0, &act);
+        act[3] = 1.0;
+        h.bumped(3, &act);
+        h.insert(3, &act);
+        assert_eq!(h.pop_max(&act), Some(0));
+        #[cfg(debug_assertions)]
+        h.assert_valid(&act);
+    }
+}

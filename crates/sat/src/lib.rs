@@ -3,12 +3,17 @@
 //! This is the substrate for the SAT-based bi-decomposition baseline of
 //! Lee, Jiang & Hung (DAC 2008) — the approach the paper discusses as the
 //! main alternative to its symbolic formulation. The solver implements
-//! the standard recipe in the MiniSat tradition \[11\]:
+//! the standard recipe in the MiniSat/Glucose tradition \[11\]:
 //!
 //! - two-watched-literal unit propagation,
-//! - first-UIP conflict analysis with clause learning,
-//! - VSIDS-style activity-driven branching with decay,
-//! - non-chronological backtracking and Luby-free geometric restarts,
+//! - first-UIP conflict analysis with clause learning and recursive
+//!   learnt-clause minimization,
+//! - VSIDS activity-driven branching through an indexed binary order
+//!   heap (O(log n) per decision),
+//! - an LBD (glue) scored learnt-clause database with activity decay and
+//!   periodic reduction that protects glue ≤ 2 and locked clauses,
+//! - non-chronological backtracking, Luby restarts, and phase saving at
+//!   backtrack time,
 //! - incremental solving under assumptions, with extraction of the
 //!   subset of assumptions used in a refutation (the "unsat core over
 //!   assumptions" that \[14\] exploits to grow variable partitions).
@@ -27,9 +32,13 @@
 //! assert_eq!(s.value(b), Some(true));
 //! ```
 
+mod heap;
 mod solver;
 
-pub use solver::{BudgetedSolveResult, Lit, SolveResult, Solver, Var};
+pub use solver::{BudgetedSolveResult, Lit, SolveResult, Solver, SolverStats, Var};
 
 #[cfg(test)]
 mod tests_dimacs_style;
+
+#[cfg(test)]
+mod tests_proptest;

@@ -1,5 +1,6 @@
 //! The CDCL solver core.
 
+use crate::heap::OrderHeap;
 use std::fmt;
 use std::ops::Not;
 
@@ -132,12 +133,26 @@ impl BudgetedSolveResult {
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
+    /// Glue (literal-block-distance) recorded when the clause was learnt:
+    /// the number of distinct decision levels among its literals. Lower
+    /// glue predicts higher usefulness (Audemard & Simon); clauses with
+    /// `lbd <= GLUE_LBD` are never deleted.
+    lbd: u32,
+    /// Bump-and-decay usefulness score; ties inside an LBD class are
+    /// broken towards recently used clauses during database reduction.
+    activity: f64,
+    learnt: bool,
 }
 
 type ClauseRef = u32;
 
+/// Learnt clauses at or below this glue level are kept forever.
+const GLUE_LBD: u32 = 2;
+/// Base unit (in conflicts) of the Luby restart sequence.
+const RESTART_BASE: u64 = 100;
+
 /// A CDCL SAT solver (see the crate docs for the feature list).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Solver {
     clauses: Vec<Clause>,
     /// watches[lit.code()] = clauses currently watching `lit`.
@@ -150,13 +165,32 @@ pub struct Solver {
     qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
-    /// Saved phases for phase-saving heuristic.
+    cla_inc: f64,
+    /// Branching order: an indexed max-heap over `activity`, so each
+    /// decision costs O(log n) instead of a full-vector scan.
+    order: OrderHeap,
+    /// Saved phases for phase-saving heuristic (recorded at backtrack).
     polarity: Vec<bool>,
     ok: bool,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
-    /// Statistics: conflicts, decisions, propagations.
+    /// Literals whose `seen` bit is set during the current analysis
+    /// (including extras marked by recursive minimization).
+    to_clear: Vec<Lit>,
+    /// Live learnt clauses (attached, not yet deleted).
+    live_learnt: usize,
+    reduce_enabled: bool,
+    reduce_inc: usize,
+    /// Live-learnt threshold that triggers the next database reduction.
+    next_reduce: usize,
+    /// Statistics: conflicts, decisions, propagations, clause traffic.
     pub stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
 }
 
 /// Search statistics.
@@ -166,21 +200,97 @@ pub struct SolverStats {
     pub conflicts: u64,
     /// Branching decisions made.
     pub decisions: u64,
-    /// Literals propagated.
+    /// Literals propagated (reason-driven enqueues only — decisions and
+    /// assumption enqueues are not propagations).
     pub propagations: u64,
     /// Restarts performed.
     pub restarts: u64,
+    /// Clauses learnt from conflicts.
+    pub learnt_clauses: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Database reductions performed.
+    pub db_reductions: u64,
+    /// Highest glue (LBD) of any learnt clause.
+    pub max_lbd: u32,
+    /// Peak number of simultaneously live learnt clauses.
+    pub max_live_learnt: u64,
+    /// Literals removed from learnt clauses by recursive minimization.
+    pub minimized_literals: u64,
+}
+
+impl SolverStats {
+    /// Accumulates `other` into `self`: counters add, high-water marks max.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.deleted_clauses += other.deleted_clauses;
+        self.db_reductions += other.db_reductions;
+        self.max_lbd = self.max_lbd.max(other.max_lbd);
+        self.max_live_learnt = self.max_live_learnt.max(other.max_live_learnt);
+        self.minimized_literals += other.minimized_literals;
+    }
 }
 
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
-        Solver { var_inc: 1.0, ok: true, ..Default::default() }
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: OrderHeap::default(),
+            polarity: Vec::new(),
+            ok: true,
+            seen: Vec::new(),
+            to_clear: Vec::new(),
+            live_learnt: 0,
+            reduce_enabled: true,
+            reduce_inc: 300,
+            next_reduce: 2000,
+            stats: SolverStats::default(),
+        }
     }
 
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.assigns.len()
+    }
+
+    /// Number of attached clauses (problem + live learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Number of live learnt clauses.
+    pub fn num_learnt(&self) -> usize {
+        self.live_learnt
+    }
+
+    /// Enables or disables learnt-clause database reduction (on by
+    /// default). With reduction off the learnt database grows without
+    /// bound, exactly like the pre-LBD solver.
+    pub fn set_reduce_db(&mut self, enabled: bool) {
+        self.reduce_enabled = enabled;
+    }
+
+    /// Sets the reduction schedule: the first reduction fires when
+    /// `first` learnt clauses are live, and the threshold grows by `inc`
+    /// after each reduction (defaults: 2000 / 300).
+    pub fn set_reduce_policy(&mut self, first: usize, inc: usize) {
+        self.next_reduce = first;
+        self.reduce_inc = inc;
     }
 
     /// Allocates a fresh variable.
@@ -194,6 +304,8 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.order.push_var();
+        self.order.insert(v.0, &self.activity);
         v
     }
 
@@ -209,6 +321,10 @@ impl Solver {
 
     /// Adds a clause. Returns `false` if the formula became trivially
     /// unsatisfiable.
+    ///
+    /// Duplicate literals are removed and tautological clauses (both `l`
+    /// and `¬l` present) are dropped before anything is attached, so a
+    /// degenerate input never costs watch-list traversals later.
     ///
     /// # Panics
     ///
@@ -226,12 +342,14 @@ impl Solver {
         }
         lits.sort_unstable();
         lits.dedup();
-        // Tautology / falsified-literal simplification at level 0.
+        // Tautology: after sort+dedup the two phases of a variable are
+        // adjacent, so one linear sweep finds `l` next to `¬l`.
+        if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true; // always satisfied, never attach
+        }
+        // Level-0 simplification against the current assignment.
         let mut simplified = Vec::with_capacity(lits.len());
         for &l in &lits {
-            if lits.contains(&!l) {
-                return true; // tautology: always satisfied
-            }
             match self.lit_value(l) {
                 Some(true) => return true, // already satisfied
                 Some(false) => {}          // drop falsified literal
@@ -249,17 +367,18 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach(simplified);
+                self.attach(simplified, false, 0);
                 true
             }
         }
     }
 
-    fn attach(&mut self, lits: Vec<Lit>) {
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
         let cref = self.clauses.len() as ClauseRef;
         self.watches[(!lits[0]).code()].push(cref);
         self.watches[(!lits[1]).code()].push(cref);
-        self.clauses.push(Clause { lits });
+        self.clauses.push(Clause { lits, lbd, activity: 0.0, learnt });
+        cref
     }
 
     fn enqueue(&mut self, l: Lit, from: Option<ClauseRef>) -> bool {
@@ -270,15 +389,19 @@ impl Solver {
                 self.assigns[v] = Some(!l.is_neg());
                 self.level[v] = self.trail_lim.len() as u32;
                 self.reason[v] = from;
-                self.polarity[v] = !l.is_neg();
                 self.trail.push(l);
-                self.stats.propagations += 1;
+                if from.is_some() {
+                    self.stats.propagations += 1;
+                }
                 true
             }
         }
     }
 
     /// Unit propagation; returns the conflicting clause if any.
+    ///
+    /// Maintains the reason invariant downstream analysis relies on: a
+    /// propagated clause has its implied literal at position 0.
     fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
@@ -288,7 +411,7 @@ impl Solver {
             let mut i = 0;
             while i < watchers.len() {
                 let cref = watchers[i];
-                let keep = {
+                {
                     let lits = &mut self.clauses[cref as usize].lits;
                     // Normalize: watched literals are lits[0], lits[1];
                     // the falsified one goes to position 1.
@@ -296,9 +419,7 @@ impl Solver {
                         lits.swap(0, 1);
                     }
                     debug_assert_eq!(lits[1], !p);
-                    true
-                };
-                let _ = keep;
+                }
                 let first = self.clauses[cref as usize].lits[0];
                 if self.lit_value(first) == Some(true) {
                     i += 1;
@@ -355,8 +476,12 @@ impl Solver {
         let lim = self.trail_lim[level as usize];
         for &l in &self.trail[lim..] {
             let v = l.var().index();
+            // Phase saving: remember the assignment being undone so the
+            // next decision on this variable retries it.
+            self.polarity[v] = self.assigns[v].expect("trail literals are assigned");
             self.assigns[v] = None;
             self.reason[v] = None;
+            self.order.insert(l.var().0, &self.activity);
         }
         self.trail.truncate(lim);
         self.trail_lim.truncate(level as usize);
@@ -366,37 +491,65 @@ impl Solver {
     fn bump(&mut self, v: Var) {
         self.activity[v.index()] += self.var_inc;
         if self.activity[v.index()] > 1e100 {
+            // Rescaling multiplies every score by the same constant, so
+            // the relative order — and hence the heap — is unaffected.
             for a in &mut self.activity {
                 *a *= 1e-100;
             }
             self.var_inc *= 1e-100;
         }
+        self.order.bumped(v.0, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        if !self.clauses[cref as usize].learnt {
+            return;
+        }
+        self.clauses[cref as usize].activity += self.cla_inc;
+        if self.clauses[cref as usize].activity > 1e20 {
+            for c in self.clauses.iter_mut().filter(|c| c.learnt) {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Glue of a clause: distinct decision levels among its literals.
+    fn lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> =
+            lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
     }
 
     /// First-UIP conflict analysis: returns the learnt clause (asserting
-    /// literal first) and the backjump level.
-    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+    /// literal first, recursively minimized), the backjump level, and the
+    /// clause's glue (LBD).
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
         let mut cref = conflict;
+        debug_assert!(self.to_clear.is_empty());
         loop {
-            {
-                let lits: Vec<Lit> = self.clauses[cref as usize].lits.clone();
-                for &q in &lits {
-                    if Some(q) == p {
-                        continue;
-                    }
-                    let v = q.var();
-                    if !self.seen[v.index()] && self.level[v.index()] > 0 {
-                        self.seen[v.index()] = true;
-                        self.bump(v);
-                        if self.level[v.index()] >= self.decision_level() {
-                            counter += 1;
-                        } else {
-                            learnt.push(q);
-                        }
+            self.bump_clause(cref);
+            // Reason clauses carry their implied literal (= the resolved
+            // pivot `p`) at position 0; skip it.
+            let skip = usize::from(p.is_some());
+            debug_assert!(p.is_none() || self.clauses[cref as usize].lits[0] == p.unwrap());
+            for k in skip..self.clauses[cref as usize].lits.len() {
+                let q = self.clauses[cref as usize].lits[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.to_clear.push(q);
+                    self.bump(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
                     }
                 }
             }
@@ -417,6 +570,29 @@ impl Solver {
             cref = self.reason[lit.var().index()].expect("non-decision has a reason");
             p = Some(lit);
         }
+
+        // Recursive minimization (MiniSat's `litRedundant`): drop every
+        // literal whose falsification is already implied by the rest of
+        // the clause through the reason graph. `seen` is still set for
+        // the kept literals, which is exactly the mark the check needs.
+        let mut abstract_levels = 0u64;
+        for &l in &learnt[1..] {
+            abstract_levels |= 1u64 << (self.level[l.var().index()] & 63);
+        }
+        let mut kept = 1usize;
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            let redundant = self.reason[l.var().index()].is_some()
+                && self.lit_redundant(l, abstract_levels);
+            if !redundant {
+                learnt[kept] = l;
+                kept += 1;
+            }
+        }
+        self.stats.minimized_literals += (learnt.len() - kept) as u64;
+        learnt.truncate(kept);
+
+        let lbd = self.lbd(&learnt);
         // Backjump level = highest level among the non-UIP literals.
         let mut bt = 0u32;
         let mut second = 1usize;
@@ -430,10 +606,48 @@ impl Solver {
         if learnt.len() > 1 {
             learnt.swap(1, second);
         }
-        for &l in &learnt {
+        for l in self.to_clear.drain(..) {
             self.seen[l.var().index()] = false;
         }
-        (learnt, bt)
+        (learnt, bt, lbd)
+    }
+
+    /// Is `p` implied by the other literals of the clause being learnt?
+    /// Walks `p`'s reason graph; every antecedent must itself be seen (a
+    /// clause literal or already proven redundant) or recursively
+    /// redundant, and must stay within the decision levels of the clause
+    /// (`abstract_levels` — a cheap 64-bit level-set approximation).
+    fn lit_redundant(&mut self, p: Lit, abstract_levels: u64) -> bool {
+        let mut stack = vec![p];
+        let top = self.to_clear.len();
+        while let Some(q) = stack.pop() {
+            let cref = self.reason[q.var().index()].expect("only propagated literals");
+            for k in 1..self.clauses[cref as usize].lits.len() {
+                let l = self.clauses[cref as usize].lits[k];
+                let v = l.var().index();
+                if self.seen[v] || self.level[v] == 0 {
+                    continue;
+                }
+                if self.reason[v].is_some()
+                    && (1u64 << (self.level[v] & 63)) & abstract_levels != 0
+                {
+                    // Plausibly redundant too: recurse, and mark so a
+                    // second visit is free.
+                    self.seen[v] = true;
+                    self.to_clear.push(l);
+                    stack.push(l);
+                } else {
+                    // A decision or an out-of-clause level: not redundant.
+                    // Unwind the marks this check added.
+                    for &x in &self.to_clear[top..] {
+                        self.seen[x.var().index()] = false;
+                    }
+                    self.to_clear.truncate(top);
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// Collects the assumption literals underlying the falsification of
@@ -477,16 +691,80 @@ impl Solver {
         core
     }
 
+    /// Next branching decision: the unassigned variable with the highest
+    /// VSIDS activity, popped off the order heap in O(log n). Variables
+    /// that were assigned by propagation since their insertion are
+    /// discarded lazily; [`Solver::backtrack_to`] reinserts everything it
+    /// unassigns, so every unassigned variable is always in the heap.
     fn pick_branch(&mut self) -> Option<Lit> {
-        let mut best: Option<Var> = None;
-        let mut best_act = f64::NEG_INFINITY;
-        for i in 0..self.num_vars() {
-            if self.assigns[i].is_none() && self.activity[i] > best_act {
-                best_act = self.activity[i];
-                best = Some(Var(i as u32));
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v as usize].is_none() {
+                return Some(Lit::with_phase(Var(v), self.polarity[v as usize]));
             }
         }
-        best.map(|v| Lit::with_phase(v, self.polarity[v.index()]))
+        None
+    }
+
+    /// Is this clause the reason of its first literal's assignment?
+    /// Locked clauses must survive database reduction.
+    fn is_locked(&self, cref: ClauseRef) -> bool {
+        let first = self.clauses[cref as usize].lits[0];
+        self.lit_value(first) == Some(true)
+            && self.reason[first.var().index()] == Some(cref)
+    }
+
+    /// Deletes the less useful half of the deletable learnt clauses and
+    /// compacts the clause arena.
+    ///
+    /// Protected from deletion: problem clauses, binary clauses, glue
+    /// clauses (`lbd <= GLUE_LBD`), and locked clauses (currently the
+    /// reason of an assignment). The rest are ranked worst-first by
+    /// (higher LBD, lower activity) and the worst half is dropped.
+    /// Compaction rebuilds the watch lists from the surviving clauses'
+    /// first two literals — exactly the positions `propagate` maintains —
+    /// and remaps the `reason` table, so it is safe at any decision level.
+    fn reduce_db(&mut self) {
+        self.stats.db_reductions += 1;
+        let mut deletable: Vec<ClauseRef> = (0..self.clauses.len() as ClauseRef)
+            .filter(|&i| {
+                let c = &self.clauses[i as usize];
+                c.learnt && c.lbd > GLUE_LBD && c.lits.len() > 2 && !self.is_locked(i)
+            })
+            .collect();
+        deletable.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.clauses[a as usize], &self.clauses[b as usize]);
+            cb.lbd.cmp(&ca.lbd).then(ca.activity.total_cmp(&cb.activity))
+        });
+        let mut delete = vec![false; self.clauses.len()];
+        for &c in &deletable[..deletable.len() / 2] {
+            delete[c as usize] = true;
+        }
+        let mut remap: Vec<ClauseRef> = vec![ClauseRef::MAX; self.clauses.len()];
+        let old = std::mem::take(&mut self.clauses);
+        for (i, c) in old.into_iter().enumerate() {
+            if delete[i] {
+                self.stats.deleted_clauses += 1;
+                self.live_learnt -= 1;
+            } else {
+                remap[i] = self.clauses.len() as ClauseRef;
+                self.clauses.push(c);
+            }
+        }
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for i in 0..self.clauses.len() {
+            let (w0, w1) = {
+                let lits = &self.clauses[i].lits;
+                (!lits[0], !lits[1])
+            };
+            self.watches[w0.code()].push(i as ClauseRef);
+            self.watches[w1.code()].push(i as ClauseRef);
+        }
+        for r in self.reason.iter_mut().flatten() {
+            debug_assert_ne!(remap[*r as usize], ClauseRef::MAX, "reason clause deleted");
+            *r = remap[*r as usize];
+        }
     }
 
     /// Solves the formula with no assumptions.
@@ -576,24 +854,17 @@ impl Solver {
         }
         let assumption_level = self.decision_level();
 
-        // Main CDCL loop with geometric restarts.
-        let mut conflicts_until_restart = 100u64;
-        let mut conflict_budget = conflicts_until_restart;
+        // Main CDCL loop with Luby restarts.
+        let mut restart_num = 0u64;
+        let mut restart_limit = (luby(2.0, 0) * RESTART_BASE as f64) as u64;
+        let mut conflicts_since_restart = 0u64;
         let mut remaining = max_conflicts;
         loop {
             if let Some(conflict) = self.propagate() {
-                self.stats.conflicts += 1;
-                if let Some(r) = remaining.as_mut() {
-                    if *r == 0 {
-                        // Budget spent: no verdict. Keep learnt clauses,
-                        // drop decisions, stay reusable.
-                        self.backtrack_to(0);
-                        return BudgetedSolveResult::Unknown;
-                    }
-                    *r -= 1;
-                }
                 if self.decision_level() <= assumption_level {
-                    // Refuted under the assumptions.
+                    // Refuted under the assumptions — the verdict is
+                    // complete, so it is never charged to the budget.
+                    self.stats.conflicts += 1;
                     let lits = self.clauses[conflict as usize].lits.clone();
                     let mut core = Vec::new();
                     for l in lits {
@@ -607,30 +878,48 @@ impl Solver {
                     }
                     return BudgetedSolveResult::Unsat { core };
                 }
-                let (learnt, bt_level) = self.analyze(conflict);
+                if let Some(r) = remaining.as_mut() {
+                    if *r == 0 {
+                        // Budget spent: no verdict. Keep learnt clauses,
+                        // drop decisions, stay reusable. The budget check
+                        // precedes the conflict count, so `solve_budgeted(n)`
+                        // admits exactly `n` analyzed conflicts.
+                        self.backtrack_to(0);
+                        return BudgetedSolveResult::Unknown;
+                    }
+                    *r -= 1;
+                }
+                self.stats.conflicts += 1;
+                let (learnt, bt_level, lbd) = self.analyze(conflict);
                 let bt = bt_level.max(assumption_level);
                 self.backtrack_to(bt);
                 let assert_lit = learnt[0];
-                if learnt.len() == 1 && bt == 0 {
-                    self.enqueue(assert_lit, None);
+                self.stats.learnt_clauses += 1;
+                self.stats.max_lbd = self.stats.max_lbd.max(lbd);
+                if learnt.len() >= 2 {
+                    let cref = self.attach(learnt, true, lbd);
+                    self.live_learnt += 1;
+                    self.stats.max_live_learnt =
+                        self.stats.max_live_learnt.max(self.live_learnt as u64);
+                    self.enqueue(assert_lit, Some(cref));
                 } else {
-                    let cref = self.clauses.len() as ClauseRef;
-                    if learnt.len() >= 2 {
-                        self.watches[(!learnt[0]).code()].push(cref);
-                        self.watches[(!learnt[1]).code()].push(cref);
-                        self.clauses.push(Clause { lits: learnt });
-                        self.enqueue(assert_lit, Some(cref));
-                    } else {
-                        self.enqueue(assert_lit, None);
-                    }
+                    self.enqueue(assert_lit, None);
                 }
                 self.var_inc *= 1.0 / 0.95; // VSIDS decay
-                conflict_budget = conflict_budget.saturating_sub(1);
-                if conflict_budget == 0 {
-                    // Restart: keep learnt clauses, drop decisions.
+                self.cla_inc *= 1.0 / 0.999; // clause-activity decay
+                if self.reduce_enabled && self.live_learnt >= self.next_reduce {
+                    self.reduce_db();
+                    self.next_reduce += self.reduce_inc;
+                }
+                conflicts_since_restart += 1;
+                if conflicts_since_restart >= restart_limit {
+                    // Restart: keep learnt clauses, drop decisions. Phases
+                    // are saved at backtrack, so search resumes in the
+                    // same region of the space.
                     self.stats.restarts += 1;
-                    conflicts_until_restart = conflicts_until_restart * 3 / 2;
-                    conflict_budget = conflicts_until_restart;
+                    restart_num += 1;
+                    restart_limit = (luby(2.0, restart_num) * RESTART_BASE as f64) as u64;
+                    conflicts_since_restart = 0;
                     self.backtrack_to(assumption_level);
                 }
             } else {
@@ -645,6 +934,23 @@ impl Solver {
             }
         }
     }
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …) scaled by `y^k`:
+/// `luby(2, i)` is the i-th restart length in units of [`RESTART_BASE`].
+fn luby(y: f64, mut x: u64) -> f64 {
+    let mut size = 1u64;
+    let mut seq = 0i32;
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    y.powi(seq)
 }
 
 #[cfg(test)]
@@ -776,6 +1082,26 @@ mod tests {
         assert!(s.solve().is_sat());
     }
 
+    #[test]
+    fn tautologies_and_duplicates_never_attach() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let before = s.num_clauses();
+        // Tautology hidden between other literals: must not attach.
+        assert!(s.add_clause([Lit::pos(a), Lit::pos(b), Lit::neg(a), Lit::pos(c)]));
+        assert_eq!(s.num_clauses(), before, "tautology was attached");
+        // Duplicates collapse: (b ∨ b ∨ c) attaches as the 2-literal
+        // clause, whose watches cover every literal.
+        assert!(s.add_clause([Lit::pos(b), Lit::pos(b), Lit::pos(c)]));
+        assert_eq!(s.num_clauses(), before + 1);
+        // Degenerate duplicate unit: (c ∨ c) must behave as the unit c.
+        assert!(s.add_clause([Lit::pos(c), Lit::pos(c)]));
+        assert_eq!(s.value(c), Some(true), "duplicate unit must propagate");
+        assert!(s.solve().is_sat());
+    }
+
     /// Pigeonhole instance `n+1` pigeons into `n` holes — unsatisfiable
     /// and exponentially hard for resolution, so a small conflict
     /// budget is guaranteed to run out on a large enough `n`.
@@ -787,10 +1113,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.iter().map(|&v| Lit::pos(v)));
         }
-        for j in 0..n {
-            for i1 in 0..n + 1 {
-                for i2 in i1 + 1..n + 1 {
-                    s.add_clause([Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in p.iter().skip(i1 + 1) {
+                for (&v1, &v2) in row1.iter().zip(row2.iter()) {
+                    s.add_clause([Lit::neg(v1), Lit::neg(v2)]);
                 }
             }
         }
@@ -807,6 +1133,35 @@ mod tests {
         assert!(!s.solve().is_sat());
         // And a budgeted run on an already-refuted formula is immediate.
         assert_eq!(s.solve_budgeted(0), BudgetedSolveResult::Unsat { core: Vec::new() });
+    }
+
+    #[test]
+    fn conflict_budget_admits_exactly_n_conflicts() {
+        // Regression for the historical off-by-one where `solve_budgeted(n)`
+        // analyzed n+1 conflicts and over-reported by one.
+        let mut s = pigeonhole(7);
+        assert!(s.solve_budgeted(10).is_unknown());
+        assert_eq!(s.stats.conflicts, 10, "budget must admit exactly n conflicts");
+        // The next bounded attempt resumes cleanly and stays exact.
+        assert!(s.solve_budgeted(7).is_unknown());
+        assert_eq!(s.stats.conflicts, 17);
+    }
+
+    #[test]
+    fn decisions_are_not_counted_as_propagations() {
+        // Regression: a formula whose solve makes decisions but can never
+        // propagate (no clauses relate the variables).
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause([Lit::pos(vars[0]), Lit::pos(vars[1])]);
+        s.add_clause([Lit::pos(vars[2]), Lit::pos(vars[3])]);
+        assert!(s.solve().is_sat());
+        assert!(
+            s.stats.propagations <= 2,
+            "at most one propagation per clause is possible, got {}",
+            s.stats.propagations
+        );
+        assert!(s.stats.decisions >= 2, "two islands need two decisions");
     }
 
     #[test]
@@ -831,5 +1186,111 @@ mod tests {
             }
             other => panic!("expected unsat, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn reduce_db_bounds_live_learnt_clauses() {
+        // A hard instance learns thousands of clauses; with a tight
+        // reduction schedule the *live* database must stay bounded while
+        // the verdict stays correct.
+        let mut unbounded = pigeonhole(7);
+        unbounded.set_reduce_db(false);
+        assert!(!unbounded.solve().is_sat());
+
+        let mut bounded = pigeonhole(7);
+        bounded.set_reduce_policy(150, 0);
+        assert!(!bounded.solve().is_sat());
+
+        assert!(bounded.stats.deleted_clauses > 0, "reduction never fired");
+        assert!(bounded.stats.db_reductions > 0);
+        // Without reduction the whole learnt history stays live; with a
+        // pinned threshold (inc = 0) the live set must stay a small
+        // fraction of that. The cap has headroom for protected clauses
+        // (glue ≤ 2, binary, locked), which reduction never deletes.
+        assert!(
+            unbounded.stats.max_live_learnt > 1_000,
+            "php(7) should learn thousands of clauses: {}",
+            unbounded.stats.max_live_learnt
+        );
+        assert!(
+            bounded.stats.max_live_learnt <= 400,
+            "live learnt DB exceeded the cap: {} (unbounded peak {})",
+            bounded.stats.max_live_learnt,
+            unbounded.stats.max_live_learnt
+        );
+        assert!(bounded.num_learnt() <= 400);
+    }
+
+    #[test]
+    fn budgeted_solve_stays_reusable_across_db_reductions() {
+        // PR-1 contract: `solve_budgeted` remains usable after `Unknown`,
+        // including when reductions rewrote the clause arena mid-search.
+        let mut s = pigeonhole(7);
+        s.set_reduce_policy(100, 50);
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match s.solve_budgeted(1_000) {
+                BudgetedSolveResult::Unsat { .. } => break,
+                BudgetedSolveResult::Unknown => assert!(attempts < 100),
+                BudgetedSolveResult::Sat => panic!("pigeonhole is unsat"),
+            }
+        }
+        assert!(s.stats.db_reductions > 0, "reductions should have fired");
+        assert!(attempts > 1, "php(7) must exceed a 1000-conflict budget");
+    }
+
+    #[test]
+    fn learnt_clause_minimization_shrinks_clauses() {
+        let mut s = pigeonhole(6);
+        assert!(!s.solve().is_sat());
+        assert!(
+            s.stats.minimized_literals > 0,
+            "recursive minimization never removed a literal"
+        );
+        assert!(s.stats.max_lbd >= 2);
+    }
+
+    #[test]
+    fn incremental_solving_survives_reduction_and_restarts() {
+        // Pigeonhole relaxed by a literal `r` added to every
+        // pigeon-placement clause: under ¬r the instance is the hard
+        // php(7) refutation (forcing restarts + reductions); under r it
+        // is trivially satisfiable. The same solver must answer both.
+        let n = 7usize;
+        let mut s = Solver::new();
+        let r = s.new_var();
+        let p: Vec<Vec<Var>> =
+            (0..n + 1).map(|_| (0..n).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            s.add_clause(row.iter().map(|&v| Lit::pos(v)).chain([Lit::pos(r)]));
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in p.iter().skip(i1 + 1) {
+                for (&v1, &v2) in row1.iter().zip(row2.iter()) {
+                    s.add_clause([Lit::neg(v1), Lit::neg(v2)]);
+                }
+            }
+        }
+        s.set_reduce_policy(100, 50);
+        match s.solve_with_assumptions(&[Lit::neg(r)]) {
+            SolveResult::Unsat { core } => {
+                assert_eq!(core, vec![Lit::neg(r)], "refutation hinges on ¬r");
+            }
+            SolveResult::Sat => panic!("php(7) under ¬r must be unsat"),
+        }
+        assert!(s.stats.restarts > 0, "php(7) needs more than one restart unit");
+        assert!(s.stats.db_reductions > 0, "reductions should have fired");
+        // Same solver, opposite assumption: trivially satisfiable.
+        assert!(s.solve_with_assumptions(&[Lit::pos(r)]).is_sat());
+        assert_eq!(s.value(r), Some(true));
+        // And unconstrained: still satisfiable (r is free).
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<u64> = (0..15).map(|i| luby(2.0, i) as u64).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
     }
 }

@@ -1,0 +1,159 @@
+//! Property-based tests: solver verdicts and UNSAT-core soundness
+//! against brute-force enumeration on random CNFs with ≤ 12 variables,
+//! exercised both with and without learnt-database reduction.
+
+use crate::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// A clause literal as (variable index, positive phase).
+type RawClause = Vec<(usize, bool)>;
+
+#[derive(Debug, Clone)]
+struct Cnf {
+    num_vars: usize,
+    clauses: Vec<RawClause>,
+}
+
+/// Random CNFs: 2–12 variables, clause count up to 5× the variable
+/// count (straddling the SAT/UNSAT transition), clauses of 1–4 literals
+/// drawn with replacement (so duplicates and tautologies occur too).
+struct CnfStrategy;
+
+impl Strategy for CnfStrategy {
+    type Value = Cnf;
+
+    fn generate(&self, rng: &mut TestRng) -> Cnf {
+        let num_vars = 2 + (rng.next_u64() % 11) as usize;
+        let num_clauses = 1 + (rng.next_u64() as usize % (num_vars * 5));
+        let clauses = (0..num_clauses)
+            .map(|_| {
+                let len = 1 + (rng.next_u64() % 4) as usize;
+                (0..len)
+                    .map(|_| {
+                        (
+                            (rng.next_u64() % num_vars as u64) as usize,
+                            rng.next_u64() & 1 == 1,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Cnf { num_vars, clauses }
+    }
+}
+
+fn brute_force_sat(cnf: &Cnf) -> bool {
+    brute_force_sat_under(cnf, &[])
+}
+
+fn brute_force_sat_under(cnf: &Cnf, units: &[(usize, bool)]) -> bool {
+    'outer: for bits in 0u32..1 << cnf.num_vars {
+        for &(v, pos) in units {
+            if (bits >> v & 1 == 1) != pos {
+                continue 'outer;
+            }
+        }
+        for clause in &cnf.clauses {
+            let ok = clause.iter().any(|&(v, pos)| (bits >> v & 1 == 1) == pos);
+            if !ok {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn build_solver(cnf: &Cnf, reduce: bool) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    s.set_reduce_db(reduce);
+    if reduce {
+        // A tiny schedule so reduction actually fires on these small
+        // instances whenever any clauses are learnt at all.
+        s.set_reduce_policy(4, 0);
+    }
+    let vars: Vec<Var> = (0..cnf.num_vars).map(|_| s.new_var()).collect();
+    for clause in &cnf.clauses {
+        s.add_clause(clause.iter().map(|&(v, pos)| Lit::with_phase(vars[v], pos)));
+    }
+    (s, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn verdict_matches_brute_force(cnf in CnfStrategy, reduce in any::<bool>()) {
+        let expect = brute_force_sat(&cnf);
+        let (mut s, vars) = build_solver(&cnf, reduce);
+        let got = s.solve();
+        prop_assert_eq!(got.is_sat(), expect);
+        if got.is_sat() {
+            // The model must satisfy every clause.
+            for clause in &cnf.clauses {
+                let ok = clause
+                    .iter()
+                    .any(|&(v, pos)| s.value(vars[v]).unwrap_or(false) == pos);
+                prop_assert!(ok, "model violates clause {:?}", clause);
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_core_is_sound_under_assumptions(
+        cnf in CnfStrategy,
+        reduce in any::<bool>(),
+        raw in (any::<u64>(), any::<u64>()),
+    ) {
+        // Derive up to 4 assumptions (one per variable) from raw bits.
+        let mut assumptions: Vec<(usize, bool)> = Vec::new();
+        for i in 0..4usize {
+            let v = ((raw.0 >> (i * 8)) as usize) % cnf.num_vars;
+            let pos = raw.1 >> i & 1 == 1;
+            if !assumptions.iter().any(|&(w, _)| w == v) {
+                assumptions.push((v, pos));
+            }
+        }
+        let expect = brute_force_sat_under(&cnf, &assumptions);
+        let (mut s, vars) = build_solver(&cnf, reduce);
+        let assumption_lits: Vec<Lit> = assumptions
+            .iter()
+            .map(|&(v, pos)| Lit::with_phase(vars[v], pos))
+            .collect();
+        match s.solve_with_assumptions(&assumption_lits) {
+            SolveResult::Sat => prop_assert!(expect, "solver said SAT, oracle says UNSAT"),
+            SolveResult::Unsat { core } => {
+                prop_assert!(!expect, "solver said UNSAT, oracle says SAT");
+                // Core soundness: every core literal is an assumption…
+                for l in &core {
+                    prop_assert!(
+                        assumption_lits.contains(l),
+                        "core literal {} is not an assumption", l
+                    );
+                }
+                // …and the core alone already makes the formula UNSAT.
+                let core_units: Vec<(usize, bool)> = core
+                    .iter()
+                    .map(|l| {
+                        let v = vars.iter().position(|&w| w == l.var()).unwrap();
+                        (v, !l.is_neg())
+                    })
+                    .collect();
+                prop_assert!(
+                    !brute_force_sat_under(&cnf, &core_units),
+                    "core {:?} does not refute the formula", core
+                );
+            }
+        }
+        // The solver stays reusable after the assumption query.
+        prop_assert_eq!(s.solve().is_sat(), brute_force_sat(&cnf));
+    }
+
+    #[test]
+    fn reduction_and_no_reduction_agree(cnf in CnfStrategy) {
+        let (mut with_red, _) = build_solver(&cnf, true);
+        let (mut without_red, _) = build_solver(&cnf, false);
+        prop_assert_eq!(with_red.solve().is_sat(), without_red.solve().is_sat());
+    }
+}

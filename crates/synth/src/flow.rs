@@ -28,6 +28,7 @@ use symbi_netlist::clean::clean;
 use symbi_netlist::cone::ConeExtractor;
 use symbi_netlist::{Netlist, NodeKind, SignalId};
 use symbi_reach::{Reachability, ReachabilityOptions};
+use symbi_sat::SolverStats;
 
 /// Resource budget for one [`optimize`] run. The default is unlimited:
 /// the flow behaves exactly as if no governor existed.
@@ -80,6 +81,12 @@ pub struct SynthesisOptions {
     /// Resource budget; candidates that exhaust it degrade gracefully to
     /// their original cones instead of aborting the flow.
     pub budget: BudgetOptions,
+    /// When set, the optimized netlist is validated against the input by
+    /// SAT-based bounded sequential equivalence over this many frames
+    /// (see [`symbi_netlist::sec::bounded_check_sat`]); the verdict and
+    /// solver statistics land in [`SynthesisReport::sat_validation`].
+    /// `None` (the default) skips validation.
+    pub validate_frames: Option<usize>,
 }
 
 impl Default for SynthesisOptions {
@@ -90,8 +97,23 @@ impl Default for SynthesisOptions {
             max_cone_support: 20,
             accept_only_improvements: true,
             budget: BudgetOptions::default(),
+            validate_frames: None,
         }
     }
+}
+
+/// Outcome of the optional post-flow SAT validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatValidationReport {
+    /// Frames of bounded unrolling checked.
+    pub frames: usize,
+    /// Whether the optimized netlist matched the input on every frame.
+    /// Don't-care rewrites only change unreachable behaviour, and the
+    /// bounded check starts from the initial states, so this must be
+    /// `true` for a sound flow.
+    pub equivalent: bool,
+    /// SAT effort spent on the validation.
+    pub solver: SolverStats,
 }
 
 /// What [`optimize`] did.
@@ -123,6 +145,9 @@ pub struct SynthesisReport {
     /// Degradation-ladder steps the decomposer took after an exhaustion
     /// (symbolic partition search → greedy growth → Shannon).
     pub fallbacks_taken: usize,
+    /// Result of the SAT-based bounded equivalence validation, when
+    /// [`SynthesisOptions::validate_frames`] was set.
+    pub sat_validation: Option<SatValidationReport>,
 }
 
 /// Runs Algorithm 1 on `netlist`, returning the optimized netlist (same
@@ -300,6 +325,15 @@ pub fn optimize_governed(
         out.add_output(name.clone(), rebuilt[sig]);
     }
     let (final_netlist, _) = clean(&out);
+    if let Some(frames) = options.validate_frames {
+        let (verdict, solver) =
+            symbi_netlist::sec::bounded_check_sat(netlist, &final_netlist, frames);
+        report.sat_validation = Some(SatValidationReport {
+            frames,
+            equivalent: verdict.is_equivalent(),
+            solver,
+        });
+    }
     (final_netlist, report)
 }
 
@@ -484,6 +518,20 @@ mod tests {
             assert!(w[1] <= w[0] || w == &sizes[sizes.len() - 2..]);
         }
         assert!(random_co_simulation(&n, &opt, 40, 4242));
+    }
+
+    #[test]
+    fn sat_validation_confirms_the_flow_and_reports_effort() {
+        let n = ring_with_logic();
+        let opts = SynthesisOptions { validate_frames: Some(8), ..Default::default() };
+        let (_, report) = optimize(&n, &opts);
+        let v = report.sat_validation.expect("validation requested");
+        assert_eq!(v.frames, 8);
+        assert!(v.equivalent, "don't-care rewrites must preserve reachable behaviour");
+        assert!(v.solver.propagations > 0, "validation did no SAT work: {:?}", v.solver);
+        // Validation off by default.
+        let (_, silent) = optimize(&n, &SynthesisOptions::default());
+        assert!(silent.sat_validation.is_none());
     }
 
     #[test]
