@@ -54,6 +54,7 @@ mod governor;
 pub mod hash;
 mod manager;
 mod node;
+pub mod par;
 mod quant;
 mod restrict;
 mod transfer;

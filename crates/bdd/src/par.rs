@@ -1,0 +1,165 @@
+//! A minimal deterministic parallel-map for worker-local BDD pipelines.
+//!
+//! The workspace vendors no thread-pool crate, so this module provides
+//! the one primitive the parallel reachability and synthesis engines
+//! need: run a function over a list of items on `jobs` scoped threads
+//! and return the results **in input order**. Work is claimed through a
+//! single atomic counter (self-scheduling), which load-balances as well
+//! as work stealing for the coarse-grained tasks used here (one
+//! reachability partition or one candidate cone per item).
+//!
+//! Determinism contract: the *value* of `f(i, item)` must not depend on
+//! which worker runs it or in which order items complete. [`Manager`]
+//! is plain data (`Send`), so each task can own a private manager and
+//! hand results back by value or via [`Manager::transfer_from`]; a
+//! shared [`ResourceGovernor`](crate::ResourceGovernor) provides the
+//! cross-thread budget and cancellation (its counters are atomic).
+//! Under that contract `parallel_map(jobs, ..)` returns bit-identical
+//! results for every `jobs`, because `jobs <= 1` degenerates to a plain
+//! in-order loop on the calling thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A sensible worker count for `--jobs 0` style "use all cores" CLIs.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Applies `f` to every item on up to `jobs` threads, returning results
+/// in input order. `f` receives `(index, item)`. With `jobs <= 1` (or
+/// fewer than two items) everything runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// A panic inside `f` propagates to the caller once all workers have
+/// stopped (the panicking thread poisons no shared state; remaining
+/// items may or may not have been processed).
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.min(n);
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    // Each slot is locked exactly once by the claiming worker; the atomic
+    // counter guarantees unique claims, the mutexes only move ownership.
+    let tasks: Vec<Mutex<Option<T>>> =
+        items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = tasks[i].lock().expect("task slot").take().expect("claimed once");
+                let r = f(i, item);
+                *results[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot").expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::FxHashMap;
+    use crate::{Manager, ResourceExhausted, ResourceGovernor, VarId};
+
+    /// The whole parallel design rests on these auto-impls; fail at
+    /// compile time if a future change introduces interior mutability.
+    #[test]
+    fn managers_and_governors_cross_threads() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Manager>();
+        assert_sync::<Manager>();
+        assert_send::<ResourceGovernor>();
+        assert_sync::<ResourceGovernor>();
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(8, items.clone(), |i, x| {
+            assert_eq!(i, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let f = |_: usize, x: u64| x.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(17);
+        let seq = parallel_map(1, items.clone(), f);
+        let par = parallel_map(7, items, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn worker_local_managers_transfer_back() {
+        // Each worker builds a function in its own manager; the caller
+        // transfers them all into one manager and checks canonicity.
+        let built: Vec<(Manager, crate::NodeId)> = parallel_map(4, (2..10).collect(), |_, k| {
+            let mut m = Manager::new();
+            let vars = m.new_vars(k);
+            let f = vars.iter().skip(1).fold(vars[0], |acc, &v| m.xor(acc, v));
+            (m, f)
+        });
+        let mut global = Manager::with_vars(10);
+        for (i, (m, f)) in built.iter().enumerate() {
+            let k = i + 2;
+            let map: FxHashMap<VarId, VarId> =
+                (0..k as u32).map(|v| (VarId(v), VarId(v))).collect();
+            let t = global.transfer_from(m, *f, &map);
+            let vars: Vec<_> = (0..k as u32).map(|v| global.var(VarId(v))).collect();
+            let expect = vars.iter().skip(1).fold(vars[0], |acc, &v| global.xor(acc, v));
+            assert_eq!(t, expect, "parity of {k} vars survives the transfer");
+        }
+    }
+
+    #[test]
+    fn shared_governor_cancellation_drains_all_workers() {
+        let gov = ResourceGovernor::unlimited();
+        let handle = gov.cancel_handle();
+        let verdicts = parallel_map(4, (0..8).collect::<Vec<usize>>(), |i, _| {
+            if i == 0 {
+                handle.cancel();
+            }
+            let worker_gov = gov.fork_steps(u64::MAX);
+            loop {
+                if let Err(e) = worker_gov.checkpoint(0) {
+                    return e;
+                }
+            }
+        });
+        assert_eq!(verdicts, vec![ResourceExhausted::Cancelled; 8]);
+    }
+
+    #[test]
+    fn shared_step_budget_is_globally_enforced() {
+        // 4 workers hammer one shared budget of 1000 steps; the total
+        // number of *successful* checkpoints must be exactly the limit.
+        let gov = ResourceGovernor::unlimited().with_step_limit(1000);
+        let oks = parallel_map(4, vec![(); 4], |_, ()| {
+            let mut ok = 0u64;
+            while gov.checkpoint(0).is_ok() {
+                ok += 1;
+            }
+            ok
+        });
+        assert_eq!(oks.iter().sum::<u64>(), 1000);
+    }
+}

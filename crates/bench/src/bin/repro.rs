@@ -2,21 +2,25 @@
 //!
 //! ```text
 //! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32
-//!        | sat-stats]
-//!       [--quick] [--per-kind] [--out <path>]
+//!        | sat-stats | parallel]
+//!       [--quick] [--per-kind] [--jobs <N>] [--out <path>]
 //! ```
 //!
 //! `--quick` trims the expensive rows (mux width 6, adder s16, the two
 //! largest Table 3.1 circuits, the largest Table 3.2 blocks) so the whole
 //! run finishes in a few minutes. `--per-kind` adds the OR/AND/XOR win
-//! split to Table 3.1 (ablation A3). `sat-stats` profiles the CDCL engine
+//! split to Table 3.1 (ablation A3). `--jobs N` runs the reachability and
+//! synthesis flows on `N` worker threads (`0` = all cores); results are
+//! byte-identical to `--jobs 1`. `sat-stats` profiles the CDCL engine
 //! on the paper-style SAT workloads and writes machine-readable
-//! `BENCH_sat.json` (`--out` overrides the path).
+//! `BENCH_sat.json`; `parallel` times the flow at `--jobs 1` vs `--jobs N`
+//! over the industrial set, checks byte-identity, and writes
+//! `BENCH_parallel.json` (`--out` overrides either path).
 
 use std::time::Duration;
 use symbi_bench::{
-    adder_row, figure31, figure32, mux_row, table31_row, table32_row, write_sat_json,
-    Table31Options,
+    adder_row, figure31, figure32, mux_row, table31_row, table32_row, write_parallel_json,
+    write_sat_json, Table31Options,
 };
 use symbi_circuits::{industrial, iscas_like};
 use symbi_synth::flow::SynthesisOptions;
@@ -29,43 +33,85 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_sat.json".to_string());
+        .cloned();
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match v.parse::<usize>() {
+            Ok(0) => symbi_bdd::par::available_jobs(),
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--jobs expects a number, got `{v}`");
+                std::process::exit(2);
+            }
+        })
+        .unwrap_or(1);
     let what = args
         .iter()
         .enumerate()
         .find(|&(i, a)| {
-            let is_out_value = i > 0 && args[i - 1] == "--out";
-            !a.starts_with("--") && !is_out_value
+            let is_flag_value = i > 0 && (args[i - 1] == "--out" || args[i - 1] == "--jobs");
+            !a.starts_with("--") && !is_flag_value
         })
         .map(|(_, a)| a.as_str())
         .unwrap_or("all");
+    let out_or = |default: &str| out_path.clone().unwrap_or_else(|| default.to_string());
 
     match what {
         "mux-table" => mux_table(quick),
         "adder-table" => adder_table(quick),
-        "table31" => table31(quick, per_kind),
-        "table32" => table32(quick),
+        "table31" => table31(quick, per_kind, jobs),
+        "table32" => table32(quick, jobs),
         "figure31" => print_figure31(),
         "figure32" => print_figure32(),
-        "sat-stats" => sat_stats(quick, &out_path),
+        "sat-stats" => sat_stats(quick, &out_or("BENCH_sat.json")),
+        "parallel" => parallel(quick, jobs, &out_or("BENCH_parallel.json")),
         "all" => {
             print_figure31();
             print_figure32();
             mux_table(quick);
             adder_table(quick);
-            table31(quick, per_kind);
-            table32(quick);
-            sat_stats(quick, &out_path);
+            table31(quick, per_kind, jobs);
+            table32(quick, jobs);
+            sat_stats(quick, &out_or("BENCH_sat.json"));
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats] [--quick] [--per-kind] [--out <path>]"
+                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel] [--quick] [--per-kind] [--jobs <N>] [--out <path>]"
             );
             std::process::exit(2);
         }
     }
+}
+
+fn parallel(quick: bool, jobs: usize, out_path: &str) {
+    let jobs = if jobs <= 1 { symbi_bdd::par::available_jobs() } else { jobs };
+    println!("\n=== Parallel flow: jobs=1 vs jobs={jobs} (written to {out_path}) ===");
+    println!(
+        "{:>8} {:>6} {:>10} {:>10} {:>8} {:>10}",
+        "Name", "Jobs", "Seq(s)", "Par(s)", "Speedup", "Identical"
+    );
+    let rows = write_parallel_json(std::path::Path::new(out_path), jobs, quick)
+        .expect("failed to write BENCH_parallel.json");
+    let mut all_identical = true;
+    for r in &rows {
+        println!(
+            "{:>8} {:>6} {:>10.3} {:>10.3} {:>8.2} {:>10}",
+            r.name,
+            r.jobs,
+            r.seq_seconds,
+            r.par_seconds,
+            r.speedup(),
+            r.identical,
+        );
+        all_identical &= r.identical;
+    }
+    let (seq, par): (f64, f64) =
+        rows.iter().fold((0.0, 0.0), |(s, p), r| (s + r.seq_seconds, p + r.par_seconds));
+    println!("Total: {seq:.3}s sequential, {par:.3}s parallel ({:.2}x)", seq / par);
+    assert!(all_identical, "parallel flow diverged from sequential output");
 }
 
 fn sat_stats(quick: bool, out_path: &str) {
@@ -142,7 +188,7 @@ fn adder_table(quick: bool) {
     println!("(paper: best partitions (2,5)…(2,31); greedy times out on s16)");
 }
 
-fn table31(quick: bool, per_kind: bool) {
+fn table31(quick: bool, per_kind: bool, jobs: usize) {
     println!("\n=== Table 3.1: bi-decomposition without / with state analysis ===");
     println!(
         "{:>8} {:>9} {:>8} | {:>6} {:>11} | {:>11} {:>6} {:>11}",
@@ -153,7 +199,8 @@ fn table31(quick: bool, per_kind: bool) {
     } else {
         iscas_like::SPECS.iter().collect()
     };
-    let opts = Table31Options::default();
+    let mut opts = Table31Options::default();
+    opts.reach.jobs = jobs;
     let mut sums = (0f64, 0f64, 0usize);
     for spec in specs {
         let netlist = iscas_like::generate(spec);
@@ -187,7 +234,7 @@ fn table31(quick: bool, per_kind: bool) {
     );
 }
 
-fn table32(quick: bool) {
+fn table32(quick: bool, jobs: usize) {
     println!("\n=== Table 3.2: Algorithm 1 on industrial-like blocks ===");
     println!(
         "{:>6} {:>9} {:>8} {:>6} | {:>9} {:>7} | {:>9} {:>7} | {:>6} {:>6}",
@@ -199,7 +246,7 @@ fn table32(quick: bool) {
     } else {
         industrial::SPECS.iter().collect()
     };
-    let opts = SynthesisOptions::default();
+    let opts = SynthesisOptions { jobs, ..Default::default() };
     let mut ratios = (0f64, 0f64, 0usize);
     for spec in specs {
         let netlist = industrial::generate(spec);

@@ -594,6 +594,105 @@ pub fn write_sat_json(path: &std::path::Path, quick: bool) -> std::io::Result<Ve
 }
 
 // ---------------------------------------------------------------------
+// Parallel speedup benchmark (BENCH_parallel.json)
+// ---------------------------------------------------------------------
+
+/// One circuit's sequential-vs-parallel comparison: wall-clock for both
+/// runs and whether the emitted netlists were byte-identical (the
+/// determinism oracle the parallel engine must satisfy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelRow {
+    /// Circuit name.
+    pub name: String,
+    /// Worker threads used for the parallel arm.
+    pub jobs: usize,
+    /// Wall-clock seconds of the `jobs = 1` run.
+    pub seq_seconds: f64,
+    /// Wall-clock seconds of the `jobs = N` run.
+    pub par_seconds: f64,
+    /// Whether `.bench` serializations of the two results matched byte
+    /// for byte.
+    pub identical: bool,
+}
+
+impl ParallelRow {
+    /// Sequential time over parallel time.
+    pub fn speedup(&self) -> f64 {
+        self.seq_seconds / self.par_seconds
+    }
+}
+
+/// Times [`optimize`] at `jobs = 1` vs `jobs = N` over the industrial
+/// circuit set (`quick` keeps only the sub-1500-AND blocks) and checks
+/// byte-identity of the results.
+pub fn parallel_rows(jobs: usize, quick: bool) -> Vec<ParallelRow> {
+    let specs: Vec<_> = if quick {
+        symbi_circuits::industrial::SPECS.iter().filter(|s| s.and_nodes < 1500).collect()
+    } else {
+        symbi_circuits::industrial::SPECS.iter().collect()
+    };
+    let mut rows = Vec::new();
+    for spec in specs {
+        let netlist = symbi_circuits::industrial::generate(spec);
+        let start = Instant::now();
+        let (seq_net, _) =
+            optimize(&netlist, &SynthesisOptions { jobs: 1, ..Default::default() });
+        let seq_seconds = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let (par_net, _) = optimize(&netlist, &SynthesisOptions { jobs, ..Default::default() });
+        let par_seconds = start.elapsed().as_secs_f64();
+        let identical =
+            symbi_netlist::bench::write(&seq_net) == symbi_netlist::bench::write(&par_net);
+        rows.push(ParallelRow {
+            name: netlist.name().to_string(),
+            jobs,
+            seq_seconds,
+            par_seconds,
+            identical,
+        });
+    }
+    rows
+}
+
+/// Serializes [`ParallelRow`]s as JSON (hand-written — no serde in the
+/// workspace) in a stable schema for longitudinal comparison.
+pub fn parallel_json(rows: &[ParallelRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"symbi-parallel-bench/v1\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"jobs\": {}, \"seq_seconds\": {:.6}, ",
+                "\"par_seconds\": {:.6}, \"speedup\": {:.3}, \"identical\": {}}}{}\n"
+            ),
+            r.name,
+            r.jobs,
+            r.seq_seconds,
+            r.par_seconds,
+            r.speedup(),
+            r.identical,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs [`parallel_rows`] and writes [`parallel_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_parallel_json(
+    path: &std::path::Path,
+    jobs: usize,
+    quick: bool,
+) -> std::io::Result<Vec<ParallelRow>> {
+    let rows = parallel_rows(jobs, quick);
+    std::fs::write(path, parallel_json(&rows))?;
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
 // Ablation helpers
 // ---------------------------------------------------------------------
 

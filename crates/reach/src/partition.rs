@@ -141,6 +141,20 @@ pub fn partition_latches(netlist: &Netlist, options: PartitionOptions) -> Vec<Pa
         }
     }
 
+    // Coverage guarantee: truncating an oversized support to the cap can
+    // drop a latch from every packed partition. Sweep the stragglers into
+    // catch-all partitions so each latch is analyzed *somewhere* — a
+    // partial projection of its neighbourhood is still a sound care set.
+    let uncovered: Vec<SignalId> = netlist
+        .latches()
+        .iter()
+        .copied()
+        .filter(|l| !partitions.iter().any(|p| p.contains(l)))
+        .collect();
+    for chunk in uncovered.chunks(cap) {
+        partitions.push(chunk.iter().copied().collect());
+    }
+
     let mut out: Vec<Partition> = partitions
         .into_iter()
         .map(|set| {

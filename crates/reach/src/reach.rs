@@ -3,6 +3,7 @@
 use crate::partition::{partition_latches, Partition, PartitionOptions};
 use std::collections::HashMap;
 use symbi_bdd::hash::FxHashMap;
+use symbi_bdd::par::parallel_map;
 use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 use symbi_netlist::cone::ConeExtractor;
 use symbi_netlist::{Netlist, SignalId};
@@ -23,6 +24,13 @@ pub struct ReachabilityOptions {
     /// partition that exhausts it falls back to "everything reachable",
     /// or is split if large enough.
     pub step_budget: u64,
+    /// Worker threads for the per-partition fixpoint loops; each worker
+    /// owns a private [`Manager`] and results are merged in the same
+    /// canonical order as the sequential analysis, so any `jobs` value
+    /// produces identical partitions (under an unlimited governor; a
+    /// finite *shared* step budget races between workers and can change
+    /// which partition trips it first).
+    pub jobs: usize,
 }
 
 impl Default for ReachabilityOptions {
@@ -32,6 +40,7 @@ impl Default for ReachabilityOptions {
             max_iterations: 10_000,
             node_limit: 1_000_000,
             step_budget: u64::MAX,
+            jobs: 1,
         }
     }
 }
@@ -54,10 +63,17 @@ pub struct ReachStats {
 #[derive(Debug)]
 struct PartitionReach {
     latches: Vec<SignalId>,
+    /// Compact manager holding only the reachable set: one variable per
+    /// partition latch, in latch order. For a bailed partition the
+    /// analysis manager is **dropped** and this is left empty — the
+    /// partition carries no information, so consumers must skip it
+    /// rather than touch its (nonexistent) variables.
     manager: Manager,
-    /// Reachable set over the partition's present-state variables.
+    /// Reachable set over the partition's present-state variables;
+    /// `NodeId::TRUE` when the partition bailed.
     reach: NodeId,
-    /// Latch output signal → present-state variable in `manager`.
+    /// Latch output signal → present-state variable in `manager`
+    /// (empty when bailed).
     ps_var: HashMap<SignalId, VarId>,
     iterations: usize,
     bailed: bool,
@@ -92,6 +108,12 @@ impl Reachability {
     /// exhausted partition degrades to "everything reachable" — always
     /// sound — or is split in half first if it is large enough.
     ///
+    /// With `options.jobs > 1` the top-level partitions are analyzed on
+    /// a pool of worker threads, each with a private [`Manager`]; the
+    /// adaptive splitting recursion stays *inside* a partition's task
+    /// and results are concatenated in the sequential order, so the
+    /// analysis is deterministic across `jobs` values.
+    ///
     /// # Panics
     ///
     /// Panics if the netlist fails validation.
@@ -102,25 +124,16 @@ impl Reachability {
     ) -> Self {
         netlist.validate().expect("reachability requires a valid netlist");
         let partitions = partition_latches(netlist, options.partition);
-        // Adaptive splitting: a partition that exhausts its resource caps
-        // is split in half and each half re-analyzed — every subset's
-        // reachable set is still an over-approximation of the truth, so
-        // splitting trades precision for tractability, never soundness.
-        let mut worklist: Vec<Partition> = partitions;
-        let mut parts = Vec::new();
-        while let Some(p) = worklist.pop() {
-            let part_gov = gov
-                .fork_steps(options.step_budget)
-                .with_node_limit(gov.node_limit().min(options.node_limit));
-            let analyzed = analyze_partition(netlist, &p, &options, &part_gov);
-            if analyzed.bailed && p.latches.len() > 8 {
-                let mid = p.latches.len() / 2;
-                worklist.push(Partition { latches: p.latches[..mid].to_vec() });
-                worklist.push(Partition { latches: p.latches[mid..].to_vec() });
-            } else {
-                parts.push(analyzed);
-            }
-        }
+        // The historical sequential analysis popped a LIFO worklist, so
+        // partitions were processed (and their splits expanded,
+        // depth-first) in reverse order; preserve exactly that order so
+        // parallel and sequential runs stay interchangeable.
+        let roots: Vec<Partition> = partitions.into_iter().rev().collect();
+        let analyzed: Vec<Vec<PartitionReach>> =
+            parallel_map(options.jobs.max(1), roots, |_, p| {
+                analyze_adaptive(netlist, p, &options, gov)
+            });
+        let parts: Vec<PartitionReach> = analyzed.into_iter().flatten().collect();
         Reachability { parts, num_latches: netlist.num_latches() }
     }
 
@@ -169,6 +182,11 @@ impl Reachability {
         let mut acc = NodeId::TRUE;
         let mut skipped = 0usize;
         for part in &mut self.parts {
+            if part.bailed {
+                // The analysis manager was dropped on the bail-to-⊤ path;
+                // the partition constrains nothing.
+                continue;
+            }
             let in_support: Vec<SignalId> = part
                 .latches
                 .iter()
@@ -211,19 +229,91 @@ impl Reachability {
         (acc, skipped)
     }
 
+    /// Read-only [`Reachability::try_care_set`] for concurrent callers:
+    /// instead of projecting inside the partition's own manager (which
+    /// needs `&mut self` for the cache), each relevant partition's full
+    /// reachable set is first copied into a private scratch manager and
+    /// projected there. Projection-then-transfer yields the same
+    /// canonical function in `dst` as the in-place path, so the two
+    /// methods return identical care sets; this one simply trades a
+    /// little copying for shareability across worker threads.
+    pub fn try_care_set_shared(
+        &self,
+        support: &[SignalId],
+        dst: &mut Manager,
+        var_of: &HashMap<SignalId, VarId>,
+        gov: &ResourceGovernor,
+    ) -> (NodeId, usize) {
+        let mut acc = NodeId::TRUE;
+        let mut skipped = 0usize;
+        for part in &self.parts {
+            if part.bailed {
+                continue;
+            }
+            let in_support: Vec<SignalId> = part
+                .latches
+                .iter()
+                .copied()
+                .filter(|l| support.contains(l))
+                .collect();
+            if in_support.is_empty() {
+                continue;
+            }
+            let away: Vec<VarId> = part
+                .latches
+                .iter()
+                .filter(|l| !support.contains(l))
+                .map(|l| part.ps_var[l])
+                .collect();
+            let var_map: FxHashMap<VarId, VarId> = in_support
+                .iter()
+                .map(|l| {
+                    let dst_var = *var_of
+                        .get(l)
+                        .unwrap_or_else(|| panic!("no destination variable for latch {l}"));
+                    (part.ps_var[l], dst_var)
+                })
+                .collect();
+            let conjoined = (|| -> Result<NodeId, ResourceExhausted> {
+                // Identity copy into a scratch manager with the same
+                // variable universe, then project there.
+                let mut scratch = Manager::with_vars(part.manager.num_vars());
+                let identity: FxHashMap<VarId, VarId> = (0..part.manager.num_vars() as u32)
+                    .map(|v| (VarId(v), VarId(v)))
+                    .collect();
+                let local = scratch.transfer_from(&part.manager, part.reach, &identity);
+                let projected = scratch.try_exists(local, &away, gov)?;
+                let transferred = dst.transfer_from(&scratch, projected, &var_map);
+                dst.try_and(acc, transferred, gov)
+            })();
+            match conjoined {
+                Ok(n) => acc = n,
+                Err(_) => skipped += 1,
+            }
+        }
+        (acc, skipped)
+    }
+
     /// `log2` of the reachable-state count under the conjunction of all
     /// partition over-approximations (the `log2 states` of Table 3.1).
     /// With no partitions this is simply the latch count.
+    ///
+    /// A bailed partition's BDD was dropped on the bail-to-⊤ path, so it
+    /// contributes no constraint: its latches count as full-space (a
+    /// free factor of 2 each) unless some *other*, successful partition
+    /// also covers them.
     pub fn log2_states(&self) -> f64 {
         if self.parts.is_empty() {
             return self.num_latches as f64;
         }
         // Global space: one variable per latch that appears in any
-        // partition; uncovered latches contribute a free factor of 2 each.
+        // successfully analyzed partition; uncovered latches (including
+        // those only in bailed partitions) contribute a free factor of 2
+        // each.
         let mut global = Manager::new();
         let mut var_of: HashMap<SignalId, VarId> = HashMap::new();
         let mut covered = 0usize;
-        for part in &self.parts {
+        for part in self.parts.iter().filter(|p| !p.bailed) {
             for &l in &part.latches {
                 var_of.entry(l).or_insert_with(|| {
                     covered += 1;
@@ -234,7 +324,7 @@ impl Reachability {
             }
         }
         let mut acc = NodeId::TRUE;
-        for part in &self.parts {
+        for part in self.parts.iter().filter(|p| !p.bailed) {
             let var_map: FxHashMap<VarId, VarId> =
                 part.latches.iter().map(|l| (part.ps_var[l], var_of[l])).collect();
             let t = global.transfer_from(&part.manager, part.reach, &var_map);
@@ -254,6 +344,36 @@ impl Reachability {
             bailed_out: self.parts.iter().filter(|p| p.bailed).count(),
             log2_states: self.log2_states(),
         }
+    }
+}
+
+/// Analyzes one top-level partition with adaptive splitting: a partition
+/// that exhausts its resource caps is split in half and each half
+/// re-analyzed — every subset's reachable set is still an
+/// over-approximation of the truth, so splitting trades precision for
+/// tractability, never soundness. The returned order reproduces the
+/// historical sequential worklist exactly: the worklist pushed
+/// `[..mid]` then `[mid..]` and popped LIFO, i.e. it expanded the upper
+/// half first, depth-first.
+fn analyze_adaptive(
+    netlist: &Netlist,
+    partition: Partition,
+    options: &ReachabilityOptions,
+    gov: &ResourceGovernor,
+) -> Vec<PartitionReach> {
+    let part_gov = gov
+        .fork_steps(options.step_budget)
+        .with_node_limit(gov.node_limit().min(options.node_limit));
+    let analyzed = analyze_partition(netlist, &partition, options, &part_gov);
+    if analyzed.bailed && partition.latches.len() > 8 {
+        let mid = partition.latches.len() / 2;
+        let hi = Partition { latches: partition.latches[mid..].to_vec() };
+        let lo = Partition { latches: partition.latches[..mid].to_vec() };
+        let mut out = analyze_adaptive(netlist, hi, options, gov);
+        out.extend(analyze_adaptive(netlist, lo, options, gov));
+        out
+    } else {
+        vec![analyzed]
     }
 }
 
@@ -363,12 +483,48 @@ fn analyze_partition(
         }
         Ok(reach)
     })();
-    let (reach, bailed) = match governed {
-        Ok(r) => (r, false),
-        Err(_) => (NodeId::TRUE, true),
-    };
-
-    PartitionReach { latches: partition.latches.clone(), manager: m, reach, ps_var, iterations, bailed }
+    match governed {
+        Ok(r) => {
+            // Compact: move the reachable set into a fresh manager with
+            // exactly one variable per latch, in latch order, and drop
+            // the (much larger) analysis manager. Relative variable
+            // order is preserved, so every later projection of this set
+            // is the same canonical function it would have been in the
+            // analysis manager.
+            let mut compact = Manager::with_vars(k);
+            let var_map: FxHashMap<VarId, VarId> = partition
+                .latches
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (ps_var[&l], VarId(i as u32)))
+                .collect();
+            let reach = compact.transfer_from(&m, r, &var_map);
+            let ps_var: HashMap<SignalId, VarId> = partition
+                .latches
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (l, VarId(i as u32)))
+                .collect();
+            PartitionReach {
+                latches: partition.latches.clone(),
+                manager: compact,
+                reach,
+                ps_var,
+                iterations,
+                bailed: false,
+            }
+        }
+        Err(_) => PartitionReach {
+            // Bail-to-⊤: the analysis manager is dropped wholesale; the
+            // partition carries no constraint and no variables.
+            latches: partition.latches.clone(),
+            manager: Manager::new(),
+            reach: NodeId::TRUE,
+            ps_var: HashMap::new(),
+            iterations,
+            bailed: true,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -534,6 +690,85 @@ mod tests {
         let (care, skipped) = r.try_care_set(&latches, &mut dst, &var_of, &gov);
         assert!(skipped >= 1);
         assert!(care.is_true(), "skipped partitions contribute no constraint");
+    }
+
+    #[test]
+    fn shared_care_set_matches_in_place_care_set() {
+        let n = one_hot_ring();
+        let mut r = Reachability::analyze(&n, ReachabilityOptions::default());
+        // Strict sub-support so a genuine projection happens in both paths.
+        let latches: Vec<SignalId> = n.latches()[..2].to_vec();
+        let var_of: HashMap<SignalId, VarId> =
+            latches.iter().enumerate().map(|(i, &l)| (l, VarId(i as u32))).collect();
+        let gov = ResourceGovernor::unlimited();
+        let mut dst_shared = Manager::with_vars(2);
+        let shared = r.try_care_set_shared(&latches, &mut dst_shared, &var_of, &gov).0;
+        let mut dst_mut = Manager::with_vars(2);
+        let in_place = r.try_care_set(&latches, &mut dst_mut, &var_of, &gov).0;
+        // Same canonical function in identically laid-out managers ⇒
+        // identical node ids and identical evaluations.
+        assert_eq!(shared, in_place);
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(dst_shared.eval(shared, &[a, b]), dst_mut.eval(in_place, &[a, b]));
+            }
+        }
+    }
+
+    /// Regression: a bailed partition's manager is dropped (empty
+    /// manager, no `ps_var` entries). `log2_states` used to index the
+    /// dropped variables and return garbage; it must instead count the
+    /// bailed partition's latches as full-space.
+    #[test]
+    fn bailed_partition_counts_as_full_space() {
+        let n = one_hot_ring();
+        let mut r = Reachability::analyze(&n, ReachabilityOptions::default());
+        assert!((r.log2_states() - 2.0).abs() < 1e-9);
+        // Forcibly bail the only partition, exactly as the governor
+        // bail-to-⊤ path leaves it: manager dropped, reach = ⊤, no vars.
+        for part in &mut r.parts {
+            part.manager = Manager::new();
+            part.reach = NodeId::TRUE;
+            part.ps_var = HashMap::new();
+            part.bailed = true;
+        }
+        assert!(
+            (r.log2_states() - 4.0).abs() < 1e-9,
+            "bailed partitions must count as full-space, got {}",
+            r.log2_states()
+        );
+        // And neither care-set path may touch the dropped variables.
+        let latches: Vec<SignalId> = n.latches().to_vec();
+        let var_of: HashMap<SignalId, VarId> =
+            latches.iter().enumerate().map(|(i, &l)| (l, VarId(i as u32))).collect();
+        let gov = ResourceGovernor::unlimited();
+        let mut dst = Manager::with_vars(4);
+        let (care, skipped) = r.try_care_set(&latches, &mut dst, &var_of, &gov);
+        assert!(care.is_true());
+        assert_eq!(skipped, 0);
+        let (care, skipped) = r.try_care_set_shared(&latches, &mut dst, &var_of, &gov);
+        assert!(care.is_true());
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn parallel_jobs_match_sequential_analysis() {
+        for netlist in [saturating_counter(), one_hot_ring()] {
+            // Tiny partitions force several independent fixpoint tasks.
+            let base = ReachabilityOptions {
+                partition: crate::partition::PartitionOptions { max_latches: 1 },
+                ..Default::default()
+            };
+            let seq = Reachability::analyze(&netlist, ReachabilityOptions { jobs: 1, ..base });
+            let par = Reachability::analyze(&netlist, ReachabilityOptions { jobs: 4, ..base });
+            assert_eq!(seq.stats(), par.stats());
+            assert_eq!(seq.num_partitions(), par.num_partitions());
+            for (a, b) in seq.parts.iter().zip(&par.parts) {
+                assert_eq!(a.latches, b.latches);
+                assert_eq!(a.reach, b.reach, "canonical reach sets must agree");
+                assert_eq!(a.bailed, b.bailed);
+            }
+        }
     }
 
     #[test]

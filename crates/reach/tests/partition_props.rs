@@ -1,0 +1,148 @@
+//! Property tests for latch partitioning and care-set soundness.
+//!
+//! Three invariants, straight from §3.5.1's contract:
+//!
+//! 1. every latch of the netlist appears in at least one partition,
+//! 2. no partition exceeds the [`PartitionOptions::max_latches`] cap,
+//!    and when the cap covers the whole design, every function's
+//!    present-state support fits inside a single partition,
+//! 3. the conjunction of per-partition care sets is an
+//!    **over**-approximation of the reachable states — every state a
+//!    random simulation actually visits must satisfy it.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use symbi_bdd::{Manager, VarId};
+use symbi_netlist::sim::Simulator;
+use symbi_netlist::{GateKind, Netlist, SignalId};
+use symbi_reach::{partition_latches, PartitionOptions, Reachability, ReachabilityOptions};
+
+/// Seeded random sequential netlist with at most `n_latches` latches;
+/// gates only reference earlier signals, so it is acyclic.
+fn random_netlist(seed: u64, n_inputs: usize, n_latches: usize, n_gates: usize) -> Netlist {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut n = Netlist::new("rnd");
+    let mut pool: Vec<SignalId> =
+        (0..n_inputs).map(|i| n.add_input(format!("i{i}"))).collect();
+    let latches: Vec<SignalId> =
+        (0..n_latches).map(|i| n.add_latch(format!("q{i}"), rng.gen_bool(0.5))).collect();
+    pool.extend(&latches);
+    for g in 0..n_gates {
+        let kind = match rng.gen_range(0..5usize) {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Xor,
+            3 => GateKind::Nor,
+            _ => GateKind::Not,
+        };
+        let arity = if kind.is_unary() { 1 } else { 2 };
+        let fanins: Vec<SignalId> =
+            (0..arity).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+        pool.push(n.add_gate(format!("g{g}"), kind, fanins));
+    }
+    for &q in &latches {
+        n.set_latch_next(q, pool[rng.gen_range(0..pool.len())]);
+    }
+    n.add_output("o", pool[pool.len() - 1]);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn partitions_cover_every_latch_and_respect_the_cap(
+        seed in any::<u64>(),
+        n_inputs in 1usize..4,
+        n_latches in 1usize..10,
+        n_gates in 2usize..20,
+        cap in 1usize..12,
+    ) {
+        let n = random_netlist(seed, n_inputs, n_latches, n_gates);
+        let parts = partition_latches(&n, PartitionOptions { max_latches: cap });
+        // Size bound: unconditional.
+        for p in &parts {
+            prop_assert!(
+                p.latches.len() <= cap,
+                "partition of {} latches exceeds cap {cap}",
+                p.latches.len()
+            );
+            // Sorted by id, no duplicates.
+            prop_assert!(p.latches.windows(2).all(|w| w[0] < w[1]));
+            // Only real latches.
+            for &l in &p.latches {
+                prop_assert!(n.latches().contains(&l));
+            }
+        }
+        // Coverage: every latch appears somewhere.
+        for &l in n.latches() {
+            prop_assert!(
+                parts.iter().any(|p| p.latches.contains(&l)),
+                "latch {l} not covered by any partition"
+            );
+        }
+    }
+
+    #[test]
+    fn uncapped_partitions_cover_every_ps_support(
+        seed in any::<u64>(),
+        n_latches in 1usize..8,
+        n_gates in 2usize..16,
+    ) {
+        let n = random_netlist(seed, 2, n_latches, n_gates);
+        // Cap ≥ latch count: nothing is ever truncated, so each
+        // function's present-state support must sit whole in one
+        // partition.
+        let parts = partition_latches(&n, PartitionOptions { max_latches: n_latches });
+        for &l in n.latches() {
+            let supp = n.support_ps(n.latch_next(l).expect("validated"));
+            prop_assert!(
+                parts.iter().any(|p| p.covers(&supp)),
+                "no partition covers supp_ps of latch {l}: {supp:?}"
+            );
+        }
+        for &(_, out) in n.outputs() {
+            let supp = n.support_ps(out);
+            if !supp.is_empty() {
+                prop_assert!(parts.iter().any(|p| p.covers(&supp)));
+            }
+        }
+    }
+
+    #[test]
+    fn care_set_over_approximates_simulated_states(
+        seed in any::<u64>(),
+        n_inputs in 1usize..4,
+        n_latches in 1usize..10,
+        n_gates in 2usize..20,
+        cap in 1usize..6,
+    ) {
+        let n = random_netlist(seed, n_inputs, n_latches, n_gates);
+        let opts = ReachabilityOptions {
+            partition: PartitionOptions { max_latches: cap },
+            ..Default::default()
+        };
+        let mut reach = Reachability::analyze(&n, opts);
+        let latches: Vec<SignalId> = n.latches().to_vec();
+        let mut dst = Manager::with_vars(latches.len());
+        let var_of: HashMap<SignalId, VarId> =
+            latches.iter().enumerate().map(|(i, &l)| (l, VarId(i as u32))).collect();
+        let care = reach.care_set(&latches, &mut dst, &var_of);
+        // Drive the circuit with seeded random inputs; every visited
+        // state must be inside the care set.
+        let mut sim = Simulator::new(&n);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xdead_beef);
+        for step in 0..32 {
+            let state: Vec<bool> = sim.state().iter().map(|&w| w & 1 == 1).collect();
+            prop_assert!(
+                dst.eval(care, &state),
+                "simulated state {state:?} at step {step} escaped the care set"
+            );
+            let inputs: Vec<u64> =
+                (0..n.num_inputs()).map(|_| if rng.gen_bool(0.5) { 1 } else { 0 }).collect();
+            sim.step(&inputs);
+        }
+    }
+}

@@ -87,6 +87,16 @@ pub struct SynthesisOptions {
     /// solver statistics land in [`SynthesisReport::sat_validation`].
     /// `None` (the default) skips validation.
     pub validate_frames: Option<usize>,
+    /// Worker threads for candidate-cone bi-decomposition (and, via
+    /// [`ReachabilityOptions::jobs`], the reachability partitions). Each
+    /// worker owns a private [`Manager`]; results merge in the sequential
+    /// candidate order, so under the default unlimited budget the output
+    /// netlist and report are byte-identical for every `jobs` value. A
+    /// *finite* budget races between workers (and hermetic workers
+    /// re-derive cone prefixes the sequential cache amortizes), so
+    /// budgeted parallel runs stay correct but may skip different
+    /// candidates than sequential ones.
+    pub jobs: usize,
 }
 
 impl Default for SynthesisOptions {
@@ -98,6 +108,7 @@ impl Default for SynthesisOptions {
             accept_only_improvements: true,
             budget: BudgetOptions::default(),
             validate_frames: None,
+            jobs: 1,
         }
     }
 }
@@ -174,6 +185,9 @@ pub fn optimize_governed(
     options: &SynthesisOptions,
     gov: &ResourceGovernor,
 ) -> (Netlist, SynthesisReport) {
+    if options.jobs > 1 {
+        return crate::parallel::optimize_parallel(netlist, options, gov);
+    }
     let (cleaned, _) = clean(netlist);
     let mut report = SynthesisReport::default();
 
@@ -373,7 +387,7 @@ pub fn optimize_iterated(
 /// exist only to feed this signal and would vanish if it were rewritten.
 /// Logic shared with other cones is excluded, so accepting a tree whose
 /// cost does not exceed this bound can never grow the circuit.
-fn mffc_cost(
+pub(crate) fn mffc_cost(
     netlist: &Netlist,
     root: SignalId,
     ref_counts: &[usize],
@@ -401,7 +415,7 @@ fn mffc_cost(
 
 /// Combinational support of `signal` with the extractor's registered
 /// leaves (inputs, latches, and processed cut points) as boundaries.
-fn local_support(
+pub(crate) fn local_support(
     netlist: &Netlist,
     signal: SignalId,
     leaves: &HashMap<SignalId, VarId>,

@@ -36,4 +36,5 @@
 pub mod flow;
 pub mod genlib;
 pub mod map;
+pub mod parallel;
 pub mod share;

@@ -5,6 +5,7 @@
 //! symbi convert   <in> <out>
 //! symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
 //!                 [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
+//!                 [--jobs N]
 //! symbi check     <a> <b> [--frames N] [--exact]
 //! symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]
 //! ```
@@ -12,6 +13,10 @@
 //! The `--budget-*` and `--timeout-ms` knobs bound the optimizer: a
 //! candidate whose budget runs out keeps its original logic, so the run
 //! always finishes with a correct netlist.
+//!
+//! `--jobs N` runs reachability partitions and candidate decompositions
+//! on `N` worker threads (`0` = all cores); the output netlist is
+//! byte-identical to a single-threaded run.
 //!
 //! `decompose --dc` widens the signal's specification with
 //! unreachable-state don't cares before computing the choices — the
@@ -61,6 +66,7 @@ usage:
   symbi convert   <in> <out>
   symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
                   [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
+                  [--jobs N]
   symbi check     <a> <b> [--frames N] [--exact]
   symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]";
 
@@ -156,6 +162,12 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     if let Some(v) = flag_value(args, "--timeout-ms")? {
         let ms: u64 = v.parse().map_err(|e| format!("--timeout-ms: {e}"))?;
         options.budget.timeout = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(v) = flag_value(args, "--jobs")? {
+        options.jobs = match v.parse().map_err(|e| format!("--jobs: {e}"))? {
+            0 => symbi::bdd::par::available_jobs(),
+            j => j,
+        };
     }
     let before = stats::stats(&n);
     let library = Library::mcnc_like();

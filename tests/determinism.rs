@@ -1,0 +1,129 @@
+//! Determinism oracle for the parallel synthesis engine.
+//!
+//! The parallel flow's contract is *byte-identity*: under the default
+//! unlimited budget, `optimize` with `jobs = N` must produce exactly the
+//! `.bench` serialization (and the same report) as `jobs = 1`, for every
+//! circuit. These tests pin that contract across all four circuit
+//! generator families plus proptest-driven random netlists.
+//!
+//! The parallel worker count is taken from `SYMBI_JOBS` (default 4) so
+//! CI can sweep `--jobs 1/2/8` over the same test binary.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use symbi::circuits::{adder, industrial, iscas_like, mux};
+use symbi::netlist::{bench, GateKind, Netlist, SignalId};
+use symbi::synth::flow::{optimize, SynthesisOptions};
+
+/// Worker count for the parallel arm: `SYMBI_JOBS`, default 4.
+fn par_jobs() -> usize {
+    std::env::var("SYMBI_JOBS").ok().and_then(|v| v.parse().ok()).filter(|&j| j > 0).unwrap_or(4)
+}
+
+/// Asserts the oracle on one circuit: byte-identical `.bench` output and
+/// field-for-field identical reports between `jobs = 1` and `jobs = N`.
+fn assert_deterministic(netlist: &Netlist, options: &SynthesisOptions) {
+    let jobs = par_jobs();
+    let (seq_net, seq_rep) = optimize(netlist, &SynthesisOptions { jobs: 1, ..*options });
+    let (par_net, par_rep) = optimize(netlist, &SynthesisOptions { jobs, ..*options });
+    assert_eq!(
+        bench::write(&seq_net),
+        bench::write(&par_net),
+        "jobs={jobs} diverged from jobs=1 on `{}`",
+        netlist.name()
+    );
+    assert_eq!(seq_rep, par_rep, "report mismatch on `{}` at jobs={jobs}", netlist.name());
+}
+
+#[test]
+fn adder_is_deterministic() {
+    assert_deterministic(&adder::ripple_carry(4), &SynthesisOptions::default());
+}
+
+#[test]
+fn mux_is_deterministic() {
+    assert_deterministic(&mux::mux(3), &SynthesisOptions::default());
+}
+
+#[test]
+fn iscas_like_circuits_are_deterministic() {
+    for name in ["s344", "s526"] {
+        let n = iscas_like::by_name(name).expect("known circuit");
+        assert_deterministic(&n, &SynthesisOptions::default());
+    }
+}
+
+#[test]
+fn industrial_block_is_deterministic() {
+    let n = industrial::by_name("seq6").expect("known block");
+    assert_deterministic(&n, &SynthesisOptions::default());
+}
+
+#[test]
+fn no_state_arm_is_deterministic() {
+    let n = iscas_like::by_name("s344").expect("known circuit");
+    assert_deterministic(&n, &SynthesisOptions { reach: None, ..Default::default() });
+}
+
+#[test]
+fn tight_partitions_are_deterministic() {
+    // One-latch partitions maximize the number of parallel reach tasks.
+    let n = iscas_like::by_name("s526").expect("known circuit");
+    let reach = symbi::reach::ReachabilityOptions {
+        partition: symbi::reach::PartitionOptions { max_latches: 1 },
+        ..Default::default()
+    };
+    assert_deterministic(&n, &SynthesisOptions { reach: Some(reach), ..Default::default() });
+}
+
+/// Seeded random sequential netlist: gates only reference earlier
+/// signals, so the result is acyclic by construction.
+fn random_netlist(seed: u64, n_inputs: usize, n_latches: usize, n_gates: usize) -> Netlist {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut n = Netlist::new("rnd");
+    let mut pool: Vec<SignalId> =
+        (0..n_inputs).map(|i| n.add_input(format!("i{i}"))).collect();
+    let latches: Vec<SignalId> =
+        (0..n_latches).map(|i| n.add_latch(format!("q{i}"), rng.gen_bool(0.5))).collect();
+    pool.extend(&latches);
+    for g in 0..n_gates {
+        let kind = match rng.gen_range(0..5usize) {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            2 => GateKind::Xor,
+            3 => GateKind::Nand,
+            _ => GateKind::Not,
+        };
+        let arity = if kind.is_unary() { 1 } else { 2 };
+        let fanins: Vec<SignalId> =
+            (0..arity).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+        pool.push(n.add_gate(format!("g{g}"), kind, fanins));
+    }
+    for &q in &latches {
+        n.set_latch_next(q, pool[rng.gen_range(0..pool.len())]);
+    }
+    // A couple of outputs deep in the pool keep most of the logic alive.
+    n.add_output("o0", pool[pool.len() - 1]);
+    n.add_output("o1", pool[pool.len() / 2]);
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_netlists_are_deterministic(
+        seed in any::<u64>(),
+        n_inputs in 1usize..4,
+        n_latches in 1usize..6,
+        n_gates in 4usize..24,
+    ) {
+        let n = random_netlist(seed, n_inputs, n_latches, n_gates);
+        let jobs = par_jobs();
+        let (seq_net, seq_rep) = optimize(&n, &SynthesisOptions { jobs: 1, ..Default::default() });
+        let (par_net, par_rep) = optimize(&n, &SynthesisOptions { jobs, ..Default::default() });
+        prop_assert_eq!(bench::write(&seq_net), bench::write(&par_net));
+        prop_assert_eq!(seq_rep, par_rep);
+    }
+}

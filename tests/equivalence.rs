@@ -1,0 +1,116 @@
+//! SEC differential harness for the synthesis flow.
+//!
+//! Every configuration of the full Algorithm 1 flow — with and without
+//! reachability don't cares, unbudgeted and budgeted, sequential and
+//! parallel — must preserve the reachable behaviour of every circuit
+//! generator family. Each run is checked against the original with
+//! SAT-based bounded sequential equivalence
+//! ([`symbi::netlist::sec::bounded_check_sat`]); a failing check panics
+//! with the full counterexample input trace so the divergence can be
+//! replayed.
+
+use std::time::Duration;
+use symbi::circuits::{adder, industrial, iscas_like, mux};
+use symbi::netlist::{sec, Netlist};
+use symbi::synth::flow::{optimize, BudgetOptions, SynthesisOptions};
+
+/// Unrolling depth of the bounded check. Deep enough to walk the small
+/// generators through several state transitions.
+const FRAMES: usize = 5;
+
+/// Runs the flow under `options` and SAT-checks the result against the
+/// original, printing the counterexample trace on divergence.
+fn assert_flow_equivalent(netlist: &Netlist, options: &SynthesisOptions, label: &str) {
+    let (opt, report) = optimize(netlist, options);
+    let (verdict, _) = sec::bounded_check_sat(netlist, &opt, FRAMES);
+    if let sec::SecResult::Counterexample { trace, output } = verdict {
+        let frames: Vec<String> = trace
+            .iter()
+            .enumerate()
+            .map(|(f, bits)| format!("  frame {f}: {bits:?}"))
+            .collect();
+        panic!(
+            "flow `{label}` broke `{}`: output #{output} diverges within {FRAMES} frames \
+             (report: {report:?})\ncounterexample input trace:\n{}",
+            netlist.name(),
+            frames.join("\n"),
+        );
+    }
+}
+
+/// The smallest representative of each circuit generator family.
+fn family_circuits() -> Vec<Netlist> {
+    vec![
+        adder::ripple_carry(3),
+        mux::mux(2),
+        iscas_like::by_name("s344").expect("known circuit"),
+        industrial::by_name("seq6").expect("known block"),
+    ]
+}
+
+#[test]
+fn flow_with_reach_dontcares_is_equivalent() {
+    for n in family_circuits() {
+        assert_flow_equivalent(&n, &SynthesisOptions::default(), "reach+unbudgeted");
+    }
+}
+
+#[test]
+fn flow_without_reach_dontcares_is_equivalent() {
+    for n in family_circuits() {
+        let opts = SynthesisOptions { reach: None, ..Default::default() };
+        assert_flow_equivalent(&n, &opts, "noreach+unbudgeted");
+    }
+}
+
+#[test]
+fn budgeted_flow_is_equivalent() {
+    // A starved per-candidate budget forces the skip/degrade paths;
+    // degraded candidates keep their original cones, so the result must
+    // still be equivalent.
+    for n in family_circuits() {
+        let opts = SynthesisOptions {
+            budget: BudgetOptions { candidate_steps: 64, ..Default::default() },
+            ..Default::default()
+        };
+        assert_flow_equivalent(&n, &opts, "reach+budgeted");
+    }
+}
+
+#[test]
+fn timeout_budgeted_flow_is_equivalent() {
+    // A microscopic deadline exercises mid-flow cancellation: whatever
+    // was decomposed before the deadline must still be correct.
+    let n = iscas_like::by_name("s344").expect("known circuit");
+    let opts = SynthesisOptions {
+        budget: BudgetOptions {
+            timeout: Some(Duration::from_millis(50)),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    assert_flow_equivalent(&n, &opts, "reach+deadline");
+}
+
+#[test]
+fn parallel_budgeted_flow_is_equivalent() {
+    // Under a finite budget the parallel flow may degrade *different*
+    // candidates than the sequential one (workers race for the shared
+    // budget) — but every outcome must still be equivalent.
+    for n in family_circuits() {
+        let opts = SynthesisOptions {
+            budget: BudgetOptions { candidate_steps: 64, ..Default::default() },
+            jobs: 4,
+            ..Default::default()
+        };
+        assert_flow_equivalent(&n, &opts, "reach+budgeted+jobs4");
+    }
+}
+
+#[test]
+fn parallel_unbudgeted_flow_is_equivalent() {
+    for n in family_circuits() {
+        let opts = SynthesisOptions { jobs: 4, ..Default::default() };
+        assert_flow_equivalent(&n, &opts, "reach+unbudgeted+jobs4");
+    }
+}
