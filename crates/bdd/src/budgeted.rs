@@ -5,9 +5,12 @@
 //! *cache-miss* recursion step — the points where new work (and new
 //! nodes) can be created — and unwinds with [`ResourceExhausted`] the
 //! moment a limit trips. Cache hits and terminal shortcuts are free:
-//! an operation whose result is already in the computed table succeeds
+//! an operation whose result still sits in the computed table succeeds
 //! even under a zero budget, which is exactly the CUDD `*Limit`
-//! contract.
+//! contract. The computed table is lossy (direct-mapped, bounded), so
+//! "still sits" means "not yet overwritten by a colliding entry" — the
+//! most recent top-level result for a key always survives, older ones
+//! may have to be recomputed under budget.
 //!
 //! The twins share the computed table (and its keys) with the
 //! unbudgeted operations, so:
@@ -39,10 +42,10 @@ impl Manager {
             _ => {}
         }
         let key = (Op::Not, f.0, 0, 0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return Ok(r);
         }
-        gov.checkpoint(self.nodes.len())?;
+        gov.checkpoint(self.live_node_count())?;
         let n = self.node(f);
         let lo = self.try_not(n.lo, gov)?;
         let hi = self.try_not(n.hi, gov)?;
@@ -72,10 +75,10 @@ impl Manager {
         }
         let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
         let key = (Op::And, a.0, b.0, 0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return Ok(r);
         }
-        gov.checkpoint(self.nodes.len())?;
+        gov.checkpoint(self.live_node_count())?;
         let r = self.try_binary_step(Op::And, a, b, gov)?;
         self.cache.insert(key, r);
         Ok(r)
@@ -102,10 +105,10 @@ impl Manager {
         }
         let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
         let key = (Op::Or, a.0, b.0, 0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return Ok(r);
         }
-        gov.checkpoint(self.nodes.len())?;
+        gov.checkpoint(self.live_node_count())?;
         let r = self.try_binary_step(Op::Or, a, b, gov)?;
         self.cache.insert(key, r);
         Ok(r)
@@ -135,10 +138,10 @@ impl Manager {
         }
         let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
         let key = (Op::Xor, a.0, b.0, 0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return Ok(r);
         }
-        gov.checkpoint(self.nodes.len())?;
+        gov.checkpoint(self.live_node_count())?;
         let r = self.try_binary_step(Op::Xor, a, b, gov)?;
         self.cache.insert(key, r);
         Ok(r)
@@ -189,10 +192,10 @@ impl Manager {
             return self.try_not(f, gov);
         }
         let key = (Op::Ite, f.0, g.0, h.0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return Ok(r);
         }
-        gov.checkpoint(self.nodes.len())?;
+        gov.checkpoint(self.live_node_count())?;
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = if self.level(f) == top { self.branches(f) } else { (f, f) };
         let (g0, g1) = if self.level(g) == top { self.branches(g) } else { (g, g) };
@@ -367,10 +370,10 @@ impl Manager {
             return Ok(f);
         }
         let key = (op, f.0, cube.0, 0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return Ok(r);
         }
-        gov.checkpoint(self.nodes.len())?;
+        gov.checkpoint(self.live_node_count())?;
         let (f0, f1) = self.branches(f);
         let fvar = self.node(f).var;
         let r = if self.level(cube) == f_level {
@@ -418,10 +421,10 @@ impl Manager {
         }
         let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
         let key = (Op::Exists, a.0, b.0, cube.0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return Ok(r);
         }
-        gov.checkpoint(self.nodes.len())?;
+        gov.checkpoint(self.live_node_count())?;
         let top = self.level(a).min(self.level(b));
         let mut cube_here = cube;
         while !cube_here.is_true() && self.level(cube_here) < top {
@@ -460,10 +463,10 @@ impl Manager {
             return Ok(f);
         }
         let key = (Op::Compose, f.0, v.0, g.0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return Ok(r);
         }
-        gov.checkpoint(self.nodes.len())?;
+        gov.checkpoint(self.live_node_count())?;
         let node = self.node(f);
         let r = if node.var == v.0 {
             self.try_ite(g, node.hi, node.lo, gov)?
@@ -500,10 +503,10 @@ impl Manager {
             return Ok(f);
         }
         let key = (Op::VCompose, f.0, subst.0, 0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return Ok(r);
         }
-        gov.checkpoint(self.nodes.len())?;
+        gov.checkpoint(self.live_node_count())?;
         let node = self.node(f);
         let lo = self.try_vector_compose(node.lo, subst, gov)?;
         let hi = self.try_vector_compose(node.hi, subst, gov)?;
@@ -540,10 +543,10 @@ impl Manager {
         }
         debug_assert!(!care.is_false(), "inner care set cannot be empty");
         let key = (Op::Restrict, f.0, care.0, 0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return Ok(r);
         }
-        gov.checkpoint(self.nodes.len())?;
+        gov.checkpoint(self.live_node_count())?;
         let lf = self.level(f);
         let lc = self.level(care);
         let r = if lc < lf {

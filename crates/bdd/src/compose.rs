@@ -19,7 +19,7 @@ impl Manager {
             return f;
         }
         let key = (Op::Compose, f.0, v.0, g.0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return r;
         }
         let node = self.node(f);
@@ -60,7 +60,7 @@ impl Manager {
             return f;
         }
         let key = (Op::VCompose, f.0, subst.0, 0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return r;
         }
         let node = self.node(f);

@@ -5,7 +5,12 @@
 //! providing the substrate for the symbolic bi-decomposition algorithms of
 //! Kravets & Mishchenko (DATE 2009). It implements:
 //!
-//! - a hash-consed unique table with a computed-table cache ([`Manager`]),
+//! - a hash-consed, open-addressed unique table with a bounded lossy
+//!   computed-table cache ([`Manager`], tunable via [`KernelConfig`]),
+//! - mark-and-sweep garbage collection over an explicit root set
+//!   ([`Manager::protect`] / [`Ref`]), with auto-GC at safe points
+//!   ([`Manager::maybe_gc`]) and order-preserving compaction
+//!   ([`Manager::compact`]),
 //! - the Boolean connectives and the `ITE` operator,
 //! - existential/universal quantification over variable cubes,
 //! - variable substitution (single and simultaneous vector composition),
@@ -20,7 +25,8 @@
 //! appends at the bottom), but variables and levels are decoupled:
 //! [`Manager::with_var_order`] starts from any permutation,
 //! [`Manager::reordered`] rebuilds chosen roots under a new order, and
-//! [`Manager::sifted`] greedily searches for a smaller one. The
+//! [`Manager::sift_in_place`] runs Rudell sifting by adjacent-level
+//! swaps without rebuilding. The
 //! algorithms in `symbi-core` plan their variable layout up front
 //! (interleaving decision and function variables), matching the scales
 //! reported in the paper.
@@ -60,7 +66,7 @@ mod restrict;
 mod transfer;
 
 pub use governor::{CancelHandle, ResourceExhausted, ResourceGovernor};
-pub use manager::{Manager, ManagerStats};
+pub use manager::{KernelConfig, Manager, ManagerStats, Ref, RootSet};
 pub use node::{NodeId, VarId};
 
 #[cfg(test)]

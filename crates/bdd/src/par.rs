@@ -26,6 +26,22 @@ pub fn available_jobs() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
+/// Below this many work items, thread spawn/teardown costs more than the
+/// parallelism recovers for the coarse tasks used here (measured: the
+/// seq6-class benches ran ~0.8× at `jobs 8` on single-digit item counts).
+pub const INLINE_CUTOFF: usize = 16;
+
+/// The worker count actually worth using for `items` work items: `1`
+/// (inline on the caller's thread) below [`INLINE_CUTOFF`], else `jobs`.
+/// Callers that must report which path ran can compare against `1`.
+pub fn effective_jobs(jobs: usize, items: usize) -> usize {
+    if items < INLINE_CUTOFF {
+        1
+    } else {
+        jobs.max(1)
+    }
+}
+
 /// Applies `f` to every item on up to `jobs` threads, returning results
 /// in input order. `f` receives `(index, item)`. With `jobs <= 1` (or
 /// fewer than two items) everything runs inline on the caller's thread.

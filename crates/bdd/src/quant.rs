@@ -52,7 +52,7 @@ impl Manager {
             return f;
         }
         let key = (op, f.0, cube.0, 0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return r;
         }
         let (f0, f1) = self.branches(f);
@@ -95,7 +95,7 @@ impl Manager {
         }
         let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
         let key = (Op::Exists, a.0, b.0, cube.0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return r;
         }
         let top = self.level(a).min(self.level(b));

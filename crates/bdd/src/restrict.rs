@@ -28,7 +28,7 @@ impl Manager {
         }
         debug_assert!(!care.is_false(), "inner care set cannot be empty");
         let key = (Op::Restrict, f.0, care.0, 0);
-        if let Some(&r) = self.cache.get(&key) {
+        if let Some(r) = self.cache.get(key) {
             return r;
         }
         let lf = self.level(f);

@@ -276,6 +276,110 @@ proptest! {
     }
 
     #[test]
+    fn gc_preserves_rooted_semantics(
+        tt1 in any::<u64>(),
+        tt2 in any::<u64>(),
+        tt3 in any::<u64>(),
+        tt4 in any::<u64>(),
+        keep_mask in any::<u8>(),
+        force_twice in any::<bool>(),
+    ) {
+        // Eight functions from four seeds: each seed and its negation.
+        let tts = [tt1, !tt1, tt2, !tt2, tt3, !tt3, tt4, !tt4];
+        // A collection with a random subset of the built functions as
+        // roots must leave every kept root semantically intact, must
+        // never increase the live count, and a second collection with
+        // the same roots must find nothing more to free.
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let built: Vec<NodeId> = tts.iter().map(|&tt| from_tt(&mut m, n, tt)).collect();
+        // Extra garbage on top: pairwise products that nobody roots.
+        for w in built.windows(2) {
+            m.and(w[0], w[1]);
+        }
+        let kept: Vec<(usize, NodeId)> = built
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| keep_mask >> i & 1 == 1)
+            .collect();
+        let roots: Vec<NodeId> = kept.iter().map(|&(_, f)| f).collect();
+        let live_before = m.stats().nodes;
+        m.gc_with_roots(&roots);
+        let live_after = m.stats().nodes;
+        prop_assert!(live_after <= live_before, "sweep grew the live count");
+        for &(i, f) in &kept {
+            for row in 0..1u64 << n {
+                let assignment: Vec<bool> = (0..n).map(|b| row >> b & 1 == 1).collect();
+                prop_assert_eq!(m.eval(f, &assignment), eval_tt(n, tts[i], row));
+            }
+        }
+        if force_twice {
+            let freed = m.gc_with_roots(&roots);
+            prop_assert_eq!(freed, 0, "second sweep with identical roots freed nodes");
+            prop_assert_eq!(m.stats().nodes, live_after);
+        }
+        // Hash consing must still be canonical over the survivors:
+        // rebuilding a kept function lands on the very same node.
+        for &(i, f) in &kept {
+            let rebuilt = from_tt(&mut m, n, tts[i]);
+            prop_assert_eq!(rebuilt, f);
+        }
+    }
+
+    #[test]
+    fn gc_with_no_roots_keeps_only_infrastructure(tt1 in any::<u64>(), tt2 in any::<u64>()) {
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt1);
+        let g = from_tt(&mut m, n, tt2);
+        m.xor(f, g);
+        m.gc_with_roots(&[]);
+        // Terminals plus the n single-variable nodes (implicit roots)
+        // are all that survive an empty root set.
+        prop_assert_eq!(m.stats().nodes, 2 + n);
+    }
+
+    #[test]
+    fn sift_in_place_preserves_semantics(
+        tt1 in any::<u64>(),
+        tt2 in any::<u64>(),
+        tt3 in any::<u64>(),
+        tt4 in any::<u64>(),
+    ) {
+        let tts = [tt1, tt2, tt3, tt4];
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let built: Vec<NodeId> = tts.iter().map(|&tt| from_tt(&mut m, n, tt)).collect();
+        // Sifting collects first; measure live size against that floor.
+        m.gc_with_roots(&built);
+        let live_before = m.stats().nodes;
+        m.sift_in_place(&built);
+        prop_assert!(
+            m.stats().nodes <= live_before,
+            "sifting may only shrink the live diagram ({} -> {})",
+            live_before,
+            m.stats().nodes
+        );
+        prop_assert_eq!(m.stats().reorder_runs, 1);
+        // eval follows var ids, not levels, so agreement with the truth
+        // table checks the reordered diagram end to end.
+        for (i, &f) in built.iter().enumerate() {
+            for row in 0..1u64 << n {
+                let assignment: Vec<bool> = (0..n).map(|b| row >> b & 1 == 1).collect();
+                prop_assert_eq!(m.eval(f, &assignment), eval_tt(n, tts[i], row));
+            }
+        }
+        // The manager still works after reordering: fresh ops agree.
+        let fg = m.and(built[0], built[1]);
+        for row in 0..1u64 << n {
+            let assignment: Vec<bool> = (0..n).map(|b| row >> b & 1 == 1).collect();
+            let expect = eval_tt(n, tts[0], row) && eval_tt(n, tts[1], row);
+            prop_assert_eq!(m.eval(fg, &assignment), expect);
+        }
+    }
+
+    #[test]
     fn manager_survives_exhaustion(tt1 in any::<u64>(), tt2 in any::<u64>()) {
         // A zero-step governor refuses all non-trivial work, but the
         // manager stays fully usable afterwards: an unbudgeted retry

@@ -1,0 +1,95 @@
+//! Kernel-overhaul microbenchmarks: the hash-map baseline against the
+//! open-addressed production manager on the image-computation churn
+//! workload, plus the collector and in-place sifting on their own.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symbi_bdd::{KernelConfig, Manager, NodeId, VarId};
+use symbi_bench::baseline::BaselineManager;
+use symbi_bench::churn_script;
+
+const N_VARS: u32 = 20;
+const ROUNDS: usize = 40;
+const CLAUSES: usize = 30;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd_kernel");
+    group.sample_size(10);
+
+    group.bench_function("churn_3cnf_baseline", |b| {
+        b.iter(|| {
+            let mut m = BaselineManager::with_vars(N_VARS);
+            churn_script(&mut m, ROUNDS, CLAUSES, 3, N_VARS)
+        })
+    });
+
+    group.bench_function("churn_3cnf_overhauled", |b| {
+        b.iter(|| {
+            let mut m = Manager::with_vars(N_VARS as usize);
+            churn_script(&mut m, ROUNDS, CLAUSES, 3, N_VARS)
+        })
+    });
+
+    // GC on its own: build a block of dead intermediates around one live
+    // root, then sweep. Times mark + sweep + unique-table rebuild +
+    // computed-cache retain pass.
+    group.bench_function("gc_sweep_100k_dead", |b| {
+        b.iter(|| {
+            let mut m = Manager::with_kernel_config(KernelConfig {
+                auto_gc: false,
+                ..KernelConfig::default()
+            });
+            m.new_vars(N_VARS as usize);
+            let live = churn_root(&mut m, 0);
+            // Salted scripts: hash consing would dedupe a repeat of the
+            // same script into zero fresh allocations.
+            let mut salt = 1;
+            while m.stats().nodes < 100_000 {
+                churn_root(&mut m, salt);
+                salt += 1;
+            }
+            m.gc_with_roots(&[live]);
+            m.stats().nodes
+        })
+    });
+
+    // In-place Rudell sifting of a function whose natural order is bad.
+    group.bench_function("sift_in_place_interleaved", |b| {
+        b.iter(|| {
+            let mut m = Manager::with_vars(24);
+            // sum of products pairing far-apart variables: x_i & x_{i+12}
+            let mut f = NodeId::FALSE;
+            for i in 0..12u32 {
+                let x = m.var(VarId(i));
+                let y = m.var(VarId(i + 12));
+                let t = m.and(x, y);
+                f = m.or(f, t);
+            }
+            m.sift_in_place(&[f]);
+            m.size(f)
+        })
+    });
+
+    group.finish();
+}
+
+/// One round of clause churn returning its accumulated function (the
+/// only value the caller keeps alive). XOR accumulation keeps the
+/// function from collapsing to a constant; `salt` varies the script so
+/// successive calls allocate fresh nodes instead of re-finding old ones.
+fn churn_root(m: &mut Manager, salt: u32) -> NodeId {
+    let mut acc = NodeId::FALSE;
+    let n = m.num_vars() as u32;
+    for i in 0..200u32 {
+        let a = m.var(VarId((i.wrapping_mul(3) + salt) % n));
+        let b = m.var(VarId((i.wrapping_mul(7) + 3 + salt.wrapping_mul(5)) % n));
+        let c = m.var(VarId((i.wrapping_mul(13) + 5 + salt.wrapping_mul(11)) % n));
+        let ab = m.or(a, b);
+        let nc = m.not(c);
+        let cl = m.or(ab, nc);
+        acc = m.xor(acc, cl);
+    }
+    acc
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! A frozen re-implementation of the pre-overhaul BDD kernel, kept as
+//! the "before" arm of the `BENCH_bdd.json` comparison.
+//!
+//! This is the design the production [`symbi_bdd::Manager`] had before
+//! its hot-path rework: a `FxHashMap<(var, lo, hi), id>` unique table,
+//! an unbounded `FxHashMap` computed table, and no way to free a node —
+//! every intermediate of every operation stays allocated until the
+//! whole manager is dropped. Only the three binary operations the
+//! microbenchmark workload needs are provided; the recursion structure
+//! (top-variable expansion + hash-consing `mk`) matches the production
+//! kernel exactly, so timing differences isolate the table and cache
+//! data structures rather than the algorithm.
+
+use symbi_bdd::hash::FxHashMap;
+
+const FALSE: u32 = 0;
+const TRUE: u32 = 1;
+const TERMINAL: u32 = u32::MAX;
+
+/// Binary operation selector for [`BaselineManager::apply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+}
+
+/// The pre-overhaul kernel: hash-map unique table, unbounded hash-map
+/// computed table, no reclamation.
+#[derive(Debug, Default)]
+pub struct BaselineManager {
+    /// `(var, lo, hi)` per node; terminals occupy slots 0 and 1 with
+    /// `var == TERMINAL`.
+    nodes: Vec<(u32, u32, u32)>,
+    unique: FxHashMap<(u32, u32, u32), u32>,
+    cache: FxHashMap<(BinOp, u32, u32), u32>,
+    num_vars: u32,
+}
+
+impl BaselineManager {
+    /// An empty manager with `n` variables in natural order.
+    pub fn with_vars(n: u32) -> Self {
+        let mut m = BaselineManager {
+            nodes: vec![(TERMINAL, 0, 0), (TERMINAL, 1, 1)],
+            ..Default::default()
+        };
+        for _ in 0..n {
+            let v = m.num_vars;
+            m.num_vars += 1;
+            m.mk(v, FALSE, TRUE);
+        }
+        m
+    }
+
+    /// The constant false node.
+    pub fn zero(&self) -> u32 {
+        FALSE
+    }
+
+    /// The node for variable `v` (must be `< num_vars`).
+    pub fn var(&mut self, v: u32) -> u32 {
+        assert!(v < self.num_vars);
+        self.mk(v, FALSE, TRUE)
+    }
+
+    /// Total allocated nodes — also the peak, since nothing is ever
+    /// freed in this kernel.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        *self.unique.entry((var, lo, hi)).or_insert_with(|| {
+            let id = self.nodes.len() as u32;
+            self.nodes.push((var, lo, hi));
+            id
+        })
+    }
+
+    /// Negation (`f ⊕ 1`).
+    pub fn not(&mut self, f: u32) -> u32 {
+        self.apply(BinOp::Xor, f, TRUE)
+    }
+
+    /// The binary operation `op` over `f` and `g`.
+    pub fn apply(&mut self, op: BinOp, f: u32, g: u32) -> u32 {
+        // Terminal rules, with operand normalization for the
+        // commutative ops so the cache matches the production kernel's
+        // hit behaviour.
+        match op {
+            BinOp::And => {
+                if f == FALSE || g == FALSE {
+                    return FALSE;
+                }
+                if f == TRUE {
+                    return g;
+                }
+                if g == TRUE || f == g {
+                    return f;
+                }
+            }
+            BinOp::Or => {
+                if f == TRUE || g == TRUE {
+                    return TRUE;
+                }
+                if f == FALSE {
+                    return g;
+                }
+                if g == FALSE || f == g {
+                    return f;
+                }
+            }
+            BinOp::Xor => {
+                if f == g {
+                    return FALSE;
+                }
+                if f == FALSE {
+                    return g;
+                }
+                if g == FALSE {
+                    return f;
+                }
+            }
+        }
+        let (f, g) = if f <= g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.cache.get(&(op, f, g)) {
+            return r;
+        }
+        let (fv, flo, fhi) = self.nodes[f as usize];
+        let (gv, glo, ghi) = self.nodes[g as usize];
+        // Natural variable order: smaller index is nearer the root;
+        // TERMINAL (u32::MAX) sorts below everything.
+        let top = fv.min(gv);
+        let (f0, f1) = if fv == top { (flo, fhi) } else { (f, f) };
+        let (g0, g1) = if gv == top { (glo, ghi) } else { (g, g) };
+        let lo = self.apply(op, f0, g0);
+        let hi = self.apply(op, f1, g1);
+        let r = self.mk(top, lo, hi);
+        self.cache.insert((op, f, g), r);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(m: &BaselineManager, f: u32, assign: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            match cur {
+                FALSE => return false,
+                TRUE => return true,
+                _ => {
+                    let (v, lo, hi) = m.nodes[cur as usize];
+                    cur = if assign[v as usize] { hi } else { lo };
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_agrees_with_production_kernel() {
+        use symbi_bdd::{Manager, VarId};
+        let n = 6u32;
+        let mut b = BaselineManager::with_vars(n);
+        let mut m = Manager::with_vars(n as usize);
+        // A deterministic mixed op script, evaluated on every assignment.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut bf = b.zero();
+        let mut mf = symbi_bdd::NodeId::FALSE;
+        for _ in 0..60 {
+            let v = (rng() % n as u64) as u32;
+            let w = (rng() % n as u64) as u32;
+            let (bx, mx) = (b.var(v), m.var(VarId(v)));
+            let (by, my) = (b.var(w), m.var(VarId(w)));
+            let (bl, ml) = match rng() % 3 {
+                0 => (b.apply(BinOp::And, bx, by), m.and(mx, my)),
+                1 => (b.apply(BinOp::Or, bx, by), m.or(mx, my)),
+                _ => (b.apply(BinOp::Xor, bx, by), m.xor(mx, my)),
+            };
+            let (bl, ml) = if rng() % 2 == 0 { (b.not(bl), m.not(ml)) } else { (bl, ml) };
+            let (nbf, nmf) = match rng() % 3 {
+                0 => (b.apply(BinOp::And, bf, bl), m.and(mf, ml)),
+                1 => (b.apply(BinOp::Or, bf, bl), m.or(mf, ml)),
+                _ => (b.apply(BinOp::Xor, bf, bl), m.xor(mf, ml)),
+            };
+            bf = nbf;
+            mf = nmf;
+        }
+        for bits in 0u32..1 << n {
+            let assign: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(eval(&b, bf, &assign), m.eval(mf, &assign), "assignment {assign:?}");
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32
-//!        | sat-stats | parallel]
+//!        | sat-stats | parallel | bdd-bench]
 //!       [--quick] [--per-kind] [--jobs <N>] [--out <path>]
 //! ```
 //!
@@ -15,12 +15,15 @@
 //! on the paper-style SAT workloads and writes machine-readable
 //! `BENCH_sat.json`; `parallel` times the flow at `--jobs 1` vs `--jobs N`
 //! over the industrial set, checks byte-identity, and writes
-//! `BENCH_parallel.json` (`--out` overrides either path).
+//! `BENCH_parallel.json`; `bdd-bench` races the production BDD kernel
+//! against a frozen pre-overhaul re-implementation (plus an auto-GC
+//! on/off reachability memory comparison) and writes `BENCH_bdd.json`
+//! (`--out` overrides any of the paths).
 
 use std::time::Duration;
 use symbi_bench::{
-    adder_row, figure31, figure32, mux_row, table31_row, table32_row, write_parallel_json,
-    write_sat_json, Table31Options,
+    adder_row, figure31, figure32, mux_row, table31_row, table32_row, write_bdd_json,
+    write_parallel_json, write_sat_json, Table31Options,
 };
 use symbi_circuits::{industrial, iscas_like};
 use symbi_synth::flow::SynthesisOptions;
@@ -67,6 +70,7 @@ fn main() {
         "figure32" => print_figure32(),
         "sat-stats" => sat_stats(quick, &out_or("BENCH_sat.json")),
         "parallel" => parallel(quick, jobs, &out_or("BENCH_parallel.json")),
+        "bdd-bench" => bdd_bench(quick, &out_or("BENCH_bdd.json")),
         "all" => {
             print_figure31();
             print_figure32();
@@ -75,14 +79,46 @@ fn main() {
             table31(quick, per_kind, jobs);
             table32(quick, jobs);
             sat_stats(quick, &out_or("BENCH_sat.json"));
+            bdd_bench(quick, &out_or("BENCH_bdd.json"));
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel] [--quick] [--per-kind] [--jobs <N>] [--out <path>]"
+                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|bdd-bench] [--quick] [--per-kind] [--jobs <N>] [--out <path>]"
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn bdd_bench(quick: bool, out_path: &str) {
+    println!("\n=== BDD kernel: pre-overhaul vs production (written to {out_path}) ===");
+    println!(
+        "{:>14} {:>10} {:>12} {:>12} {:>8} {:>10} {:>10} {:>6} {:>8}",
+        "Workload", "Ops", "Before op/s", "After op/s", "Speedup", "PeakBefore", "PeakAfter",
+        "GCs", "Hit%"
+    );
+    let rows = write_bdd_json(std::path::Path::new(out_path), quick)
+        .expect("failed to write BENCH_bdd.json");
+    for r in &rows {
+        let lookups = r.cache_hits + r.cache_misses;
+        let hit_pct = if lookups == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}", 100.0 * r.cache_hits as f64 / lookups as f64)
+        };
+        println!(
+            "{:>14} {:>10} {:>12.0} {:>12.0} {:>8.2} {:>10} {:>10} {:>6} {:>8}",
+            r.name,
+            r.ops,
+            r.before_ops_per_sec(),
+            r.after_ops_per_sec(),
+            r.speedup(),
+            r.before_peak_live,
+            r.after_peak_live,
+            r.gc_runs,
+            hit_pct,
+        );
     }
 }
 

@@ -18,9 +18,11 @@
 //! growth, SAT-based bounded SEC) and [`write_sat_json`] dumps the
 //! result as machine-readable `BENCH_sat.json` for trend tracking.
 
+pub mod baseline;
+
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::{KernelConfig, Manager, NodeId, VarId};
 use symbi_circuits::{adder, mux};
 use symbi_core::{and_dec, greedy, or_dec, recursive, xor_dec, DecKind, Interval};
 use symbi_netlist::clean::clean;
@@ -613,6 +615,10 @@ pub struct ParallelRow {
     /// Whether `.bench` serializations of the two results matched byte
     /// for byte.
     pub identical: bool,
+    /// Which execution path the parallel arm actually took: `"threads"`
+    /// when the eligible-candidate count reached the small-workload
+    /// cutoff, `"inline"` when the flow stayed on the caller's thread.
+    pub path: String,
 }
 
 impl ParallelRow {
@@ -639,16 +645,23 @@ pub fn parallel_rows(jobs: usize, quick: bool) -> Vec<ParallelRow> {
             optimize(&netlist, &SynthesisOptions { jobs: 1, ..Default::default() });
         let seq_seconds = start.elapsed().as_secs_f64();
         let start = Instant::now();
-        let (par_net, _) = optimize(&netlist, &SynthesisOptions { jobs, ..Default::default() });
+        let (par_net, par_rep) =
+            optimize(&netlist, &SynthesisOptions { jobs, ..Default::default() });
         let par_seconds = start.elapsed().as_secs_f64();
         let identical =
             symbi_netlist::bench::write(&seq_net) == symbi_netlist::bench::write(&par_net);
+        let path = if symbi_bdd::par::effective_jobs(jobs, par_rep.eligible) > 1 {
+            "threads"
+        } else {
+            "inline"
+        };
         rows.push(ParallelRow {
             name: netlist.name().to_string(),
             jobs,
             seq_seconds,
             par_seconds,
             identical,
+            path: path.to_string(),
         });
     }
     rows
@@ -662,7 +675,8 @@ pub fn parallel_json(rows: &[ParallelRow]) -> String {
         out.push_str(&format!(
             concat!(
                 "    {{\"name\": \"{}\", \"jobs\": {}, \"seq_seconds\": {:.6}, ",
-                "\"par_seconds\": {:.6}, \"speedup\": {:.3}, \"identical\": {}}}{}\n"
+                "\"par_seconds\": {:.6}, \"speedup\": {:.3}, \"identical\": {}, ",
+                "\"path\": \"{}\"}}{}\n"
             ),
             r.name,
             r.jobs,
@@ -670,6 +684,7 @@ pub fn parallel_json(rows: &[ParallelRow]) -> String {
             r.par_seconds,
             r.speedup(),
             r.identical,
+            r.path,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -689,6 +704,312 @@ pub fn write_parallel_json(
 ) -> std::io::Result<Vec<ParallelRow>> {
     let rows = parallel_rows(jobs, quick);
     std::fs::write(path, parallel_json(&rows))?;
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// BDD kernel microbenchmark (BENCH_bdd.json)
+// ---------------------------------------------------------------------
+
+/// One before/after comparison between the pre-overhaul kernel
+/// ([`baseline::BaselineManager`]) and the production
+/// [`symbi_bdd::Manager`] on an identical operation script.
+///
+/// Microbench rows fill every field; the partitioned-reachability rows
+/// compare `auto_gc` off (the pre-overhaul never-free behaviour) against
+/// the collector and leave the per-manager cache/GC counters at zero,
+/// since partition managers are consumed inside the analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BddBenchRow {
+    /// Workload name.
+    pub name: String,
+    /// Top-level BDD operations executed by each arm.
+    pub ops: u64,
+    /// Wall-clock seconds of the pre-overhaul arm.
+    pub before_seconds: f64,
+    /// Wall-clock seconds of the production-kernel arm.
+    pub after_seconds: f64,
+    /// Peak allocated nodes of the pre-overhaul arm (it never frees, so
+    /// peak = total).
+    pub before_peak_live: usize,
+    /// Peak simultaneously-live nodes of the production arm.
+    pub after_peak_live: usize,
+    /// Mark-and-sweep collections the production arm ran.
+    pub gc_runs: u64,
+    /// Computed-table hits of the production arm.
+    pub cache_hits: u64,
+    /// Computed-table misses of the production arm.
+    pub cache_misses: u64,
+}
+
+impl BddBenchRow {
+    /// Operations per second of the pre-overhaul arm.
+    pub fn before_ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.before_seconds
+    }
+
+    /// Operations per second of the production arm.
+    pub fn after_ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.after_seconds
+    }
+
+    /// `after_ops_per_sec / before_ops_per_sec`.
+    pub fn speedup(&self) -> f64 {
+        self.before_seconds / self.after_seconds
+    }
+}
+
+/// Deterministic splitmix64 so both arms replay the same op script
+/// (the workspace vendors `rand` only as a dev-dependency elsewhere).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+const CHURN_SEED: u64 = 0x5eed_0bdd_0bdd_5eed;
+
+/// The operations the churn workload needs from a kernel, so one script
+/// drives both the frozen baseline and the production manager.
+pub trait ChurnKernel {
+    /// Node handle.
+    type H: Copy;
+    /// The node for variable `v`.
+    fn var(&mut self, v: u32) -> Self::H;
+    /// Negation.
+    fn not(&mut self, f: Self::H) -> Self::H;
+    /// Conjunction.
+    fn and(&mut self, f: Self::H, g: Self::H) -> Self::H;
+    /// Disjunction.
+    fn or(&mut self, f: Self::H, g: Self::H) -> Self::H;
+    /// Called at every round boundary — the script's GC safe point.
+    fn round_done(&mut self) {}
+}
+
+impl ChurnKernel for baseline::BaselineManager {
+    type H = u32;
+    fn var(&mut self, v: u32) -> u32 {
+        baseline::BaselineManager::var(self, v)
+    }
+    fn not(&mut self, f: u32) -> u32 {
+        baseline::BaselineManager::not(self, f)
+    }
+    fn and(&mut self, f: u32, g: u32) -> u32 {
+        self.apply(baseline::BinOp::And, f, g)
+    }
+    fn or(&mut self, f: u32, g: u32) -> u32 {
+        self.apply(baseline::BinOp::Or, f, g)
+    }
+}
+
+impl ChurnKernel for Manager {
+    type H = NodeId;
+    fn var(&mut self, v: u32) -> NodeId {
+        Manager::var(self, VarId(v))
+    }
+    fn not(&mut self, f: NodeId) -> NodeId {
+        Manager::not(self, f)
+    }
+    fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        Manager::and(self, f, g)
+    }
+    fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        Manager::or(self, f, g)
+    }
+    fn round_done(&mut self) {
+        self.maybe_gc(&[]);
+    }
+}
+
+/// The microbench workload: `rounds` rounds, each conjoining `clauses`
+/// random `width`-literal disjunctions into a product that dies at the
+/// end of its round — exactly the allocate-use-drop churn of an image
+/// computation. Returns the number of top-level operations, which is
+/// identical for both kernels by construction.
+pub fn churn_script<K: ChurnKernel>(
+    kernel: &mut K,
+    rounds: usize,
+    clauses: usize,
+    width: usize,
+    n_vars: u32,
+) -> u64 {
+    let mut rng = SplitMix(CHURN_SEED);
+    let mut ops = 0u64;
+    for _ in 0..rounds {
+        let mut acc: Option<K::H> = None;
+        for _ in 0..clauses {
+            let mut clause: Option<K::H> = None;
+            for _ in 0..width {
+                let v = kernel.var((rng.next() % u64::from(n_vars)) as u32);
+                let lit = if rng.next() & 1 == 0 {
+                    ops += 1;
+                    kernel.not(v)
+                } else {
+                    v
+                };
+                clause = Some(match clause {
+                    None => lit,
+                    Some(c) => {
+                        ops += 1;
+                        kernel.or(c, lit)
+                    }
+                });
+            }
+            let clause = clause.expect("width > 0");
+            acc = Some(match acc {
+                None => clause,
+                Some(a) => {
+                    ops += 1;
+                    kernel.and(a, clause)
+                }
+            });
+        }
+        let _ = acc;
+        kernel.round_done();
+    }
+    ops
+}
+
+/// Runs the churn workload on both kernels and returns the comparison
+/// row. The production arm offers the collector a safe point at every
+/// round boundary (as the reachability fixpoint does); the baseline has
+/// nothing to offer it to.
+pub fn bdd_churn_row(name: &str, rounds: usize, clauses: usize, width: usize) -> BddBenchRow {
+    let n_vars = 20u32;
+
+    let mut base = baseline::BaselineManager::with_vars(n_vars);
+    let start = Instant::now();
+    let ops = churn_script(&mut base, rounds, clauses, width, n_vars);
+    let before_seconds = start.elapsed().as_secs_f64();
+    let before_peak_live = base.node_count();
+
+    let mut m = Manager::with_vars(n_vars as usize);
+    let start = Instant::now();
+    let after_ops = churn_script(&mut m, rounds, clauses, width, n_vars);
+    let after_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(ops, after_ops, "both arms must replay the same script");
+    let stats = m.stats();
+
+    BddBenchRow {
+        name: name.to_string(),
+        ops,
+        before_seconds,
+        after_seconds,
+        before_peak_live,
+        after_peak_live: stats.peak_live,
+        gc_runs: stats.gc_runs,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+    }
+}
+
+/// Partitioned-reachability peak-memory comparison on one industrial
+/// circuit: `auto_gc` off reproduces the pre-overhaul kernel's
+/// never-free behaviour inside the same analysis code, `auto_gc` on
+/// lets the collector sweep image intermediates at every fixpoint safe
+/// point.
+///
+/// Both arms pin `max_latches` to 24 and share a generous node budget
+/// so they analyze the *same* static partition tree: under the default
+/// caps the never-free arm trips the governor on the hardest seq5
+/// partition and adaptively splits it while the collected arm finishes
+/// it whole, which would compare peaks of different fixpoints.
+pub fn bdd_reach_row(spec: &symbi_circuits::industrial::IndustrialSpec) -> BddBenchRow {
+    let netlist = symbi_circuits::industrial::generate(spec);
+    let partition = symbi_reach::PartitionOptions { max_latches: 24 };
+    let off = ReachabilityOptions {
+        partition,
+        node_limit: 4_000_000,
+        kernel: KernelConfig { auto_gc: false, ..KernelConfig::default() },
+        ..Default::default()
+    };
+    let on = ReachabilityOptions { partition, node_limit: 4_000_000, ..Default::default() };
+    let start = Instant::now();
+    let before = Reachability::analyze(&netlist, off).stats();
+    let before_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let after = Reachability::analyze(&netlist, on).stats();
+    let after_seconds = start.elapsed().as_secs_f64();
+    BddBenchRow {
+        name: format!("reach_{}", netlist.name()),
+        ops: after.iterations as u64,
+        before_seconds,
+        after_seconds,
+        before_peak_live: before.peak_live_nodes,
+        after_peak_live: after.peak_live_nodes,
+        gc_runs: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+    }
+}
+
+/// The full `BENCH_bdd.json` row set: churn microbenchmarks plus the
+/// partitioned-reachability comparison (`quick` trims the round counts
+/// and keeps only the sub-1500-AND circuits).
+pub fn bdd_rows(quick: bool) -> Vec<BddBenchRow> {
+    let rounds = if quick { 250 } else { 600 };
+    let mut rows = vec![
+        bdd_churn_row("churn_3cnf", rounds, 30, 3),
+        bdd_churn_row("churn_5cnf", rounds / 2, 20, 5),
+    ];
+    let specs: Vec<_> = if quick {
+        symbi_circuits::industrial::SPECS.iter().filter(|s| s.and_nodes < 1500).collect()
+    } else {
+        symbi_circuits::industrial::SPECS.iter().collect()
+    };
+    for spec in specs {
+        rows.push(bdd_reach_row(spec));
+    }
+    rows
+}
+
+/// Serializes [`BddBenchRow`]s as JSON (hand-written — no serde in the
+/// workspace) in a stable schema for longitudinal comparison.
+pub fn bdd_json(rows: &[BddBenchRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"symbi-bdd-bench/v1\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"ops\": {}, ",
+                "\"before_seconds\": {:.6}, \"after_seconds\": {:.6}, ",
+                "\"before_ops_per_sec\": {:.1}, \"after_ops_per_sec\": {:.1}, ",
+                "\"speedup\": {:.3}, ",
+                "\"before_peak_live\": {}, \"after_peak_live\": {}, ",
+                "\"gc_runs\": {}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n"
+            ),
+            r.name,
+            r.ops,
+            r.before_seconds,
+            r.after_seconds,
+            r.before_ops_per_sec(),
+            r.after_ops_per_sec(),
+            r.speedup(),
+            r.before_peak_live,
+            r.after_peak_live,
+            r.gc_runs,
+            r.cache_hits,
+            r.cache_misses,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs [`bdd_rows`] and writes [`bdd_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_bdd_json(path: &std::path::Path, quick: bool) -> std::io::Result<Vec<BddBenchRow>> {
+    let rows = bdd_rows(quick);
+    std::fs::write(path, bdd_json(&rows))?;
     Ok(rows)
 }
 

@@ -4,7 +4,7 @@ use crate::partition::{partition_latches, Partition, PartitionOptions};
 use std::collections::HashMap;
 use symbi_bdd::hash::FxHashMap;
 use symbi_bdd::par::parallel_map;
-use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
+use symbi_bdd::{KernelConfig, Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 use symbi_netlist::cone::ConeExtractor;
 use symbi_netlist::{Netlist, SignalId};
 
@@ -31,6 +31,10 @@ pub struct ReachabilityOptions {
     /// finite *shared* step budget races between workers and can change
     /// which partition trips it first).
     pub jobs: usize,
+    /// BDD kernel knobs (computed-table size, automatic garbage
+    /// collection, automatic reordering) applied to every per-partition
+    /// manager.
+    pub kernel: KernelConfig,
 }
 
 impl Default for ReachabilityOptions {
@@ -41,6 +45,7 @@ impl Default for ReachabilityOptions {
             node_limit: 1_000_000,
             step_budget: u64::MAX,
             jobs: 1,
+            kernel: KernelConfig::default(),
         }
     }
 }
@@ -58,16 +63,22 @@ pub struct ReachStats {
     /// `log2` of the (conjunctively approximated) reachable state count —
     /// the `log2 states` column of Table 3.1.
     pub log2_states: f64,
+    /// Largest number of simultaneously live BDD nodes in any single
+    /// partition's analysis manager (deterministic across `jobs` values:
+    /// each partition's operation sequence is independent of scheduling).
+    pub peak_live_nodes: usize,
 }
 
 #[derive(Debug)]
 struct PartitionReach {
     latches: Vec<SignalId>,
-    /// Compact manager holding only the reachable set: one variable per
-    /// partition latch, in latch order. For a bailed partition the
-    /// analysis manager is **dropped** and this is left empty — the
-    /// partition carries no information, so consumers must skip it
-    /// rather than touch its (nonexistent) variables.
+    /// The analysis manager, garbage-collected and compacted in place
+    /// after the fixpoint so only the reachable set (plus variable
+    /// nodes) survives; present-state variables keep their interleaved
+    /// analysis-time indices. For a bailed partition the analysis
+    /// manager is **dropped** and this is left empty — the partition
+    /// carries no information, so consumers must skip it rather than
+    /// touch its (nonexistent) variables.
     manager: Manager,
     /// Reachable set over the partition's present-state variables;
     /// `NodeId::TRUE` when the partition bailed.
@@ -77,6 +88,9 @@ struct PartitionReach {
     ps_var: HashMap<SignalId, VarId>,
     iterations: usize,
     bailed: bool,
+    /// Peak live node count of the analysis manager (captured before a
+    /// bailed partition's manager is dropped).
+    peak_live: usize,
 }
 
 /// Result of partitioned forward reachability on one netlist.
@@ -343,6 +357,7 @@ impl Reachability {
             iterations: self.parts.iter().map(|p| p.iterations).sum(),
             bailed_out: self.parts.iter().filter(|p| p.bailed).count(),
             log2_states: self.log2_states(),
+            peak_live_nodes: self.parts.iter().map(|p| p.peak_live).max().unwrap_or(0),
         }
     }
 }
@@ -384,7 +399,7 @@ fn analyze_partition(
     gov: &ResourceGovernor,
 ) -> PartitionReach {
     let k = partition.latches.len();
-    let mut m = Manager::new();
+    let mut m = Manager::with_kernel_config(options.kernel);
     // Layout: (present_i, next_i) interleaved per latch, then free inputs.
     let mut ps_var: HashMap<SignalId, VarId> = HashMap::new();
     let mut ns_var: Vec<VarId> = Vec::with_capacity(k);
@@ -452,15 +467,22 @@ fn analyze_partition(
             .collect();
         let init = m.minterm(&init_assign);
 
-        // Fixed point.
-        let rename_pairs: Vec<(VarId, VarId)> = partition
-            .latches
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| (ns_var[i], ps_var[&l]))
-            .collect();
+        // Fixed point. The next-state → present-state renaming is
+        // registered once, outside the loop: its replacement variables
+        // are implicit GC roots, and a single substitution id lets the
+        // `VCompose` computed-table entries survive across iterations.
+        let rename_subst = {
+            let pairs: Vec<(VarId, NodeId)> = partition
+                .latches
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| (ns_var[i], m.var(ps_var[&l])))
+                .collect();
+            m.register_substitution(&pairs)
+        };
         let mut reach = init;
         let mut frontier = init;
+        let mut gc_roots: Vec<NodeId> = Vec::with_capacity(conjuncts.len() + 2);
         loop {
             if iterations >= options.max_iterations {
                 return Err(ResourceExhausted::Steps);
@@ -472,46 +494,43 @@ fn analyze_partition(
                 let cube = m.cube(&schedule[idx + 1]);
                 product = m.try_and_exists(product, c, cube, gov)?;
             }
-            let image = m.try_rename(product, &rename_pairs, gov)?;
+            let image = m.try_vector_compose(product, rename_subst, gov)?;
             let fresh = m.try_diff(image, reach, gov)?;
             if fresh.is_false() {
                 break;
             }
             reach = m.try_or(reach, image, gov)?;
             frontier = fresh;
-            m.clear_cache();
+            // End-of-iteration safe point: everything still needed is
+            // listed as a root, so the kernel may sweep the dead image
+            // intermediates (and with them the stale cache entries)
+            // whenever its dead-node policy says it is worth it.
+            gc_roots.clear();
+            gc_roots.extend_from_slice(&conjuncts);
+            gc_roots.push(reach);
+            gc_roots.push(frontier);
+            m.maybe_gc(&gc_roots);
         }
         Ok(reach)
     })();
+    let peak_live = m.stats().peak_live;
     match governed {
         Ok(r) => {
-            // Compact: move the reachable set into a fresh manager with
-            // exactly one variable per latch, in latch order, and drop
-            // the (much larger) analysis manager. Relative variable
-            // order is preserved, so every later projection of this set
-            // is the same canonical function it would have been in the
-            // analysis manager.
-            let mut compact = Manager::with_vars(k);
-            let var_map: FxHashMap<VarId, VarId> = partition
-                .latches
-                .iter()
-                .enumerate()
-                .map(|(i, &l)| (ps_var[&l], VarId(i as u32)))
-                .collect();
-            let reach = compact.transfer_from(&m, r, &var_map);
-            let ps_var: HashMap<SignalId, VarId> = partition
-                .latches
-                .iter()
-                .enumerate()
-                .map(|(i, &l)| (l, VarId(i as u32)))
-                .collect();
+            // Final sweep + in-place compaction: everything except the
+            // reachable set (and the variable nodes) is dead here, so
+            // the node array slides down and shrinks while the manager
+            // keeps serving the original interleaved variable layout —
+            // no cross-manager transfer, and every later projection is
+            // the same canonical function it would have been mid-run.
+            let mapped = m.compact(&[r]);
             PartitionReach {
                 latches: partition.latches.clone(),
-                manager: compact,
-                reach,
+                manager: m,
+                reach: mapped[0],
                 ps_var,
                 iterations,
                 bailed: false,
+                peak_live,
             }
         }
         Err(_) => PartitionReach {
@@ -523,6 +542,7 @@ fn analyze_partition(
             ps_var: HashMap::new(),
             iterations,
             bailed: true,
+            peak_live,
         },
     }
 }

@@ -132,6 +132,11 @@ pub struct SatValidationReport {
 pub struct SynthesisReport {
     /// Candidate signals examined (outputs + next-state functions).
     pub candidates: usize,
+    /// Distinct candidates narrow enough to collapse (gates and latches
+    /// within [`SynthesisOptions::max_cone_support`]). A pure function
+    /// of the netlist and options — identical for every `jobs` value —
+    /// and the amount of real work the parallel phase dispatches.
+    pub eligible: usize,
     /// Cones actually collapsed and re-decomposed.
     pub decomposed: usize,
     /// Cones skipped for excessive support.
@@ -255,9 +260,10 @@ pub fn optimize_governed(
             continue;
         }
         let support = local_support(&cleaned, signal, extractor.var_map());
-        let new_sig = if support.len() <= options.max_cone_support
-            && matches!(cleaned.kind(signal), NodeKind::Gate(_) | NodeKind::Latch { .. })
-        {
+        let eligible = support.len() <= options.max_cone_support
+            && matches!(cleaned.kind(signal), NodeKind::Gate(_) | NodeKind::Latch { .. });
+        report.eligible += usize::from(eligible);
+        let new_sig = if eligible {
             // Each candidate gets a fresh step budget forked off the flow
             // governor; node ceiling, deadline, and cancellation are
             // shared. An exhausted candidate keeps its original cone —

@@ -35,7 +35,7 @@
 use crate::flow::{local_support, mffc_cost, SatValidationReport, SynthesisOptions, SynthesisReport};
 use crate::share::TreeEmitter;
 use std::collections::{HashMap, HashSet};
-use symbi_bdd::par::parallel_map;
+use symbi_bdd::par::{effective_jobs, parallel_map};
 use symbi_bdd::{Manager, ResourceExhausted, ResourceGovernor, VarId};
 use symbi_core::{recursive, Interval};
 use symbi_core::recursive::Tree;
@@ -157,10 +157,14 @@ pub(crate) fn optimize_parallel(
         }
     }
 
-    // Phase 2: hermetic decomposition of every eligible candidate.
+    // Phase 2: hermetic decomposition of every eligible candidate. On
+    // small workloads the thread pool costs more than it recovers, so
+    // the cutoff drops to the inline path — results are identical
+    // either way (the map is deterministic across worker counts).
     let work: Vec<usize> =
         tasks.iter().enumerate().filter(|(_, t)| t.eligible).map(|(i, _)| i).collect();
-    let decomposed: Vec<Decomposition> = parallel_map(options.jobs.max(1), work.clone(), |_, ti| {
+    let jobs = effective_jobs(options.jobs, work.len());
+    let decomposed: Vec<Decomposition> = parallel_map(jobs, work.clone(), |_, ti| {
         let t = &tasks[ti];
         decompose_candidate(&cleaned, t, &cut_points, &reach, &var_of_latch, options, gov)
     });
@@ -182,6 +186,7 @@ pub(crate) fn optimize_parallel(
         if task.dup {
             continue;
         }
+        report.eligible += usize::from(task.eligible);
         let signal = task.signal;
         let new_sig = if task.eligible {
             match results[ti].take().expect("eligible task was decomposed") {

@@ -5,7 +5,7 @@
 //! symbi convert   <in> <out>
 //! symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
 //!                 [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
-//!                 [--jobs N]
+//!                 [--jobs N] [--cache-bits N] [--no-auto-gc] [--auto-reorder]
 //! symbi check     <a> <b> [--frames N] [--exact]
 //! symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]
 //! ```
@@ -17,6 +17,11 @@
 //! `--jobs N` runs reachability partitions and candidate decompositions
 //! on `N` worker threads (`0` = all cores); the output netlist is
 //! byte-identical to a single-threaded run.
+//!
+//! The BDD kernel knobs tune the reachability managers: `--cache-bits N`
+//! caps the computed table at `2^N` entries, `--no-auto-gc` disables the
+//! automatic mark-and-sweep collector (`--auto-gc` re-enables it), and
+//! `--auto-reorder` turns on threshold-triggered in-place sifting.
 //!
 //! `decompose --dc` widens the signal's specification with
 //! unreachable-state don't cares before computing the choices — the
@@ -66,7 +71,7 @@ usage:
   symbi convert   <in> <out>
   symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
                   [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
-                  [--jobs N]
+                  [--jobs N] [--cache-bits N] [--no-auto-gc] [--auto-reorder]
   symbi check     <a> <b> [--frames N] [--exact]
   symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]";
 
@@ -168,6 +173,20 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
             0 => symbi::bdd::par::available_jobs(),
             j => j,
         };
+    }
+    if let Some(reach) = options.reach.as_mut() {
+        if let Some(v) = flag_value(args, "--cache-bits")? {
+            reach.kernel.cache_bits = v.parse().map_err(|e| format!("--cache-bits: {e}"))?;
+        }
+        if args.iter().any(|a| a == "--no-auto-gc") {
+            reach.kernel.auto_gc = false;
+        }
+        if args.iter().any(|a| a == "--auto-gc") {
+            reach.kernel.auto_gc = true;
+        }
+        if args.iter().any(|a| a == "--auto-reorder") {
+            reach.kernel.auto_reorder = true;
+        }
     }
     let before = stats::stats(&n);
     let library = Library::mcnc_like();
