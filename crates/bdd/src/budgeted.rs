@@ -571,6 +571,56 @@ impl Manager {
         Ok(r)
     }
 
+    /// Budgeted [`Manager::constrain`].
+    pub fn try_constrain(
+        &mut self,
+        f: NodeId,
+        care: NodeId,
+        gov: &ResourceGovernor,
+    ) -> Result<NodeId, ResourceExhausted> {
+        if care.is_false() {
+            return Ok(f);
+        }
+        self.try_constrain_rec(f, care, gov)
+    }
+
+    fn try_constrain_rec(
+        &mut self,
+        f: NodeId,
+        care: NodeId,
+        gov: &ResourceGovernor,
+    ) -> Result<NodeId, ResourceExhausted> {
+        if f.is_terminal() || care.is_true() {
+            return Ok(f);
+        }
+        debug_assert!(!care.is_false(), "inner care set cannot be empty");
+        if f == care {
+            return Ok(NodeId::TRUE);
+        }
+        let key = (Op::Constrain, f.0, care.0, 0);
+        if let Some(r) = self.cache.get(key) {
+            return Ok(r);
+        }
+        gov.checkpoint(self.live_node_count())?;
+        let lf = self.level(f);
+        let lc = self.level(care);
+        let top = lf.min(lc);
+        let (c0, c1) = if lc == top { self.branches(care) } else { (care, care) };
+        let (f0, f1) = if lf == top { self.branches(f) } else { (f, f) };
+        let r = if c0.is_false() {
+            self.try_constrain_rec(f1, c1, gov)?
+        } else if c1.is_false() {
+            self.try_constrain_rec(f0, c0, gov)?
+        } else {
+            let lo = self.try_constrain_rec(f0, c0, gov)?;
+            let hi = self.try_constrain_rec(f1, c1, gov)?;
+            let var = self.var_at_level(top);
+            self.mk(var, lo, hi)
+        };
+        self.cache.insert(key, r);
+        Ok(r)
+    }
+
     /// Budgeted [`Manager::rename`].
     pub fn try_rename(
         &mut self,
@@ -669,6 +719,31 @@ mod tests {
         let ceiling = m.stats().nodes; // already at the ceiling: any growth trips
         let gov = ResourceGovernor::unlimited().with_node_limit(ceiling);
         assert_eq!(m.try_xor(f, g, &gov), Err(ResourceExhausted::Nodes));
+    }
+
+    #[test]
+    fn restrict_and_constrain_twins_agree() {
+        let gov = ResourceGovernor::unlimited();
+        let mut m = Manager::new();
+        let vars = m.new_vars(8);
+        let f = ripple_xor_and(&mut m, &vars[..5]);
+        let care = ripple_xor_and(&mut m, &vars[3..]);
+        let budgeted = m.try_restrict(f, care, &gov).unwrap();
+        assert_eq!(budgeted, m.restrict(f, care));
+        let budgeted = m.try_constrain(f, care, &gov).unwrap();
+        assert_eq!(budgeted, m.constrain(f, care));
+    }
+
+    #[test]
+    fn starved_constrain_fails_then_warm_cache_answers() {
+        let starved = ResourceGovernor::unlimited().with_step_limit(0);
+        let mut m = Manager::new();
+        let vars = m.new_vars(8);
+        let f = ripple_xor_and(&mut m, &vars[..5]);
+        let care = ripple_xor_and(&mut m, &vars[3..]);
+        assert_eq!(m.try_constrain(f, care, &starved), Err(ResourceExhausted::Steps));
+        let expect = m.constrain(f, care);
+        assert_eq!(m.try_constrain(f, care, &starved), Ok(expect));
     }
 
     #[test]

@@ -55,9 +55,11 @@ mod analysis;
 mod budgeted;
 pub mod combin;
 mod compose;
+mod constrain;
 pub mod dot;
 mod governor;
 pub mod hash;
+pub mod image;
 mod manager;
 mod node;
 pub mod par;

@@ -35,6 +35,7 @@ pub(crate) enum Op {
     Compose,
     VCompose,
     Restrict,
+    Constrain,
 }
 
 pub(crate) type CacheKey = (Op, u32, u32, u32);

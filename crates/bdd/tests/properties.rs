@@ -236,6 +236,8 @@ proptest! {
         m.clear_cache();
         let t_restrict = m.try_restrict(f, g, &gov());
         m.clear_cache();
+        let t_constrain = m.try_constrain(f, g, &gov());
+        m.clear_cache();
 
         let expected = [
             (t_and, m.and(f, g)),
@@ -248,6 +250,7 @@ proptest! {
             (t_and_exists, m.and_exists(f, g, cube)),
             (t_compose, m.compose(f, VarId(1), g)),
             (t_restrict, m.restrict(f, g)),
+            (t_constrain, m.constrain(f, g)),
         ];
         for (attempt, reference) in expected {
             // A clean refusal is always acceptable; a wrong node never is.
@@ -269,10 +272,37 @@ proptest! {
         let t_xor = m.try_xor(f, g, &gov).unwrap();
         let t_exists = m.try_exists(f, &qvars, &gov).unwrap();
         let t_restrict = m.try_restrict(f, g, &gov).unwrap();
+        let t_constrain = m.try_constrain(f, g, &gov).unwrap();
         prop_assert_eq!(t_and, m.and(f, g));
         prop_assert_eq!(t_xor, m.xor(f, g));
         prop_assert_eq!(t_exists, m.exists(f, &qvars));
         prop_assert_eq!(t_restrict, m.restrict(f, g));
+        prop_assert_eq!(t_constrain, m.constrain(f, g));
+    }
+
+    #[test]
+    fn constrain_and_restrict_agree_with_f_on_the_care_set(
+        tt1 in any::<u64>(),
+        tt2 in any::<u64>(),
+    ) {
+        // The generalized-cofactor contract `constrain(f, c) · c ≡ f · c`
+        // (same for restrict) — exactly the property that makes both
+        // safe as cluster/frontier simplifiers in the image engine.
+        let n = 6;
+        let mut m = Manager::with_vars(n);
+        let f = from_tt(&mut m, n, tt1);
+        let c = from_tt(&mut m, n, tt2);
+        let fc = m.and(f, c);
+        let con = m.constrain(f, c);
+        let con_c = m.and(con, c);
+        prop_assert_eq!(con_c, fc, "constrain broke the care contract");
+        let res = m.restrict(f, c);
+        let res_c = m.and(res, c);
+        prop_assert_eq!(res_c, fc, "restrict broke the care contract");
+        // Restrict never gains support; constrain may, but only from c.
+        let supp_f = m.support(f);
+        let supp_res = m.support(res);
+        prop_assert!(supp_res.iter().all(|v| supp_f.contains(v)));
     }
 
     #[test]

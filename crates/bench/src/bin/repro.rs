@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32
-//!        | sat-stats | parallel | bdd-bench]
+//!        | sat-stats | parallel | bdd-bench | reach-bench]
 //!       [--quick] [--per-kind] [--jobs <N>] [--out <path>]
 //! ```
 //!
@@ -17,13 +17,16 @@
 //! over the industrial set, checks byte-identity, and writes
 //! `BENCH_parallel.json`; `bdd-bench` races the production BDD kernel
 //! against a frozen pre-overhaul re-implementation (plus an auto-GC
-//! on/off reachability memory comparison) and writes `BENCH_bdd.json`
-//! (`--out` overrides any of the paths).
+//! on/off reachability memory comparison) and writes `BENCH_bdd.json`;
+//! `reach-bench` races the legacy per-bit image schedule against the
+//! clustered image engine on the seq4–seq9 circuits — asserting both
+//! reach identical sets — and writes `BENCH_reach.json` (`--out`
+//! overrides any of the paths).
 
 use std::time::Duration;
 use symbi_bench::{
     adder_row, figure31, figure32, mux_row, table31_row, table32_row, write_bdd_json,
-    write_parallel_json, write_sat_json, Table31Options,
+    write_parallel_json, write_reach_json, write_sat_json, Table31Options,
 };
 use symbi_circuits::{industrial, iscas_like};
 use symbi_synth::flow::SynthesisOptions;
@@ -71,6 +74,7 @@ fn main() {
         "sat-stats" => sat_stats(quick, &out_or("BENCH_sat.json")),
         "parallel" => parallel(quick, jobs, &out_or("BENCH_parallel.json")),
         "bdd-bench" => bdd_bench(quick, &out_or("BENCH_bdd.json")),
+        "reach-bench" => reach_bench(quick, &out_or("BENCH_reach.json")),
         "all" => {
             print_figure31();
             print_figure32();
@@ -80,15 +84,43 @@ fn main() {
             table32(quick, jobs);
             sat_stats(quick, &out_or("BENCH_sat.json"));
             bdd_bench(quick, &out_or("BENCH_bdd.json"));
+            reach_bench(quick, &out_or("BENCH_reach.json"));
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|bdd-bench] [--quick] [--per-kind] [--jobs <N>] [--out <path>]"
+                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|bdd-bench|reach-bench] [--quick] [--per-kind] [--jobs <N>] [--out <path>]"
             );
             std::process::exit(2);
         }
     }
+}
+
+fn reach_bench(quick: bool, out_path: &str) {
+    println!("\n=== Image computation: per-bit schedule vs clustered engine (written to {out_path}) ===");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10}",
+        "Name", "PerBit(s)", "Clust(s)", "Speedup", "PeakPB", "PeakCl", "PeakRat", "#ClPB",
+        "#ClCl", "MaxClNode"
+    );
+    let rows = write_reach_json(std::path::Path::new(out_path), quick)
+        .expect("failed to write BENCH_reach.json");
+    for r in &rows {
+        println!(
+            "{:>8} {:>10.3} {:>10.3} {:>8.2} {:>10} {:>10} {:>8.2} {:>8} {:>8} {:>10}",
+            r.name,
+            r.per_bit_seconds,
+            r.clustered_seconds,
+            r.speedup(),
+            r.per_bit_peak_live,
+            r.clustered_peak_live,
+            r.peak_ratio(),
+            r.per_bit_clusters,
+            r.clustered_clusters,
+            r.clustered_max_cluster_nodes,
+        );
+    }
+    println!("(reached sets asserted identical per row)");
 }
 
 fn bdd_bench(quick: bool, out_path: &str) {

@@ -943,9 +943,12 @@ pub fn bdd_reach_row(spec: &symbi_circuits::industrial::IndustrialSpec) -> BddBe
         after_seconds,
         before_peak_live: before.peak_live_nodes,
         after_peak_live: after.peak_live_nodes,
-        gc_runs: 0,
-        cache_hits: 0,
-        cache_misses: 0,
+        // Real kernel counters of the collected arm, summed across its
+        // partition managers (each partition's operation sequence is
+        // deterministic, so these are too).
+        gc_runs: after.gc_runs,
+        cache_hits: after.cache_hits,
+        cache_misses: after.cache_misses,
     }
 }
 
@@ -1010,6 +1013,157 @@ pub fn bdd_json(rows: &[BddBenchRow]) -> String {
 pub fn write_bdd_json(path: &std::path::Path, quick: bool) -> std::io::Result<Vec<BddBenchRow>> {
     let rows = bdd_rows(quick);
     std::fs::write(path, bdd_json(&rows))?;
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Image-engine benchmark (BENCH_reach.json)
+// ---------------------------------------------------------------------
+
+/// One `BENCH_reach.json` row: partitioned reachability on an
+/// industrial circuit, legacy per-bit image schedule vs. the clustered
+/// engine, with the reached sets asserted identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReachBenchRow {
+    /// Circuit name (`seq4` … `seq9`).
+    pub name: String,
+    /// Wall-clock seconds of the per-bit arm.
+    pub per_bit_seconds: f64,
+    /// Wall-clock seconds of the clustered arm.
+    pub clustered_seconds: f64,
+    /// Fixpoint iterations summed over partitions, per arm.
+    pub per_bit_iterations: usize,
+    pub clustered_iterations: usize,
+    /// Peak live nodes of the hardest partition, per arm.
+    pub per_bit_peak_live: usize,
+    pub clustered_peak_live: usize,
+    /// Transition-relation clusters summed over partitions, per arm
+    /// (the per-bit arm's equals its conjunct count).
+    pub per_bit_clusters: usize,
+    pub clustered_clusters: usize,
+    /// Largest single cluster of the clustered arm, in nodes.
+    pub clustered_max_cluster_nodes: usize,
+    /// Partitions that bailed to ⊤ in the clustered arm (identical in
+    /// the per-bit arm — asserted, since the reached sets must match).
+    pub bailed_out: usize,
+}
+
+impl ReachBenchRow {
+    /// Wall-clock speedup of the clustered engine over per-bit.
+    pub fn speedup(&self) -> f64 {
+        self.per_bit_seconds / self.clustered_seconds.max(1e-12)
+    }
+
+    /// Peak-live-node ratio (per-bit / clustered; >1 means the
+    /// clustered engine kept smaller intermediates).
+    pub fn peak_ratio(&self) -> f64 {
+        self.per_bit_peak_live as f64 / (self.clustered_peak_live as f64).max(1.0)
+    }
+}
+
+/// Runs both image schedules on one industrial circuit and asserts they
+/// reach exactly the same sets (via [`Reachability::same_reached_sets`],
+/// which compares the per-partition functions in a common manager).
+/// Both arms share the partition tree and a generous node budget, so
+/// the comparison is schedule-against-schedule on identical fixpoints.
+pub fn reach_row(spec: &symbi_circuits::industrial::IndustrialSpec) -> ReachBenchRow {
+    let netlist = symbi_circuits::industrial::generate(spec);
+    let partition = symbi_reach::PartitionOptions { max_latches: 24 };
+    let per_bit_opts = ReachabilityOptions {
+        partition,
+        node_limit: 4_000_000,
+        cluster_limit: 0,
+        ..Default::default()
+    };
+    let clustered_opts =
+        ReachabilityOptions { partition, node_limit: 4_000_000, ..Default::default() };
+    let start = Instant::now();
+    let per_bit = Reachability::analyze(&netlist, per_bit_opts);
+    let per_bit_seconds = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let clustered = Reachability::analyze(&netlist, clustered_opts);
+    let clustered_seconds = start.elapsed().as_secs_f64();
+    assert!(
+        clustered.same_reached_sets(&per_bit),
+        "{}: clustered and per-bit schedules reached different sets",
+        netlist.name()
+    );
+    let pb = per_bit.stats();
+    let cl = clustered.stats();
+    assert_eq!(pb.bailed_out, cl.bailed_out, "same_reached_sets implies equal bail sets");
+    ReachBenchRow {
+        name: netlist.name().to_string(),
+        per_bit_seconds,
+        clustered_seconds,
+        per_bit_iterations: pb.iterations,
+        clustered_iterations: cl.iterations,
+        per_bit_peak_live: pb.peak_live_nodes,
+        clustered_peak_live: cl.peak_live_nodes,
+        per_bit_clusters: pb.clusters,
+        clustered_clusters: cl.clusters,
+        clustered_max_cluster_nodes: cl.max_cluster_nodes,
+        bailed_out: cl.bailed_out,
+    }
+}
+
+/// The full `BENCH_reach.json` row set over the seq4–seq9 circuits
+/// (`quick` keeps only the sub-1500-AND ones, matching [`bdd_rows`]).
+pub fn reach_rows(quick: bool) -> Vec<ReachBenchRow> {
+    let specs: Vec<_> = if quick {
+        symbi_circuits::industrial::SPECS.iter().filter(|s| s.and_nodes < 1500).collect()
+    } else {
+        symbi_circuits::industrial::SPECS.iter().collect()
+    };
+    specs.into_iter().map(reach_row).collect()
+}
+
+/// Serializes [`ReachBenchRow`]s as JSON (hand-written — no serde in
+/// the workspace) in a stable schema for longitudinal comparison.
+pub fn reach_json(rows: &[ReachBenchRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"symbi-reach-bench/v1\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", ",
+                "\"per_bit_seconds\": {:.6}, \"clustered_seconds\": {:.6}, ",
+                "\"speedup\": {:.3}, ",
+                "\"per_bit_iterations\": {}, \"clustered_iterations\": {}, ",
+                "\"per_bit_peak_live\": {}, \"clustered_peak_live\": {}, ",
+                "\"peak_ratio\": {:.3}, ",
+                "\"per_bit_clusters\": {}, \"clustered_clusters\": {}, ",
+                "\"clustered_max_cluster_nodes\": {}, \"bailed_out\": {}}}{}\n"
+            ),
+            r.name,
+            r.per_bit_seconds,
+            r.clustered_seconds,
+            r.speedup(),
+            r.per_bit_iterations,
+            r.clustered_iterations,
+            r.per_bit_peak_live,
+            r.clustered_peak_live,
+            r.peak_ratio(),
+            r.per_bit_clusters,
+            r.clustered_clusters,
+            r.clustered_max_cluster_nodes,
+            r.bailed_out,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs [`reach_rows`] and writes [`reach_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_reach_json(
+    path: &std::path::Path,
+    quick: bool,
+) -> std::io::Result<Vec<ReachBenchRow>> {
+    let rows = reach_rows(quick);
+    std::fs::write(path, reach_json(&rows))?;
     Ok(rows)
 }
 

@@ -21,7 +21,8 @@
 
 use crate::{GateKind, Netlist, NodeKind, SignalId};
 use std::collections::HashMap;
-use symbi_bdd::{Manager, NodeId, VarId};
+use symbi_bdd::image::{ImageEngine, DEFAULT_CLUSTER_LIMIT};
+use symbi_bdd::{Manager, NodeId, ResourceGovernor, VarId};
 use symbi_sat::{Lit, Solver, SolverStats};
 
 /// Result of an equivalence check.
@@ -414,23 +415,27 @@ pub fn product_machine_check(
     }
     let init = m.minterm(&init_assign);
 
-    // Forward reachability with images computed through composition:
-    // Img(R)(s') = ∃s,x R(s) ∧ (s' = δ(s,x)) is equivalent to computing,
-    // for the characteristic function, the substitution-based relational
-    // image; here we use the simple approach with next-state relation.
+    // Forward reachability over a *partitioned* transition relation:
+    // one conjunct `s'ᵢ ⊙ δᵢ(s, x)` per joint latch bit, clustered and
+    // scheduled by the shared image engine instead of conjoined into a
+    // single monolithic relation BDD (whose size is often close to the
+    // product of its factors'). The unlimited governor keeps the check
+    // exact — this entry point is bounded by `max_iterations` alone.
     let ns_start = m.num_vars() as u32;
     m.new_vars(ps_vars.len());
     let ns_vars: Vec<VarId> =
         (ns_start..ns_start + ps_vars.len() as u32).map(VarId).collect();
-    let mut relation = NodeId::TRUE;
+    let mut conjuncts: Vec<NodeId> = Vec::with_capacity(subst.len());
     for (i, &(_, delta)) in subst.iter().enumerate() {
         let nv = m.var(ns_vars[i]);
-        let eq = m.xnor(nv, delta);
-        relation = m.and(relation, eq);
+        conjuncts.push(m.xnor(nv, delta));
     }
     let mut quantify: Vec<VarId> = ps_vars.clone();
     quantify.extend(input_ids.iter().copied());
-    let quant_cube = m.cube(&quantify);
+    let gov = ResourceGovernor::unlimited();
+    let mut engine =
+        ImageEngine::try_clustered(&mut m, &conjuncts, &quantify, DEFAULT_CLUSTER_LIMIT, &gov)
+            .expect("unlimited governor cannot exhaust");
     let rename_pairs: Vec<(VarId, VarId)> =
         ns_vars.iter().copied().zip(ps_vars.iter().copied()).collect();
 
@@ -441,14 +446,21 @@ pub fn product_machine_check(
         if !hit.is_false() {
             return Some(false);
         }
-        let img = m.and_exists(frontier, relation, quant_cube);
+        let img = engine
+            .try_image(&mut m, frontier, &gov)
+            .expect("unlimited governor cannot exhaust");
         let img = m.rename(img, &rename_pairs);
         let fresh = m.diff(img, reach);
         if fresh.is_false() {
             return Some(true);
         }
+        // Safe against the pre-update reached set (`fresh` is disjoint
+        // from it); any re-visited states were already checked against
+        // `bad_states` the iteration they first entered a frontier.
+        frontier = engine
+            .try_simplified_frontier(&mut m, fresh, reach, &gov)
+            .expect("unlimited governor cannot exhaust");
         reach = m.or(reach, img);
-        frontier = fresh;
     }
     None
 }

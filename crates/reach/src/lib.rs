@@ -25,5 +25,12 @@ mod reach;
 pub use partition::{partition_latches, Partition, PartitionOptions};
 pub use reach::{ReachStats, Reachability, ReachabilityOptions};
 
+/// The clustered image-computation engine (re-exported from
+/// [`symbi_bdd::image`], where it lives so that non-reach consumers —
+/// e.g. sequential equivalence checking — can share it).
+pub mod image {
+    pub use symbi_bdd::image::{ImageEngine, ImageStats, DEFAULT_CLUSTER_LIMIT};
+}
+
 #[cfg(test)]
 mod tests_integration;

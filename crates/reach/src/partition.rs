@@ -120,7 +120,13 @@ pub fn partition_latches(netlist: &Netlist, options: PartitionOptions) -> Vec<Pa
         })
         .collect();
     for p in &mut partitions {
+        // Expand in sorted order: `p` is a hash set, and when the cap
+        // binds mid-sweep the *iteration order* decides which deps make
+        // the cut — left unsorted, two identical calls could return
+        // different partitions (per-instance hasher seeds), breaking
+        // run-to-run determinism of everything downstream.
         let mut frontier: Vec<SignalId> = p.iter().copied().collect();
+        frontier.sort_unstable();
         while p.len() < cap {
             let mut added = Vec::new();
             for &l in &frontier {
@@ -137,6 +143,7 @@ pub fn partition_latches(netlist: &Netlist, options: PartitionOptions) -> Vec<Pa
                 break;
             }
             p.extend(added.iter().copied());
+            added.sort_unstable();
             frontier = added;
         }
     }

@@ -3,6 +3,7 @@
 use crate::partition::{partition_latches, Partition, PartitionOptions};
 use std::collections::HashMap;
 use symbi_bdd::hash::FxHashMap;
+use symbi_bdd::image::{ImageEngine, ImageStats, DEFAULT_CLUSTER_LIMIT};
 use symbi_bdd::par::parallel_map;
 use symbi_bdd::{KernelConfig, Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 use symbi_netlist::cone::ConeExtractor;
@@ -35,6 +36,12 @@ pub struct ReachabilityOptions {
     /// collection, automatic reordering) applied to every per-partition
     /// manager.
     pub kernel: KernelConfig,
+    /// Node ceiling per transition-relation cluster for the clustered
+    /// image engine ([`symbi_bdd::image`]); `0` disables clustering and
+    /// runs the legacy per-bit latch-order schedule. A clustered
+    /// partition that trips a resource cap is retried per-bit before
+    /// splitting or bailing.
+    pub cluster_limit: usize,
 }
 
 impl Default for ReachabilityOptions {
@@ -46,6 +53,7 @@ impl Default for ReachabilityOptions {
             step_budget: u64::MAX,
             jobs: 1,
             kernel: KernelConfig::default(),
+            cluster_limit: DEFAULT_CLUSTER_LIMIT,
         }
     }
 }
@@ -67,6 +75,25 @@ pub struct ReachStats {
     /// partition's analysis manager (deterministic across `jobs` values:
     /// each partition's operation sequence is independent of scheduling).
     pub peak_live_nodes: usize,
+    /// Total transition-relation clusters across partitions (equals the
+    /// conjunct count when clustering is disabled or never merges).
+    pub clusters: usize,
+    /// Largest single cluster BDD, in nodes, across partitions.
+    pub max_cluster_nodes: usize,
+    /// Garbage-collection runs summed across partition managers, up to
+    /// the end of each fixpoint (final compaction excluded). Like
+    /// `peak_live_nodes`, deterministic across `jobs` values.
+    pub gc_runs: u64,
+    /// Computed-table hits summed across partition managers.
+    pub cache_hits: u64,
+    /// Computed-table misses summed across partition managers.
+    pub cache_misses: u64,
+    /// Clusters replaced by a substantially smaller
+    /// `constrain(cluster, frontier)`, summed across partitions.
+    pub constrain_wins: u64,
+    /// Frontiers replaced by a strictly smaller
+    /// `restrict(frontier, ¬reached)`, summed across partitions.
+    pub restrict_wins: u64,
 }
 
 #[derive(Debug)]
@@ -91,6 +118,14 @@ struct PartitionReach {
     /// Peak live node count of the analysis manager (captured before a
     /// bailed partition's manager is dropped).
     peak_live: usize,
+    /// Image-engine shape/counter snapshot (zero if the engine build
+    /// itself tripped a cap).
+    image: ImageStats,
+    /// Kernel counters of the analysis manager up to the end of the
+    /// fixpoint (captured before compaction or drop).
+    gc_runs: u64,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 /// Result of partitioned forward reachability on one netlist.
@@ -358,18 +393,76 @@ impl Reachability {
             bailed_out: self.parts.iter().filter(|p| p.bailed).count(),
             log2_states: self.log2_states(),
             peak_live_nodes: self.parts.iter().map(|p| p.peak_live).max().unwrap_or(0),
+            clusters: self.parts.iter().map(|p| p.image.clusters).sum(),
+            max_cluster_nodes: self
+                .parts
+                .iter()
+                .map(|p| p.image.max_cluster_nodes)
+                .max()
+                .unwrap_or(0),
+            gc_runs: self.parts.iter().map(|p| p.gc_runs).sum(),
+            cache_hits: self.parts.iter().map(|p| p.cache_hits).sum(),
+            cache_misses: self.parts.iter().map(|p| p.cache_misses).sum(),
+            constrain_wins: self.parts.iter().map(|p| p.image.constrain_wins).sum(),
+            restrict_wins: self.parts.iter().map(|p| p.image.restrict_wins).sum(),
         }
+    }
+
+    /// Whether two analyses reached exactly the same sets: same
+    /// partitions (latches, bail status) and, per surviving partition,
+    /// the same reachable *function*. Node ids are compared after an
+    /// identity transfer into a common scratch manager, so differing
+    /// post-compaction layouts (e.g. per-bit vs. clustered schedules)
+    /// cannot mask or fake agreement. This is the oracle behind the
+    /// reach benchmark's "identical reached sets" assertion.
+    pub fn same_reached_sets(&self, other: &Reachability) -> bool {
+        if self.parts.len() != other.parts.len() {
+            return false;
+        }
+        self.parts.iter().zip(&other.parts).all(|(a, b)| {
+            if a.latches != b.latches || a.bailed != b.bailed {
+                return false;
+            }
+            if a.bailed {
+                return true;
+            }
+            let n = a.manager.num_vars().max(b.manager.num_vars());
+            let identity: FxHashMap<VarId, VarId> =
+                (0..n as u32).map(|v| (VarId(v), VarId(v))).collect();
+            let mut scratch = Manager::with_vars(n);
+            let ra = scratch.transfer_from(&a.manager, a.reach, &identity);
+            let rb = scratch.transfer_from(&b.manager, b.reach, &identity);
+            ra == rb
+        })
     }
 }
 
-/// Analyzes one top-level partition with adaptive splitting: a partition
-/// that exhausts its resource caps is split in half and each half
-/// re-analyzed — every subset's reachable set is still an
-/// over-approximation of the truth, so splitting trades precision for
-/// tractability, never soundness. The returned order reproduces the
-/// historical sequential worklist exactly: the worklist pushed
-/// `[..mid]` then `[mid..]` and popped LIFO, i.e. it expanded the upper
-/// half first, depth-first.
+/// Folds a failed analysis attempt's work counters into the result
+/// that supersedes it, so `ReachStats` accounts for every iteration and
+/// kernel operation actually spent on the partition. Shape fields
+/// (clusters, reach, bail status) stay `kept`'s.
+fn fold_failed_attempt(mut kept: PartitionReach, failed: &PartitionReach) -> PartitionReach {
+    kept.iterations += failed.iterations;
+    kept.peak_live = kept.peak_live.max(failed.peak_live);
+    kept.gc_runs += failed.gc_runs;
+    kept.cache_hits += failed.cache_hits;
+    kept.cache_misses += failed.cache_misses;
+    kept
+}
+
+/// Analyzes one top-level partition down the degradation ladder:
+/// clustered image engine first; on a tripped cap one per-bit retry
+/// under a fresh step fork (the legacy schedule trades speed for a
+/// flatter intermediate-product profile, so it may fit where clusters
+/// did not — and when the *surrounding* governor is already cancelled
+/// or out of budget the retry's first checkpoint unwinds it almost for
+/// free); then adaptive splitting: a partition that still exhausts its
+/// caps is split in half and each half re-analyzed — every subset's
+/// reachable set is still an over-approximation of the truth, so
+/// splitting trades precision for tractability, never soundness. The
+/// returned order reproduces the historical sequential worklist
+/// exactly: the worklist pushed `[..mid]` then `[mid..]` and popped
+/// LIFO, i.e. it expanded the upper half first, depth-first.
 fn analyze_adaptive(
     netlist: &Netlist,
     partition: Partition,
@@ -379,7 +472,19 @@ fn analyze_adaptive(
     let part_gov = gov
         .fork_steps(options.step_budget)
         .with_node_limit(gov.node_limit().min(options.node_limit));
-    let analyzed = analyze_partition(netlist, &partition, options, &part_gov);
+    let mut analyzed = analyze_partition(netlist, &partition, options, &part_gov);
+    if analyzed.bailed && options.cluster_limit != 0 {
+        let per_bit = ReachabilityOptions { cluster_limit: 0, ..*options };
+        let retry_gov = gov
+            .fork_steps(options.step_budget)
+            .with_node_limit(gov.node_limit().min(options.node_limit));
+        let retry = analyze_partition(netlist, &partition, &per_bit, &retry_gov);
+        analyzed = if retry.bailed {
+            fold_failed_attempt(analyzed, &retry)
+        } else {
+            fold_failed_attempt(retry, &analyzed)
+        };
+    }
     if analyzed.bailed && partition.latches.len() > 8 {
         let mid = partition.latches.len() / 2;
         let hi = Partition { latches: partition.latches[mid..].to_vec() };
@@ -428,6 +533,7 @@ fn analyze_partition(
     // limit surfaces *inside* a cone build or image step, not at the next
     // iteration boundary. The iteration cap reuses the `Steps` verdict.
     let mut iterations = 0usize;
+    let mut image_stats = ImageStats::default();
     let governed = (|| -> Result<NodeId, ResourceExhausted> {
         // Next-state functions and transition conjuncts.
         let mut extractor = ConeExtractor::new(netlist, cone_map);
@@ -438,26 +544,22 @@ fn analyze_partition(
             let nv = m.var(ns_var[i]);
             conjuncts.push(m.try_xnor(nv, delta, gov)?);
         }
-        // Quantification schedule: a variable is quantified right after
-        // the last conjunct that mentions it (early quantification).
+        // Variables to eliminate per image: present state, then free
+        // inputs — the canonical order the engine schedules from.
         let present_vars: Vec<VarId> =
             partition.latches.iter().map(|l| ps_var[l]).collect();
         let mut quantify: Vec<VarId> = present_vars.clone();
         quantify.extend(free_vars.iter().copied());
-        let mut last_use: HashMap<VarId, usize> =
-            quantify.iter().map(|&v| (v, 0)).collect();
-        for (idx, &c) in conjuncts.iter().enumerate() {
-            for v in m.support(c) {
-                if let Some(slot) = last_use.get_mut(&v) {
-                    *slot = (*slot).max(idx + 1);
-                }
-            }
-        }
-        let schedule: Vec<Vec<VarId>> = (0..=conjuncts.len())
-            .map(|idx| {
-                quantify.iter().copied().filter(|v| last_use[v] == idx).collect()
-            })
-            .collect();
+        // The image engine owns clustering, ordering, and the
+        // early-quantification schedule; every decision is a function of
+        // canonical per-partition data, so the analysis stays
+        // deterministic across `jobs` values.
+        let mut engine = if options.cluster_limit == 0 {
+            ImageEngine::per_bit(&m, &conjuncts, &quantify)
+        } else {
+            ImageEngine::try_clustered(&mut m, &conjuncts, &quantify, options.cluster_limit, gov)?
+        };
+        image_stats = engine.stats();
 
         // Initial state.
         let init_assign: Vec<(VarId, bool)> = partition
@@ -482,38 +584,47 @@ fn analyze_partition(
         };
         let mut reach = init;
         let mut frontier = init;
-        let mut gc_roots: Vec<NodeId> = Vec::with_capacity(conjuncts.len() + 2);
+        let mut gc_roots: Vec<NodeId> = Vec::with_capacity(engine.clusters().len() + 2);
         loop {
             if iterations >= options.max_iterations {
                 return Err(ResourceExhausted::Steps);
             }
             iterations += 1;
-            // Image of the frontier with early quantification.
-            let mut product = m.try_exists(frontier, &schedule[0], gov)?;
-            for (idx, &c) in conjuncts.iter().enumerate() {
-                let cube = m.cube(&schedule[idx + 1]);
-                product = m.try_and_exists(product, c, cube, gov)?;
-            }
+            // Image of the frontier over the engine's schedule.
+            let product = engine.try_image(&mut m, frontier, gov)?;
             let image = m.try_vector_compose(product, rename_subst, gov)?;
             let fresh = m.try_diff(image, reach, gov)?;
             if fresh.is_false() {
                 break;
             }
+            // Any frontier between `fresh` and `fresh ∪ reach` drives
+            // the same fixpoint, so the engine may pick a smaller
+            // representative (restrict against the reached set). This
+            // must use the *pre-update* reached set: `fresh` is disjoint
+            // from it, which pins the simplification to cover `fresh`
+            // exactly — against the updated set (`fresh ⊆ reach`) the
+            // care set would be empty over `fresh` and the frontier
+            // could collapse.
+            frontier = engine.try_simplified_frontier(&mut m, fresh, reach, gov)?;
             reach = m.try_or(reach, image, gov)?;
-            frontier = fresh;
             // End-of-iteration safe point: everything still needed is
             // listed as a root, so the kernel may sweep the dead image
             // intermediates (and with them the stale cache entries)
             // whenever its dead-node policy says it is worth it.
             gc_roots.clear();
-            gc_roots.extend_from_slice(&conjuncts);
+            gc_roots.extend_from_slice(engine.clusters());
             gc_roots.push(reach);
             gc_roots.push(frontier);
             m.maybe_gc(&gc_roots);
         }
+        image_stats = engine.stats();
         Ok(reach)
     })();
-    let peak_live = m.stats().peak_live;
+    // Counters are captured before compaction/drop so both the success
+    // and the bail arm report the same well-defined window (the
+    // fixpoint itself), identically for any `jobs` value.
+    let kernel_stats = m.stats();
+    let peak_live = kernel_stats.peak_live;
     match governed {
         Ok(r) => {
             // Final sweep + in-place compaction: everything except the
@@ -531,6 +642,10 @@ fn analyze_partition(
                 iterations,
                 bailed: false,
                 peak_live,
+                image: image_stats,
+                gc_runs: kernel_stats.gc_runs,
+                cache_hits: kernel_stats.cache_hits,
+                cache_misses: kernel_stats.cache_misses,
             }
         }
         Err(_) => PartitionReach {
@@ -543,6 +658,10 @@ fn analyze_partition(
             iterations,
             bailed: true,
             peak_live,
+            image: image_stats,
+            gc_runs: kernel_stats.gc_runs,
+            cache_hits: kernel_stats.cache_hits,
+            cache_misses: kernel_stats.cache_misses,
         },
     }
 }
@@ -789,6 +908,49 @@ mod tests {
                 assert_eq!(a.bailed, b.bailed);
             }
         }
+    }
+
+    #[test]
+    fn clustered_and_per_bit_reach_identical_sets() {
+        for netlist in [saturating_counter(), one_hot_ring()] {
+            let clustered = Reachability::analyze(&netlist, ReachabilityOptions::default());
+            let per_bit = Reachability::analyze(
+                &netlist,
+                ReachabilityOptions { cluster_limit: 0, ..Default::default() },
+            );
+            assert!(clustered.same_reached_sets(&per_bit));
+            assert!(per_bit.same_reached_sets(&clustered));
+            assert!(
+                (clustered.log2_states() - per_bit.log2_states()).abs() < 1e-12,
+                "schedules must not change the fixpoint"
+            );
+            // The default engine actually clusters: fewer clusters than
+            // the per-bit engine's one-per-latch.
+            assert!(clustered.stats().clusters <= per_bit.stats().clusters);
+            assert!(per_bit.stats().clusters >= netlist.num_latches());
+        }
+    }
+
+    #[test]
+    fn reach_stats_report_kernel_counters() {
+        let n = saturating_counter();
+        let stats = Reachability::analyze(&n, ReachabilityOptions::default()).stats();
+        assert!(stats.cache_misses > 0, "a real fixpoint must miss the cold cache");
+        assert!(stats.clusters > 0);
+        assert!(stats.max_cluster_nodes > 0);
+    }
+
+    #[test]
+    fn cancellation_mid_image_drains_cleanly() {
+        let n = one_hot_ring();
+        let gov = ResourceGovernor::unlimited();
+        gov.cancel();
+        let r = Reachability::analyze_governed(&n, ReachabilityOptions::default(), &gov);
+        let stats = r.stats();
+        // Every partition unwinds to the sound bail-to-⊤ fallback; the
+        // per-bit retry rung is also cancelled at its first checkpoint.
+        assert_eq!(stats.bailed_out, stats.partitions);
+        assert!((stats.log2_states - 4.0).abs() < 1e-9);
     }
 
     #[test]

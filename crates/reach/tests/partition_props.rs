@@ -145,4 +145,33 @@ proptest! {
             sim.step(&inputs);
         }
     }
+
+    #[test]
+    fn clustered_and_per_bit_schedules_reach_the_same_sets(
+        seed in any::<u64>(),
+        n_inputs in 1usize..4,
+        n_latches in 1usize..10,
+        n_gates in 2usize..20,
+        cap in 1usize..7,
+        cluster_limit in 1usize..200,
+    ) {
+        // Small caps matter: they produce partitions whose transition
+        // relations read *free* external latches, the configuration
+        // where scheduling bugs hide. The clustered engine (any limit)
+        // must compute exactly the per-bit fixpoints.
+        let n = random_netlist(seed, n_inputs, n_latches, n_gates);
+        let base = ReachabilityOptions {
+            partition: PartitionOptions { max_latches: cap },
+            ..Default::default()
+        };
+        let per_bit =
+            Reachability::analyze(&n, ReachabilityOptions { cluster_limit: 0, ..base });
+        let clustered =
+            Reachability::analyze(&n, ReachabilityOptions { cluster_limit, ..base });
+        prop_assert!(
+            clustered.same_reached_sets(&per_bit),
+            "cluster_limit={cluster_limit} cap={cap} reached different sets"
+        );
+        prop_assert_eq!(per_bit.log2_states(), clustered.log2_states());
+    }
 }

@@ -6,6 +6,7 @@
 //! symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
 //!                 [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
 //!                 [--jobs N] [--cache-bits N] [--no-auto-gc] [--auto-reorder]
+//!                 [--cluster-limit N]
 //! symbi check     <a> <b> [--frames N] [--exact]
 //! symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]
 //! ```
@@ -22,6 +23,9 @@
 //! caps the computed table at `2^N` entries, `--no-auto-gc` disables the
 //! automatic mark-and-sweep collector (`--auto-gc` re-enables it), and
 //! `--auto-reorder` turns on threshold-triggered in-place sifting.
+//! `--cluster-limit N` caps each transition-relation cluster of the
+//! image engine at `N` BDD nodes (`0` = per-bit schedule, no
+//! clustering).
 //!
 //! `decompose --dc` widens the signal's specification with
 //! unreachable-state don't cares before computing the choices — the
@@ -72,6 +76,7 @@ usage:
   symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
                   [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
                   [--jobs N] [--cache-bits N] [--no-auto-gc] [--auto-reorder]
+                  [--cluster-limit N]
   symbi check     <a> <b> [--frames N] [--exact]
   symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]";
 
@@ -186,6 +191,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         }
         if args.iter().any(|a| a == "--auto-reorder") {
             reach.kernel.auto_reorder = true;
+        }
+        if let Some(v) = flag_value(args, "--cluster-limit")? {
+            reach.cluster_limit = v.parse().map_err(|e| format!("--cluster-limit: {e}"))?;
         }
     }
     let before = stats::stats(&n);

@@ -77,6 +77,30 @@ fn tight_partitions_are_deterministic() {
     assert_deterministic(&n, &SynthesisOptions { reach: Some(reach), ..Default::default() });
 }
 
+#[test]
+fn clustered_reachability_is_deterministic_across_jobs() {
+    // The clustered image engine makes its decisions (merge order,
+    // quantification schedule, constrain/restrict acceptance) from
+    // canonical per-partition data only, so reached sets *and* every
+    // ReachStats counter must be identical however many workers run.
+    use symbi::reach::{Reachability, ReachabilityOptions};
+    let jobs = par_jobs();
+    for name in ["seq4", "seq6"] {
+        let n = industrial::by_name(name).expect("known block");
+        let opts = ReachabilityOptions {
+            partition: symbi::reach::PartitionOptions { max_latches: 8 },
+            ..Default::default()
+        };
+        let seq = Reachability::analyze(&n, ReachabilityOptions { jobs: 1, ..opts });
+        let par = Reachability::analyze(&n, ReachabilityOptions { jobs, ..opts });
+        assert!(
+            seq.same_reached_sets(&par),
+            "jobs={jobs} reached different sets than jobs=1 on `{name}`"
+        );
+        assert_eq!(seq.stats(), par.stats(), "ReachStats mismatch on `{name}` at jobs={jobs}");
+    }
+}
+
 /// Seeded random sequential netlist: gates only reference earlier
 /// signals, so the result is acyclic by construction.
 fn random_netlist(seed: u64, n_inputs: usize, n_latches: usize, n_gates: usize) -> Netlist {
