@@ -747,6 +747,52 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadline_observed_within_bounded_expansions() {
+        use crate::governor::MAX_DEADLINE_OVERSHOOT_STEPS;
+        use std::time::Duration;
+        // A deep recursive apply whose deadline has already passed must
+        // unwind within the amortization window: the deadline is re-read
+        // every DEADLINE_CHECK_PERIOD steps, so no more than
+        // MAX_DEADLINE_OVERSHOOT_STEPS cache-miss expansions may happen
+        // after expiry. This pins the degradation ladder's worst-case
+        // reaction latency for warm-cache-free workloads.
+        let mut m = Manager::new();
+        let vars = m.new_vars(24);
+        let f = ripple_xor_and(&mut m, &vars[..12]);
+        let g = ripple_xor_and(&mut m, &vars[12..]);
+        let gov = ResourceGovernor::unlimited().with_timeout(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(m.try_xor(f, g, &gov), Err(ResourceExhausted::Deadline));
+        assert!(
+            gov.steps_used() <= MAX_DEADLINE_OVERSHOOT_STEPS,
+            "deadline observed after {} steps, bound is {}",
+            gov.steps_used(),
+            MAX_DEADLINE_OVERSHOOT_STEPS
+        );
+        // Same workload, same governor shape, deep ITE recursion.
+        let ite_gov = ResourceGovernor::unlimited().with_timeout(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(m.try_ite(f, g, vars[0], &ite_gov), Err(ResourceExhausted::Deadline));
+        assert!(ite_gov.steps_used() <= MAX_DEADLINE_OVERSHOOT_STEPS);
+    }
+
+    #[test]
+    fn pre_raised_cancel_trips_on_the_first_checkpoint() {
+        let mut m = Manager::new();
+        let vars = m.new_vars(24);
+        let f = ripple_xor_and(&mut m, &vars[..12]);
+        let g = ripple_xor_and(&mut m, &vars[12..]);
+        let gov = ResourceGovernor::unlimited();
+        gov.cancel_handle().cancel();
+        let before = m.live_node_count();
+        assert_eq!(m.try_xor(f, g, &gov), Err(ResourceExhausted::Cancelled));
+        // Cancellation is checked before any charge or expansion: the
+        // very first cache-miss checkpoint unwinds with zero new work.
+        assert_eq!(gov.steps_used(), 0, "cancel must precede step charging");
+        assert_eq!(m.live_node_count(), before, "no nodes created after cancel");
+    }
+
+    #[test]
     fn compose_and_rename_twins_agree() {
         let gov = ResourceGovernor::unlimited();
         let mut m = Manager::new();

@@ -44,6 +44,7 @@
 //! ```
 
 use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -84,6 +85,311 @@ impl std::error::Error for ResourceExhausted {}
 /// per-step overhead of a deadline-only governor to one atomic add.
 const DEADLINE_CHECK_PERIOD: u64 = 256;
 
+/// Upper bound on how many recursion steps a budgeted operation may run
+/// past its wall-clock deadline before `checkpoint` observes it. Tests
+/// (and the chaos watchdog) key their slack off this constant.
+pub const MAX_DEADLINE_OVERSHOOT_STEPS: u64 = DEADLINE_CHECK_PERIOD;
+
+// ---------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------
+
+/// A named fault-injection site in the governed stack.
+///
+/// Every budgeted `try_*` twin and every GC/reorder safe point crosses
+/// exactly one of these sites. A [`FaultPlan`] counts crossings per site
+/// and can fire a fault at the Nth crossing, so a chaos sweep can
+/// enumerate `(site, occurrence)` cells exhaustively and reproducibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Cache-miss recursion step of a budgeted `Manager` operation
+    /// (crossed implicitly by [`ResourceGovernor::checkpoint`]).
+    BddApply,
+    /// Governed garbage-collection safe point (`Manager::try_maybe_gc`).
+    BddGc,
+    /// Per-variable excursion boundary of governed sifting
+    /// (`Manager::try_sift_in_place`).
+    BddSift,
+    /// One pairwise cluster-merge attempt in `ImageEngine`.
+    ImageCluster,
+    /// One per-cluster constrain attempt of the image frontier pass.
+    ImageConstrain,
+    /// Top of one reachability fixpoint iteration.
+    ReachFixpoint,
+    /// Top of the CDCL search loop (before unit propagation).
+    SatPropagate,
+    /// Immediately before a learnt-clause database reduction.
+    SatReduceDb,
+    /// Start of one synthesis candidate's decomposition attempt.
+    SynthDecompose,
+    /// Start of one `parallel_map` worker task (ordinal = task index).
+    ParTask,
+}
+
+impl FaultSite {
+    /// Number of registered sites.
+    pub const COUNT: usize = 10;
+
+    /// Every registered site, in registry order. Chaos sweeps iterate
+    /// this to enumerate cells; keep it in sync with the enum.
+    pub const ALL: [FaultSite; FaultSite::COUNT] = [
+        FaultSite::BddApply,
+        FaultSite::BddGc,
+        FaultSite::BddSift,
+        FaultSite::ImageCluster,
+        FaultSite::ImageConstrain,
+        FaultSite::ReachFixpoint,
+        FaultSite::SatPropagate,
+        FaultSite::SatReduceDb,
+        FaultSite::SynthDecompose,
+        FaultSite::ParTask,
+    ];
+
+    /// Stable index into per-site counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::BddApply => 0,
+            FaultSite::BddGc => 1,
+            FaultSite::BddSift => 2,
+            FaultSite::ImageCluster => 3,
+            FaultSite::ImageConstrain => 4,
+            FaultSite::ReachFixpoint => 5,
+            FaultSite::SatPropagate => 6,
+            FaultSite::SatReduceDb => 7,
+            FaultSite::SynthDecompose => 8,
+            FaultSite::ParTask => 9,
+        }
+    }
+
+    /// The canonical dotted name used by `--fault-plan` and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultSite::BddApply => "bdd.apply",
+            FaultSite::BddGc => "bdd.gc",
+            FaultSite::BddSift => "bdd.sift",
+            FaultSite::ImageCluster => "image.cluster",
+            FaultSite::ImageConstrain => "image.constrain",
+            FaultSite::ReachFixpoint => "reach.fixpoint",
+            FaultSite::SatPropagate => "sat.propagate",
+            FaultSite::SatReduceDb => "sat.reduce_db",
+            FaultSite::SynthDecompose => "synth.decompose",
+            FaultSite::ParTask => "par.task",
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for FaultSite {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultSite::ALL
+            .iter()
+            .copied()
+            .find(|site| site.as_str() == s)
+            .ok_or_else(|| format!("unknown fault site `{s}`"))
+    }
+}
+
+/// What an injected fault simulates when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Budget exhaustion: the crossing fails with
+    /// [`ResourceExhausted::Steps`].
+    Budget,
+    /// External cancellation: raises the shared cancel flag, then fails
+    /// with [`ResourceExhausted::Cancelled`] — every sibling worker
+    /// observes the flag at its next checkpoint.
+    Cancel,
+    /// A worker crash: the crossing panics. Must be absorbed by a
+    /// `catch_unwind` isolation boundary (candidate attempt, partition
+    /// analysis, or `parallel_map_isolated` task).
+    Panic,
+    /// Allocation pressure: a refused unique-table growth, surfaced as
+    /// [`ResourceExhausted::Nodes`] exactly as a live-node ceiling trip.
+    AllocPressure,
+}
+
+impl FaultKind {
+    /// Every kind, in the order used by seed-derived sweeps.
+    pub const ALL: [FaultKind; 4] =
+        [FaultKind::Budget, FaultKind::Cancel, FaultKind::Panic, FaultKind::AllocPressure];
+
+    /// The canonical name used by `--fault-plan` and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Budget => "budget",
+            FaultKind::Cancel => "cancel",
+            FaultKind::Panic => "panic",
+            FaultKind::AllocPressure => "alloc",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for FaultKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "budget" => Ok(FaultKind::Budget),
+            "cancel" => Ok(FaultKind::Cancel),
+            "panic" => Ok(FaultKind::Panic),
+            "alloc" | "alloc-pressure" => Ok(FaultKind::AllocPressure),
+            _ => Err(format!("unknown fault kind `{s}` (budget|cancel|panic|alloc)")),
+        }
+    }
+}
+
+/// One injection rule: fire `kind` at the `occurrence`-th crossing
+/// (1-based) of `site`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Site the rule watches.
+    pub site: FaultSite,
+    /// 1-based crossing count at which the rule fires.
+    pub occurrence: u64,
+    /// What firing simulates.
+    pub kind: FaultKind,
+}
+
+impl FromStr for FaultRule {
+    type Err = String;
+
+    /// Parses the CLI syntax `site:occurrence:kind`, e.g.
+    /// `image.cluster:2:budget`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.splitn(3, ':');
+        let site = parts.next().ok_or("empty fault rule")?.parse::<FaultSite>()?;
+        let occurrence = parts
+            .next()
+            .ok_or_else(|| format!("fault rule `{s}` missing `:occurrence:kind`"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad occurrence in `{s}`: {e}"))?;
+        if occurrence == 0 {
+            return Err(format!("fault rule `{s}`: occurrence is 1-based"));
+        }
+        let kind =
+            parts.next().ok_or_else(|| format!("fault rule `{s}` missing `:kind`"))?.parse()?;
+        Ok(FaultRule { site, occurrence, kind })
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A deterministic, seeded fault-injection plan shared by every clone
+/// and fork of a [`ResourceGovernor`].
+///
+/// The plan keeps one atomic crossing counter per [`FaultSite`]; a
+/// crossing whose (1-based) count matches a [`FaultRule`] fires that
+/// rule's [`FaultKind`]. Firing is a pure function of the crossing
+/// count, so a single-threaded run replays bit-identically, and the
+/// `par.task` site — the one crossed concurrently — is matched on the
+/// task's input ordinal instead of arrival order to stay deterministic
+/// under any worker count.
+///
+/// A plan with no rules only counts crossings (useful for discovering
+/// how many cells a sweep must cover).
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    counters: [AtomicU64; FaultSite::COUNT],
+    fired: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan: counts crossings, never fires.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds an injection rule (builder style, before sharing).
+    pub fn with_rule(mut self, site: FaultSite, occurrence: u64, kind: FaultKind) -> Self {
+        assert!(occurrence >= 1, "occurrences are 1-based");
+        self.rules.push(FaultRule { site, occurrence, kind });
+        self
+    }
+
+    /// Adds a parsed [`FaultRule`].
+    pub fn with_parsed_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The seed this plan (and any sweep built on it) derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured rules.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Deterministically derives a [`FaultKind`] for a sweep cell from
+    /// `(seed, site, occurrence)`. Chaos sweeps use this so one seed
+    /// fixes the kind of every cell.
+    pub fn derive_kind(seed: u64, site: FaultSite, occurrence: u64) -> FaultKind {
+        let h = splitmix64(
+            seed ^ (site.index() as u64).wrapping_mul(0x9e37_79b9) ^ occurrence.rotate_left(32),
+        );
+        FaultKind::ALL[(h % FaultKind::ALL.len() as u64) as usize]
+    }
+
+    /// Total crossings of `site` so far.
+    pub fn crossings(&self, site: FaultSite) -> u64 {
+        self.counters[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total faults fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.fired.load(Ordering::Relaxed)
+    }
+
+    /// Records one crossing of `site`; returns the kind to fire (if any
+    /// rule matches the new 1-based count) and the count itself.
+    fn cross(&self, site: FaultSite) -> (u64, Option<FaultKind>) {
+        let n = self.counters[site.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        (n, self.match_rule(site, n))
+    }
+
+    /// Records a crossing of `site` identified by a caller-supplied
+    /// 1-based ordinal (used for sites crossed concurrently, where
+    /// arrival order is scheduler-dependent but the ordinal is not).
+    fn cross_at(&self, site: FaultSite, ordinal: u64) -> Option<FaultKind> {
+        self.counters[site.index()].fetch_add(1, Ordering::Relaxed);
+        self.match_rule(site, ordinal)
+    }
+
+    fn match_rule(&self, site: FaultSite, n: u64) -> Option<FaultKind> {
+        let kind =
+            self.rules.iter().find(|r| r.site == site && r.occurrence == n).map(|r| r.kind)?;
+        self.fired.fetch_add(1, Ordering::Relaxed);
+        Some(kind)
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     /// `u64::MAX` means unlimited.
@@ -98,6 +404,9 @@ struct Inner {
     /// Precomputed: false iff the only possible trip is cancellation,
     /// letting `checkpoint` skip all accounting on unlimited governors.
     metered: bool,
+    /// Shared fault-injection plan; `None` in production (one untaken
+    /// branch per checkpoint).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Inner {
@@ -154,6 +463,7 @@ impl ResourceGovernor {
         deadline: Option<Instant>,
         cancel: Arc<AtomicBool>,
         parent: Option<Arc<Inner>>,
+        faults: Option<Arc<FaultPlan>>,
     ) -> Self {
         let metered = step_limit != u64::MAX
             || node_limit != usize::MAX
@@ -168,6 +478,7 @@ impl ResourceGovernor {
                 cancel,
                 parent,
                 metered,
+                faults,
             }),
         }
     }
@@ -180,6 +491,7 @@ impl ResourceGovernor {
             usize::MAX,
             None,
             Arc::new(AtomicBool::new(false)),
+            None,
             None,
         )
     }
@@ -194,6 +506,7 @@ impl ResourceGovernor {
             inner.deadline,
             inner.cancel.clone(),
             inner.parent.clone(),
+            inner.faults.clone(),
         )
     }
 
@@ -207,6 +520,7 @@ impl ResourceGovernor {
             inner.deadline,
             inner.cancel.clone(),
             inner.parent.clone(),
+            inner.faults.clone(),
         )
     }
 
@@ -219,15 +533,38 @@ impl ResourceGovernor {
             Instant::now().checked_add(timeout),
             inner.cancel.clone(),
             inner.parent.clone(),
+            inner.faults.clone(),
         )
+    }
+
+    /// Attaches a shared fault-injection plan. Every clone and fork of
+    /// this governor crosses the plan's sites; a governor without a
+    /// plan (the default) never fires injected faults.
+    pub fn with_fault_plan(self, plan: Arc<FaultPlan>) -> Self {
+        let inner = &self.inner;
+        ResourceGovernor::from_parts(
+            inner.step_limit,
+            inner.node_limit,
+            inner.deadline,
+            inner.cancel.clone(),
+            inner.parent.clone(),
+            Some(plan),
+        )
+    }
+
+    /// The attached fault plan, if any. Sub-engines that build private
+    /// governors (worker forks, retry sub-budgets) inherit it through
+    /// [`fork_steps`](Self::fork_steps) automatically.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.inner.faults.as_ref()
     }
 
     /// Creates a child governor with a fresh step budget of `limit`.
     ///
-    /// The child shares the cancellation flag, deadline, and node
-    /// ceiling, and every step it charges is *also* charged to this
-    /// governor (and its ancestors). A degradation ladder gives its
-    /// expensive first attempt `fork_steps(remaining / 2)`: if the
+    /// The child shares the cancellation flag, deadline, node ceiling,
+    /// and fault plan, and every step it charges is *also* charged to
+    /// this governor (and its ancestors). A degradation ladder gives
+    /// its expensive first attempt `fork_steps(remaining / 2)`: if the
     /// attempt exhausts the fork, at least half the parent budget is
     /// still available for the cheaper fallback.
     pub fn fork_steps(&self, limit: u64) -> Self {
@@ -238,6 +575,7 @@ impl ResourceGovernor {
             inner.deadline,
             inner.cancel.clone(),
             Some(self.inner.clone()),
+            inner.faults.clone(),
         )
     }
 
@@ -292,6 +630,11 @@ impl ResourceGovernor {
         if inner.cancel.load(Ordering::Relaxed) {
             return Err(ResourceExhausted::Cancelled);
         }
+        if inner.faults.is_some() {
+            // Every checkpoint is a cache-miss recursion step of a
+            // budgeted operation: the `bdd.apply` injection site.
+            self.fault_site(FaultSite::BddApply)?;
+        }
         if !inner.metered {
             return Ok(());
         }
@@ -310,6 +653,76 @@ impl ResourceGovernor {
             }
         }
         Ok(())
+    }
+
+    /// Checks cancellation and the wall-clock deadline *without*
+    /// charging a recursion step.
+    ///
+    /// Loop-shaped safe points (a reachability fixpoint iteration, a
+    /// sifting excursion, the CDCL search loop) call this so that a
+    /// deadline or cancellation is observed at every boundary even when
+    /// the body runs entirely out of warm caches and never reaches an
+    /// amortized step check.
+    #[inline]
+    pub fn poll_interrupt(&self) -> Result<(), ResourceExhausted> {
+        let inner = &*self.inner;
+        if inner.cancel.load(Ordering::Relaxed) {
+            return Err(ResourceExhausted::Cancelled);
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                return Err(ResourceExhausted::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers one crossing of a fault-injection `site`.
+    ///
+    /// Without an attached [`FaultPlan`] this is a no-op returning
+    /// `Ok(())`. With one, the crossing is counted and — if a rule
+    /// matches the new count — the fault fires: `Budget` and
+    /// `AllocPressure` return the corresponding [`ResourceExhausted`],
+    /// `Cancel` raises the shared flag first, and `Panic` panics (to be
+    /// absorbed by the nearest isolation boundary).
+    #[inline]
+    pub fn fault_site(&self, site: FaultSite) -> Result<(), ResourceExhausted> {
+        if let Some(plan) = &self.inner.faults {
+            let (n, kind) = plan.cross(site);
+            if let Some(kind) = kind {
+                return Err(self.fire_fault(site, n, kind));
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers a crossing of `site` identified by a deterministic
+    /// 0-based `ordinal` supplied by the caller (e.g. a parallel task's
+    /// input index). Rules match `ordinal + 1` as the occurrence, so
+    /// firing does not depend on scheduler arrival order.
+    #[inline]
+    pub fn fault_site_at(&self, site: FaultSite, ordinal: u64) -> Result<(), ResourceExhausted> {
+        if let Some(plan) = &self.inner.faults {
+            if let Some(kind) = plan.cross_at(site, ordinal + 1) {
+                return Err(self.fire_fault(site, ordinal + 1, kind));
+            }
+        }
+        Ok(())
+    }
+
+    #[cold]
+    fn fire_fault(&self, site: FaultSite, n: u64, kind: FaultKind) -> ResourceExhausted {
+        match kind {
+            FaultKind::Budget => ResourceExhausted::Steps,
+            FaultKind::AllocPressure => ResourceExhausted::Nodes,
+            FaultKind::Cancel => {
+                self.inner.cancel.store(true, Ordering::Relaxed);
+                ResourceExhausted::Cancelled
+            }
+            FaultKind::Panic => {
+                panic!("injected fault: simulated worker panic at {site} (crossing {n})")
+            }
+        }
     }
 }
 
@@ -386,5 +799,108 @@ mod tests {
         let child = parent.fork_steps(100);
         parent.cancel();
         assert_eq!(child.checkpoint(0), Err(ResourceExhausted::Cancelled));
+    }
+
+    #[test]
+    fn fault_rule_parses_cli_syntax() {
+        let rule: FaultRule = "image.cluster:2:budget".parse().unwrap();
+        assert_eq!(
+            rule,
+            FaultRule { site: FaultSite::ImageCluster, occurrence: 2, kind: FaultKind::Budget }
+        );
+        assert!("image.cluster:0:budget".parse::<FaultRule>().is_err(), "1-based");
+        assert!("nope:1:budget".parse::<FaultRule>().is_err());
+        assert!("bdd.apply:1:explode".parse::<FaultRule>().is_err());
+        assert!("bdd.apply:1".parse::<FaultRule>().is_err());
+        for site in FaultSite::ALL {
+            assert_eq!(site.as_str().parse::<FaultSite>().unwrap(), site);
+        }
+    }
+
+    #[test]
+    fn fault_fires_at_exact_crossing() {
+        let plan = Arc::new(FaultPlan::new(7).with_rule(FaultSite::BddGc, 3, FaultKind::Budget));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(plan.clone());
+        assert_eq!(gov.fault_site(FaultSite::BddGc), Ok(()));
+        assert_eq!(gov.fault_site(FaultSite::BddGc), Ok(()));
+        assert_eq!(gov.fault_site(FaultSite::BddGc), Err(ResourceExhausted::Steps));
+        assert_eq!(gov.fault_site(FaultSite::BddGc), Ok(()), "fires once, at the 3rd crossing");
+        assert_eq!(plan.crossings(FaultSite::BddGc), 4);
+        assert_eq!(plan.faults_fired(), 1);
+    }
+
+    #[test]
+    fn cancel_fault_raises_shared_flag() {
+        let plan =
+            Arc::new(FaultPlan::new(0).with_rule(FaultSite::ReachFixpoint, 1, FaultKind::Cancel));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(plan);
+        let sibling = gov.clone();
+        assert_eq!(gov.fault_site(FaultSite::ReachFixpoint), Err(ResourceExhausted::Cancelled));
+        assert_eq!(sibling.checkpoint(0), Err(ResourceExhausted::Cancelled));
+    }
+
+    #[test]
+    fn alloc_pressure_fault_reads_as_node_ceiling() {
+        let plan =
+            Arc::new(FaultPlan::new(0).with_rule(FaultSite::BddApply, 2, FaultKind::AllocPressure));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(plan);
+        assert_eq!(gov.checkpoint(0), Ok(()));
+        assert_eq!(gov.checkpoint(0), Err(ResourceExhausted::Nodes));
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn panic_fault_panics() {
+        let plan =
+            Arc::new(FaultPlan::new(0).with_rule(FaultSite::SynthDecompose, 1, FaultKind::Panic));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(plan);
+        let _ = gov.fault_site(FaultSite::SynthDecompose);
+    }
+
+    #[test]
+    fn fork_inherits_fault_plan() {
+        let plan = Arc::new(FaultPlan::new(0).with_rule(FaultSite::BddApply, 2, FaultKind::Budget));
+        let parent = ResourceGovernor::unlimited().with_fault_plan(plan.clone());
+        let child = parent.fork_steps(1000).with_node_limit(10_000);
+        assert_eq!(child.checkpoint(0), Ok(()));
+        assert_eq!(child.checkpoint(0), Err(ResourceExhausted::Steps), "fault, not budget");
+        assert_eq!(plan.crossings(FaultSite::BddApply), 2);
+    }
+
+    #[test]
+    fn ordinal_crossings_ignore_arrival_order() {
+        let plan = Arc::new(FaultPlan::new(0).with_rule(FaultSite::ParTask, 2, FaultKind::Budget));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(plan);
+        // Tasks arrive out of order; only ordinal 1 (occurrence 2) fires.
+        assert_eq!(gov.fault_site_at(FaultSite::ParTask, 3), Ok(()));
+        assert_eq!(gov.fault_site_at(FaultSite::ParTask, 0), Ok(()));
+        assert_eq!(gov.fault_site_at(FaultSite::ParTask, 1), Err(ResourceExhausted::Steps));
+        assert_eq!(gov.fault_site_at(FaultSite::ParTask, 2), Ok(()));
+    }
+
+    #[test]
+    fn derived_kinds_are_deterministic_and_cover() {
+        let mut seen = std::collections::HashSet::new();
+        for site in FaultSite::ALL {
+            for occ in 1..=8 {
+                let a = FaultPlan::derive_kind(42, site, occ);
+                let b = FaultPlan::derive_kind(42, site, occ);
+                assert_eq!(a, b);
+                seen.insert(a);
+            }
+        }
+        assert_eq!(seen.len(), FaultKind::ALL.len(), "all kinds appear across the sweep");
+    }
+
+    #[test]
+    fn poll_interrupt_observes_cancel_and_deadline() {
+        let gov = ResourceGovernor::unlimited();
+        assert_eq!(gov.poll_interrupt(), Ok(()));
+        gov.cancel();
+        assert_eq!(gov.poll_interrupt(), Err(ResourceExhausted::Cancelled));
+
+        let gov = ResourceGovernor::unlimited().with_timeout(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(gov.poll_interrupt(), Err(ResourceExhausted::Deadline));
     }
 }

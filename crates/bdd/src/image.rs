@@ -31,7 +31,7 @@
 //! parallel flows. All heavy lifting goes through the budgeted `try_*`
 //! twins, so a tripped governor unwinds mid-image.
 
-use crate::governor::{ResourceExhausted, ResourceGovernor};
+use crate::governor::{FaultSite, ResourceExhausted, ResourceGovernor};
 use crate::{Manager, NodeId, VarId};
 use std::collections::{HashMap, HashSet};
 
@@ -86,6 +86,10 @@ pub struct ImageStats {
     /// ¬reached)` across all
     /// [`ImageEngine::try_simplified_frontier`] calls.
     pub restrict_wins: u64,
+    /// Cluster merges whose first sub-budget tripped and were retried
+    /// once at half budget (the retry rung: the computed table is warm,
+    /// so a transient trip often completes on the second, cheaper try).
+    pub merge_retries: u64,
 }
 
 /// A reusable image-computation engine for one transition relation.
@@ -146,6 +150,7 @@ impl ImageEngine {
         let limit = cluster_limit.max(1);
         let mut clusters: Vec<NodeId> = Vec::new();
         let mut current: Option<NodeId> = None;
+        let mut merge_retries: u64 = 0;
         for &c in conjuncts {
             let Some(acc) = current else {
                 current = Some(c);
@@ -157,7 +162,22 @@ impl ImageEngine {
                 continue;
             }
             let merge_gov = gov.fork_steps(MERGE_STEP_BUDGET);
-            match m.try_and(acc, c, &merge_gov) {
+            let attempt = gov
+                .fault_site(FaultSite::ImageCluster)
+                .and_then(|()| m.try_and(acc, c, &merge_gov));
+            // Retry rung: a step trip on the merge sub-budget is
+            // transient — the computed table is warm from the first
+            // attempt — so retry once at half budget before keeping
+            // the pieces apart.
+            let attempt = match attempt {
+                Err(ResourceExhausted::Steps) => {
+                    merge_retries += 1;
+                    let retry_gov = gov.fork_steps(MERGE_STEP_BUDGET / 2);
+                    m.try_and(acc, c, &retry_gov)
+                }
+                other => other,
+            };
+            match attempt {
                 Ok(merged) if m.size(merged) <= limit => current = Some(merged),
                 // Too big, or the merge sub-budget (or a surrounding
                 // step/node cap) tripped: keep the pieces separate.
@@ -172,7 +192,9 @@ impl ImageEngine {
         }
         clusters.extend(current);
         let ordered = order_clusters(m, &clusters, quantify);
-        Ok(ImageEngine::from_clusters(m, ordered, quantify, true))
+        let mut engine = ImageEngine::from_clusters(m, ordered, quantify, true);
+        engine.stats.merge_retries = merge_retries;
+        Ok(engine)
     }
 
     fn from_clusters(
@@ -186,8 +208,7 @@ impl ImageEngine {
             clusters: clusters.len(),
             max_cluster_nodes: sizes.iter().copied().max().unwrap_or(0),
             total_cluster_nodes: sizes.iter().sum(),
-            constrain_wins: 0,
-            restrict_wins: 0,
+            ..ImageStats::default()
         };
         let base_schedule = last_use_schedule(m, &clusters, quantify);
         ImageEngine {
@@ -241,6 +262,7 @@ impl ImageEngine {
                     continue;
                 }
                 attempts += 1;
+                gov.fault_site(FaultSite::ImageConstrain)?;
                 let cand = m.try_constrain(*c, frontier, gov)?;
                 if cand != *c
                     && m.size(cand) * CONSTRAIN_KEEP_DIVISOR <= m.size(*c)
@@ -607,6 +629,60 @@ mod tests {
         let v2 = m.var(VarId(2));
         let f = m.and(v0, v2); // fresh product: no warm cache to answer for free
         assert_eq!(engine.try_image(&mut m, f, &cancelled), Err(ResourceExhausted::Cancelled));
+    }
+
+    #[test]
+    fn injected_cancel_in_constrain_pass_unwinds_then_rebuilds_exactly() {
+        use crate::governor::{FaultKind, FaultPlan, FaultSite};
+        use std::sync::Arc;
+        let gov = ResourceGovernor::unlimited();
+        let mut m = Manager::new();
+        let (conjuncts, quantify, _) = fixture(&mut m, 6, 3);
+        let mut engine = ImageEngine::try_clustered(&mut m, &conjuncts, &quantify, 64, &gov)
+            .expect("unlimited build")
+            .with_constrain_min_cluster(1);
+        let f = {
+            let bits: Vec<(VarId, bool)> = (0..6).map(|i| (VarId(i as u32), false)).collect();
+            m.minterm(&bits)
+        };
+        // Cancel at the first per-cluster constrain attempt: the image
+        // must unwind mid-pass with the precise cause …
+        let plan = Arc::new(
+            FaultPlan::new(13).with_rule(FaultSite::ImageConstrain, 1, FaultKind::Cancel),
+        );
+        let faulted = ResourceGovernor::unlimited().with_fault_plan(plan);
+        assert_eq!(engine.try_image(&mut m, f, &faulted), Err(ResourceExhausted::Cancelled));
+        // … and a clean retry on the *same* engine and manager computes
+        // the exact image: the aborted pass left only sound cache
+        // entries and untouched clusters behind.
+        let img = engine.try_image(&mut m, f, &gov).expect("clean retry");
+        let spec = naive_image(&mut m, &conjuncts, &quantify, f);
+        assert_eq!(img, spec, "post-cancel rebuild must be canonical");
+    }
+
+    #[test]
+    fn injected_merge_fault_is_absorbed_by_the_halved_budget_retry() {
+        use crate::governor::{FaultKind, FaultPlan, FaultSite};
+        use std::sync::Arc;
+        let mut m = Manager::new();
+        let (conjuncts, quantify, _) = fixture(&mut m, 5, 1);
+        // A one-shot budget fault on the first cluster-merge attempt:
+        // the merge loop retries once at half budget, the crossing
+        // counter has moved past the rule, and the build completes.
+        let plan = Arc::new(
+            FaultPlan::new(17).with_rule(FaultSite::ImageCluster, 1, FaultKind::Budget),
+        );
+        let faulted = ResourceGovernor::unlimited().with_fault_plan(plan);
+        let mut engine =
+            ImageEngine::try_clustered(&mut m, &conjuncts, &quantify, 1 << 20, &faulted)
+                .expect("transient fault must be absorbed");
+        assert!(engine.stats().merge_retries >= 1, "the retry must be counted");
+        let gov = ResourceGovernor::unlimited();
+        for f in frontiers(&mut m, 5) {
+            let img = engine.try_image(&mut m, f, &gov).expect("unlimited image");
+            let spec = naive_image(&mut m, &conjuncts, &quantify, f);
+            assert_eq!(img, spec);
+        }
     }
 
     #[test]

@@ -67,9 +67,13 @@ mod quant;
 mod restrict;
 mod transfer;
 
-pub use governor::{CancelHandle, ResourceExhausted, ResourceGovernor};
+pub use governor::{
+    CancelHandle, FaultKind, FaultPlan, FaultRule, FaultSite, ResourceExhausted, ResourceGovernor,
+    MAX_DEADLINE_OVERSHOOT_STEPS,
+};
 pub use manager::{KernelConfig, Manager, ManagerStats, Ref, RootSet};
 pub use node::{NodeId, VarId};
+pub use par::TaskPanic;
 
 #[cfg(test)]
 mod tests_reorder;

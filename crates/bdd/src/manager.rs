@@ -18,6 +18,7 @@
 //!   adjacent-level swaps with a growth-abort bound
 //!   ([`Manager::sift_in_place`]).
 
+use crate::governor::{FaultSite, ResourceExhausted, ResourceGovernor};
 use crate::hash::FxHashMap;
 use crate::node::{Node, TERMINAL_LEVEL};
 use crate::{NodeId, VarId};
@@ -1179,6 +1180,21 @@ impl Manager {
         freed
     }
 
+    /// The governed twin of [`Manager::maybe_gc`]: the `bdd.gc`
+    /// fault-injection site and an interrupt poll guard the safe point
+    /// *before* any mutation, so on `Err` the manager is untouched
+    /// (every previously valid id stays valid) and the caller can
+    /// degrade or unwind with all roots intact.
+    pub fn try_maybe_gc(
+        &mut self,
+        extra_roots: &[NodeId],
+        gov: &ResourceGovernor,
+    ) -> Result<usize, ResourceExhausted> {
+        gov.fault_site(FaultSite::BddGc)?;
+        gov.poll_interrupt()?;
+        Ok(self.maybe_gc(extra_roots))
+    }
+
     /// Collects and *compacts*: live nodes slide down to a contiguous
     /// prefix (preserving their relative order, so operand-normalized
     /// results stay deterministic), the node array is truncated and
@@ -1247,9 +1263,34 @@ impl Manager {
     /// remain valid (nodes are rewritten in place, never moved);
     /// everything else is collected first.
     pub fn sift_in_place(&mut self, roots: &[NodeId]) {
+        let gov = ResourceGovernor::unlimited();
+        self.sift_in_place_governed(roots, &gov).expect("unlimited governor cannot trip");
+    }
+
+    /// The governed twin of [`Manager::sift_in_place`]: crosses the
+    /// `bdd.sift` fault-injection site and polls for interruption
+    /// before each variable's excursion. On `Err` the sift stops at a
+    /// whole-variable boundary — the diagram is canonical there, all
+    /// ids reachable from `roots` plus the implicit roots stay valid,
+    /// and the (order-dependent) computed table has been invalidated —
+    /// so a cancelled reorder degrades to "partially improved order",
+    /// never to a corrupt manager.
+    pub fn try_sift_in_place(
+        &mut self,
+        roots: &[NodeId],
+        gov: &ResourceGovernor,
+    ) -> Result<(), ResourceExhausted> {
+        self.sift_in_place_governed(roots, gov)
+    }
+
+    fn sift_in_place_governed(
+        &mut self,
+        roots: &[NodeId],
+        gov: &ResourceGovernor,
+    ) -> Result<(), ResourceExhausted> {
         let n = self.num_vars as usize;
         if n < 2 {
-            return;
+            return Ok(());
         }
         self.gc_with_roots(roots);
         // External + structural reference counts; a node is freed the
@@ -1283,11 +1324,19 @@ impl Manager {
         // Most-populous-first agenda, ties by variable index.
         let mut agenda: Vec<u32> = (0..n as u32).collect();
         agenda.sort_by_key(|&v| (std::cmp::Reverse(by_var[v as usize].len()), v));
+        let mut verdict = Ok(());
         for v in agenda {
+            if let Err(e) = gov.fault_site(FaultSite::BddSift).and_then(|_| gov.poll_interrupt()) {
+                verdict = Err(e);
+                break;
+            }
             self.sift_one(v, &mut refs, &mut by_var);
         }
+        // Levels may have changed even on the early-out path; the
+        // order-dependent computed table must go either way.
         self.cache.invalidate();
         self.reorder_runs += 1;
+        verdict
     }
 
     /// Sifts one variable: down to the bottom, back up to the top,
@@ -1743,5 +1792,66 @@ mod tests {
         let x = m.and(t0, t3);
         let y = m.and(t3, t0);
         assert_eq!(x, y);
+    }
+
+    #[test]
+    fn cancelled_sift_stops_at_a_variable_boundary_and_stays_canonical() {
+        use crate::governor::{FaultKind, FaultPlan, FaultSite};
+        use std::sync::Arc;
+        let mut m = Manager::with_vars(6);
+        let mut terms = Vec::new();
+        for i in 0..3u32 {
+            let ai = m.var(VarId(i));
+            let bi = m.var(VarId(i + 3));
+            terms.push(m.and(ai, bi));
+        }
+        let f = m.or_many(terms);
+        let runs_before = m.stats().reorder_runs;
+        // Cancellation observed at the *second* excursion boundary: one
+        // variable has already moved when the sift unwinds.
+        let plan =
+            Arc::new(FaultPlan::new(9).with_rule(FaultSite::BddSift, 2, FaultKind::Cancel));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(plan);
+        assert_eq!(m.try_sift_in_place(&[f], &gov), Err(ResourceExhausted::Cancelled));
+        // The early-out still counts as a reorder and still invalidated
+        // the order-dependent cache.
+        assert_eq!(m.stats().reorder_runs, runs_before + 1);
+        // The diagram is canonical at the boundary: `f` is untouched
+        // semantically, …
+        for bits in 0..64u32 {
+            let env: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            let expect = (0..3).any(|i| env[i] && env[i + 3]);
+            assert_eq!(m.eval(f, &env), expect, "assignment {env:?}");
+        }
+        // …a post-cancel rebuild of the same function lands on the same
+        // node (hash-consing under the *current* order), …
+        let mut terms2 = Vec::new();
+        for i in 0..3u32 {
+            let ai = m.var(VarId(i));
+            let bi = m.var(VarId(i + 3));
+            terms2.push(m.and(ai, bi));
+        }
+        assert_eq!(m.or_many(terms2), f);
+        // …and a GC with `f` as root keeps it alive and consistent.
+        m.gc_with_roots(&[f]);
+        assert!(m.eval(f, &[true, false, false, true, false, false]));
+    }
+
+    #[test]
+    fn interrupted_gc_safe_point_leaves_the_manager_untouched() {
+        let mut m = Manager::with_vars(4);
+        let a = m.var(VarId(0));
+        let b = m.var(VarId(1));
+        let f = m.and(a, b);
+        // Create garbage so a GC would actually do something.
+        let c = m.var(VarId(2));
+        let _dead = m.xor(f, c);
+        let before = m.stats();
+        let gov = ResourceGovernor::unlimited();
+        gov.cancel_handle().cancel();
+        // The safe point checks *before* mutating: an interrupted GC
+        // request must not half-collect.
+        assert_eq!(m.try_maybe_gc(&[f], &gov), Err(ResourceExhausted::Cancelled));
+        assert_eq!(m.stats(), before, "manager state must be untouched");
     }
 }

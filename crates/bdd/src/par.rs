@@ -18,8 +18,11 @@
 //! results for every `jobs`, because `jobs <= 1` degenerates to a plain
 //! in-order loop on the calling thread.
 
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// A sensible worker count for `--jobs 0` style "use all cores" CLIs.
 pub fn available_jobs() -> usize {
@@ -42,16 +45,43 @@ pub fn effective_jobs(jobs: usize, items: usize) -> usize {
     }
 }
 
-/// Applies `f` to every item on up to `jobs` threads, returning results
-/// in input order. `f` receives `(index, item)`. With `jobs <= 1` (or
-/// fewer than two items) everything runs inline on the caller's thread.
+/// A panic absorbed at a task boundary by [`parallel_map_isolated`].
 ///
-/// # Panics
-///
-/// A panic inside `f` propagates to the caller once all workers have
-/// stopped (the panicking thread poisons no shared state; remaining
-/// items may or may not have been processed).
-pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+/// Carries the stringified payload of the original panic so the caller
+/// can report it once; the payload itself is consumed at the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Shared driver: every task runs under `catch_unwind`, so one
+/// panicking item can neither poison the slot mutexes while they are
+/// held nor tear down the other workers mid-task. The slot locks are
+/// additionally poison-tolerant (`PoisonError::into_inner`) as defense
+/// in depth — ownership transfer through them is correct even if some
+/// future panic path poisons one.
+type TaskResult<R> = Result<R, Box<dyn Any + Send>>;
+
+fn run_tasks<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<TaskResult<R>>
 where
     T: Send,
     R: Send,
@@ -60,13 +90,17 @@ where
     let n = items.len();
     let workers = jobs.min(n);
     if workers <= 1 {
-        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| catch_unwind(AssertUnwindSafe(|| f(i, item))))
+            .collect();
     }
     // Each slot is locked exactly once by the claiming worker; the atomic
     // counter guarantees unique claims, the mutexes only move ownership.
     let tasks: Vec<Mutex<Option<T>>> =
         items.into_iter().map(|item| Mutex::new(Some(item))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<TaskResult<R>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -75,15 +109,71 @@ where
                 if i >= n {
                     break;
                 }
-                let item = tasks[i].lock().expect("task slot").take().expect("claimed once");
-                let r = f(i, item);
-                *results[i].lock().expect("result slot") = Some(r);
+                let item = tasks[i]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("claimed once");
+                let r = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
             });
         }
     });
     results
         .into_iter()
-        .map(|slot| slot.into_inner().expect("result slot").expect("worker filled slot"))
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+/// Applies `f` to every item on up to `jobs` threads, returning results
+/// in input order. `f` receives `(index, item)`. With `jobs <= 1` (or
+/// fewer than two items) everything runs inline on the caller's thread.
+///
+/// # Panics
+///
+/// A panic inside `f` propagates to the caller once all workers have
+/// drained (each task is isolated by `catch_unwind`, so a panicking
+/// item never poisons shared state or aborts sibling tasks). When
+/// several items panic, the payload of the lowest input index is
+/// re-raised — once — and the others are dropped.
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for r in run_tasks(jobs, items, f) {
+        match r {
+            Ok(v) => out.push(v),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Like [`parallel_map`], but converts a panicking task into a
+/// per-item [`TaskPanic`] instead of re-raising: the pool always drains
+/// and every other item's result is returned untouched. Isolation is
+/// identical on the inline (`jobs <= 1`) path, so the jobs-invariance
+/// contract extends to panics.
+pub fn parallel_map_isolated<T, R, F>(
+    jobs: usize,
+    items: Vec<T>,
+    f: F,
+) -> Vec<Result<R, TaskPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    run_tasks(jobs, items, f)
+        .into_iter()
+        .map(|r| r.map_err(|payload| TaskPanic { message: payload_message(payload.as_ref()) }))
         .collect()
 }
 
@@ -162,6 +252,78 @@ mod tests {
             }
         });
         assert_eq!(verdicts, vec![ResourceExhausted::Cancelled; 8]);
+    }
+
+    /// One panicking worker must not cascade into poisoned-mutex
+    /// panics on the other threads: all 31 well-behaved items complete
+    /// and the original payload surfaces exactly once.
+    #[test]
+    fn single_panic_surfaces_original_payload_once() {
+        let completed = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(4, (0..32).collect::<Vec<usize>>(), |_, x| {
+                if x == 7 {
+                    panic!("original worker failure");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        let payload = r.expect_err("panic propagates");
+        assert_eq!(payload_message(payload.as_ref()), "original worker failure");
+        assert_eq!(completed.load(Ordering::Relaxed), 31, "siblings all drained");
+    }
+
+    #[test]
+    fn lowest_index_payload_wins_when_several_panic() {
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(4, (0..32).collect::<Vec<usize>>(), |_, x| {
+                if x == 5 || x == 20 {
+                    panic!("task {x} failed");
+                }
+                x
+            })
+        }));
+        let payload = r.expect_err("panic propagates");
+        assert_eq!(payload_message(payload.as_ref()), "task 5 failed");
+    }
+
+    #[test]
+    fn isolated_map_degrades_only_the_panicking_item() {
+        for jobs in [1, 4] {
+            let out = parallel_map_isolated(jobs, (0..20).collect::<Vec<usize>>(), |_, x| {
+                if x == 13 {
+                    panic!("unlucky");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 20);
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    assert_eq!(
+                        r.as_ref().unwrap_err(),
+                        &TaskPanic { message: "unlucky".to_string() },
+                        "jobs={jobs}"
+                    );
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i * 2), "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_slot_still_yields_its_value() {
+        // Force-poison a mutex, then confirm the recovery idiom used by
+        // the driver extracts the inner value instead of cascading.
+        let slot = Mutex::new(Some(41usize));
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = slot.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(slot.is_poisoned());
+        let v = slot.lock().unwrap_or_else(PoisonError::into_inner).take();
+        assert_eq!(v, Some(41));
     }
 
     #[test]

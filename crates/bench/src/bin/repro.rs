@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32
-//!        | sat-stats | parallel | bdd-bench | reach-bench]
-//!       [--quick] [--per-kind] [--jobs <N>] [--out <path>]
+//!        | sat-stats | parallel | bdd-bench | reach-bench | chaos]
+//!       [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>]
 //! ```
 //!
 //! `--quick` trims the expensive rows (mux width 6, adder s16, the two
@@ -20,7 +20,12 @@
 //! on/off reachability memory comparison) and writes `BENCH_bdd.json`;
 //! `reach-bench` races the legacy per-bit image schedule against the
 //! clustered image engine on the seq4–seq9 circuits — asserting both
-//! reach identical sets — and writes `BENCH_reach.json` (`--out`
+//! reach identical sets — and writes `BENCH_reach.json`; `chaos` sweeps
+//! the deterministic fault-injection sites over a fixed circuit suite,
+//! audits the degradation ladder's soundness contract (no escaped
+//! panics, no hangs, SEC-equivalent degradation, ⊤-monotone
+//! reachability), writes `BENCH_chaos.json`, and **exits nonzero** on
+//! any violation — `--seed N` replays a specific sweep (`--out`
 //! overrides any of the paths).
 
 use std::time::Duration;
@@ -40,6 +45,17 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--seed expects a number, got `{v}`");
+                std::process::exit(2);
+            }
+        });
     let jobs = args
         .iter()
         .position(|a| a == "--jobs")
@@ -57,7 +73,8 @@ fn main() {
         .iter()
         .enumerate()
         .find(|&(i, a)| {
-            let is_flag_value = i > 0 && (args[i - 1] == "--out" || args[i - 1] == "--jobs");
+            let is_flag_value =
+                i > 0 && (args[i - 1] == "--out" || args[i - 1] == "--jobs" || args[i - 1] == "--seed");
             !a.starts_with("--") && !is_flag_value
         })
         .map(|(_, a)| a.as_str())
@@ -75,6 +92,7 @@ fn main() {
         "parallel" => parallel(quick, jobs, &out_or("BENCH_parallel.json")),
         "bdd-bench" => bdd_bench(quick, &out_or("BENCH_bdd.json")),
         "reach-bench" => reach_bench(quick, &out_or("BENCH_reach.json")),
+        "chaos" => chaos(quick, seed, &out_or("BENCH_chaos.json")),
         "all" => {
             print_figure31();
             print_figure32();
@@ -85,14 +103,65 @@ fn main() {
             sat_stats(quick, &out_or("BENCH_sat.json"));
             bdd_bench(quick, &out_or("BENCH_bdd.json"));
             reach_bench(quick, &out_or("BENCH_reach.json"));
+            chaos(quick, seed, &out_or("BENCH_chaos.json"));
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|bdd-bench|reach-bench] [--quick] [--per-kind] [--jobs <N>] [--out <path>]"
+                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|bdd-bench|reach-bench|chaos] [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>]"
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn chaos(quick: bool, seed: Option<u64>, out_path: &str) {
+    use symbi_bench::chaos::{write_chaos_json, ChaosOptions};
+    let mut options = ChaosOptions { quick, ..Default::default() };
+    if let Some(s) = seed {
+        options.seed = s;
+    }
+    println!(
+        "\n=== Chaos sweep: fault-injection soundness audit, seed {} (written to {out_path}) ===",
+        options.seed
+    );
+    println!(
+        "{:>12} {:>16} {:>4} {:>8} {:>6} {:>7} {:>8} {:>7} {:>8} {:>10}",
+        "Circuit", "Site", "Occ", "Kind", "Fired", "Panics", "Skipped", "Bailed", "Retries",
+        "Violations"
+    );
+    let report =
+        write_chaos_json(std::path::Path::new(out_path), &options).expect("failed to write BENCH_chaos.json");
+    for c in &report.cells {
+        println!(
+            "{:>12} {:>16} {:>4} {:>8} {:>6} {:>7} {:>8} {:>7} {:>8} {:>10}",
+            c.circuit,
+            c.site,
+            c.occurrence,
+            c.kind,
+            c.fired,
+            c.worker_panics,
+            c.candidates_skipped,
+            c.bailed_out,
+            c.retries,
+            c.violations.len(),
+        );
+        for v in &c.violations {
+            println!("{:>12}   VIOLATION: {v}", "");
+        }
+    }
+    println!(
+        "Summary: {} cells, {} fired, {} violations, {} hangs, {} escaped panics ({:.1}s)",
+        report.cells.len(),
+        report.fired(),
+        report.violations(),
+        report.hangs(),
+        report.escaped_panics(),
+        report.seconds,
+    );
+    if report.violations() > 0 {
+        eprintln!("chaos sweep found soundness violations — failing the run");
+        std::process::exit(1);
     }
 }
 
@@ -179,7 +248,10 @@ fn parallel(quick: bool, jobs: usize, out_path: &str) {
     let (seq, par): (f64, f64) =
         rows.iter().fold((0.0, 0.0), |(s, p), r| (s + r.seq_seconds, p + r.par_seconds));
     println!("Total: {seq:.3}s sequential, {par:.3}s parallel ({:.2}x)", seq / par);
-    assert!(all_identical, "parallel flow diverged from sequential output");
+    if !all_identical {
+        eprintln!("parallel flow diverged from sequential output — failing the run");
+        std::process::exit(1);
+    }
 }
 
 fn sat_stats(quick: bool, out_path: &str) {

@@ -19,6 +19,7 @@
 //! result as machine-readable `BENCH_sat.json` for trend tracking.
 
 pub mod baseline;
+pub mod chaos;
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};

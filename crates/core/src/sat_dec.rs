@@ -27,8 +27,9 @@
 
 use crate::Interval;
 use std::collections::HashMap;
-use symbi_bdd::{Manager, NodeId, VarId};
-use symbi_sat::{Lit, Solver, SolverStats};
+use std::sync::{Arc, Mutex, PoisonError};
+use symbi_bdd::{FaultSite, Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
+use symbi_sat::{BudgetedSolveResult, Lit, SatCheckPoint, Solver, SolverStats};
 
 /// A pair of vacuity sets `(A, B)`: `g1` is vacuous in `A`, `g2` in `B`.
 pub type Partition = (Vec<VarId>, Vec<VarId>);
@@ -98,6 +99,47 @@ fn input_copy(
     out
 }
 
+/// Wires a solver's interrupt hook to a [`ResourceGovernor`]: the CDCL
+/// search loop crosses the governor's `sat.propagate` fault site (and
+/// polls for cancellation/deadline) before every propagation round, and
+/// `sat.reduce_db` before every learnt-database reduction. Returns the
+/// shared cell recording *why* the hook interrupted, for mapping an
+/// `Unknown` verdict back to a [`ResourceExhausted`] cause.
+fn install_governor_hook(
+    solver: &mut Solver,
+    gov: &ResourceGovernor,
+) -> Arc<Mutex<Option<ResourceExhausted>>> {
+    let cause: Arc<Mutex<Option<ResourceExhausted>>> = Arc::new(Mutex::new(None));
+    let hook_gov = gov.clone();
+    let hook_cause = Arc::clone(&cause);
+    solver.set_interrupt(move |point| {
+        let verdict = match point {
+            SatCheckPoint::Propagate => hook_gov
+                .fault_site(FaultSite::SatPropagate)
+                .and_then(|()| hook_gov.poll_interrupt()),
+            SatCheckPoint::ReduceDb => hook_gov.fault_site(FaultSite::SatReduceDb),
+        };
+        match verdict {
+            Ok(()) => false,
+            Err(e) => {
+                *hook_cause.lock().unwrap_or_else(PoisonError::into_inner) = Some(e);
+                true
+            }
+        }
+    });
+    cause
+}
+
+/// Maps an `Unknown` budgeted verdict to its cause: whatever the
+/// interrupt hook recorded, else the conflict budget ran out (`Steps`).
+fn unknown_cause(cause: &Mutex<Option<ResourceExhausted>>) -> ResourceExhausted {
+    cause
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+        .unwrap_or(ResourceExhausted::Steps)
+}
+
 /// SAT-based OR decomposability check for a completely specified
 /// function: `g1` vacuous in `a_vacuous`, `g2` vacuous in `b_vacuous`.
 /// Agrees exactly with [`crate::or_dec::decomposable`] on exact
@@ -122,18 +164,57 @@ pub fn or_decomposable_with_stats(
     b_vacuous: &[VarId],
 ) -> (bool, SolverStats) {
     let mut solver = Solver::new();
+    encode_or_formula(&mut solver, m, f, vars, a_vacuous, b_vacuous);
+    let dec = !solver.solve().is_sat();
+    (dec, solver.stats)
+}
+
+/// Encodes the three-copy OR-decomposability refutation formula into
+/// `solver`: SAT iff the partition fails.
+fn encode_or_formula(
+    solver: &mut Solver,
+    m: &Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+) {
     let mut constants = None;
-    let x = input_copy(&mut solver, vars, None);
-    let y = input_copy(&mut solver, vars, Some((&x, a_vacuous)));
-    let z = input_copy(&mut solver, vars, Some((&x, b_vacuous)));
-    let fx = encode_bdd(&mut solver, m, f, &x, &mut HashMap::new(), &mut constants);
-    let fy = encode_bdd(&mut solver, m, f, &y, &mut HashMap::new(), &mut constants);
-    let fz = encode_bdd(&mut solver, m, f, &z, &mut HashMap::new(), &mut constants);
+    let x = input_copy(solver, vars, None);
+    let y = input_copy(solver, vars, Some((&x, a_vacuous)));
+    let z = input_copy(solver, vars, Some((&x, b_vacuous)));
+    let fx = encode_bdd(solver, m, f, &x, &mut HashMap::new(), &mut constants);
+    let fy = encode_bdd(solver, m, f, &y, &mut HashMap::new(), &mut constants);
+    let fz = encode_bdd(solver, m, f, &z, &mut HashMap::new(), &mut constants);
     solver.add_clause([fx]);
     solver.add_clause([!fy]);
     solver.add_clause([!fz]);
-    let dec = !solver.solve().is_sat();
-    (dec, solver.stats)
+}
+
+/// Governed, conflict-budgeted twin of [`or_decomposable`]: the solve
+/// runs under `max_conflicts` with one warm halved-budget retry on an
+/// `Unknown` verdict (counted in [`SolverStats::retries`]), and the
+/// search is interruptible through `gov` — injected faults, deadlines,
+/// and cancellation abort with the precise [`ResourceExhausted`] cause.
+/// A one-shot transient fault is absorbed by the retry, since the
+/// site's crossing counter has already advanced past the rule.
+pub fn try_or_decomposable(
+    m: &Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    max_conflicts: u64,
+    gov: &ResourceGovernor,
+) -> Result<(bool, SolverStats), ResourceExhausted> {
+    let mut solver = Solver::new();
+    let cause = install_governor_hook(&mut solver, gov);
+    encode_or_formula(&mut solver, m, f, vars, a_vacuous, b_vacuous);
+    match solver.solve_budgeted_with_retry(max_conflicts) {
+        BudgetedSolveResult::Sat => Ok((false, solver.stats)),
+        BudgetedSolveResult::Unsat { .. } => Ok((true, solver.stats)),
+        BudgetedSolveResult::Unknown => Err(unknown_cause(&cause)),
+    }
 }
 
 /// SAT-based AND decomposability: the OR question on the complement.
@@ -159,6 +240,20 @@ pub fn and_decomposable_with_stats(
     or_decomposable_with_stats(m, nf, vars, a_vacuous, b_vacuous)
 }
 
+/// Governed, conflict-budgeted twin of [`and_decomposable`].
+pub fn try_and_decomposable(
+    m: &mut Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    max_conflicts: u64,
+    gov: &ResourceGovernor,
+) -> Result<(bool, SolverStats), ResourceExhausted> {
+    let nf = m.not(f);
+    try_or_decomposable(m, nf, vars, a_vacuous, b_vacuous, max_conflicts, gov)
+}
+
 /// SAT-based XOR decomposability check for a completely specified
 /// function (Proposition 3.1 refuted by a 4-copy formula): SAT iff some
 /// `A`-flip changes `f` for one `B`-part but not another.
@@ -181,11 +276,26 @@ pub fn xor_decomposable_with_stats(
     b_vacuous: &[VarId],
 ) -> (bool, SolverStats) {
     let mut solver = Solver::new();
+    encode_xor_formula(&mut solver, m, f, vars, a_vacuous, b_vacuous);
+    let dec = !solver.solve().is_sat();
+    (dec, solver.stats)
+}
+
+/// Encodes the four-copy XOR-decomposability refutation formula into
+/// `solver`: SAT iff the partition fails.
+fn encode_xor_formula(
+    solver: &mut Solver,
+    m: &Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+) {
     let mut constants = None;
     // p = (a, b, c); q = (a', b, c); r = (a, b', c); s = (a', b', c).
-    let p = input_copy(&mut solver, vars, None);
-    let q = input_copy(&mut solver, vars, Some((&p, a_vacuous)));
-    let r = input_copy(&mut solver, vars, Some((&p, b_vacuous)));
+    let p = input_copy(solver, vars, None);
+    let q = input_copy(solver, vars, Some((&p, a_vacuous)));
+    let r = input_copy(solver, vars, Some((&p, b_vacuous)));
     // s shares a' with q on A, b' with r on B, c with p elsewhere.
     let mut s_map = HashMap::new();
     for &v in vars {
@@ -198,20 +308,38 @@ pub fn xor_decomposable_with_stats(
         };
         s_map.insert(v, lit);
     }
-    let fp = encode_bdd(&mut solver, m, f, &p, &mut HashMap::new(), &mut constants);
-    let fq = encode_bdd(&mut solver, m, f, &q, &mut HashMap::new(), &mut constants);
-    let fr = encode_bdd(&mut solver, m, f, &r, &mut HashMap::new(), &mut constants);
-    let fs = encode_bdd(&mut solver, m, f, &s_map, &mut HashMap::new(), &mut constants);
+    let fp = encode_bdd(solver, m, f, &p, &mut HashMap::new(), &mut constants);
+    let fq = encode_bdd(solver, m, f, &q, &mut HashMap::new(), &mut constants);
+    let fr = encode_bdd(solver, m, f, &r, &mut HashMap::new(), &mut constants);
+    let fs = encode_bdd(solver, m, f, &s_map, &mut HashMap::new(), &mut constants);
     // f(p) ≠ f(q):
     let d1 = Lit::pos(solver.new_var());
-    xor_constraint(&mut solver, fp, fq, d1);
+    xor_constraint(solver, fp, fq, d1);
     solver.add_clause([d1]);
     // f(r) = f(s):
     let d2 = Lit::pos(solver.new_var());
-    xor_constraint(&mut solver, fr, fs, d2);
+    xor_constraint(solver, fr, fs, d2);
     solver.add_clause([!d2]);
-    let dec = !solver.solve().is_sat();
-    (dec, solver.stats)
+}
+
+/// Governed, conflict-budgeted twin of [`xor_decomposable`].
+pub fn try_xor_decomposable(
+    m: &Manager,
+    f: NodeId,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    max_conflicts: u64,
+    gov: &ResourceGovernor,
+) -> Result<(bool, SolverStats), ResourceExhausted> {
+    let mut solver = Solver::new();
+    let cause = install_governor_hook(&mut solver, gov);
+    encode_xor_formula(&mut solver, m, f, vars, a_vacuous, b_vacuous);
+    match solver.solve_budgeted_with_retry(max_conflicts) {
+        BudgetedSolveResult::Sat => Ok((false, solver.stats)),
+        BudgetedSolveResult::Unsat { .. } => Ok((true, solver.stats)),
+        BudgetedSolveResult::Unknown => Err(unknown_cause(&cause)),
+    }
 }
 
 /// Unsat-core-guided OR-partition growing — the signature move of \[14\]:
@@ -359,6 +487,40 @@ pub fn decomposable_with_stats(
         }
         crate::DecKind::Xor => {
             xor_decomposable_with_stats(m, interval.lower, vars, a_vacuous, b_vacuous)
+        }
+    }
+}
+
+/// Governed, conflict-budgeted twin of [`decomposable`]: dispatches the
+/// matching `try_*` check under `max_conflicts` and `gov`.
+///
+/// # Panics
+///
+/// Panics if the interval is not exact.
+#[allow(clippy::too_many_arguments)] // mirrors `decomposable` plus the budget pair
+pub fn try_decomposable(
+    m: &mut Manager,
+    kind: crate::DecKind,
+    interval: &Interval,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    max_conflicts: u64,
+    gov: &ResourceGovernor,
+) -> Result<(bool, SolverStats), ResourceExhausted> {
+    assert!(
+        interval.is_exact(),
+        "the SAT baseline handles completely specified functions"
+    );
+    match kind {
+        crate::DecKind::Or => {
+            try_or_decomposable(m, interval.lower, vars, a_vacuous, b_vacuous, max_conflicts, gov)
+        }
+        crate::DecKind::And => {
+            try_and_decomposable(m, interval.lower, vars, a_vacuous, b_vacuous, max_conflicts, gov)
+        }
+        crate::DecKind::Xor => {
+            try_xor_decomposable(m, interval.lower, vars, a_vacuous, b_vacuous, max_conflicts, gov)
         }
     }
 }
@@ -529,6 +691,94 @@ mod tests {
         );
         assert_eq!(dec2, xor_decomposable(&m, f, &vars, &a, &b));
         assert!(xstats.propagations > 0);
+    }
+
+    #[test]
+    fn governed_check_agrees_with_ungoverned() {
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let f = m.or(ab, cd);
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        let a = [VarId(2), VarId(3)];
+        let b = [VarId(0), VarId(1)];
+        let gov = ResourceGovernor::unlimited();
+        let (dec, _) =
+            try_or_decomposable(&m, f, &vars, &a, &b, u64::MAX, &gov).expect("no limits");
+        assert_eq!(dec, or_decomposable(&m, f, &vars, &a, &b));
+        let iv = Interval::exact(f);
+        let (xdec, _) = try_decomposable(
+            &mut m,
+            crate::DecKind::Xor,
+            &iv,
+            &vars,
+            &a,
+            &b,
+            u64::MAX,
+            &gov,
+        )
+        .expect("no limits");
+        assert_eq!(xdec, xor_decomposable(&m, f, &vars, &a, &b));
+    }
+
+    #[test]
+    fn transient_fault_absorbed_by_budgeted_retry() {
+        use symbi_bdd::{FaultKind, FaultPlan, FaultSite};
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let f = m.or(ab, cd);
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        // One-shot budget fault at the first search-loop crossing: the
+        // first solve goes Unknown, the warm retry runs past the spent
+        // rule and completes with the correct verdict.
+        let plan = Arc::new(
+            FaultPlan::new(3).with_rule(FaultSite::SatPropagate, 1, FaultKind::Budget),
+        );
+        let gov = ResourceGovernor::unlimited().with_fault_plan(Arc::clone(&plan));
+        let (dec, stats) = try_or_decomposable(
+            &m,
+            f,
+            &vars,
+            &[VarId(2), VarId(3)],
+            &[VarId(0), VarId(1)],
+            u64::MAX,
+            &gov,
+        )
+        .expect("retry absorbs the one-shot fault");
+        assert!(dec);
+        assert_eq!(stats.retries, 1, "the absorbed fault must be counted");
+        assert_eq!(plan.faults_fired(), 1);
+    }
+
+    #[test]
+    fn persistent_cancellation_defeats_the_retry() {
+        use symbi_bdd::{FaultKind, FaultPlan, FaultSite};
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let f = m.or(ab, cd);
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        // A cancel fault raises the shared flag, so the retry's very
+        // first poll re-trips: the cause must survive to the caller.
+        let plan = Arc::new(
+            FaultPlan::new(3).with_rule(FaultSite::SatPropagate, 1, FaultKind::Cancel),
+        );
+        let gov = ResourceGovernor::unlimited().with_fault_plan(plan);
+        let err = try_or_decomposable(
+            &m,
+            f,
+            &vars,
+            &[VarId(2), VarId(3)],
+            &[VarId(0), VarId(1)],
+            u64::MAX,
+            &gov,
+        )
+        .expect_err("cancellation is persistent");
+        assert_eq!(err, ResourceExhausted::Cancelled);
     }
 
     #[test]

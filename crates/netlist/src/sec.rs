@@ -15,15 +15,21 @@
 //!   incremental SAT — each frame's gates are Tseitin-encoded into one
 //!   solver and every output miter is queried under an assumption, so
 //!   deep unrollings avoid BDD blowup and the check reports the solver's
-//!   effort statistics.
+//!   effort statistics. [`try_bounded_check_sat`] is its governed twin:
+//!   the solver search is interruptible through a hook wired to a
+//!   [`ResourceGovernor`], which also makes it a fault-injection surface
+//!   for the `sat.propagate` / `sat.reduce_db` chaos sites.
 //!
 //! All return a counterexample trace on failure.
 
 use crate::{GateKind, Netlist, NodeKind, SignalId};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
 use symbi_bdd::image::{ImageEngine, DEFAULT_CLUSTER_LIMIT};
-use symbi_bdd::{Manager, NodeId, ResourceGovernor, VarId};
-use symbi_sat::{Lit, Solver, SolverStats};
+use symbi_bdd::{
+    FaultSite, Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId,
+};
+use symbi_sat::{BudgetedSolveResult, Lit, SatCheckPoint, Solver, SolverStats};
 
 /// Result of an equivalence check.
 #[derive(Debug, Clone, PartialEq)]
@@ -264,6 +270,29 @@ fn frame_lits(
 /// Panics if the interfaces (input/output counts) differ or a netlist is
 /// invalid.
 pub fn bounded_check_sat(a: &Netlist, b: &Netlist, frames: usize) -> (SecResult, SolverStats) {
+    let gov = ResourceGovernor::unlimited();
+    try_bounded_check_sat(a, b, frames, &gov).expect("unlimited governor cannot trip")
+}
+
+/// Governed twin of [`bounded_check_sat`]: the solver's CDCL search is
+/// interruptible at its `sat.propagate` and `sat.reduce_db` checkpoints
+/// through an interrupt hook wired to `gov`, so cancellation, deadlines,
+/// and injected faults observed by the governor abort the solve with the
+/// precise [`ResourceExhausted`] cause instead of hanging or panicking.
+///
+/// Per-frame encoding also polls the governor, so a cancel raised while
+/// Tseitin-encoding a deep unrolling is seen before the next solve.
+///
+/// # Panics
+///
+/// Panics if the interfaces (input/output counts) differ or a netlist is
+/// invalid.
+pub fn try_bounded_check_sat(
+    a: &Netlist,
+    b: &Netlist,
+    frames: usize,
+    gov: &ResourceGovernor,
+) -> Result<(SecResult, SolverStats), ResourceExhausted> {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input counts must match");
     assert_eq!(a.num_outputs(), b.num_outputs(), "output counts must match");
     a.validate().expect("first netlist invalid");
@@ -271,6 +300,37 @@ pub fn bounded_check_sat(a: &Netlist, b: &Netlist, frames: usize) -> (SecResult,
     let order_a = a.topo_order().expect("validated");
     let order_b = b.topo_order().expect("validated");
     let mut solver = Solver::new();
+    // The hook records *why* it interrupted so the Unknown verdict can be
+    // mapped back to a ResourceExhausted cause for the caller.
+    let cause: Arc<Mutex<Option<ResourceExhausted>>> = Arc::new(Mutex::new(None));
+    {
+        let gov = gov.clone();
+        let cause = Arc::clone(&cause);
+        solver.set_interrupt(move |point| {
+            let verdict = match point {
+                SatCheckPoint::Propagate => gov
+                    .fault_site(FaultSite::SatPropagate)
+                    .and_then(|()| gov.poll_interrupt()),
+                SatCheckPoint::ReduceDb => gov.fault_site(FaultSite::SatReduceDb),
+            };
+            match verdict {
+                Ok(()) => false,
+                Err(e) => {
+                    *cause.lock().unwrap_or_else(PoisonError::into_inner) = Some(e);
+                    true
+                }
+            }
+        });
+    }
+    let interrupted = |cause: &Mutex<Option<ResourceExhausted>>| {
+        cause
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            // An Unknown without a recorded cause can only come from the
+            // conflict budget, which is effectively unlimited here.
+            .unwrap_or(ResourceExhausted::Cancelled)
+    };
     let mut consts = SatConsts { true_lit: None };
     let mut state_a: HashMap<SignalId, Lit> = a
         .latches()
@@ -284,6 +344,7 @@ pub fn bounded_check_sat(a: &Netlist, b: &Netlist, frames: usize) -> (SecResult,
         .collect();
     let mut frame_inputs: Vec<Vec<Lit>> = Vec::with_capacity(frames);
     for t in 0..frames {
+        gov.poll_interrupt()?;
         let inputs: Vec<Lit> =
             (0..a.num_inputs()).map(|_| Lit::pos(solver.new_var())).collect();
         frame_inputs.push(inputs.clone());
@@ -292,21 +353,31 @@ pub fn bounded_check_sat(a: &Netlist, b: &Netlist, frames: usize) -> (SecResult,
         for (idx, (&(_, sa), &(_, sb))) in a.outputs().iter().zip(b.outputs()).enumerate()
         {
             let diff = encode_gate(&mut solver, GateKind::Xor, &[val_a[&sa], val_b[&sb]]);
-            if solver.solve_with_assumptions(&[diff]).is_sat() {
-                let trace = frame_inputs[..=t]
-                    .iter()
-                    .map(|frame| {
-                        frame
-                            .iter()
-                            .map(|l| {
-                                // Unconstrained inputs default to false,
-                                // matching the BDD trace decoder.
-                                solver.value(l.var()).map(|b| b ^ l.is_neg()).unwrap_or(false)
-                            })
-                            .collect()
-                    })
-                    .collect();
-                return (SecResult::Counterexample { trace, output: idx }, solver.stats);
+            match solver.solve_budgeted_with_assumptions(&[diff], u64::MAX) {
+                BudgetedSolveResult::Sat => {
+                    let trace = frame_inputs[..=t]
+                        .iter()
+                        .map(|frame| {
+                            frame
+                                .iter()
+                                .map(|l| {
+                                    // Unconstrained inputs default to false,
+                                    // matching the BDD trace decoder.
+                                    solver
+                                        .value(l.var())
+                                        .map(|b| b ^ l.is_neg())
+                                        .unwrap_or(false)
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    return Ok((
+                        SecResult::Counterexample { trace, output: idx },
+                        solver.stats,
+                    ));
+                }
+                BudgetedSolveResult::Unsat { .. } => {}
+                BudgetedSolveResult::Unknown => return Err(interrupted(&cause)),
             }
         }
         state_a = a
@@ -320,7 +391,7 @@ pub fn bounded_check_sat(a: &Netlist, b: &Netlist, frames: usize) -> (SecResult,
             .map(|&l| (l, val_b[&b.latch_next(l).expect("validated netlist")]))
             .collect();
     }
-    (SecResult::Equivalent, solver.stats)
+    Ok((SecResult::Equivalent, solver.stats))
 }
 
 fn decode_trace(frame_vars: &[Vec<NodeId>], cube: &[(VarId, bool)]) -> Vec<Vec<bool>> {
@@ -632,6 +703,43 @@ mod tests {
             }
             SecResult::Equivalent => panic!("difference missed at frame 4"),
         }
+    }
+
+    #[test]
+    fn governed_sat_check_matches_ungoverned_result() {
+        let a = toggle(false);
+        let b = toggle(true);
+        let gov = ResourceGovernor::unlimited();
+        let (res, stats) =
+            try_bounded_check_sat(&a, &b, 6, &gov).expect("no faults, no limits");
+        assert!(res.is_equivalent());
+        assert!(stats.propagations > 0);
+    }
+
+    #[test]
+    fn injected_budget_fault_at_sat_propagate_aborts_with_cause() {
+        use symbi_bdd::{FaultKind, FaultPlan};
+        let a = toggle(false);
+        let b = toggle(true);
+        let plan = Arc::new(
+            FaultPlan::new(7).with_rule(FaultSite::SatPropagate, 1, FaultKind::Budget),
+        );
+        let gov = ResourceGovernor::unlimited().with_fault_plan(Arc::clone(&plan));
+        let err = try_bounded_check_sat(&a, &b, 6, &gov)
+            .expect_err("first search-loop crossing must fire");
+        assert_eq!(err, ResourceExhausted::Steps);
+        assert!(plan.faults_fired() >= 1);
+    }
+
+    #[test]
+    fn cancelled_governor_stops_governed_sat_check() {
+        let a = toggle(false);
+        let b = toggle(true);
+        let gov = ResourceGovernor::unlimited();
+        gov.cancel_handle().cancel();
+        // The per-frame poll trips before any solving happens.
+        let err = try_bounded_check_sat(&a, &b, 6, &gov).expect_err("cancelled");
+        assert_eq!(err, ResourceExhausted::Cancelled);
     }
 
     #[test]

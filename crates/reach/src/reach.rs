@@ -2,10 +2,13 @@
 
 use crate::partition::{partition_latches, Partition, PartitionOptions};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use symbi_bdd::hash::FxHashMap;
 use symbi_bdd::image::{ImageEngine, ImageStats, DEFAULT_CLUSTER_LIMIT};
 use symbi_bdd::par::parallel_map;
-use symbi_bdd::{KernelConfig, Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
+use symbi_bdd::{
+    FaultSite, KernelConfig, Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId,
+};
 use symbi_netlist::cone::ConeExtractor;
 use symbi_netlist::{Netlist, SignalId};
 
@@ -94,6 +97,17 @@ pub struct ReachStats {
     /// Frontiers replaced by a strictly smaller
     /// `restrict(frontier, ¬reached)`, summed across partitions.
     pub restrict_wins: u64,
+    /// Halved-budget retries taken by the ladder's transient-fault rung
+    /// (a clustered attempt that tripped a step/node cap is retried once
+    /// at half the sub-budget before degrading further).
+    pub retries: u64,
+    /// Cluster merges retried at half sub-budget inside the image
+    /// engines, summed across partitions.
+    pub merge_retries: u64,
+    /// Partition analyses that panicked and were absorbed at the
+    /// isolation boundary (the partition degrades to bail-to-⊤ exactly
+    /// like a budget trip instead of tearing down the pool).
+    pub worker_panics: u64,
 }
 
 #[derive(Debug)]
@@ -126,6 +140,15 @@ struct PartitionReach {
     gc_runs: u64,
     cache_hits: u64,
     cache_misses: u64,
+    /// Why the analysis bailed (`None` on success), driving the
+    /// ladder's retry decision: step/node trips are transient and worth
+    /// one halved-budget retry, deadline/cancellation are not.
+    bail_cause: Option<ResourceExhausted>,
+    /// Halved-budget retries charged to this partition by the ladder.
+    retries: u64,
+    /// Whether the analysis panicked and was absorbed at the isolation
+    /// boundary (implies `bailed`).
+    worker_panic: bool,
 }
 
 /// Result of partitioned forward reachability on one netlist.
@@ -405,6 +428,9 @@ impl Reachability {
             cache_misses: self.parts.iter().map(|p| p.cache_misses).sum(),
             constrain_wins: self.parts.iter().map(|p| p.image.constrain_wins).sum(),
             restrict_wins: self.parts.iter().map(|p| p.image.restrict_wins).sum(),
+            retries: self.parts.iter().map(|p| p.retries).sum(),
+            merge_retries: self.parts.iter().map(|p| p.image.merge_retries).sum(),
+            worker_panics: self.parts.iter().filter(|p| p.worker_panic).count() as u64,
         }
     }
 
@@ -447,7 +473,55 @@ fn fold_failed_attempt(mut kept: PartitionReach, failed: &PartitionReach) -> Par
     kept.gc_runs += failed.gc_runs;
     kept.cache_hits += failed.cache_hits;
     kept.cache_misses += failed.cache_misses;
+    kept.retries += failed.retries;
+    kept.worker_panic |= failed.worker_panic;
     kept
+}
+
+/// Whether a bail cause is worth the ladder's one halved-budget retry:
+/// step and node trips are often transient (a GC-adjacent spike, a
+/// cluster-merge pressure burst, an injected fault), while a passed
+/// deadline or a raised cancel flag will trip again immediately.
+fn is_transient(cause: Option<ResourceExhausted>) -> bool {
+    matches!(cause, Some(ResourceExhausted::Steps) | Some(ResourceExhausted::Nodes))
+}
+
+/// The bail-to-⊤ placeholder for a partition whose analysis panicked:
+/// indistinguishable from a budget bail downstream (no constraint, no
+/// variables), but flagged so `ReachStats::worker_panics` reports it.
+fn panicked_partition(partition: &Partition) -> PartitionReach {
+    PartitionReach {
+        latches: partition.latches.clone(),
+        manager: Manager::new(),
+        reach: NodeId::TRUE,
+        ps_var: HashMap::new(),
+        iterations: 0,
+        bailed: true,
+        peak_live: 0,
+        image: ImageStats::default(),
+        gc_runs: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        bail_cause: None,
+        retries: 0,
+        worker_panic: true,
+    }
+}
+
+/// [`analyze_partition`] behind a panic-isolation boundary: a panicking
+/// analysis (an injected `panic` fault, or a genuine bug in one cone)
+/// degrades that partition to bail-to-⊤ — still a sound
+/// over-approximation — instead of unwinding through the worker pool.
+/// The partition's private manager is dropped by the unwind, so no
+/// shared state is left inconsistent.
+fn analyze_partition_isolated(
+    netlist: &Netlist,
+    partition: &Partition,
+    options: &ReachabilityOptions,
+    gov: &ResourceGovernor,
+) -> PartitionReach {
+    catch_unwind(AssertUnwindSafe(|| analyze_partition(netlist, partition, options, gov)))
+        .unwrap_or_else(|_| panicked_partition(partition))
 }
 
 /// Analyzes one top-level partition down the degradation ladder:
@@ -472,13 +546,30 @@ fn analyze_adaptive(
     let part_gov = gov
         .fork_steps(options.step_budget)
         .with_node_limit(gov.node_limit().min(options.node_limit));
-    let mut analyzed = analyze_partition(netlist, &partition, options, &part_gov);
+    let mut analyzed = analyze_partition_isolated(netlist, &partition, options, &part_gov);
+    // Retry rung: a transient trip (a GC-adjacent step spike, node
+    // pressure from cluster merges, an injected fault) may not recur,
+    // so the same configuration gets one more try at *half* the
+    // sub-budget — cheap insurance before degrading precision — while
+    // deadline/cancel bails skip straight down the ladder.
+    if analyzed.bailed && !analyzed.worker_panic && is_transient(analyzed.bail_cause) {
+        let retry_gov = gov
+            .fork_steps(options.step_budget / 2)
+            .with_node_limit(gov.node_limit().min(options.node_limit));
+        let mut retry = analyze_partition_isolated(netlist, &partition, options, &retry_gov);
+        retry.retries += 1;
+        analyzed = if retry.bailed {
+            fold_failed_attempt(analyzed, &retry)
+        } else {
+            fold_failed_attempt(retry, &analyzed)
+        };
+    }
     if analyzed.bailed && options.cluster_limit != 0 {
         let per_bit = ReachabilityOptions { cluster_limit: 0, ..*options };
         let retry_gov = gov
             .fork_steps(options.step_budget)
             .with_node_limit(gov.node_limit().min(options.node_limit));
-        let retry = analyze_partition(netlist, &partition, &per_bit, &retry_gov);
+        let retry = analyze_partition_isolated(netlist, &partition, &per_bit, &retry_gov);
         analyzed = if retry.bailed {
             fold_failed_attempt(analyzed, &retry)
         } else {
@@ -586,6 +677,13 @@ fn analyze_partition(
         let mut frontier = init;
         let mut gc_roots: Vec<NodeId> = Vec::with_capacity(engine.clusters().len() + 2);
         loop {
+            // Iteration-boundary safe point: the fault-injection site,
+            // plus an unamortized deadline/cancel poll — an iteration
+            // served entirely from warm caches charges no steps, so
+            // without this the deadline check interval would be
+            // unbounded.
+            gov.fault_site(FaultSite::ReachFixpoint)?;
+            gov.poll_interrupt()?;
             if iterations >= options.max_iterations {
                 return Err(ResourceExhausted::Steps);
             }
@@ -615,7 +713,7 @@ fn analyze_partition(
             gc_roots.extend_from_slice(engine.clusters());
             gc_roots.push(reach);
             gc_roots.push(frontier);
-            m.maybe_gc(&gc_roots);
+            m.try_maybe_gc(&gc_roots, gov)?;
         }
         image_stats = engine.stats();
         Ok(reach)
@@ -646,9 +744,12 @@ fn analyze_partition(
                 gc_runs: kernel_stats.gc_runs,
                 cache_hits: kernel_stats.cache_hits,
                 cache_misses: kernel_stats.cache_misses,
+                bail_cause: None,
+                retries: 0,
+                worker_panic: false,
             }
         }
-        Err(_) => PartitionReach {
+        Err(cause) => PartitionReach {
             // Bail-to-⊤: the analysis manager is dropped wholesale; the
             // partition carries no constraint and no variables.
             latches: partition.latches.clone(),
@@ -662,6 +763,9 @@ fn analyze_partition(
             gc_runs: kernel_stats.gc_runs,
             cache_hits: kernel_stats.cache_hits,
             cache_misses: kernel_stats.cache_misses,
+            bail_cause: Some(cause),
+            retries: 0,
+            worker_panic: false,
         },
     }
 }
@@ -951,6 +1055,66 @@ mod tests {
         // per-bit retry rung is also cancelled at its first checkpoint.
         assert_eq!(stats.bailed_out, stats.partitions);
         assert!((stats.log2_states - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_transient_fault_is_absorbed_by_the_retry_rung() {
+        use std::sync::Arc;
+        use symbi_bdd::{FaultKind, FaultPlan};
+        let n = saturating_counter();
+        // A one-shot budget trip at the first fixpoint safe point: the
+        // attempt bails with `Steps`, the ladder's transient rung retries
+        // at half sub-budget, the plan's crossing counter has moved past
+        // the rule, and the partition completes exactly.
+        let plan =
+            Arc::new(FaultPlan::new(21).with_rule(FaultSite::ReachFixpoint, 1, FaultKind::Budget));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(Arc::clone(&plan));
+        let r = Reachability::analyze_governed(&n, ReachabilityOptions::default(), &gov);
+        let stats = r.stats();
+        assert_eq!(plan.faults_fired(), 1);
+        assert_eq!(stats.retries, 1, "the halved-budget retry must be charged");
+        assert_eq!(stats.bailed_out, 0, "the retry must absorb the transient fault");
+        assert!((stats.log2_states - 3.0).abs() < 1e-9, "and lose no precision");
+    }
+
+    #[test]
+    fn injected_panic_degrades_one_partition_and_the_ladder_recovers() {
+        use std::sync::Arc;
+        use symbi_bdd::{FaultKind, FaultPlan};
+        let n = saturating_counter();
+        let plan =
+            Arc::new(FaultPlan::new(23).with_rule(FaultSite::ReachFixpoint, 1, FaultKind::Panic));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(Arc::clone(&plan));
+        let r = Reachability::analyze_governed(&n, ReachabilityOptions::default(), &gov);
+        let stats = r.stats();
+        // The panic is caught at the partition isolation boundary and
+        // flagged; the per-bit rung then re-runs the analysis past the
+        // spent one-shot rule, so no precision is lost either.
+        assert_eq!(plan.faults_fired(), 1);
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.bailed_out, 0, "the per-bit rung must recover the partition");
+        assert!((stats.log2_states - 3.0).abs() < 1e-9);
+        // A panicked attempt is not retried by the transient rung.
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn injected_cancel_defeats_every_rung_of_the_ladder() {
+        use std::sync::Arc;
+        use symbi_bdd::{FaultKind, FaultPlan};
+        let n = one_hot_ring();
+        let plan =
+            Arc::new(FaultPlan::new(29).with_rule(FaultSite::ReachFixpoint, 1, FaultKind::Cancel));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(Arc::clone(&plan));
+        let r = Reachability::analyze_governed(&n, ReachabilityOptions::default(), &gov);
+        let stats = r.stats();
+        // The injected cancel raises the shared flag, which is
+        // persistent: the transient rung is skipped (not a Steps/Nodes
+        // bail) and the per-bit rung trips at its first checkpoint, so
+        // the partition degrades to the sound bail-to-⊤ fallback.
+        assert_eq!(stats.bailed_out, stats.partitions);
+        assert_eq!(stats.retries, 0, "cancellation must not trigger the transient rung");
+        assert!((stats.log2_states - 4.0).abs() < 1e-9, "fallback claims everything");
     }
 
     #[test]

@@ -35,7 +35,9 @@
 mod heap;
 mod solver;
 
-pub use solver::{BudgetedSolveResult, Lit, SolveResult, Solver, SolverStats, Var};
+pub use solver::{
+    BudgetedSolveResult, InterruptHook, Lit, SatCheckPoint, SolveResult, Solver, SolverStats, Var,
+};
 
 #[cfg(test)]
 mod tests_dimacs_style;

@@ -151,6 +151,36 @@ const GLUE_LBD: u32 = 2;
 /// Base unit (in conflicts) of the Luby restart sequence.
 const RESTART_BASE: u64 = 100;
 
+/// Where an interrupt hook is consulted during [`Solver::search`].
+///
+/// These are the CDCL engine's two fault-injection/cancellation safe
+/// points: the top of the search loop (before unit propagation) and
+/// immediately before a learnt-database reduction. At either point the
+/// solver state is consistent and a bounded bail-out (backtrack to
+/// level 0, return `Unknown`) keeps it reusable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SatCheckPoint {
+    /// Top of the CDCL loop, before `propagate`.
+    Propagate,
+    /// Immediately before `reduce_db`.
+    ReduceDb,
+}
+
+/// A caller-supplied interruption callback; returning `true` aborts the
+/// running (budgeted) search with [`BudgetedSolveResult::Unknown`].
+///
+/// The crate is dependency-free, so resource governance lives upstream:
+/// callers that own a governor install a hook that polls it (and any
+/// fault plan) at each [`SatCheckPoint`]. A hook that panics unwinds
+/// through `search`; the solver must then be discarded.
+pub struct InterruptHook(pub Box<dyn FnMut(SatCheckPoint) -> bool + Send>);
+
+impl std::fmt::Debug for InterruptHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("InterruptHook(..)")
+    }
+}
+
 /// A CDCL SAT solver (see the crate docs for the feature list).
 #[derive(Debug)]
 pub struct Solver {
@@ -185,6 +215,8 @@ pub struct Solver {
     next_reduce: usize,
     /// Statistics: conflicts, decisions, propagations, clause traffic.
     pub stats: SolverStats,
+    /// Optional interruption callback, polled at every [`SatCheckPoint`].
+    interrupt: Option<InterruptHook>,
 }
 
 impl Default for Solver {
@@ -217,6 +249,10 @@ pub struct SolverStats {
     pub max_live_learnt: u64,
     /// Literals removed from learnt clauses by recursive minimization.
     pub minimized_literals: u64,
+    /// Budgeted solves that returned `Unknown` and were retried once at
+    /// half budget on the warm clause database
+    /// ([`Solver::solve_budgeted_with_retry`]).
+    pub retries: u64,
 }
 
 impl SolverStats {
@@ -232,6 +268,7 @@ impl SolverStats {
         self.max_lbd = self.max_lbd.max(other.max_lbd);
         self.max_live_learnt = self.max_live_learnt.max(other.max_live_learnt);
         self.minimized_literals += other.minimized_literals;
+        self.retries += other.retries;
     }
 }
 
@@ -260,7 +297,24 @@ impl Solver {
             reduce_inc: 300,
             next_reduce: 2000,
             stats: SolverStats::default(),
+            interrupt: None,
         }
+    }
+
+    /// Installs an interruption callback consulted at every
+    /// [`SatCheckPoint`]; returning `true` makes the running budgeted
+    /// search bail out with [`BudgetedSolveResult::Unknown`] (the
+    /// solver backtracks to level 0 and stays reusable). Unbudgeted
+    /// [`Solver::solve`]/[`Solver::solve_with_assumptions`] must not be
+    /// used with a hook installed — an interrupted complete search has
+    /// no honest `SolveResult` and panics instead.
+    pub fn set_interrupt(&mut self, hook: impl FnMut(SatCheckPoint) -> bool + Send + 'static) {
+        self.interrupt = Some(InterruptHook(Box::new(hook)));
+    }
+
+    /// Removes the interruption callback.
+    pub fn clear_interrupt(&mut self) {
+        self.interrupt = None;
     }
 
     /// Number of variables.
@@ -778,7 +832,9 @@ impl Solver {
             BudgetedSolveResult::Sat => SolveResult::Sat,
             BudgetedSolveResult::Unsat { core } => SolveResult::Unsat { core },
             BudgetedSolveResult::Unknown => {
-                unreachable!("unlimited search cannot exhaust its budget")
+                // Reachable only when an interrupt hook fired mid-search;
+                // a complete solve has no honest verdict to give then.
+                panic!("unbudgeted solve interrupted: use solve_budgeted* with an interrupt hook")
             }
         }
     }
@@ -799,6 +855,39 @@ impl Solver {
         max_conflicts: u64,
     ) -> BudgetedSolveResult {
         self.search(assumptions, Some(max_conflicts))
+    }
+
+    /// [`Solver::solve_budgeted`] with the ladder's retry rung: an
+    /// `Unknown` gets exactly one more attempt at *half* the conflict
+    /// budget. The clause database is warm from the first attempt —
+    /// everything learnt is kept — so the cheaper retry regularly
+    /// finishes problems the cold run could not; `stats.retries` counts
+    /// the retries taken.
+    pub fn solve_budgeted_with_retry(&mut self, max_conflicts: u64) -> BudgetedSolveResult {
+        self.solve_budgeted_with_assumptions_retry(&[], max_conflicts)
+    }
+
+    /// Assumption-literal variant of [`Solver::solve_budgeted_with_retry`].
+    pub fn solve_budgeted_with_assumptions_retry(
+        &mut self,
+        assumptions: &[Lit],
+        max_conflicts: u64,
+    ) -> BudgetedSolveResult {
+        match self.solve_budgeted_with_assumptions(assumptions, max_conflicts) {
+            BudgetedSolveResult::Unknown => {
+                self.stats.retries += 1;
+                self.solve_budgeted_with_assumptions(assumptions, (max_conflicts / 2).max(1))
+            }
+            verdict => verdict,
+        }
+    }
+
+    /// Consults the interrupt hook (if any) at a safe point.
+    fn interrupt_fired(&mut self, point: SatCheckPoint) -> bool {
+        match self.interrupt.as_mut() {
+            Some(hook) => (hook.0)(point),
+            None => false,
+        }
     }
 
     fn search(
@@ -860,6 +949,10 @@ impl Solver {
         let mut conflicts_since_restart = 0u64;
         let mut remaining = max_conflicts;
         loop {
+            if self.interrupt_fired(SatCheckPoint::Propagate) {
+                self.backtrack_to(0);
+                return BudgetedSolveResult::Unknown;
+            }
             if let Some(conflict) = self.propagate() {
                 if self.decision_level() <= assumption_level {
                     // Refuted under the assumptions — the verdict is
@@ -908,6 +1001,10 @@ impl Solver {
                 self.var_inc *= 1.0 / 0.95; // VSIDS decay
                 self.cla_inc *= 1.0 / 0.999; // clause-activity decay
                 if self.reduce_enabled && self.live_learnt >= self.next_reduce {
+                    if self.interrupt_fired(SatCheckPoint::ReduceDb) {
+                        self.backtrack_to(0);
+                        return BudgetedSolveResult::Unknown;
+                    }
                     self.reduce_db();
                     self.next_reduce += self.reduce_inc;
                 }
@@ -1292,5 +1389,63 @@ mod tests {
     fn luby_sequence_prefix() {
         let seq: Vec<u64> = (0..15).map(|i| luby(2.0, i) as u64).collect();
         assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn interrupt_hook_bails_out_and_solver_stays_usable() {
+        let mut s = pigeonhole(7);
+        // Fire on the 5th propagate checkpoint.
+        let mut crossings = 0u64;
+        s.set_interrupt(move |point| {
+            if point == SatCheckPoint::Propagate {
+                crossings += 1;
+                crossings == 5
+            } else {
+                false
+            }
+        });
+        assert!(s.solve_budgeted(u64::MAX).is_unknown());
+        // Hook removed: the same solver finishes the job, reusing
+        // whatever it learnt before the interruption.
+        s.clear_interrupt();
+        assert!(!s.solve_budgeted(u64::MAX).is_unknown());
+    }
+
+    #[test]
+    fn interrupt_hook_fires_at_reduce_db_checkpoint() {
+        let mut s = pigeonhole(7);
+        s.set_reduce_policy(50, 25);
+        s.set_interrupt(|point| point == SatCheckPoint::ReduceDb);
+        assert!(s.solve_budgeted(u64::MAX).is_unknown());
+        assert_eq!(s.stats.db_reductions, 0, "the bail-out preempts the reduction");
+    }
+
+    #[test]
+    fn budgeted_retry_counts_and_runs_warm() {
+        let mut s = pigeonhole(6);
+        // A 1-conflict budget cannot refute php(6); the retry (at half
+        // budget, floored to 1) is also hopeless — but both attempts are
+        // counted and the solver survives.
+        assert!(s.solve_budgeted_with_retry(1).is_unknown());
+        assert_eq!(s.stats.retries, 1);
+        // Generous budget: verdict on the first attempt, no new retry.
+        assert!(!s.solve_budgeted_with_retry(u64::MAX).is_unknown());
+        assert_eq!(s.stats.retries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbudgeted solve interrupted")]
+    fn unbudgeted_solve_rejects_interruption() {
+        let mut s = pigeonhole(5);
+        s.set_interrupt(|_| true);
+        let _ = s.solve();
+    }
+
+    #[test]
+    fn stats_absorb_accumulates_retries() {
+        let mut a = SolverStats { retries: 2, ..SolverStats::default() };
+        let b = SolverStats { retries: 3, ..SolverStats::default() };
+        a.absorb(&b);
+        assert_eq!(a.retries, 5);
     }
 }

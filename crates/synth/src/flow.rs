@@ -21,8 +21,9 @@
 
 use crate::share::TreeEmitter;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
-use symbi_bdd::{Manager, ResourceExhausted, ResourceGovernor, VarId};
+use symbi_bdd::{FaultSite, Manager, ResourceExhausted, ResourceGovernor, VarId};
 use symbi_core::{recursive, Interval};
 use symbi_netlist::clean::clean;
 use symbi_netlist::cone::ConeExtractor;
@@ -164,6 +165,16 @@ pub struct SynthesisReport {
     /// Result of the SAT-based bounded equivalence validation, when
     /// [`SynthesisOptions::validate_frames`] was set.
     pub sat_validation: Option<SatValidationReport>,
+    /// Candidates whose decomposition attempt *panicked* (a worker crash,
+    /// real or injected). Each is isolated at the candidate boundary and
+    /// degrades to its original cone, exactly like a budget exhaustion —
+    /// one crashed cone never takes down the flow or its siblings.
+    pub worker_panics: usize,
+    /// Why the requested SAT validation could not finish, if it was
+    /// interrupted (cancellation, deadline, or an injected fault in the
+    /// validation solver). `sat_validation` is `None` in that case; a
+    /// completed validation leaves this `None`.
+    pub validation_interrupted: Option<ResourceExhausted>,
 }
 
 /// Runs Algorithm 1 on `netlist`, returning the optimized netlist (same
@@ -269,7 +280,12 @@ pub fn optimize_governed(
             // shared. An exhausted candidate keeps its original cone —
             // Algorithm 1 degrades, it never dies.
             let cand_gov = gov.fork_steps(options.budget.candidate_steps);
-            let attempt = (|| -> Result<_, ResourceExhausted> {
+            // The candidate attempt is a panic-isolation boundary: a
+            // crash inside collapse/widen/decompose (including injected
+            // `synth.decompose` panic faults) is caught here and treated
+            // like an exhausted budget — the original cone survives.
+            let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<_, ResourceExhausted> {
+                cand_gov.fault_site(FaultSite::SynthDecompose)?;
                 let f = extractor.try_bdd(&mut m, signal, &cand_gov)?;
                 // Retrieve unreachable states over the cone's
                 // present-state support and widen the specification.
@@ -287,9 +303,9 @@ pub fn optimize_governed(
                 let (tree, stats) =
                     recursive::try_decompose(&mut m, &interval, &options.decompose, &cand_gov)?;
                 Ok((tree, stats, dropped))
-            })();
+            }));
             match attempt {
-                Ok((tree, stats, dropped)) => {
+                Ok(Ok((tree, stats, dropped))) => {
                     report.decomposed += 1;
                     report.steps.or_steps += stats.or_steps;
                     report.steps.and_steps += stats.and_steps;
@@ -310,9 +326,14 @@ pub fn optimize_governed(
                         emitter.emit(&tree, &var_to_leaf)
                     }
                 }
-                Err(_) => {
+                Ok(Err(_)) => {
                     report.candidates_skipped += 1;
                     report.budget_exhausted_ops += 1;
+                    emitter.copy_cone(&cleaned, signal)
+                }
+                Err(_panic) => {
+                    report.worker_panics += 1;
+                    report.candidates_skipped += 1;
                     emitter.copy_cone(&cleaned, signal)
                 }
             }
@@ -345,16 +366,32 @@ pub fn optimize_governed(
         out.add_output(name.clone(), rebuilt[sig]);
     }
     let (final_netlist, _) = clean(&out);
-    if let Some(frames) = options.validate_frames {
-        let (verdict, solver) =
-            symbi_netlist::sec::bounded_check_sat(netlist, &final_netlist, frames);
-        report.sat_validation = Some(SatValidationReport {
-            frames,
-            equivalent: verdict.is_equivalent(),
-            solver,
-        });
-    }
+    run_validation(netlist, &final_netlist, options, gov, &mut report);
     (final_netlist, report)
+}
+
+/// Runs the optional post-flow SAT validation through the *governed*
+/// equivalence checker, so the flow governor's cancellation, deadline,
+/// and fault plan reach the validation solver too. An interrupted
+/// validation records its cause instead of a verdict.
+pub(crate) fn run_validation(
+    input: &Netlist,
+    output: &Netlist,
+    options: &SynthesisOptions,
+    gov: &ResourceGovernor,
+    report: &mut SynthesisReport,
+) {
+    let Some(frames) = options.validate_frames else { return };
+    match symbi_netlist::sec::try_bounded_check_sat(input, output, frames, gov) {
+        Ok((verdict, solver)) => {
+            report.sat_validation = Some(SatValidationReport {
+                frames,
+                equivalent: verdict.is_equivalent(),
+                solver,
+            });
+        }
+        Err(cause) => report.validation_interrupted = Some(cause),
+    }
 }
 
 /// Runs [`optimize`] repeatedly until a pass stops improving the and/inv
@@ -552,6 +589,64 @@ mod tests {
         // Validation off by default.
         let (_, silent) = optimize(&n, &SynthesisOptions::default());
         assert!(silent.sat_validation.is_none());
+    }
+
+    #[test]
+    fn injected_panic_at_synth_decompose_is_isolated() {
+        use std::sync::Arc;
+        use symbi_bdd::{FaultKind, FaultPlan};
+        let n = ring_with_logic();
+        let opts = SynthesisOptions::default();
+        let plan = Arc::new(
+            FaultPlan::new(21).with_rule(FaultSite::SynthDecompose, 1, FaultKind::Panic),
+        );
+        let gov = opts.budget.governor().with_fault_plan(Arc::clone(&plan));
+        let (opt, report) = optimize_governed(&n, &opts, &gov);
+        assert_eq!(plan.faults_fired(), 1, "the panic really fired");
+        assert_eq!(report.worker_panics, 1);
+        assert_eq!(report.candidates_skipped, 1);
+        // The crashed candidate kept its original cone; behaviour from
+        // the initial state is untouched.
+        assert!(random_co_simulation(&n, &opt, 40, 123));
+    }
+
+    #[test]
+    fn injected_cancel_mid_flow_degrades_the_tail_but_finishes() {
+        use std::sync::Arc;
+        use symbi_bdd::{FaultKind, FaultPlan};
+        let n = ring_with_logic();
+        let opts = SynthesisOptions::default();
+        // Cancel at the second candidate attempt: the first decomposition
+        // lands, every later candidate observes the persistent flag and
+        // keeps its cone — the flow drains, it never hangs or dies.
+        let plan = Arc::new(
+            FaultPlan::new(22).with_rule(FaultSite::SynthDecompose, 2, FaultKind::Cancel),
+        );
+        let gov = opts.budget.governor().with_fault_plan(plan);
+        let (opt, report) = optimize_governed(&n, &opts, &gov);
+        assert!(report.candidates_skipped >= 1);
+        assert_eq!(report.worker_panics, 0);
+        assert!(report.decomposed <= 1, "cancellation stops later rewrites");
+        assert!(random_co_simulation(&n, &opt, 40, 321));
+    }
+
+    #[test]
+    fn interrupted_validation_records_its_cause() {
+        use std::sync::Arc;
+        use symbi_bdd::{FaultKind, FaultPlan};
+        let n = ring_with_logic();
+        let opts = SynthesisOptions { validate_frames: Some(8), ..Default::default() };
+        // A budget fault in the validation solver's very first search
+        // loop: synthesis itself is untouched, validation reports why it
+        // could not finish instead of faking a verdict.
+        let plan = Arc::new(
+            FaultPlan::new(23).with_rule(FaultSite::SatPropagate, 1, FaultKind::Budget),
+        );
+        let gov = opts.budget.governor().with_fault_plan(plan);
+        let (_, report) = optimize_governed(&n, &opts, &gov);
+        assert!(report.sat_validation.is_none());
+        assert_eq!(report.validation_interrupted, Some(ResourceExhausted::Steps));
+        assert!(report.decomposed > 0, "synthesis itself completed");
     }
 
     #[test]

@@ -32,11 +32,11 @@
 //! parallel runs remain sound and correct but may degrade different
 //! candidates than a sequential run would.
 
-use crate::flow::{local_support, mffc_cost, SatValidationReport, SynthesisOptions, SynthesisReport};
+use crate::flow::{local_support, mffc_cost, run_validation, SynthesisOptions, SynthesisReport};
 use crate::share::TreeEmitter;
 use std::collections::{HashMap, HashSet};
-use symbi_bdd::par::{effective_jobs, parallel_map};
-use symbi_bdd::{Manager, ResourceExhausted, ResourceGovernor, VarId};
+use symbi_bdd::par::{effective_jobs, parallel_map_isolated, TaskPanic};
+use symbi_bdd::{FaultSite, Manager, ResourceExhausted, ResourceGovernor, VarId};
 use symbi_core::{recursive, Interval};
 use symbi_core::recursive::Tree;
 use symbi_netlist::clean::clean;
@@ -160,15 +160,23 @@ pub(crate) fn optimize_parallel(
     // Phase 2: hermetic decomposition of every eligible candidate. On
     // small workloads the thread pool costs more than it recovers, so
     // the cutoff drops to the inline path — results are identical
-    // either way (the map is deterministic across worker counts).
+    // either way (the map is deterministic across worker counts). Each
+    // task is a panic-isolation boundary: one crashed worker surfaces as
+    // a `TaskPanic` for its own candidate while every sibling completes.
     let work: Vec<usize> =
         tasks.iter().enumerate().filter(|(_, t)| t.eligible).map(|(i, _)| i).collect();
     let jobs = effective_jobs(options.jobs, work.len());
-    let decomposed: Vec<Decomposition> = parallel_map(jobs, work.clone(), |_, ti| {
-        let t = &tasks[ti];
-        decompose_candidate(&cleaned, t, &cut_points, &reach, &var_of_latch, options, gov)
-    });
-    let mut results: Vec<Option<Decomposition>> = (0..tasks.len()).map(|_| None).collect();
+    let decomposed: Vec<Result<Decomposition, TaskPanic>> =
+        parallel_map_isolated(jobs, work.clone(), |wi, ti| {
+            let t = &tasks[ti];
+            // The `par.task` fault site is matched on the work-item
+            // ordinal, not arrival order, so injection is deterministic
+            // under any worker count.
+            gov.fault_site_at(FaultSite::ParTask, wi as u64)?;
+            decompose_candidate(&cleaned, t, &cut_points, &reach, &var_of_latch, options, gov)
+        });
+    let mut results: Vec<Option<Result<Decomposition, TaskPanic>>> =
+        (0..tasks.len()).map(|_| None).collect();
     for (ti, r) in work.into_iter().zip(decomposed) {
         results[ti] = Some(r);
     }
@@ -190,7 +198,7 @@ pub(crate) fn optimize_parallel(
         let signal = task.signal;
         let new_sig = if task.eligible {
             match results[ti].take().expect("eligible task was decomposed") {
-                Ok((tree, stats, dropped)) => {
+                Ok(Ok((tree, stats, dropped))) => {
                     report.decomposed += 1;
                     report.steps.or_steps += stats.or_steps;
                     report.steps.and_steps += stats.and_steps;
@@ -210,9 +218,14 @@ pub(crate) fn optimize_parallel(
                         emitter.emit(&tree, &var_to_leaf)
                     }
                 }
-                Err(_) => {
+                Ok(Err(_)) => {
                     report.candidates_skipped += 1;
                     report.budget_exhausted_ops += 1;
+                    emitter.copy_cone(&cleaned, signal)
+                }
+                Err(TaskPanic { .. }) => {
+                    report.worker_panics += 1;
+                    report.candidates_skipped += 1;
                     emitter.copy_cone(&cleaned, signal)
                 }
             }
@@ -242,15 +255,7 @@ pub(crate) fn optimize_parallel(
         out.add_output(name.clone(), rebuilt[sig]);
     }
     let (final_netlist, _) = clean(&out);
-    if let Some(frames) = options.validate_frames {
-        let (verdict, solver) =
-            symbi_netlist::sec::bounded_check_sat(netlist, &final_netlist, frames);
-        report.sat_validation = Some(SatValidationReport {
-            frames,
-            equivalent: verdict.is_equivalent(),
-            solver,
-        });
-    }
+    run_validation(netlist, &final_netlist, options, gov, &mut report);
     (final_netlist, report)
 }
 
@@ -345,6 +350,85 @@ mod tests {
         let (opt, report) = optimize(&n, &opts);
         assert!(report.decomposed > 0);
         assert!(random_co_simulation(&n, &opt, 40, 77));
+    }
+
+    #[test]
+    fn worker_panic_degrades_exactly_one_cone() {
+        use crate::flow::optimize_governed;
+        use std::sync::Arc;
+        use symbi_bdd::{FaultKind, FaultPlan};
+
+        let n = ring_with_logic();
+        let opts = SynthesisOptions { jobs: 2, ..Default::default() };
+
+        let (clean_net, clean_rep) = optimize_governed(&n, &opts, &opts.budget.governor());
+
+        // A worker panic at the first `par.task` crossing and a budget
+        // fault at the same cell must degrade the *same single cone*:
+        // byte-identical outputs prove the blast radius of a crash is
+        // exactly one candidate, with every sibling unaffected.
+        let panic_plan = Arc::new(
+            FaultPlan::new(11).with_rule(FaultSite::ParTask, 1, FaultKind::Panic),
+        );
+        let panic_gov = opts.budget.governor().with_fault_plan(panic_plan);
+        let (panic_net, panic_rep) = optimize_governed(&n, &opts, &panic_gov);
+
+        let budget_plan = Arc::new(
+            FaultPlan::new(11).with_rule(FaultSite::ParTask, 1, FaultKind::Budget),
+        );
+        let budget_gov = opts.budget.governor().with_fault_plan(budget_plan);
+        let (budget_net, budget_rep) = optimize_governed(&n, &opts, &budget_gov);
+
+        assert_eq!(
+            symbi_netlist::bench::write(&panic_net),
+            symbi_netlist::bench::write(&budget_net),
+            "panic and budget faults at the same cell must degrade identically"
+        );
+        assert_eq!(panic_rep.worker_panics, 1);
+        assert_eq!(panic_rep.candidates_skipped, 1);
+        assert_eq!(budget_rep.worker_panics, 0);
+        assert_eq!(budget_rep.candidates_skipped, 1);
+        assert_eq!(
+            panic_rep.decomposed,
+            clean_rep.decomposed - 1,
+            "exactly one cone lost its decomposition"
+        );
+        // The degraded output still behaves like the input. (The kept
+        // cone may happen to match its rewrite structurally, so the
+        // clean/panic netlists are not required to differ — the
+        // panic/budget identity above is the blast-radius proof.)
+        assert!(random_co_simulation(&n, &panic_net, 40, 99));
+        let _ = clean_net;
+    }
+
+    #[test]
+    fn later_par_task_panic_leaves_earlier_cones_byte_identical() {
+        use crate::flow::optimize_governed;
+        use std::sync::Arc;
+        use symbi_bdd::{FaultKind, FaultPlan};
+
+        let n = ring_with_logic();
+        let opts = SynthesisOptions { jobs: 2, ..Default::default() };
+        for occurrence in [2u64, 3] {
+            let plan = Arc::new(
+                FaultPlan::new(5).with_rule(FaultSite::ParTask, occurrence, FaultKind::Panic),
+            );
+            let gov = opts.budget.governor().with_fault_plan(plan);
+            let (net, rep) = optimize_governed(&n, &opts, &gov);
+            assert_eq!(rep.worker_panics, 1, "occurrence {occurrence}");
+            assert!(random_co_simulation(&n, &net, 40, occurrence));
+            // Replays are deterministic: same plan, same output.
+            let replay_plan = Arc::new(
+                FaultPlan::new(5).with_rule(FaultSite::ParTask, occurrence, FaultKind::Panic),
+            );
+            let replay_gov = opts.budget.governor().with_fault_plan(replay_plan);
+            let (net2, rep2) = optimize_governed(&n, &opts, &replay_gov);
+            assert_eq!(
+                symbi_netlist::bench::write(&net),
+                symbi_netlist::bench::write(&net2)
+            );
+            assert_eq!(rep, rep2);
+        }
     }
 
     #[test]

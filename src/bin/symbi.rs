@@ -7,6 +7,7 @@
 //!                 [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
 //!                 [--jobs N] [--cache-bits N] [--no-auto-gc] [--auto-reorder]
 //!                 [--cluster-limit N]
+//!                 [--fault-plan site:occurrence:kind ...] [--fault-seed N]
 //! symbi check     <a> <b> [--frames N] [--exact]
 //! symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]
 //! ```
@@ -26,6 +27,14 @@
 //! `--cluster-limit N` caps each transition-relation cluster of the
 //! image engine at `N` BDD nodes (`0` = per-bit schedule, no
 //! clustering).
+//!
+//! `--fault-plan site:occurrence:kind` (repeatable) arms a deterministic
+//! injected fault — e.g. `--fault-plan bdd.apply:100:budget` trips the
+//! 100th apply-level checkpoint as a step-budget exhaustion — to
+//! exercise the flow's degradation ladder from the command line;
+//! `--fault-seed N` tags the plan for replayable sweeps. The run still
+//! finishes with a correct netlist (degraded cones keep their original
+//! logic) and reports how many faults actually fired.
 //!
 //! `decompose --dc` widens the signal's specification with
 //! unreachable-state don't cares before computing the choices — the
@@ -77,6 +86,7 @@ usage:
                   [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
                   [--jobs N] [--cache-bits N] [--no-auto-gc] [--auto-reorder]
                   [--cluster-limit N]
+                  [--fault-plan site:occurrence:kind ...] [--fault-seed N]
   symbi check     <a> <b> [--frames N] [--exact]
   symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]";
 
@@ -196,11 +206,40 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
             reach.cluster_limit = v.parse().map_err(|e| format!("--cluster-limit: {e}"))?;
         }
     }
+    // Repeatable `--fault-plan site:occurrence:kind` rules arm a
+    // deterministic fault-injection plan on the run's governor.
+    let mut fault_rules: Vec<symbi::bdd::FaultRule> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--fault-plan" {
+            let v = args.get(i + 1).ok_or("--fault-plan requires a value")?;
+            fault_rules.push(v.parse().map_err(|e| format!("--fault-plan: {e}"))?);
+        }
+    }
+    let fault_seed: u64 = match flag_value(args, "--fault-seed")? {
+        Some(v) => v.parse().map_err(|e| format!("--fault-seed: {e}"))?,
+        None => 0,
+    };
     let before = stats::stats(&n);
     let library = Library::mcnc_like();
     let (pre, _) = clean::clean(&n);
     let pre_mapped = map(&pre, &library, MapMode::Area);
-    let (optimized, report) = optimize(&n, &options);
+    let (optimized, report) = if fault_rules.is_empty() {
+        optimize(&n, &options)
+    } else {
+        let mut plan = symbi::bdd::FaultPlan::new(fault_seed);
+        for rule in fault_rules {
+            plan = plan.with_parsed_rule(rule);
+        }
+        let plan = std::sync::Arc::new(plan);
+        let gov = options.budget.governor().with_fault_plan(std::sync::Arc::clone(&plan));
+        let out = symbi::synth::flow::optimize_governed(&n, &options, &gov);
+        println!(
+            "fault injection: {} fault(s) fired, {} worker panic(s) absorbed",
+            plan.faults_fired(),
+            out.1.worker_panics
+        );
+        out
+    };
     let after = stats::stats(&optimized);
     let post_mapped = map(&optimized, &library, MapMode::Area);
     println!("before: {before}");
