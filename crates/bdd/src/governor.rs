@@ -124,14 +124,22 @@ pub enum FaultSite {
     SynthDecompose,
     /// Start of one `parallel_map` worker task (ordinal = task index).
     ParTask,
+    /// Entry of one portfolio-raced decomposability check (both arms
+    /// still ahead; firing here kills the whole race).
+    PortfolioRace,
+    /// One governed BDD→CNF encoding pass (the Tseitin translation a
+    /// governed SAT check or SEC frame performs before solving).
+    SatEncode,
 }
 
 impl FaultSite {
     /// Number of registered sites.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 12;
 
     /// Every registered site, in registry order. Chaos sweeps iterate
-    /// this to enumerate cells; keep it in sync with the enum.
+    /// this to enumerate cells; keep it in sync with the enum. New sites
+    /// are appended so existing indices (and the cell kinds a seed
+    /// derives from them) stay stable across releases.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
         FaultSite::BddApply,
         FaultSite::BddGc,
@@ -143,6 +151,8 @@ impl FaultSite {
         FaultSite::SatReduceDb,
         FaultSite::SynthDecompose,
         FaultSite::ParTask,
+        FaultSite::PortfolioRace,
+        FaultSite::SatEncode,
     ];
 
     /// Stable index into per-site counter arrays.
@@ -158,6 +168,8 @@ impl FaultSite {
             FaultSite::SatReduceDb => 7,
             FaultSite::SynthDecompose => 8,
             FaultSite::ParTask => 9,
+            FaultSite::PortfolioRace => 10,
+            FaultSite::SatEncode => 11,
         }
     }
 
@@ -174,6 +186,8 @@ impl FaultSite {
             FaultSite::SatReduceDb => "sat.reduce_db",
             FaultSite::SynthDecompose => "synth.decompose",
             FaultSite::ParTask => "par.task",
+            FaultSite::PortfolioRace => "portfolio.race",
+            FaultSite::SatEncode => "sat.encode",
         }
     }
 }
@@ -399,6 +413,13 @@ struct Inner {
     node_limit: usize,
     deadline: Option<Instant>,
     cancel: Arc<AtomicBool>,
+    /// Cancel flags of governors further up a *race* fork: a race child
+    /// gets its own private flag (so the winner can cancel just the
+    /// loser) but must still die when any enclosing computation is
+    /// cancelled. Empty everywhere except under [`fork_race`].
+    ///
+    /// [`fork_race`]: ResourceGovernor::fork_race
+    upstream_cancels: Vec<Arc<AtomicBool>>,
     /// Ancestor whose budget this governor's steps also consume.
     parent: Option<Arc<Inner>>,
     /// Precomputed: false iff the only possible trip is cancellation,
@@ -416,6 +437,11 @@ impl Inner {
             return Err(ResourceExhausted::Steps);
         }
         Ok(n)
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+            || self.upstream_cancels.iter().any(|f| f.load(Ordering::Relaxed))
     }
 }
 
@@ -457,11 +483,13 @@ impl Default for ResourceGovernor {
 }
 
 impl ResourceGovernor {
+    #[allow(clippy::too_many_arguments)]
     fn from_parts(
         step_limit: u64,
         node_limit: usize,
         deadline: Option<Instant>,
         cancel: Arc<AtomicBool>,
+        upstream_cancels: Vec<Arc<AtomicBool>>,
         parent: Option<Arc<Inner>>,
         faults: Option<Arc<FaultPlan>>,
     ) -> Self {
@@ -476,6 +504,7 @@ impl ResourceGovernor {
                 node_limit,
                 deadline,
                 cancel,
+                upstream_cancels,
                 parent,
                 metered,
                 faults,
@@ -491,6 +520,7 @@ impl ResourceGovernor {
             usize::MAX,
             None,
             Arc::new(AtomicBool::new(false)),
+            Vec::new(),
             None,
             None,
         )
@@ -505,6 +535,7 @@ impl ResourceGovernor {
             inner.node_limit,
             inner.deadline,
             inner.cancel.clone(),
+            inner.upstream_cancels.clone(),
             inner.parent.clone(),
             inner.faults.clone(),
         )
@@ -519,6 +550,7 @@ impl ResourceGovernor {
             limit,
             inner.deadline,
             inner.cancel.clone(),
+            inner.upstream_cancels.clone(),
             inner.parent.clone(),
             inner.faults.clone(),
         )
@@ -532,6 +564,7 @@ impl ResourceGovernor {
             inner.node_limit,
             Instant::now().checked_add(timeout),
             inner.cancel.clone(),
+            inner.upstream_cancels.clone(),
             inner.parent.clone(),
             inner.faults.clone(),
         )
@@ -547,6 +580,7 @@ impl ResourceGovernor {
             inner.node_limit,
             inner.deadline,
             inner.cancel.clone(),
+            inner.upstream_cancels.clone(),
             inner.parent.clone(),
             Some(plan),
         )
@@ -574,7 +608,54 @@ impl ResourceGovernor {
             inner.node_limit,
             inner.deadline,
             inner.cancel.clone(),
+            inner.upstream_cancels.clone(),
             Some(self.inner.clone()),
+            inner.faults.clone(),
+        )
+    }
+
+    /// Creates a child governor for one arm of a portfolio race:
+    /// `limit` steps are charged to this governor (and its ancestors)
+    /// *up front*, and the child never charges upstream again.
+    ///
+    /// Racing under plain [`fork_steps`](Self::fork_steps) would leak
+    /// nondeterminism: the cancelled loser consumes a scheduler-dependent
+    /// number of steps, so any later budget verdict that shares an
+    /// ancestor would flip between runs. Prepaying makes the parent-side
+    /// cost of a race a pure function of the requested limits, whatever
+    /// the arms actually do.
+    ///
+    /// The child has a *private* cancellation flag — the race winner
+    /// cancels only its sibling — but still observes the parent's flag
+    /// (and any flags the parent itself was racing under) through an
+    /// upstream-cancel list, so an enclosing cancellation drains racers
+    /// too. Deadline, node ceiling, and fault plan are inherited.
+    ///
+    /// Callers should size `limit` from [`remaining_steps`]
+    /// (e.g. `remaining / 2` per arm) so the prepay cannot exceed what
+    /// is actually left; a prepay beyond the remaining budget simply
+    /// exhausts the parent at its next checkpoint.
+    ///
+    /// [`remaining_steps`]: Self::remaining_steps
+    pub fn fork_race(&self, limit: u64) -> Self {
+        let inner = &self.inner;
+        if inner.metered && limit != u64::MAX {
+            inner.steps.fetch_add(limit, Ordering::Relaxed);
+            let mut ancestor = inner.parent.as_ref();
+            while let Some(a) = ancestor {
+                a.steps.fetch_add(limit, Ordering::Relaxed);
+                ancestor = a.parent.as_ref();
+            }
+        }
+        let mut upstream = inner.upstream_cancels.clone();
+        upstream.push(inner.cancel.clone());
+        ResourceGovernor::from_parts(
+            limit,
+            inner.node_limit,
+            inner.deadline,
+            Arc::new(AtomicBool::new(false)),
+            upstream,
+            None,
             inner.faults.clone(),
         )
     }
@@ -612,9 +693,10 @@ impl ResourceGovernor {
         self.inner.cancel.store(true, Ordering::Relaxed);
     }
 
-    /// Whether the shared cancellation flag has been raised.
+    /// Whether the shared cancellation flag has been raised (for a race
+    /// fork: its own flag or any enclosing computation's).
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancel.load(Ordering::Relaxed)
+        self.inner.cancelled()
     }
 
     /// Records one unit of work and checks every limit. Budgeted
@@ -627,7 +709,7 @@ impl ResourceGovernor {
     #[inline]
     pub fn checkpoint(&self, live_nodes: usize) -> Result<(), ResourceExhausted> {
         let inner = &*self.inner;
-        if inner.cancel.load(Ordering::Relaxed) {
+        if inner.cancelled() {
             return Err(ResourceExhausted::Cancelled);
         }
         if inner.faults.is_some() {
@@ -666,7 +748,7 @@ impl ResourceGovernor {
     #[inline]
     pub fn poll_interrupt(&self) -> Result<(), ResourceExhausted> {
         let inner = &*self.inner;
-        if inner.cancel.load(Ordering::Relaxed) {
+        if inner.cancelled() {
             return Err(ResourceExhausted::Cancelled);
         }
         if let Some(deadline) = inner.deadline {
@@ -890,6 +972,79 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), FaultKind::ALL.len(), "all kinds appear across the sweep");
+    }
+
+    #[test]
+    fn race_fork_prepays_exactly_once() {
+        let parent = ResourceGovernor::unlimited().with_step_limit(10);
+        let arm = parent.fork_race(4);
+        // The prepay is the whole parent-side cost: whatever the arm
+        // actually does, the parent sees exactly 4 steps.
+        assert_eq!(parent.steps_used(), 4);
+        for _ in 0..4 {
+            assert_eq!(arm.checkpoint(0), Ok(()));
+        }
+        assert_eq!(arm.checkpoint(0), Err(ResourceExhausted::Steps));
+        assert_eq!(parent.steps_used(), 4, "arm consumption never reaches the parent");
+        assert_eq!(parent.remaining_steps(), 6);
+    }
+
+    #[test]
+    fn race_fork_cancel_stays_private() {
+        let parent = ResourceGovernor::unlimited().with_step_limit(100);
+        let loser = parent.fork_race(10);
+        let winner = parent.fork_race(10);
+        loser.cancel_handle().cancel();
+        assert_eq!(loser.checkpoint(0), Err(ResourceExhausted::Cancelled));
+        assert_eq!(winner.checkpoint(0), Ok(()), "sibling arm unaffected");
+        assert_eq!(parent.checkpoint(0), Ok(()), "parent unaffected");
+        assert!(!parent.is_cancelled());
+    }
+
+    #[test]
+    fn race_fork_observes_upstream_cancel() {
+        let parent = ResourceGovernor::unlimited().with_step_limit(100);
+        let arm = parent.fork_race(10);
+        let nested = arm.fork_steps(5); // a ladder rung inside the arm
+        parent.cancel();
+        assert_eq!(arm.checkpoint(0), Err(ResourceExhausted::Cancelled));
+        assert_eq!(arm.poll_interrupt(), Err(ResourceExhausted::Cancelled));
+        assert_eq!(nested.checkpoint(0), Err(ResourceExhausted::Cancelled));
+        assert!(arm.is_cancelled());
+    }
+
+    #[test]
+    fn race_fork_from_unlimited_parent_skips_prepay_accounting() {
+        let parent = ResourceGovernor::unlimited();
+        let arm = parent.fork_race(3);
+        assert_eq!(parent.steps_used(), 0, "unlimited governor skips accounting");
+        for _ in 0..3 {
+            assert_eq!(arm.checkpoint(0), Ok(()));
+        }
+        assert_eq!(arm.checkpoint(0), Err(ResourceExhausted::Steps));
+    }
+
+    #[test]
+    fn race_fork_inherits_fault_plan_and_deadline() {
+        let plan = Arc::new(FaultPlan::new(0).with_rule(FaultSite::BddApply, 1, FaultKind::Budget));
+        let parent = ResourceGovernor::unlimited().with_fault_plan(plan.clone());
+        let arm = parent.fork_race(u64::MAX);
+        assert_eq!(arm.checkpoint(0), Err(ResourceExhausted::Steps), "injected, not real");
+        assert_eq!(plan.crossings(FaultSite::BddApply), 1);
+    }
+
+    #[test]
+    fn new_sites_parse_and_index_stably() {
+        assert_eq!("portfolio.race".parse::<FaultSite>().unwrap(), FaultSite::PortfolioRace);
+        assert_eq!("sat.encode".parse::<FaultSite>().unwrap(), FaultSite::SatEncode);
+        // Appended at the end: pre-existing indices (and thus the kinds
+        // seeds derive for old chaos cells) are unchanged.
+        assert_eq!(FaultSite::ParTask.index(), 9);
+        assert_eq!(FaultSite::PortfolioRace.index(), 10);
+        assert_eq!(FaultSite::SatEncode.index(), 11);
+        for (i, site) in FaultSite::ALL.iter().enumerate() {
+            assert_eq!(site.index(), i);
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32
-//!        | sat-stats | parallel | bdd-bench | reach-bench | chaos]
+//!        | sat-stats | parallel | portfolio | bdd-bench | reach-bench | chaos]
 //!       [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>]
 //! ```
 //!
@@ -15,7 +15,11 @@
 //! on the paper-style SAT workloads and writes machine-readable
 //! `BENCH_sat.json`; `parallel` times the flow at `--jobs 1` vs `--jobs N`
 //! over the industrial set, checks byte-identity, and writes
-//! `BENCH_parallel.json`; `bdd-bench` races the production BDD kernel
+//! `BENCH_parallel.json`; `portfolio` sweeps per-candidate budgets over
+//! the two-block rescue family for each `--dec-backend`, double-running
+//! every configuration to audit race-winner independence, writes
+//! `BENCH_portfolio.json`, and **exits nonzero** if any run was not
+//! reproducible; `bdd-bench` races the production BDD kernel
 //! against a frozen pre-overhaul re-implementation (plus an auto-GC
 //! on/off reachability memory comparison) and writes `BENCH_bdd.json`;
 //! `reach-bench` races the legacy per-bit image schedule against the
@@ -90,6 +94,7 @@ fn main() {
         "figure32" => print_figure32(),
         "sat-stats" => sat_stats(quick, &out_or("BENCH_sat.json")),
         "parallel" => parallel(quick, jobs, &out_or("BENCH_parallel.json")),
+        "portfolio" => portfolio(quick, &out_or("BENCH_portfolio.json")),
         "bdd-bench" => bdd_bench(quick, &out_or("BENCH_bdd.json")),
         "reach-bench" => reach_bench(quick, &out_or("BENCH_reach.json")),
         "chaos" => chaos(quick, seed, &out_or("BENCH_chaos.json")),
@@ -101,6 +106,7 @@ fn main() {
             table31(quick, per_kind, jobs);
             table32(quick, jobs);
             sat_stats(quick, &out_or("BENCH_sat.json"));
+            portfolio(quick, &out_or("BENCH_portfolio.json"));
             bdd_bench(quick, &out_or("BENCH_bdd.json"));
             reach_bench(quick, &out_or("BENCH_reach.json"));
             chaos(quick, seed, &out_or("BENCH_chaos.json"));
@@ -108,7 +114,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|bdd-bench|reach-bench|chaos] [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>]"
+                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|portfolio|bdd-bench|reach-bench|chaos] [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>]"
             );
             std::process::exit(2);
         }
@@ -161,6 +167,47 @@ fn chaos(quick: bool, seed: Option<u64>, out_path: &str) {
     );
     if report.violations() > 0 {
         eprintln!("chaos sweep found soundness violations — failing the run");
+        std::process::exit(1);
+    }
+}
+
+fn portfolio(quick: bool, out_path: &str) {
+    use symbi_bench::write_portfolio_json;
+    println!(
+        "\n=== Portfolio rescue rung: decomposability backends under a budget sweep (written to {out_path}) ==="
+    );
+    println!(
+        "{:>10} {:>10} {:>8} {:>8} {:>14} {:>9} {:>6} {:>8} {:>8} {:>8} {:>13}",
+        "Circuit", "Backend", "Budgets", "Rescued", "Window", "Fallback", "Races", "BddWins",
+        "SatWins", "Cancels", "Deterministic"
+    );
+    let rows = write_portfolio_json(std::path::Path::new(out_path), quick)
+        .expect("failed to write BENCH_portfolio.json");
+    let mut all_deterministic = true;
+    for r in &rows {
+        println!(
+            "{:>10} {:>10} {:>8} {:>8} {:>14} {:>9} {:>6} {:>8} {:>8} {:>8} {:>13}",
+            r.name,
+            r.backend,
+            r.budgets_swept,
+            r.rescued,
+            if r.rescued == 0 {
+                "-".to_string()
+            } else {
+                format!("{}..{}", r.first_rescue_budget, r.last_rescue_budget)
+            },
+            r.fallbacks,
+            r.races,
+            r.bdd_wins,
+            r.sat_wins,
+            r.cancels,
+            r.deterministic,
+        );
+        all_deterministic &= r.deterministic;
+    }
+    println!("(rescued > 0 for sat/portfolio on budgets where the pure-BDD ladder degrades)");
+    if !all_deterministic {
+        eprintln!("portfolio sweep was not reproducible — failing the run");
         std::process::exit(1);
     }
 }

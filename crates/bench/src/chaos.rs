@@ -180,9 +180,27 @@ fn suite(quick: bool) -> Vec<Netlist> {
 /// must be absorbed at a declared isolation boundary. Every other
 /// site's contract is the `Err` path, so `panic` draws are remapped to
 /// budget trips rather than asserting a guarantee the ladder never made.
+///
+/// `portfolio.race` qualifies: the site fires on the candidate's own
+/// thread at race entry (before any arm spawns), inside the flow's
+/// per-candidate `catch_unwind` boundary.
 fn panic_is_isolated(site: FaultSite) -> bool {
-    matches!(site, FaultSite::ParTask | FaultSite::SynthDecompose | FaultSite::ReachFixpoint)
+    matches!(
+        site,
+        FaultSite::ParTask
+            | FaultSite::SynthDecompose
+            | FaultSite::ReachFixpoint
+            | FaultSite::PortfolioRace
+    )
 }
+
+/// Per-candidate step budget for `portfolio.race` cells. The site only
+/// exists on the ladder's rescue rung — a budget-tripped symbolic
+/// partition search under a non-BDD backend — so those cells run the
+/// portfolio backend with a candidate budget tight enough to trip the
+/// symbolic search on the suite's cones (probed: the site is crossed
+/// ~20 times per flow at this budget, and not at all above ~16k).
+const PORTFOLIO_CELL_BUDGET: u64 = 1000;
 
 /// SEC frames checked by the equivalence audit.
 const AUDIT_FRAMES: usize = 4;
@@ -203,7 +221,11 @@ fn run_cell_body(input: &Netlist, site: FaultSite, occurrence: u64, kind: FaultK
     // `validate_frames` keeps a governed SAT solver in the loop so the
     // `sat.*` sites are actually crossed; the audit below re-checks
     // equivalence under a clean governor regardless of its verdict.
-    let options = SynthesisOptions { jobs, validate_frames: Some(2), ..Default::default() };
+    let mut options = SynthesisOptions { jobs, validate_frames: Some(2), ..Default::default() };
+    if site == FaultSite::PortfolioRace {
+        options.decompose.backend = symbi_core::recursive::DecBackend::Portfolio;
+        options.budget.candidate_steps = PORTFOLIO_CELL_BUDGET;
+    }
     let (output, report) = optimize_governed(input, &options, &gov);
     let mut violations = Vec::new();
     if output.validate().is_err() {
@@ -438,6 +460,47 @@ mod tests {
         assert_eq!(report.hangs(), 0);
         assert_eq!(report.escaped_panics(), 0);
         assert!(report.fired() > 0, "the sweep must exercise at least some sites");
+    }
+
+    #[test]
+    fn portfolio_race_cells_fire_every_kind_and_stay_sound() {
+        // The race site under all four fault kinds, on the cell harness
+        // with its full audit stack. `cancel` is the cancelled-loser
+        // case: the raced arms die mid-check, and the candidate — whose
+        // manager and governor the race borrowed — must still drain to
+        // an equivalent netlist and leave the flow reusable for the
+        // remaining candidates.
+        let options = ChaosOptions::default();
+        let input = chaos_counter();
+        for kind in
+            [FaultKind::Budget, FaultKind::Cancel, FaultKind::Panic, FaultKind::AllocPressure]
+        {
+            let cell =
+                run_cell(&input, "chaos_ctr6", FaultSite::PortfolioRace, 1, kind, &options);
+            assert!(cell.fired > 0, "{}: the race site was never crossed", kind.as_str());
+            assert!(
+                cell.violations.is_empty(),
+                "{}: {:?}",
+                kind.as_str(),
+                cell.violations
+            );
+        }
+    }
+
+    #[test]
+    fn sat_encode_cells_fire_and_stay_sound() {
+        let options = ChaosOptions::default();
+        let input = chaos_counter();
+        for kind in [FaultKind::Budget, FaultKind::Cancel] {
+            let cell = run_cell(&input, "chaos_ctr6", FaultSite::SatEncode, 1, kind, &options);
+            assert!(cell.fired > 0, "{}: the encode site was never crossed", kind.as_str());
+            assert!(
+                cell.violations.is_empty(),
+                "{}: {:?}",
+                kind.as_str(),
+                cell.violations
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! Portfolio-raced decomposability: the budgeted BDD check and the CNF
+//! check run simultaneously on two threads, first sound verdict wins.
+//!
+//! The paper's interval feasibility checks (eq. 3.2 / Prop. 3.1) blow up
+//! on exactly the cones where BDDs blow up, while the Lee–Jiang–Hung SAT
+//! formulation ([`crate::sat_dec`]) often dispatches those same cones in
+//! milliseconds — and vice versa. Instead of picking a backend per cone,
+//! this module races both under forked sub-budgets of one shared
+//! [`ResourceGovernor`] and cancels the loser.
+//!
+//! # Race protocol
+//!
+//! 1. The caller's governor crosses the `portfolio.race` fault site, then
+//!    the remaining step budget is split in half and *prepaid* to each
+//!    arm through [`ResourceGovernor::fork_race`]. Prepayment makes the
+//!    parent-side cost a pure function of the requested limits: however
+//!    the two arms interleave, the caller's budget moves by exactly the
+//!    same amount, so downstream decisions (and therefore the
+//!    synthesized netlist) cannot depend on thread timing. A race
+//!    therefore consumes its governor's entire remaining step budget —
+//!    pass a dedicated fork, not the flow-level governor.
+//! 2. Both arms run via [`symbi_bdd::par::parallel_map`] on two threads.
+//!    Each arm owns a *private* [`Manager`] seeded through
+//!    [`Manager::transfer_from`], so neither mutates the caller's
+//!    manager and the threads share nothing but atomics.
+//! 3. The first arm to finish with `Ok` publishes itself as the winner
+//!    and cancels its sibling through the sibling's [`CancelHandle`]
+//!    (race-fork cancel flags are private to each arm, so the shot
+//!    cannot leak upstream). An arm that fails does *not* cancel its
+//!    sibling — the sibling may still succeed.
+//!
+//! # Verdict determinism
+//!
+//! Both backends are sound **and complete** for fixed partitions of
+//! completely specified functions, so whenever both return, they return
+//! the same Boolean. The race outcome is therefore schedule-independent:
+//! an `Ok` verdict exists iff at least one arm succeeds within its own
+//! (deterministic) budget, and its value never depends on which arm won.
+//! Only [`PortfolioStats`] (who won, whether the loser was cancelled,
+//! wall time) is timing-dependent — it feeds reports, never verdicts.
+//!
+//! Incompletely specified intervals fall back to the BDD arm alone: the
+//! SAT baseline only handles exact intervals, and a one-horse race needs
+//! no threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use symbi_bdd::hash::FxHashMap;
+use symbi_bdd::par;
+use symbi_bdd::{
+    CancelHandle, FaultSite, Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId,
+};
+
+use crate::{and_dec, or_dec, sat_dec, xor_dec, DecKind, Interval};
+
+/// Counters for portfolio-raced checks, aggregated per synthesis run.
+///
+/// Everything here is observability: the fields may legitimately differ
+/// between two runs that synthesize byte-identical netlists (which arm
+/// wins is a thread-timing fact). Comparisons in determinism oracles
+/// must ignore this struct.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortfolioStats {
+    /// Two-arm races actually run (exact intervals).
+    pub races: u64,
+    /// Races decided by the BDD arm.
+    pub bdd_wins: u64,
+    /// Races decided by the SAT arm.
+    pub sat_wins: u64,
+    /// Losing arms that were observed to die of cancellation (rather
+    /// than finishing on their own before the cancel landed).
+    pub cancels: u64,
+    /// Checks on incompletely specified intervals, which run the BDD
+    /// arm alone (the SAT baseline needs an exact interval).
+    pub bdd_only: u64,
+    /// Wall-clock nanoseconds spent inside portfolio checks.
+    pub wall_nanos: u64,
+}
+
+impl PortfolioStats {
+    /// Folds another stats block into this one (for per-candidate →
+    /// per-run aggregation across workers).
+    pub fn absorb(&mut self, other: &PortfolioStats) {
+        self.races += other.races;
+        self.bdd_wins += other.bdd_wins;
+        self.sat_wins += other.sat_wins;
+        self.cancels += other.cancels;
+        self.bdd_only += other.bdd_only;
+        self.wall_nanos += other.wall_nanos;
+    }
+}
+
+/// Which engine a race arm runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Bdd,
+    Sat,
+}
+
+/// Everything one race arm owns: its private manager (seeded with the
+/// function under test), its prepaid governor, and the handle that
+/// cancels its sibling.
+struct ArmInput {
+    backend: Backend,
+    m: Manager,
+    f: NodeId,
+    gov: ResourceGovernor,
+    sibling: CancelHandle,
+}
+
+/// Portfolio-raced OR-decomposability for a fixed partition.
+pub fn try_or_decomposable(
+    m: &mut Manager,
+    interval: &Interval,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    max_conflicts: u64,
+    gov: &ResourceGovernor,
+) -> Result<(bool, PortfolioStats), ResourceExhausted> {
+    try_decomposable(m, DecKind::Or, interval, vars, a_vacuous, b_vacuous, max_conflicts, gov)
+}
+
+/// Portfolio-raced AND-decomposability for a fixed partition.
+pub fn try_and_decomposable(
+    m: &mut Manager,
+    interval: &Interval,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    max_conflicts: u64,
+    gov: &ResourceGovernor,
+) -> Result<(bool, PortfolioStats), ResourceExhausted> {
+    try_decomposable(m, DecKind::And, interval, vars, a_vacuous, b_vacuous, max_conflicts, gov)
+}
+
+/// Portfolio-raced XOR-decomposability for a fixed partition.
+pub fn try_xor_decomposable(
+    m: &mut Manager,
+    interval: &Interval,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    max_conflicts: u64,
+    gov: &ResourceGovernor,
+) -> Result<(bool, PortfolioStats), ResourceExhausted> {
+    try_decomposable(m, DecKind::Xor, interval, vars, a_vacuous, b_vacuous, max_conflicts, gov)
+}
+
+/// Races the BDD and SAT fixed-partition checks for `kind` under forked
+/// sub-budgets of `gov`; the first sound verdict wins, the loser is
+/// cancelled. See the [module documentation](self) for the protocol and
+/// the determinism argument.
+///
+/// `vars` must cover the support of the interval (it defines the
+/// variable universe copied into the arms' private managers).
+#[allow(clippy::too_many_arguments)] // mirrors `sat_dec::try_decomposable`
+pub fn try_decomposable(
+    m: &mut Manager,
+    kind: DecKind,
+    interval: &Interval,
+    vars: &[VarId],
+    a_vacuous: &[VarId],
+    b_vacuous: &[VarId],
+    max_conflicts: u64,
+    gov: &ResourceGovernor,
+) -> Result<(bool, PortfolioStats), ResourceExhausted> {
+    gov.fault_site(FaultSite::PortfolioRace)?;
+    gov.poll_interrupt()?;
+    let started = Instant::now();
+    let mut stats = PortfolioStats::default();
+
+    if !interval.is_exact() {
+        // One-horse race: the SAT baseline needs an exact interval.
+        let verdict = match kind {
+            DecKind::Or => or_dec::try_decomposable(m, interval, a_vacuous, b_vacuous, gov)?,
+            DecKind::And => and_dec::try_decomposable(m, interval, a_vacuous, b_vacuous, gov)?,
+            DecKind::Xor => {
+                xor_dec::try_decomposable(m, interval, vars, a_vacuous, b_vacuous, gov)?
+            }
+        };
+        stats.bdd_only = 1;
+        stats.wall_nanos = started.elapsed().as_nanos() as u64;
+        return Ok((verdict, stats));
+    }
+
+    debug_assert!(
+        m.support(interval.lower).iter().all(|v| vars.contains(v)),
+        "`vars` must cover the interval's support"
+    );
+
+    // Split what is left of the budget between the two arms. The prepay
+    // in `fork_race` charges the ancestors immediately, so bail out now
+    // if there is nothing left to stake.
+    let remaining = gov.remaining_steps();
+    let each = if remaining == u64::MAX { u64::MAX } else { remaining / 2 };
+    if each == 0 && remaining != u64::MAX {
+        return Err(ResourceExhausted::Steps);
+    }
+    let bdd_gov = gov.fork_race(each);
+    let sat_gov = gov.fork_race(each);
+    let bdd_cancel = bdd_gov.cancel_handle();
+    let sat_cancel = sat_gov.cancel_handle();
+
+    // AND reduces to OR on the complement (complementing inside the
+    // private managers keeps the caller's manager untouched).
+    let local_kind = if kind == DecKind::And { DecKind::Or } else { kind };
+    let n = vars.len();
+    let var_map: FxHashMap<VarId, VarId> =
+        vars.iter().enumerate().map(|(i, &v)| (v, VarId(i as u32))).collect();
+    let lvars: Vec<VarId> = (0..n as u32).map(VarId).collect();
+    let la: Vec<VarId> = a_vacuous.iter().map(|v| var_map[v]).collect();
+    let lb: Vec<VarId> = b_vacuous.iter().map(|v| var_map[v]).collect();
+    let seed_arm = |backend, gov, sibling| {
+        let mut pm = Manager::with_vars(n);
+        let mut f = pm.transfer_from(m, interval.lower, &var_map);
+        if kind == DecKind::And {
+            f = pm.not(f);
+        }
+        ArmInput { backend, m: pm, f, gov, sibling }
+    };
+    let arms = vec![
+        seed_arm(Backend::Bdd, bdd_gov, sat_cancel),
+        seed_arm(Backend::Sat, sat_gov, bdd_cancel),
+    ];
+
+    // 0 = undecided, 1 = BDD arm, 2 = SAT arm. Purely observational:
+    // when both arms finish `Ok` their verdicts are equal, so the CAS
+    // outcome picks a name for the report, never a different answer.
+    let winner = AtomicUsize::new(0);
+    let mut results = par::parallel_map(2, arms, |i, mut arm| {
+        let verdict = match (arm.backend, local_kind) {
+            (Backend::Bdd, DecKind::Or) => {
+                or_dec::try_decomposable(&mut arm.m, &Interval::exact(arm.f), &la, &lb, &arm.gov)
+            }
+            (Backend::Bdd, DecKind::Xor) => xor_dec::try_decomposable(
+                &mut arm.m,
+                &Interval::exact(arm.f),
+                &lvars,
+                &la,
+                &lb,
+                &arm.gov,
+            ),
+            (Backend::Sat, DecKind::Or) => {
+                sat_dec::try_or_decomposable(&arm.m, arm.f, &lvars, &la, &lb, max_conflicts, &arm.gov)
+                    .map(|(dec, _)| dec)
+            }
+            (Backend::Sat, DecKind::Xor) => {
+                sat_dec::try_xor_decomposable(&arm.m, arm.f, &lvars, &la, &lb, max_conflicts, &arm.gov)
+                    .map(|(dec, _)| dec)
+            }
+            (_, DecKind::And) => unreachable!("AND was lowered to OR on the complement"),
+        };
+        if verdict.is_ok()
+            && winner.compare_exchange(0, i + 1, Ordering::AcqRel, Ordering::Acquire).is_ok()
+        {
+            arm.sibling.cancel();
+        }
+        verdict
+    });
+    let sat_res = results.pop().expect("two arms");
+    let bdd_res = results.pop().expect("two arms");
+
+    stats.races = 1;
+    let out = match (bdd_res, sat_res) {
+        (Ok(b), Ok(s)) => {
+            debug_assert_eq!(b, s, "backends disagree on a fixed-partition {kind} verdict");
+            match winner.load(Ordering::Acquire) {
+                2 => stats.sat_wins += 1,
+                _ => stats.bdd_wins += 1,
+            }
+            Ok(b)
+        }
+        (Ok(b), Err(e)) => {
+            stats.bdd_wins += 1;
+            if e == ResourceExhausted::Cancelled {
+                stats.cancels += 1;
+            }
+            Ok(b)
+        }
+        (Err(e), Ok(s)) => {
+            stats.sat_wins += 1;
+            if e == ResourceExhausted::Cancelled {
+                stats.cancels += 1;
+            }
+            Ok(s)
+        }
+        // Prefer the cause that names a real resource over a bare
+        // cancellation (which here can only be an upstream abort).
+        (Err(b), Err(s)) => Err(if b != ResourceExhausted::Cancelled { b } else { s }),
+    };
+    stats.wall_nanos = started.elapsed().as_nanos() as u64;
+    out.map(|verdict| (verdict, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use symbi_bdd::{FaultKind, FaultPlan};
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    fn from_tt(m: &mut Manager, n: usize, tt: u64) -> NodeId {
+        let mut f = NodeId::FALSE;
+        for row in 0..1u64 << n {
+            if tt >> row & 1 == 1 {
+                let assignment: Vec<(VarId, bool)> =
+                    (0..n).map(|i| (VarId(i as u32), row >> i & 1 == 1)).collect();
+                let mt = m.minterm(&assignment);
+                f = m.or(f, mt);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn race_agrees_with_both_backends_on_known_cases() {
+        let mut m = Manager::with_vars(4);
+        let vs: Vec<NodeId> = (0..4u32).map(|i| m.var(VarId(i))).collect();
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let f = m.or(ab, cd);
+        let spec = Interval::exact(f);
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        let good_a = [VarId(2), VarId(3)];
+        let good_b = [VarId(0), VarId(1)];
+        let gov = ResourceGovernor::unlimited();
+
+        let (dec, stats) =
+            try_or_decomposable(&mut m, &spec, &vars, &good_a, &good_b, 1 << 20, &gov).unwrap();
+        assert!(dec, "ab + cd OR-splits along its blocks");
+        assert_eq!(stats.races, 1);
+        assert_eq!(stats.bdd_wins + stats.sat_wins, 1, "exactly one arm is credited");
+
+        let (dec, _) = try_or_decomposable(
+            &mut m,
+            &spec,
+            &vars,
+            &[VarId(0)],
+            &[VarId(1)],
+            1 << 20,
+            &gov,
+        )
+        .unwrap();
+        assert!(!dec, "breaking the ab product is infeasible");
+
+        // AND via complement duality: (a+b)(c+d) AND-splits.
+        let a_or_b = m.or(vs[0], vs[1]);
+        let c_or_d = m.or(vs[2], vs[3]);
+        let g = m.and(a_or_b, c_or_d);
+        let (dec, stats) = try_and_decomposable(
+            &mut m,
+            &Interval::exact(g),
+            &vars,
+            &good_a,
+            &good_b,
+            1 << 20,
+            &gov,
+        )
+        .unwrap();
+        assert!(dec, "(a+b)(c+d) AND-splits along its blocks");
+        assert_eq!(stats.races, 1);
+    }
+
+    /// The differential heart of the portfolio's soundness: on random
+    /// small functions and partitions, the raced verdict must equal both
+    /// the direct BDD verdict and the direct SAT verdict for every kind.
+    #[test]
+    fn race_verdict_matches_direct_bdd_and_sat_checks() {
+        let mut seed = 0x00ff_7f01_0c0f_fee1_u64;
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        let gov = ResourceGovernor::unlimited();
+        for round in 0..10 {
+            let tt = xorshift(&mut seed) & 0xffff;
+            let mut m = Manager::with_vars(4);
+            let f = from_tt(&mut m, 4, tt);
+            let spec = Interval::exact(f);
+            // A random disjoint-ish vacuity split: each variable is
+            // quantified away from g1, from g2, or from neither.
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for &v in &vars {
+                match xorshift(&mut seed) % 3 {
+                    0 => a.push(v),
+                    1 => b.push(v),
+                    _ => {}
+                }
+            }
+            for kind in [DecKind::Or, DecKind::And, DecKind::Xor] {
+                let (raced, _) =
+                    try_decomposable(&mut m, kind, &spec, &vars, &a, &b, 1 << 20, &gov)
+                        .unwrap_or_else(|e| panic!("unlimited race tripped: {e}"));
+                let direct_bdd = match kind {
+                    DecKind::Or => or_dec::try_decomposable(&mut m, &spec, &a, &b, &gov),
+                    DecKind::And => and_dec::try_decomposable(&mut m, &spec, &a, &b, &gov),
+                    DecKind::Xor => {
+                        xor_dec::try_decomposable(&mut m, &spec, &vars, &a, &b, &gov)
+                    }
+                }
+                .unwrap();
+                let direct_sat = sat_dec::decomposable(&mut m, kind, &spec, &vars, &a, &b);
+                assert_eq!(raced, direct_bdd, "round {round} {kind} vs BDD (A={a:?} B={b:?})");
+                assert_eq!(raced, direct_sat, "round {round} {kind} vs SAT (A={a:?} B={b:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn race_verdict_is_stable_across_repeated_runs() {
+        // The same race re-run many times (different thread interleavings)
+        // must keep returning the same verdict.
+        let mut m = Manager::with_vars(6);
+        let vars: Vec<VarId> = (0..6u32).map(VarId).collect();
+        let vs: Vec<NodeId> = vars.iter().map(|&v| m.var(v)).collect();
+        let left = vs[..3].iter().fold(NodeId::TRUE, |acc, &v| m.and(acc, v));
+        let right = vs[3..].iter().fold(NodeId::TRUE, |acc, &v| m.and(acc, v));
+        let f = m.or(left, right);
+        let spec = Interval::exact(f);
+        let gov = ResourceGovernor::unlimited();
+        let a: Vec<VarId> = vars[3..].to_vec();
+        let b: Vec<VarId> = vars[..3].to_vec();
+        let mut verdicts = Vec::new();
+        for _ in 0..16 {
+            let (dec, _) =
+                try_or_decomposable(&mut m, &spec, &vars, &a, &b, 1 << 20, &gov).unwrap();
+            verdicts.push(dec);
+        }
+        assert!(verdicts.iter().all(|&v| v), "block-disjoint OR split is always feasible");
+    }
+
+    #[test]
+    fn non_exact_interval_runs_the_bdd_arm_alone() {
+        let mut m = Manager::with_vars(3);
+        let (a, b, c) = (m.var(VarId(0)), m.var(VarId(1)), m.var(VarId(2)));
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let bc = m.and(b, c);
+        let t = m.or(ab, ac);
+        let f = m.or(t, bc);
+        let nb = m.not(b);
+        let anb = m.and(a, nb);
+        let dc = m.and(anb, c);
+        let spec = Interval::with_dontcare(&mut m, f, dc);
+        assert!(!spec.is_exact());
+        let vars = [VarId(0), VarId(1), VarId(2)];
+        let gov = ResourceGovernor::unlimited();
+        let (dec, stats) =
+            try_or_decomposable(&mut m, &spec, &vars, &[VarId(2)], &[VarId(0)], 1 << 20, &gov)
+                .unwrap();
+        let direct =
+            or_dec::try_decomposable(&mut m, &spec, &[VarId(2)], &[VarId(0)], &gov).unwrap();
+        assert_eq!(dec, direct, "single-arm path returns the plain BDD verdict");
+        assert_eq!(stats.races, 0);
+        assert_eq!(stats.bdd_only, 1);
+        assert_eq!(stats.bdd_wins + stats.sat_wins + stats.cancels, 0);
+    }
+
+    #[test]
+    fn injected_fault_at_portfolio_race_kills_the_race() {
+        let plan = Arc::new(
+            FaultPlan::new(7).with_rule(FaultSite::PortfolioRace, 1, FaultKind::Budget),
+        );
+        let gov = ResourceGovernor::unlimited().with_fault_plan(plan);
+        let mut m = Manager::with_vars(2);
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let f = m.or(x, y);
+        let spec = Interval::exact(f);
+        let vars = [VarId(0), VarId(1)];
+        let r = try_or_decomposable(&mut m, &spec, &vars, &[VarId(1)], &[VarId(0)], 1024, &gov);
+        assert_eq!(r, Err(ResourceExhausted::Steps), "the fault fires before any arm starts");
+        // The second crossing is past the rule: the race proceeds.
+        let (dec, _) =
+            try_or_decomposable(&mut m, &spec, &vars, &[VarId(1)], &[VarId(0)], 1024, &gov)
+                .unwrap();
+        assert!(dec, "x + y OR-splits trivially");
+    }
+
+    #[test]
+    fn race_leaves_caller_manager_and_governor_reusable() {
+        // Whatever happened to the cancelled loser, the caller's manager
+        // and governor must be fully usable afterwards: the arms only
+        // ever touch private state.
+        let mut m = Manager::with_vars(4);
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        let vs: Vec<NodeId> = vars.iter().map(|&v| m.var(v)).collect();
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let f = m.or(ab, cd);
+        let spec = Interval::exact(f);
+        let gov = ResourceGovernor::unlimited();
+        for _ in 0..4 {
+            let (dec, _) = try_or_decomposable(
+                &mut m,
+                &spec,
+                &vars,
+                &[VarId(2), VarId(3)],
+                &[VarId(0), VarId(1)],
+                1 << 20,
+                &gov,
+            )
+            .unwrap();
+            assert!(dec);
+            // Caller-side work after the race still runs under `gov`.
+            let direct = or_dec::try_decomposable(
+                &mut m,
+                &spec,
+                &[VarId(2), VarId(3)],
+                &[VarId(0), VarId(1)],
+                &gov,
+            )
+            .unwrap();
+            assert!(direct);
+        }
+        assert!(!gov.is_cancelled(), "loser cancellation never leaks upstream");
+    }
+
+    #[test]
+    fn exhausted_governor_fails_fast_without_spawning_arms() {
+        let gov = ResourceGovernor::unlimited().with_step_limit(1);
+        // Drain the single step.
+        assert!(gov.checkpoint(0).is_ok());
+        assert_eq!(gov.remaining_steps(), 0);
+        let mut m = Manager::with_vars(2);
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let f = m.or(x, y);
+        let spec = Interval::exact(f);
+        let r = try_or_decomposable(
+            &mut m,
+            &spec,
+            &[VarId(0), VarId(1)],
+            &[VarId(1)],
+            &[VarId(0)],
+            1024,
+            &gov,
+        );
+        assert_eq!(r, Err(ResourceExhausted::Steps));
+    }
+}

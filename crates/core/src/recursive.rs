@@ -20,7 +20,8 @@
 //! Shannon expansion, which always removes one variable, so the recursion
 //! terminates with leaves that are literals or constants.
 
-use crate::{and_dec, choices::SupportPair, greedy, or_dec, xor_dec, DecKind, Interval};
+use crate::portfolio::{self, PortfolioStats};
+use crate::{and_dec, choices::SupportPair, greedy, or_dec, sat_dec, xor_dec, DecKind, Interval};
 use symbi_bdd::{Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
 
 /// A tree of 2-input primitives over literal leaves.
@@ -144,6 +145,50 @@ pub enum PartitionStrategy {
     Auto(usize),
 }
 
+/// Which engine backs the fixed-partition decomposability checks of the
+/// degradation ladder's *rescue rung* (see [`try_decompose`]).
+///
+/// Both alternate backends are sound and complete for the fixed
+/// partitions the rescue tries, so the selected backend can change
+/// *which* budget-tripped checks are saved — never the verdict of a
+/// check that completes. `Sat` and `Portfolio` therefore produce
+/// byte-identical trees at equal budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecBackend {
+    /// BDD checks only: a budget trip degrades straight to greedy
+    /// growth (the pre-portfolio behaviour).
+    Bdd,
+    /// Retry a budget-tripped check on the Lee–Jiang–Hung CNF encoding
+    /// ([`crate::sat_dec`]); exact intervals only.
+    Sat,
+    /// Race the BDD check against the CNF check on two threads and take
+    /// the first sound verdict ([`crate::portfolio`]).
+    Portfolio,
+}
+
+impl std::fmt::Display for DecBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DecBackend::Bdd => "bdd",
+            DecBackend::Sat => "sat",
+            DecBackend::Portfolio => "portfolio",
+        })
+    }
+}
+
+impl std::str::FromStr for DecBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bdd" => Ok(DecBackend::Bdd),
+            "sat" => Ok(DecBackend::Sat),
+            "portfolio" => Ok(DecBackend::Portfolio),
+            _ => Err(format!("unknown decomposability backend `{s}` (bdd|sat|portfolio)")),
+        }
+    }
+}
+
 /// Options for [`decompose`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Options {
@@ -151,11 +196,21 @@ pub struct Options {
     pub strategy: PartitionStrategy,
     /// Consider XOR decompositions (default: true).
     pub use_xor: bool,
+    /// Backend for the rescue rung of the degradation ladder
+    /// (default: [`DecBackend::Bdd`], i.e. no rescue).
+    pub backend: DecBackend,
+    /// Conflict budget per SAT solve in the rescue rung (default: 20k).
+    pub sat_conflicts: u64,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { strategy: PartitionStrategy::Auto(14), use_xor: true }
+        Options {
+            strategy: PartitionStrategy::Auto(14),
+            use_xor: true,
+            backend: DecBackend::Bdd,
+            sat_conflicts: 20_000,
+        }
     }
 }
 
@@ -178,6 +233,12 @@ pub struct Stats {
     /// Degradation-ladder steps taken after an exhaustion: symbolic
     /// partition search → greedy growth → Shannon expansion.
     pub fallbacks_taken: usize,
+    /// Budget-tripped partition searches saved by the rescue rung (a
+    /// feasible fixed split proved by the SAT or portfolio backend).
+    pub rescued_checks: usize,
+    /// Portfolio-race counters (all zero unless the backend is
+    /// [`DecBackend::Portfolio`]).
+    pub portfolio: PortfolioStats,
 }
 
 /// Recursively decomposes a consistent interval into a [`Tree`] whose
@@ -399,8 +460,11 @@ fn best_partition(
 /// 1. the symbolic `Bi` computation runs under a child governor holding
 ///    half the remaining step budget (so a blow-up there cannot starve
 ///    the fallbacks),
-/// 2. on exhaustion the step falls back to governed greedy growth,
-/// 3. on exhaustion again, to the Shannon expansion.
+/// 2. on exhaustion — with a non-default [`Options::backend`] — the
+///    *rescue rung* retries a deterministic fixed split on the SAT or
+///    portfolio backend instead of abandoning the partition,
+/// 3. failing that, the step falls back to governed greedy growth,
+/// 4. on exhaustion again, to the Shannon expansion.
 ///
 /// Only the *structural* operations — deriving sub-intervals, Shannon
 /// cofactors — propagate [`ResourceExhausted`], because without them no
@@ -584,9 +648,11 @@ fn try_split_or(
 /// Governed [`best_partition`] — the degradation ladder lives here.
 ///
 /// Per kind: the symbolic search runs under a child governor holding half
-/// the remaining step budget; if it exhausts, governed greedy growth takes
-/// over under the full remaining budget; if that exhausts too, the kind
-/// simply reports "no partition", which steers the caller into Shannon.
+/// the remaining step budget; if it exhausts, the rescue rung (SAT or
+/// portfolio backend, when enabled) tries to prove a deterministic fixed
+/// split; failing that, governed greedy growth takes over; if that
+/// exhausts too, the kind simply reports "no partition", which steers
+/// the caller into Shannon.
 fn try_best_partition(
     m: &mut Manager,
     iv: &Interval,
@@ -621,19 +687,32 @@ fn try_best_partition(
             match attempt {
                 Ok(p) => p,
                 Err(_) => {
-                    // Rung 2: greedy growth, again under half of what is
-                    // left — Shannon (rung 3) must keep a share of the
-                    // budget or the ladder would die on its last step.
                     stats.budget_exhausted_ops += 1;
                     stats.fallbacks_taken += 1;
-                    let greedy_sub = gov.fork_steps(gov.remaining_steps() / 2);
-                    match try_greedy_pair(m, kind, iv, support, &greedy_sub) {
-                        Ok(p) => p,
-                        Err(_) => {
-                            // Rung 3: no partition — Shannon handles it.
-                            stats.budget_exhausted_ops += 1;
-                            stats.fallbacks_taken += 1;
-                            None
+                    // Rung 2 (sat/portfolio backends): instead of
+                    // abandoning the partition search, retry a
+                    // deterministic fixed split on the alternate
+                    // backend — SAT often dispatches exactly the cones
+                    // whose BDDs blew the budget.
+                    let rescued = try_rescue_pair(m, kind, iv, support, options, stats, gov);
+                    if rescued.is_some() {
+                        stats.rescued_checks += 1;
+                        rescued
+                    } else {
+                        // Rung 3: greedy growth, again under half of
+                        // what is left — Shannon (rung 4) must keep a
+                        // share of the budget or the ladder would die
+                        // on its last step.
+                        let greedy_sub = gov.fork_steps(gov.remaining_steps() / 2);
+                        match try_greedy_pair(m, kind, iv, support, &greedy_sub) {
+                            Ok(p) => p,
+                            Err(_) => {
+                                // Rung 4: no partition — Shannon
+                                // handles it.
+                                stats.budget_exhausted_ops += 1;
+                                stats.fallbacks_taken += 1;
+                                None
+                            }
                         }
                     }
                 }
@@ -662,6 +741,83 @@ fn try_best_partition(
         }
     }
     Ok(best)
+}
+
+/// The rescue rung: after a budget-tripped symbolic search, prove (or
+/// refute) one deterministic candidate split — the midpoint of the
+/// sorted support, the split a block-structured cone actually has — on
+/// the backend selected by [`Options::backend`].
+///
+/// Runs under a half-budget fork of `gov` and swallows its own
+/// exhaustion: `None` simply steers the ladder to the greedy rung. The
+/// candidate split and both backends' verdicts are deterministic, so
+/// whether a rescue succeeds is a pure function of the inputs and
+/// budgets — never of thread timing.
+fn try_rescue_pair(
+    m: &mut Manager,
+    kind: DecKind,
+    iv: &Interval,
+    support: &[VarId],
+    options: &Options,
+    stats: &mut Stats,
+    gov: &ResourceGovernor,
+) -> Option<SupportPair> {
+    if options.backend == DecBackend::Bdd || support.len() < 2 {
+        return None;
+    }
+    if options.backend == DecBackend::Sat && !iv.is_exact() {
+        // The CNF encoding only handles completely specified functions;
+        // the portfolio backend falls back to its BDD arm instead.
+        return None;
+    }
+    let mid = support.len() / 2;
+    let g1: Vec<VarId> = support[..mid].to_vec();
+    let g2: Vec<VarId> = support[mid..].to_vec();
+    // Vacuous sets are the complements: g1 must not read the g2 block
+    // and vice versa.
+    //
+    // Quarter-budget fork, not the ladder's usual half: the portfolio
+    // race *prepays* this fork's entire limit to the ancestors whatever
+    // its arms consume, and a winning rescue still has to fund the
+    // structural build of both halves afterwards. A half-size prepay
+    // starves that build at exactly the budgets where the rescue fires.
+    let sub = gov.fork_steps(gov.remaining_steps() / 4);
+    let feasible = match options.backend {
+        DecBackend::Bdd => unreachable!("handled above"),
+        DecBackend::Sat => sat_dec::try_decomposable(
+            m,
+            kind,
+            iv,
+            support,
+            &g2,
+            &g1,
+            options.sat_conflicts,
+            &sub,
+        )
+        .map(|(dec, _)| dec),
+        DecBackend::Portfolio => portfolio::try_decomposable(
+            m,
+            kind,
+            iv,
+            support,
+            &g2,
+            &g1,
+            options.sat_conflicts,
+            &sub,
+        )
+        .map(|(dec, race)| {
+            stats.portfolio.absorb(&race);
+            dec
+        }),
+    };
+    match feasible {
+        Ok(true) => Some(SupportPair { g1_vars: g1, g2_vars: g2 }),
+        Ok(false) => None,
+        Err(_) => {
+            stats.budget_exhausted_ops += 1;
+            None
+        }
+    }
 }
 
 fn try_greedy_pair(
@@ -865,6 +1021,113 @@ mod tests {
         }
         assert!(succeeded, "the largest budget must complete");
         assert!(degraded, "some mid-range budget must exercise the ladder");
+    }
+
+    /// Two disjoint 2-input AND blocks joined by an OR: the midpoint
+    /// split of the sorted support is exactly the feasible partition,
+    /// so the rescue rung's one candidate split is the right one. The
+    /// function's BDD is tiny — only the symbolic `Bi` computation
+    /// (a 12-variable private manager) is expensive, which is precisely
+    /// the asymmetry the rescue rung exploits: the window where the
+    /// symbolic search trips but the SAT check and the structural
+    /// completion still fit spans a >3× budget band (measured ~1.6k to
+    /// ~5.3k steps).
+    fn two_block_function(m: &mut Manager) -> Interval {
+        let vs = m.new_vars(4);
+        let left = m.and(vs[0], vs[1]);
+        let right = m.and(vs[2], vs[3]);
+        let f = m.or(left, right);
+        Interval::exact(f)
+    }
+
+    fn rescue_options(backend: DecBackend) -> Options {
+        // XOR choices off: the XOR ladder halves the budget once more
+        // per step, which narrows (but does not close) the rescue
+        // window — keeping the sweep short matters more here.
+        Options { backend, use_xor: false, ..Default::default() }
+    }
+
+    #[test]
+    fn rescue_rung_saves_partitions_the_bdd_ladder_abandons() {
+        // Sweep budgets: somewhere between starvation and plenty the
+        // symbolic search trips while the SAT check still proves the
+        // block split. Every Ok tree must verify on every rung.
+        let mut rescued_somewhere = false;
+        let mut budgets = vec![64u64];
+        while *budgets.last().unwrap() < 1 << 16 {
+            let b = *budgets.last().unwrap();
+            budgets.push((b + b / 20).max(b + 1));
+        }
+        for &budget in &budgets {
+            for backend in [DecBackend::Bdd, DecBackend::Sat] {
+                let mut m = Manager::new();
+                let iv = two_block_function(&mut m);
+                let gov = ResourceGovernor::unlimited().with_step_limit(budget);
+                if let Ok((tree, stats)) =
+                    try_decompose(&mut m, &iv, &rescue_options(backend), &gov)
+                {
+                    let g = tree.to_bdd(&mut m);
+                    assert!(iv.contains(&mut m, g), "budget {budget} {backend}: not a member");
+                    if backend == DecBackend::Sat && stats.rescued_checks > 0 {
+                        rescued_somewhere = true;
+                    }
+                    assert!(
+                        backend != DecBackend::Bdd || stats.rescued_checks == 0,
+                        "the bdd backend has no rescue rung"
+                    );
+                }
+            }
+        }
+        assert!(rescued_somewhere, "some budget must exercise the SAT rescue");
+    }
+
+    #[test]
+    fn portfolio_rescue_is_deterministic_across_reruns() {
+        // The race prepays its budget, so step accounting — and with it
+        // the produced tree — is a pure function of the limits, never of
+        // which arm wins. Re-running must reproduce the tree exactly.
+        let mut budgets = vec![64u64];
+        while *budgets.last().unwrap() < 1 << 16 {
+            let b = *budgets.last().unwrap();
+            budgets.push(b + b / 4);
+        }
+        for &budget in &budgets {
+            let opts = rescue_options(DecBackend::Portfolio);
+            let run = || {
+                let mut m = Manager::new();
+                let iv = two_block_function(&mut m);
+                let gov = ResourceGovernor::unlimited().with_step_limit(budget);
+                try_decompose(&mut m, &iv, &opts, &gov)
+                    .map(|(tree, stats)| (tree, stats.rescued_checks))
+            };
+            let first = run();
+            let second = run();
+            match (&first, &second) {
+                (Ok((t1, r1)), Ok((t2, r2))) => {
+                    assert_eq!(t1, t2, "budget {budget}: race winner leaked into the tree");
+                    assert_eq!(r1, r2, "budget {budget}: rescue count must be deterministic");
+                }
+                (Err(e1), Err(e2)) => assert_eq!(e1, e2, "budget {budget}"),
+                _ => panic!("budget {budget}: one run succeeded, the other failed"),
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_budgets_make_all_backends_identical() {
+        let gov = ResourceGovernor::unlimited();
+        let mut trees = Vec::new();
+        for backend in [DecBackend::Bdd, DecBackend::Sat, DecBackend::Portfolio] {
+            let mut m = Manager::new();
+            let iv = two_block_function(&mut m);
+            let opts = Options { backend, ..Default::default() };
+            let (tree, stats) = try_decompose(&mut m, &iv, &opts, &gov).expect("unlimited");
+            assert_eq!(stats.rescued_checks, 0, "{backend}: no budget trip, no rescue");
+            assert_eq!(stats.portfolio, PortfolioStats::default());
+            trees.push(tree);
+        }
+        assert_eq!(trees[0], trees[1], "sat backend is inert without budget trips");
+        assert_eq!(trees[0], trees[2], "portfolio backend is inert without budget trips");
     }
 
     #[test]

@@ -37,6 +37,11 @@ pub type Partition = (Vec<VarId>, Vec<VarId>);
 /// Tseitin-encodes the BDD `f` over the literal assignment `inputs`
 /// (function variable → SAT literal) and returns a literal equivalent to
 /// `f`'s value. Fresh auxiliary variables are created per BDD node.
+///
+/// The traversal is an explicit worklist, not recursion: the BDD of a
+/// wide carry chain is one node *per level*, so its depth equals its
+/// size, and a per-node recursion overflowed the stack around 10⁴–10⁵
+/// nodes — exactly the functions the SAT backend exists to rescue.
 fn encode_bdd(
     solver: &mut Solver,
     m: &Manager,
@@ -45,40 +50,52 @@ fn encode_bdd(
     memo: &mut HashMap<NodeId, Lit>,
     constants: &mut Option<(Lit, Lit)>,
 ) -> Lit {
-    if let Some(&l) = memo.get(&f) {
-        return l;
-    }
-    let lit = if f.is_terminal() {
-        let (t, ff) = *constants.get_or_insert_with(|| {
-            let t = Lit::pos(solver.new_var());
-            solver.add_clause([t]);
-            let ff = Lit::pos(solver.new_var());
-            solver.add_clause([!ff]);
-            (t, ff)
-        });
-        if f.is_true() {
-            t
-        } else {
-            ff
+    let mut stack = vec![f];
+    while let Some(&node) = stack.last() {
+        if memo.contains_key(&node) {
+            stack.pop();
+            continue;
         }
-    } else {
-        let v = m.top_var(f).expect("non-terminal");
+        if node.is_terminal() {
+            let (t, ff) = *constants.get_or_insert_with(|| {
+                let t = Lit::pos(solver.new_var());
+                solver.add_clause([t]);
+                let ff = Lit::pos(solver.new_var());
+                solver.add_clause([!ff]);
+                (t, ff)
+            });
+            memo.insert(node, if node.is_true() { t } else { ff });
+            stack.pop();
+            continue;
+        }
+        let (lo, hi) = m.branches(node);
+        let (lo_lit, hi_lit) = match (memo.get(&lo), memo.get(&hi)) {
+            (Some(&l), Some(&h)) => (l, h),
+            (lo_done, hi_done) => {
+                // Children first; revisit this node once they resolve.
+                if hi_done.is_none() {
+                    stack.push(hi);
+                }
+                if lo_done.is_none() {
+                    stack.push(lo);
+                }
+                continue;
+            }
+        };
+        let v = m.top_var(node).expect("non-terminal");
         let sel = *inputs
             .get(&v)
             .unwrap_or_else(|| panic!("no SAT literal for function variable {v}"));
-        let (lo, hi) = m.branches(f);
-        let lo_lit = encode_bdd(solver, m, lo, inputs, memo, constants);
-        let hi_lit = encode_bdd(solver, m, hi, inputs, memo, constants);
         let n = Lit::pos(solver.new_var());
         // n ↔ ITE(sel, hi, lo)
         solver.add_clause([!sel, !hi_lit, n]);
         solver.add_clause([!sel, hi_lit, !n]);
         solver.add_clause([sel, !lo_lit, n]);
         solver.add_clause([sel, lo_lit, !n]);
-        n
-    };
-    memo.insert(f, lit);
-    lit
+        memo.insert(node, n);
+        stack.pop();
+    }
+    memo[&f]
 }
 
 /// One copy of the function's input space: fresh SAT variables per
@@ -99,20 +116,22 @@ fn input_copy(
     out
 }
 
-/// Wires a solver's interrupt hook to a [`ResourceGovernor`]: the CDCL
-/// search loop crosses the governor's `sat.propagate` fault site (and
-/// polls for cancellation/deadline) before every propagation round, and
-/// `sat.reduce_db` before every learnt-database reduction. Returns the
-/// shared cell recording *why* the hook interrupted, for mapping an
-/// `Unknown` verdict back to a [`ResourceExhausted`] cause.
-fn install_governor_hook(
-    solver: &mut Solver,
+/// Builds the interrupt hook wiring a solver to a [`ResourceGovernor`]:
+/// the CDCL search loop crosses the governor's `sat.propagate` fault
+/// site (and polls for cancellation/deadline) before every propagation
+/// round, and `sat.reduce_db` before every learnt-database reduction.
+/// Returns the hook (to be installed through the RAII scope of
+/// [`Solver::with_interrupt`], so it can never leak into a later
+/// unbudgeted solve) and the shared cell recording *why* it
+/// interrupted, for mapping an `Unknown` verdict back to a
+/// [`ResourceExhausted`] cause.
+pub(crate) fn governor_hook(
     gov: &ResourceGovernor,
-) -> Arc<Mutex<Option<ResourceExhausted>>> {
+) -> (impl FnMut(SatCheckPoint) -> bool + Send + 'static, Arc<Mutex<Option<ResourceExhausted>>>) {
     let cause: Arc<Mutex<Option<ResourceExhausted>>> = Arc::new(Mutex::new(None));
     let hook_gov = gov.clone();
     let hook_cause = Arc::clone(&cause);
-    solver.set_interrupt(move |point| {
+    let hook = move |point| {
         let verdict = match point {
             SatCheckPoint::Propagate => hook_gov
                 .fault_site(FaultSite::SatPropagate)
@@ -126,13 +145,13 @@ fn install_governor_hook(
                 true
             }
         }
-    });
-    cause
+    };
+    (hook, cause)
 }
 
 /// Maps an `Unknown` budgeted verdict to its cause: whatever the
 /// interrupt hook recorded, else the conflict budget ran out (`Steps`).
-fn unknown_cause(cause: &Mutex<Option<ResourceExhausted>>) -> ResourceExhausted {
+pub(crate) fn unknown_cause(cause: &Mutex<Option<ResourceExhausted>>) -> ResourceExhausted {
     cause
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
@@ -207,8 +226,13 @@ pub fn try_or_decomposable(
     max_conflicts: u64,
     gov: &ResourceGovernor,
 ) -> Result<(bool, SolverStats), ResourceExhausted> {
+    // The multi-copy encoding is itself linear in BDD size — worth its
+    // own injection site (and an interrupt check) before the solve.
+    gov.fault_site(FaultSite::SatEncode)?;
+    gov.poll_interrupt()?;
     let mut solver = Solver::new();
-    let cause = install_governor_hook(&mut solver, gov);
+    let (hook, cause) = governor_hook(gov);
+    let mut solver = solver.with_interrupt(hook);
     encode_or_formula(&mut solver, m, f, vars, a_vacuous, b_vacuous);
     match solver.solve_budgeted_with_retry(max_conflicts) {
         BudgetedSolveResult::Sat => Ok((false, solver.stats)),
@@ -332,8 +356,11 @@ pub fn try_xor_decomposable(
     max_conflicts: u64,
     gov: &ResourceGovernor,
 ) -> Result<(bool, SolverStats), ResourceExhausted> {
+    gov.fault_site(FaultSite::SatEncode)?;
+    gov.poll_interrupt()?;
     let mut solver = Solver::new();
-    let cause = install_governor_hook(&mut solver, gov);
+    let (hook, cause) = governor_hook(gov);
+    let mut solver = solver.with_interrupt(hook);
     encode_xor_formula(&mut solver, m, f, vars, a_vacuous, b_vacuous);
     match solver.solve_budgeted_with_retry(max_conflicts) {
         BudgetedSolveResult::Sat => Ok((false, solver.stats)),
@@ -779,6 +806,73 @@ mod tests {
         )
         .expect_err("cancellation is persistent");
         assert_eq!(err, ResourceExhausted::Cancelled);
+    }
+
+    #[test]
+    fn deep_chain_bdd_encodes_without_stack_overflow() {
+        // Regression: `encode_bdd` recursed once per BDD node. A chain
+        // BDD — one node per level, like a wide AND or a carry chain —
+        // has depth equal to its size, and ~50k frames blew the 2 MiB
+        // test-thread stack long before any solver work started.
+        const N: usize = 50_000;
+        let mut m = Manager::with_vars(N);
+        let vs: Vec<NodeId> = (0..N as u32).map(|i| m.var(VarId(i))).collect();
+        let mut f = NodeId::TRUE;
+        for &v in vs.iter().rev() {
+            f = m.and(v, f);
+        }
+        let mut solver = Solver::new();
+        let inputs: HashMap<VarId, Lit> = (0..N as u32)
+            .map(|i| (VarId(i), Lit::pos(solver.new_var())))
+            .collect();
+        let mut memo = HashMap::new();
+        let root = encode_bdd(&mut solver, &m, f, &inputs, &mut memo, &mut None);
+        assert_eq!(memo.len(), N + 2, "one encoding per chain node plus both terminals");
+        // The encoding is semantically right: asserting the root forces
+        // every input true.
+        solver.add_clause([root]);
+        assert!(solver.solve().is_sat());
+        assert_eq!(solver.value(inputs[&VarId(0)].var()), Some(true));
+        assert_eq!(solver.value(inputs[&VarId(N as u32 - 1)].var()), Some(true));
+    }
+
+    #[test]
+    fn injected_fault_at_sat_encode_aborts_before_the_solve() {
+        use symbi_bdd::{FaultKind, FaultPlan, FaultSite};
+        let mut m = Manager::new();
+        let vs = m.new_vars(4);
+        let ab = m.and(vs[0], vs[1]);
+        let cd = m.and(vs[2], vs[3]);
+        let f = m.or(ab, cd);
+        let vars: Vec<VarId> = (0..4u32).map(VarId).collect();
+        let plan =
+            Arc::new(FaultPlan::new(9).with_rule(FaultSite::SatEncode, 1, FaultKind::Budget));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(Arc::clone(&plan));
+        let err = try_or_decomposable(
+            &m,
+            f,
+            &vars,
+            &[VarId(2), VarId(3)],
+            &[VarId(0), VarId(1)],
+            u64::MAX,
+            &gov,
+        )
+        .expect_err("encode-site fault kills the check");
+        assert_eq!(err, ResourceExhausted::Steps);
+        assert_eq!(plan.faults_fired(), 1);
+        // The site is crossed once per governed check: a second check on
+        // the same plan runs past the spent rule and completes.
+        let (dec, _) = try_or_decomposable(
+            &m,
+            f,
+            &vars,
+            &[VarId(2), VarId(3)],
+            &[VarId(0), VarId(1)],
+            u64::MAX,
+            &gov,
+        )
+        .expect("rule already spent");
+        assert!(dec);
     }
 
     #[test]

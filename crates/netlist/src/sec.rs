@@ -301,12 +301,15 @@ pub fn try_bounded_check_sat(
     let order_b = b.topo_order().expect("validated");
     let mut solver = Solver::new();
     // The hook records *why* it interrupted so the Unknown verdict can be
-    // mapped back to a ResourceExhausted cause for the caller.
+    // mapped back to a ResourceExhausted cause for the caller. It is
+    // installed through the RAII scope of `with_interrupt`, so every
+    // exit path — verdicts, trips, panics — clears it and the solver can
+    // be reused for plain solves afterwards.
     let cause: Arc<Mutex<Option<ResourceExhausted>>> = Arc::new(Mutex::new(None));
-    {
+    let hook = {
         let gov = gov.clone();
         let cause = Arc::clone(&cause);
-        solver.set_interrupt(move |point| {
+        move |point| {
             let verdict = match point {
                 SatCheckPoint::Propagate => gov
                     .fault_site(FaultSite::SatPropagate)
@@ -320,8 +323,9 @@ pub fn try_bounded_check_sat(
                     true
                 }
             }
-        });
-    }
+        }
+    };
+    let mut solver = solver.with_interrupt(hook);
     let interrupted = |cause: &Mutex<Option<ResourceExhausted>>| {
         cause
             .lock()
@@ -344,6 +348,10 @@ pub fn try_bounded_check_sat(
         .collect();
     let mut frame_inputs: Vec<Vec<Lit>> = Vec::with_capacity(frames);
     for t in 0..frames {
+        // One governed Tseitin pass per frame: its own injection site,
+        // plus an interrupt check so a cancel raised mid-unrolling is
+        // seen before the next solve.
+        gov.fault_site(FaultSite::SatEncode)?;
         gov.poll_interrupt()?;
         let inputs: Vec<Lit> =
             (0..a.num_inputs()).map(|_| Lit::pos(solver.new_var())).collect();

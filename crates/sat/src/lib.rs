@@ -36,7 +36,8 @@ mod heap;
 mod solver;
 
 pub use solver::{
-    BudgetedSolveResult, InterruptHook, Lit, SatCheckPoint, SolveResult, Solver, SolverStats, Var,
+    BudgetedSolveResult, InterruptGuard, InterruptHook, Lit, SatCheckPoint, SolveResult, Solver,
+    SolverStats, Var,
 };
 
 #[cfg(test)]

@@ -181,6 +181,40 @@ impl std::fmt::Debug for InterruptHook {
     }
 }
 
+/// RAII scope for an installed interrupt hook: created by
+/// [`Solver::with_interrupt`], dereferences to the solver, and clears
+/// the hook when dropped.
+///
+/// A hook that outlives its governed check is a latent panic — the next
+/// *unbudgeted* `solve()` on the same solver would trip the
+/// interrupted-complete-search guard. Routing every governed path
+/// through this guard makes "hook cleared on all exits" a structural
+/// property instead of a per-call-site obligation.
+#[derive(Debug)]
+pub struct InterruptGuard<'a> {
+    solver: &'a mut Solver,
+}
+
+impl std::ops::Deref for InterruptGuard<'_> {
+    type Target = Solver;
+
+    fn deref(&self) -> &Solver {
+        self.solver
+    }
+}
+
+impl std::ops::DerefMut for InterruptGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Solver {
+        self.solver
+    }
+}
+
+impl Drop for InterruptGuard<'_> {
+    fn drop(&mut self) {
+        self.solver.clear_interrupt();
+    }
+}
+
 /// A CDCL SAT solver (see the crate docs for the feature list).
 #[derive(Debug)]
 pub struct Solver {
@@ -315,6 +349,22 @@ impl Solver {
     /// Removes the interruption callback.
     pub fn clear_interrupt(&mut self) {
         self.interrupt = None;
+    }
+
+    /// Installs an interruption callback for the lifetime of the
+    /// returned guard. The guard dereferences to the solver, so governed
+    /// code drives its budgeted solves through it; when the guard drops
+    /// — on *every* exit path, including early `?` returns and panics —
+    /// the hook is removed again and plain [`Solver::solve`] /
+    /// [`Solver::solve_with_assumptions`] become safe once more. Every
+    /// governed call path should prefer this over a bare
+    /// [`Solver::set_interrupt`], which is easy to leave installed.
+    pub fn with_interrupt(
+        &mut self,
+        hook: impl FnMut(SatCheckPoint) -> bool + Send + 'static,
+    ) -> InterruptGuard<'_> {
+        self.set_interrupt(hook);
+        InterruptGuard { solver: self }
     }
 
     /// Number of variables.
@@ -1447,5 +1497,100 @@ mod tests {
         let b = SolverStats { retries: 3, ..SolverStats::default() };
         a.absorb(&b);
         assert_eq!(a.retries, 5);
+    }
+
+    #[test]
+    fn interrupt_guard_clears_hook_after_interrupted_check() {
+        // Regression: a governed check installs a hook, gets interrupted,
+        // and returns early. Before the RAII guard the hook survived into
+        // the next plain `solve()` and tripped the complete-search panic.
+        let mut s = pigeonhole(5);
+        {
+            let mut guarded = s.with_interrupt(|_| true);
+            assert!(guarded.solve_budgeted(u64::MAX).is_unknown());
+        } // guard drops here, clearing the hook
+        assert!(!s.solve().is_sat(), "plain solve after a governed check must not panic");
+    }
+
+    #[test]
+    fn interrupt_guard_clears_hook_on_early_exit() {
+        // The guard must clear the hook even when the governed scope
+        // bails before any solve happens (the `?`-return shape).
+        fn governed_scope(s: &mut Solver) -> Result<(), ()> {
+            let _guarded = s.with_interrupt(|_| true);
+            Err(()) // governor tripped before the solve
+        }
+        let mut s = pigeonhole(4);
+        assert!(governed_scope(&mut s).is_err());
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn duplicate_assumptions_are_harmless_and_core_is_deduped() {
+        // (x), assume [¬x, ¬x]: the first copy conflicts; the core must
+        // name ¬x exactly once. The satisfiable side: assume [y, y] on a
+        // free variable must answer Sat with y assigned.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        s.add_clause([Lit::pos(x)]);
+        match s.solve_with_assumptions(&[Lit::neg(x), Lit::neg(x)]) {
+            SolveResult::Unsat { core } => {
+                assert_eq!(core, vec![Lit::neg(x)], "deduplicated, minimal core");
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
+        assert!(s.solve_with_assumptions(&[Lit::pos(y), Lit::pos(y)]).is_sat());
+        assert_eq!(s.value(y), Some(true));
+    }
+
+    #[test]
+    fn contradictory_assumptions_yield_the_two_literal_core() {
+        // Assume [y, ¬y] on a variable the formula does not constrain:
+        // the contradiction lives entirely in the assumptions, and the
+        // core must be exactly {y, ¬y} — not the whole assumption list.
+        let mut s = Solver::new();
+        let x = s.new_var();
+        let y = s.new_var();
+        let z = s.new_var();
+        s.add_clause([Lit::pos(x), Lit::pos(z)]);
+        match s.solve_with_assumptions(&[Lit::pos(z), Lit::pos(y), Lit::neg(y)]) {
+            SolveResult::Unsat { core } => {
+                let mut want = vec![Lit::pos(y), Lit::neg(y)];
+                want.sort_unstable();
+                assert_eq!(core, want, "z is irrelevant to the contradiction");
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
+        // Order must not matter: contradiction first, then the rest.
+        match s.solve_with_assumptions(&[Lit::neg(y), Lit::pos(y), Lit::pos(z)]) {
+            SolveResult::Unsat { core } => {
+                let mut want = vec![Lit::pos(y), Lit::neg(y)];
+                want.sort_unstable();
+                assert_eq!(core, want);
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
+        // And the solver is reusable afterwards.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn contradiction_through_propagation_keeps_core_relevant() {
+        // (¬a ∨ b), assume [a, ¬b, c]: a propagates b, ¬b contradicts.
+        // Core = {a, ¬b}; the free assumption c must stay out.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause([Lit::neg(a), Lit::pos(b)]);
+        match s.solve_with_assumptions(&[Lit::pos(a), Lit::neg(b), Lit::pos(c)]) {
+            SolveResult::Unsat { core } => {
+                assert!(core.contains(&Lit::pos(a)));
+                assert!(core.contains(&Lit::neg(b)));
+                assert!(!core.contains(&Lit::pos(c)), "c is not part of the refutation");
+            }
+            other => panic!("expected unsat, got {other:?}"),
+        }
     }
 }

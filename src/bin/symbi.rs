@@ -4,6 +4,7 @@
 //! symbi stats     <file>
 //! symbi convert   <in> <out>
 //! symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
+//!                 [--dec-backend bdd|sat|portfolio] [--sat-conflicts N]
 //!                 [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
 //!                 [--jobs N] [--cache-bits N] [--no-auto-gc] [--auto-reorder]
 //!                 [--cluster-limit N]
@@ -19,6 +20,14 @@
 //! `--jobs N` runs reachability partitions and candidate decompositions
 //! on `N` worker threads (`0` = all cores); the output netlist is
 //! byte-identical to a single-threaded run.
+//!
+//! `--dec-backend` arms the decomposability *rescue rung*: when the
+//! symbolic partition search exhausts its budget, `sat` proves a fixed
+//! midpoint split with the CDCL solver before the ladder degrades to
+//! greedy growth, and `portfolio` races a budgeted BDD check against the
+//! SAT check on two threads — the first sound verdict wins and the loser
+//! is cancelled. `bdd` (the default) skips the rung. `--sat-conflicts N`
+//! caps solver effort per check.
 //!
 //! The BDD kernel knobs tune the reachability managers: `--cache-bits N`
 //! caps the computed table at `2^N` entries, `--no-auto-gc` disables the
@@ -83,6 +92,7 @@ usage:
   symbi stats     <file>
   symbi convert   <in> <out>
   symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
+                  [--dec-backend bdd|sat|portfolio] [--sat-conflicts N]
                   [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
                   [--jobs N] [--cache-bits N] [--no-auto-gc] [--auto-reorder]
                   [--cluster-limit N]
@@ -171,6 +181,13 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         options.max_cone_support =
             v.parse().map_err(|e| format!("--max-support: {e}"))?;
     }
+    if let Some(v) = flag_value(args, "--dec-backend")? {
+        options.decompose.backend = v.parse().map_err(|e| format!("--dec-backend: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--sat-conflicts")? {
+        options.decompose.sat_conflicts =
+            v.parse().map_err(|e| format!("--sat-conflicts: {e}"))?;
+    }
     if let Some(v) = flag_value(args, "--budget-steps")? {
         options.budget.candidate_steps =
             v.parse().map_err(|e| format!("--budget-steps: {e}"))?;
@@ -254,6 +271,19 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         println!(
             "budget: {} candidates kept original logic, {} exhausted ops, {} fallbacks",
             report.candidates_skipped, report.budget_exhausted_ops, report.fallbacks_taken
+        );
+    }
+    if report.steps.rescued_checks > 0 || report.steps.portfolio.races > 0 {
+        let p = &report.steps.portfolio;
+        println!(
+            "rescue rung: {} partition(s) saved; portfolio races {} \
+             (bdd wins {}, sat wins {}, cancels {}, {:.1} ms)",
+            report.steps.rescued_checks,
+            p.races,
+            p.bdd_wins,
+            p.sat_wins,
+            p.cancels,
+            p.wall_nanos as f64 / 1e6
         );
     }
     println!(
