@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32
-//!        | sat-stats | parallel | portfolio | bdd-bench | reach-bench | chaos]
+//!        | sat-stats | parallel | portfolio | bdd-bench | reach-bench | chaos
+//!        | corpus]
 //!       [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>]
+//!       [--corpus-dir <dir>]
 //! ```
 //!
 //! `--quick` trims the expensive rows (mux width 6, adder s16, the two
@@ -30,7 +32,12 @@
 //! panics, no hangs, SEC-equivalent degradation, ⊤-monotone
 //! reachability), writes `BENCH_chaos.json`, and **exits nonzero** on
 //! any violation — `--seed N` replays a specific sweep (`--out`
-//! overrides any of the paths).
+//! overrides any of the paths); `corpus` runs the corpus-scale
+//! differential harness (generated pool + any AIGER files under
+//! `--corpus-dir`, defaulting to `tests/corpus` when present) through
+//! symbi-vs-greedy across the `{bdd,sat,portfolio}` backends × budget
+//! tiers with per-row SEC cross-checks and reproducibility double-runs,
+//! writes `BENCH_corpus.json`, and **exits nonzero** on any red row.
 
 use std::time::Duration;
 use symbi_bench::{
@@ -47,6 +54,11 @@ fn main() {
     let out_path = args
         .iter()
         .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let corpus_dir = args
+        .iter()
+        .position(|a| a == "--corpus-dir")
         .and_then(|i| args.get(i + 1))
         .cloned();
     let seed = args
@@ -77,8 +89,11 @@ fn main() {
         .iter()
         .enumerate()
         .find(|&(i, a)| {
-            let is_flag_value =
-                i > 0 && (args[i - 1] == "--out" || args[i - 1] == "--jobs" || args[i - 1] == "--seed");
+            let is_flag_value = i > 0
+                && (args[i - 1] == "--out"
+                    || args[i - 1] == "--jobs"
+                    || args[i - 1] == "--seed"
+                    || args[i - 1] == "--corpus-dir");
             !a.starts_with("--") && !is_flag_value
         })
         .map(|(_, a)| a.as_str())
@@ -98,6 +113,9 @@ fn main() {
         "bdd-bench" => bdd_bench(quick, &out_or("BENCH_bdd.json")),
         "reach-bench" => reach_bench(quick, &out_or("BENCH_reach.json")),
         "chaos" => chaos(quick, seed, &out_or("BENCH_chaos.json")),
+        "corpus" => {
+            corpus(quick, jobs, seed, corpus_dir.clone(), &out_or("BENCH_corpus.json"))
+        }
         "all" => {
             print_figure31();
             print_figure32();
@@ -110,14 +128,80 @@ fn main() {
             bdd_bench(quick, &out_or("BENCH_bdd.json"));
             reach_bench(quick, &out_or("BENCH_reach.json"));
             chaos(quick, seed, &out_or("BENCH_chaos.json"));
+            corpus(quick, jobs, seed, corpus_dir.clone(), &out_or("BENCH_corpus.json"));
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|portfolio|bdd-bench|reach-bench|chaos] [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>]"
+                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|portfolio|bdd-bench|reach-bench|chaos|corpus] [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>] [--corpus-dir <dir>]"
             );
             std::process::exit(2);
         }
+    }
+}
+
+fn corpus(quick: bool, jobs: usize, seed: Option<u64>, corpus_dir: Option<String>, out_path: &str) {
+    use symbi_bench::corpus::{write_corpus_json, CorpusOptions};
+    let mut options = CorpusOptions { quick, jobs, ..Default::default() };
+    if let Some(s) = seed {
+        options.seed = s;
+    }
+    // Default to the checked-in seed corpus when running from the repo
+    // root; an explicit --corpus-dir always wins.
+    options.corpus_dir = match corpus_dir {
+        Some(d) => Some(d.into()),
+        None => {
+            let default = std::path::PathBuf::from("tests/corpus");
+            default.is_dir().then_some(default)
+        }
+    };
+    println!(
+        "\n=== Corpus differential sweep: symbi vs greedy × backends × budgets, seed {} (written to {out_path}) ===",
+        options.seed
+    );
+    println!(
+        "{:>14} {:>6} {:>10} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>6} {:>6}",
+        "Circuit", "Src", "Backend", "Budget", "Orig", "Base", "Opt", "A-rat", "D-rat", "Skip",
+        "Resc", "SEC", "Repro"
+    );
+    let report = match write_corpus_json(std::path::Path::new(out_path), &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("corpus sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for r in &report.rows {
+        println!(
+            "{:>14} {:>6} {:>10} {:>9} {:>6} {:>6} {:>6} {:>6.3} {:>6.3} {:>5} {:>5} {:>6} {:>6}",
+            r.circuit,
+            if r.source == "generated" { "gen" } else { "aiger" },
+            r.backend,
+            r.budget,
+            r.orig_ands,
+            r.base_ands,
+            r.opt_ands,
+            r.area_ratio(),
+            r.depth_ratio(),
+            r.skipped,
+            r.rescued,
+            if r.sec_ok && r.base_sec_ok { "ok" } else { "FAIL" },
+            if r.reproducible && r.backend_agrees { "ok" } else { "FAIL" },
+        );
+    }
+    println!(
+        "Summary: {} rows over {} circuits ({} from AIGER files) — {} SEC mismatches, {} backend disagreements, {} non-reproducible ({:.1}s)",
+        report.rows.len(),
+        report.circuits,
+        report.aiger_circuits,
+        report.sec_mismatches(),
+        report.backend_disagreements(),
+        report.non_reproducible(),
+        report.seconds,
+    );
+    if report.red_rows() > 0 {
+        eprintln!("corpus sweep has {} red rows — failing the run", report.red_rows());
+        std::process::exit(1);
     }
 }
 

@@ -20,6 +20,7 @@
 
 pub mod baseline;
 pub mod chaos;
+pub mod corpus;
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};

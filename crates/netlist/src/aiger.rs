@@ -1,0 +1,1194 @@
+//! AIGER 1.9 reader and writer (ASCII `aag` and binary `aig` forms).
+//!
+//! AIGER is the interchange format of the HWMCC model-checking and ABC
+//! synthesis communities: a circuit is an and/inverter graph over
+//! *literals* — variable `v` contributes the positive literal `2v` and
+//! the negated literal `2v + 1`, with `0`/`1` reserved for the constants
+//! false/true. The header
+//!
+//! ```text
+//! aag M I L O A        (ASCII)
+//! aig M I L O A        (binary)
+//! ```
+//!
+//! declares the maximum variable index `M` and the number of inputs,
+//! latches, outputs, and AND gates. In the ASCII form every section
+//! spells its literals out; in the binary form input and AND left-hand
+//! sides are implicit (inputs are variables `1..=I`, ANDs are
+//! `I+L+1..=I+L+A` in topological order) and each AND is stored as two
+//! LEB128-style varint deltas. Both forms may carry AIGER 1.9 latch
+//! reset values (`0`, `1`, or the latch's own literal for
+//! "uninitialized" — the latter is rejected here because [`Netlist`]
+//! latches power up to a known constant), a symbol table naming inputs,
+//! latches, and outputs, and a trailing comment section.
+//!
+//! The mapping onto [`Netlist`] is structural: inputs and latches become
+//! [`NodeKind::Input`]/[`NodeKind::Latch`] nodes, every AND becomes a
+//! two-input [`GateKind::And`], and a negated literal materializes a
+//! hash-consed [`GateKind::Not`] gate at its first use. Unnamed nodes
+//! get deterministic fallback names (`i0`, `l1`, `o2`, `a7`, `n15`, …)
+//! that never collide with symbol-table names. The model name travels in
+//! the first comment line, mirroring how `.bench` files carry it in a
+//! `# name:` comment.
+//!
+//! Both parsers are *total*: any malformed input — truncated headers,
+//! out-of-range or mis-parity literals, duplicate definitions, bad
+//! varint deltas, dangling symbol entries — yields a positioned
+//! [`ParseNetlistError`], never a panic. The writers are canonical: for
+//! any fixed netlist the emitted bytes are a pure function of the
+//! netlist, writing assigns AND variables in topological order, and
+//! `write(parse(write(n))) == write(n)` holds in and across both forms.
+
+use crate::{GateKind, Netlist, NodeKind, ParseNetlistError, SignalId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Largest accepted variable index. AIGER files declare their size up
+/// front, so a corrupted header could otherwise demand absurd allocations
+/// before the first real parse error surfaces; HWMCC-scale circuits sit
+/// well below this.
+pub const MAX_VARS: u64 = 1 << 24;
+
+type Result<T> = std::result::Result<T, ParseNetlistError>;
+
+fn syntax(line: usize, message: impl Into<String>) -> ParseNetlistError {
+    ParseNetlistError::Syntax { line, message: message.into() }
+}
+
+// ---------------------------------------------------------------------
+// Shared parsed representation
+// ---------------------------------------------------------------------
+
+/// Header counts: `aag`/`aig M I L O A`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Header {
+    maxvar: u64,
+    inputs: u64,
+    latches: u64,
+    outputs: u64,
+    ands: u64,
+}
+
+/// File contents after section parsing, before netlist construction.
+/// Identical for both forms, so all semantic validation lives in one
+/// place ([`build_netlist`]).
+#[derive(Debug, Default)]
+struct Sections {
+    maxvar: u64,
+    /// Input literals in declaration order, with their source line.
+    inputs: Vec<(u64, usize)>,
+    /// `(lhs, next, reset, line)` per latch.
+    latches: Vec<(u64, u64, bool, usize)>,
+    /// Output literals in declaration order, with their source line.
+    outputs: Vec<(u64, usize)>,
+    /// `(lhs, rhs0, rhs1, line)` per AND gate.
+    ands: Vec<(u64, u64, u64, usize)>,
+    /// Symbol table entries: `(category, position, name, line)`.
+    symbols: Vec<(char, usize, String, usize)>,
+    /// First comment line, doubling as the model name.
+    model_name: Option<String>,
+}
+
+fn parse_header(line: &str, lineno: usize, binary: bool) -> Result<Header> {
+    let mut it = line.split_ascii_whitespace();
+    let magic = it.next().unwrap_or("");
+    let expect = if binary { "aig" } else { "aag" };
+    if magic != expect {
+        return Err(syntax(lineno, format!("expected `{expect}` header, found `{magic}`")));
+    }
+    let mut field = |name: &str| -> Result<u64> {
+        it.next()
+            .ok_or_else(|| syntax(lineno, format!("truncated header: missing {name} count")))?
+            .parse::<u64>()
+            .map_err(|_| syntax(lineno, format!("header {name} count is not a number")))
+    };
+    let header = Header {
+        maxvar: field("M (maxvar)")?,
+        inputs: field("I (input)")?,
+        latches: field("L (latch)")?,
+        outputs: field("O (output)")?,
+        ands: field("A (and)")?,
+    };
+    // AIGER 1.9 optionally appends B C J F counts (bad states,
+    // constraints, justice, fairness). Zero counts are accepted and
+    // ignored; nonzero ones describe properties [`Netlist`] cannot
+    // represent, so they are rejected rather than silently dropped.
+    for (extra, name) in it.zip(["B (bad)", "C (constraint)", "J (justice)", "F (fairness)"]) {
+        let value: u64 = extra
+            .parse()
+            .map_err(|_| syntax(lineno, format!("header {name} count is not a number")))?;
+        if value != 0 {
+            return Err(syntax(
+                lineno,
+                format!("unsupported AIGER 1.9 section: {name} count is {value}"),
+            ));
+        }
+    }
+    if header.maxvar > MAX_VARS {
+        return Err(syntax(
+            lineno,
+            format!("header declares {} variables, above the supported {MAX_VARS}", header.maxvar),
+        ));
+    }
+    let used = header.inputs + header.latches + header.ands;
+    if used > header.maxvar {
+        return Err(syntax(
+            lineno,
+            format!(
+                "header maxvar {} is smaller than inputs + latches + ands = {used}",
+                header.maxvar
+            ),
+        ));
+    }
+    if binary && used != header.maxvar {
+        return Err(syntax(
+            lineno,
+            format!("binary header requires maxvar = I + L + A, got {} != {used}", header.maxvar),
+        ));
+    }
+    Ok(header)
+}
+
+/// Parses one whitespace-separated sequence of numbers, requiring an
+/// exact field count between `min` and `max`.
+fn parse_numbers(line: &str, lineno: usize, what: &str, min: usize, max: usize) -> Result<Vec<u64>> {
+    let mut out = Vec::with_capacity(max);
+    for tok in line.split_ascii_whitespace() {
+        if out.len() == max {
+            return Err(syntax(lineno, format!("{what} line has more than {max} fields")));
+        }
+        out.push(
+            tok.parse::<u64>()
+                .map_err(|_| syntax(lineno, format!("{what} line: `{tok}` is not a literal")))?,
+        );
+    }
+    if out.len() < min {
+        return Err(syntax(
+            lineno,
+            format!("{what} line has {} fields, expected at least {min}", out.len()),
+        ));
+    }
+    Ok(out)
+}
+
+/// Decodes a latch reset field per AIGER 1.9: `0`, `1`, or the latch's
+/// own literal meaning "uninitialized" (unsupported here).
+fn parse_reset(reset: u64, lhs: u64, lineno: usize) -> Result<bool> {
+    match reset {
+        0 => Ok(false),
+        1 => Ok(true),
+        r if r == lhs => Err(syntax(
+            lineno,
+            "uninitialized latch reset (reset literal equals the latch literal) is unsupported",
+        )),
+        r => Err(syntax(lineno, format!("latch reset must be 0, 1, or the latch literal, got {r}"))),
+    }
+}
+
+/// Parses a symbol-table or comment line. Returns `false` once the
+/// comment section starts (everything after it is free-form).
+fn parse_symbol_line(
+    line: &str,
+    lineno: usize,
+    header: &Header,
+    sections: &mut Sections,
+) -> Result<bool> {
+    if line == "c" {
+        return Ok(false);
+    }
+    let mut chars = line.chars();
+    let category = chars.next().ok_or_else(|| syntax(lineno, "empty symbol line"))?;
+    let count = match category {
+        'i' => header.inputs,
+        'l' => header.latches,
+        'o' => header.outputs,
+        other => {
+            return Err(syntax(
+                lineno,
+                format!("expected symbol entry (i/l/o) or comment section `c`, found `{other}`"),
+            ))
+        }
+    };
+    let rest = chars.as_str();
+    let (pos, name) = rest
+        .split_once(' ')
+        .ok_or_else(|| syntax(lineno, "symbol entry needs `<category><position> <name>`"))?;
+    let pos: u64 = pos
+        .parse()
+        .map_err(|_| syntax(lineno, format!("symbol position `{pos}` is not a number")))?;
+    if pos >= count {
+        return Err(syntax(
+            lineno,
+            format!("symbol `{category}{pos}` is out of range (section has {count} entries)"),
+        ));
+    }
+    if name.is_empty() {
+        return Err(syntax(lineno, "empty symbol name"));
+    }
+    if sections.symbols.iter().any(|&(c, p, _, _)| c == category && p == pos as usize) {
+        return Err(syntax(lineno, format!("duplicate symbol entry `{category}{pos}`")));
+    }
+    sections.symbols.push((category, pos as usize, name.to_string(), lineno));
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------
+// ASCII parser
+// ---------------------------------------------------------------------
+
+/// Parses ASCII AIGER (`aag`) text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a positioned [`ParseNetlistError`] on the first malformed
+/// line, out-of-range literal, duplicate definition, unsupported
+/// reset/section, or structural violation (combinational cycle through
+/// the AND graph).
+pub fn parse_ascii(text: &str) -> Result<Netlist> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (header_line, first) =
+        lines.next().ok_or_else(|| syntax(1, "empty file: missing `aag` header"))?;
+    let header = parse_header(first, header_line, false)?;
+    let mut sections = Sections { maxvar: header.maxvar, ..Default::default() };
+
+    let mut next_line = |what: &str| -> Result<(usize, &str)> {
+        lines
+            .next()
+            .ok_or_else(|| syntax(header_line, format!("file truncated: missing {what} line")))
+    };
+    for _ in 0..header.inputs {
+        let (lineno, line) = next_line("input")?;
+        let nums = parse_numbers(line, lineno, "input", 1, 1)?;
+        sections.inputs.push((nums[0], lineno));
+    }
+    for _ in 0..header.latches {
+        let (lineno, line) = next_line("latch")?;
+        let nums = parse_numbers(line, lineno, "latch", 2, 3)?;
+        let reset = if nums.len() == 3 { parse_reset(nums[2], nums[0], lineno)? } else { false };
+        sections.latches.push((nums[0], nums[1], reset, lineno));
+    }
+    for _ in 0..header.outputs {
+        let (lineno, line) = next_line("output")?;
+        let nums = parse_numbers(line, lineno, "output", 1, 1)?;
+        sections.outputs.push((nums[0], lineno));
+    }
+    for _ in 0..header.ands {
+        let (lineno, line) = next_line("and")?;
+        let nums = parse_numbers(line, lineno, "and", 3, 3)?;
+        sections.ands.push((nums[0], nums[1], nums[2], lineno));
+    }
+    let mut in_symbols = true;
+    for (lineno, line) in lines {
+        if in_symbols {
+            in_symbols = parse_symbol_line(line, lineno, &header, &mut sections)?;
+        } else if sections.model_name.is_none() {
+            sections.model_name = Some(line.to_string());
+        }
+    }
+    build_netlist(sections)
+}
+
+// ---------------------------------------------------------------------
+// Binary parser
+// ---------------------------------------------------------------------
+
+/// Byte cursor over a binary AIGER file that keeps a 1-based line count
+/// so errors in the text-like sections (header, latches, outputs,
+/// symbols) carry real line numbers; inside the AND blob the line of the
+/// blob's start is reported together with the failing gate index.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0, line: 1 }
+    }
+
+    /// Reads up to (and consumes) the next `\n`, returning the line as
+    /// UTF-8 text with its 1-based line number. A final line terminated
+    /// by end-of-file instead of a newline is accepted.
+    fn text_line(&mut self, what: &str) -> Result<(usize, &'a str)> {
+        if self.pos >= self.bytes.len() {
+            return Err(syntax(self.line, format!("file truncated: missing {what} line")));
+        }
+        let start = self.pos;
+        let end = self.bytes[start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|i| start + i)
+            .unwrap_or(self.bytes.len());
+        let lineno = self.line;
+        self.pos = (end + 1).min(self.bytes.len() + 1);
+        self.line += 1;
+        std::str::from_utf8(&self.bytes[start..end])
+            .map(|s| (lineno, s))
+            .map_err(|_| syntax(lineno, format!("{what} line is not valid UTF-8")))
+    }
+
+    /// Decodes one LEB128-style varint delta (7 data bits per byte, MSB
+    /// set on continuation bytes).
+    fn varint(&mut self, and_index: u64) -> Result<u64> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let &byte = self.bytes.get(self.pos).ok_or_else(|| {
+                syntax(self.line, format!("truncated varint delta in AND gate #{and_index}"))
+            })?;
+            self.pos += 1;
+            if shift >= 63 {
+                return Err(syntax(
+                    self.line,
+                    format!("varint delta overflows in AND gate #{and_index}"),
+                ));
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Parses binary AIGER (`aig`) bytes into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns a positioned [`ParseNetlistError`] on the first malformed
+/// section, truncated or overflowing varint delta, out-of-range literal,
+/// unsupported reset, or structural violation.
+pub fn parse_binary(bytes: &[u8]) -> Result<Netlist> {
+    let mut cursor = Cursor::new(bytes);
+    let (header_line, first) = cursor.text_line("`aig` header")?;
+    let header = parse_header(first, header_line, true)?;
+    let mut sections = Sections { maxvar: header.maxvar, ..Default::default() };
+
+    // Inputs are implicit: variables 1..=I.
+    for i in 0..header.inputs {
+        sections.inputs.push((2 * (i + 1), header_line));
+    }
+    for i in 0..header.latches {
+        let lhs = 2 * (header.inputs + i + 1);
+        let (lineno, line) = cursor.text_line("latch")?;
+        let nums = parse_numbers(line, lineno, "latch", 1, 2)?;
+        let reset = if nums.len() == 2 { parse_reset(nums[1], lhs, lineno)? } else { false };
+        sections.latches.push((lhs, nums[0], reset, lineno));
+    }
+    for _ in 0..header.outputs {
+        let (lineno, line) = cursor.text_line("output")?;
+        let nums = parse_numbers(line, lineno, "output", 1, 1)?;
+        sections.outputs.push((nums[0], lineno));
+    }
+    // The AND blob: gate i has implicit lhs 2(I+L+1+i) and stores
+    // delta0 = lhs - rhs0, delta1 = rhs0 - rhs1 with lhs > rhs0 >= rhs1.
+    let blob_line = cursor.line;
+    for i in 0..header.ands {
+        let lhs = 2 * (header.inputs + header.latches + 1 + i);
+        let delta0 = cursor.varint(i)?;
+        let delta1 = cursor.varint(i)?;
+        if delta0 == 0 || delta0 > lhs {
+            return Err(syntax(
+                blob_line,
+                format!("AND gate #{i}: delta0 {delta0} breaks lhs {lhs} > rhs0"),
+            ));
+        }
+        let rhs0 = lhs - delta0;
+        if delta1 > rhs0 {
+            return Err(syntax(
+                blob_line,
+                format!("AND gate #{i}: delta1 {delta1} breaks rhs0 {rhs0} >= rhs1"),
+            ));
+        }
+        sections.ands.push((lhs, rhs0, rhs0 - delta1, blob_line));
+    }
+    cursor.line = blob_line;
+    let mut in_symbols = true;
+    while cursor.pos < cursor.bytes.len() {
+        let (lineno, line) = cursor.text_line("symbol")?;
+        if in_symbols {
+            in_symbols = parse_symbol_line(line, lineno, &header, &mut sections)?;
+        } else if sections.model_name.is_none() {
+            sections.model_name = Some(line.to_string());
+        }
+    }
+    build_netlist(sections)
+}
+
+/// Parses either AIGER form, sniffing the magic (`aag` vs `aig`) from
+/// the first bytes.
+///
+/// # Errors
+///
+/// Returns a positioned [`ParseNetlistError`]; an unrecognized magic is
+/// a line-1 syntax error.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Netlist> {
+    if bytes.starts_with(b"aig ") || bytes.starts_with(b"aig\t") {
+        parse_binary(bytes)
+    } else if bytes.starts_with(b"aag ") || bytes.starts_with(b"aag\t") {
+        parse_ascii(
+            std::str::from_utf8(bytes)
+                .map_err(|_| syntax(1, "ASCII AIGER file is not valid UTF-8"))?,
+        )
+    } else {
+        Err(syntax(1, "not an AIGER file: expected `aag` or `aig` magic"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Netlist construction (shared by both parsers)
+// ---------------------------------------------------------------------
+
+/// What defines an AIG variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarDef {
+    Input(usize),
+    Latch(usize),
+    And(usize),
+}
+
+fn build_netlist(sections: Sections) -> Result<Netlist> {
+    // Map every defined variable; duplicates and parity errors surface
+    // with the line of the offending definition.
+    let mut defs: HashMap<u64, VarDef> = HashMap::new();
+    let mut define = |lit: u64, def: VarDef, what: &str, line: usize| -> Result<u64> {
+        if lit <= 1 || !lit.is_multiple_of(2) {
+            return Err(syntax(
+                line,
+                format!("{what} literal {lit} must be an even non-constant literal"),
+            ));
+        }
+        let var = lit / 2;
+        if var > sections.maxvar {
+            return Err(syntax(
+                line,
+                format!("{what} literal {lit} exceeds maxvar {} (max literal {})",
+                    sections.maxvar, 2 * sections.maxvar + 1),
+            ));
+        }
+        if defs.insert(var, def).is_some() {
+            return Err(syntax(line, format!("duplicate definition of variable {var} ({what} literal {lit})")));
+        }
+        Ok(var)
+    };
+    let mut input_vars = Vec::with_capacity(sections.inputs.len());
+    for (i, &(lit, line)) in sections.inputs.iter().enumerate() {
+        input_vars.push(define(lit, VarDef::Input(i), "input", line)?);
+    }
+    let mut latch_vars = Vec::with_capacity(sections.latches.len());
+    for (i, &(lhs, _, _, line)) in sections.latches.iter().enumerate() {
+        latch_vars.push(define(lhs, VarDef::Latch(i), "latch", line)?);
+    }
+    let mut and_vars = Vec::with_capacity(sections.ands.len());
+    for (i, &(lhs, _, _, line)) in sections.ands.iter().enumerate() {
+        and_vars.push(define(lhs, VarDef::And(i), "AND", line)?);
+    }
+    let check_ref = |lit: u64, line: usize| -> Result<()> {
+        let var = lit / 2;
+        if var > sections.maxvar {
+            return Err(syntax(
+                line,
+                format!("literal {lit} exceeds maxvar {} (max literal {})",
+                    sections.maxvar, 2 * sections.maxvar + 1),
+            ));
+        }
+        if var != 0 && !defs.contains_key(&var) {
+            return Err(syntax(line, format!("literal {lit} references undefined variable {var}")));
+        }
+        Ok(())
+    };
+    for &(_, next, _, line) in &sections.latches {
+        check_ref(next, line)?;
+    }
+    for &(lit, line) in &sections.outputs {
+        check_ref(lit, line)?;
+    }
+    for &(_, rhs0, rhs1, line) in &sections.ands {
+        check_ref(rhs0, line)?;
+        check_ref(rhs1, line)?;
+    }
+
+    // Resolve names: symbol-table entries first (their namespace must be
+    // collision-free), then deterministic fallbacks for everything else.
+    let mut input_names: Vec<Option<(String, usize)>> = vec![None; sections.inputs.len()];
+    let mut latch_names: Vec<Option<(String, usize)>> = vec![None; sections.latches.len()];
+    let mut output_names: Vec<Option<(String, usize)>> = vec![None; sections.outputs.len()];
+    for (category, pos, name, line) in sections.symbols {
+        if name.contains(['(', ')', '=', '#']) {
+            // These characters are structural in the `.bench`/BLIF
+            // writers this netlist may be serialized back through.
+            return Err(syntax(line, format!("symbol name `{name}` contains reserved punctuation")));
+        }
+        let slot = match category {
+            'i' => &mut input_names[pos],
+            'l' => &mut latch_names[pos],
+            _ => &mut output_names[pos],
+        };
+        *slot = Some((name, line));
+    }
+    // Inputs and latches share the netlist's signal namespace; outputs
+    // live in their own (an output may legally be named after its
+    // driver), but two outputs sharing a name would collide in the
+    // `.bench`/BLIF writers.
+    let mut taken: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for (name, line) in input_names.iter().chain(latch_names.iter()).flatten() {
+        if !taken.insert(name.clone()) {
+            return Err(ParseNetlistError::DuplicateName { name: name.clone(), line: *line });
+        }
+    }
+    {
+        let mut seen = std::collections::HashSet::new();
+        for (name, line) in output_names.iter().flatten() {
+            if !seen.insert(name.clone()) {
+                return Err(ParseNetlistError::DuplicateName { name: name.clone(), line: *line });
+            }
+        }
+    }
+    let fresh = |base: String, taken: &mut std::collections::HashSet<String>| -> String {
+        if taken.insert(base.clone()) {
+            return base;
+        }
+        let mut k = 0usize;
+        loop {
+            let candidate = format!("{base}_{k}");
+            if taken.insert(candidate.clone()) {
+                return candidate;
+            }
+            k += 1;
+        }
+    };
+
+    // Build the netlist: inputs, latches, then ANDs in dependency order
+    // (ASCII files may list them in any order), materializing NOT gates
+    // for negated literals on first use.
+    let mut n = Netlist::new(sections.model_name.as_deref().unwrap_or("aiger"));
+    let mut sig_of_var: HashMap<u64, SignalId> = HashMap::new();
+    for (i, &var) in input_vars.iter().enumerate() {
+        let name = match input_names[i].take() {
+            Some((name, _)) => name,
+            None => fresh(format!("i{i}"), &mut taken),
+        };
+        sig_of_var.insert(var, n.add_input(name));
+    }
+    for (i, &var) in latch_vars.iter().enumerate() {
+        let name = match latch_names[i].take() {
+            Some((name, _)) => name,
+            None => fresh(format!("l{i}"), &mut taken),
+        };
+        sig_of_var.insert(var, n.add_latch(name, sections.latches[i].2));
+    }
+    let mut consts: [Option<SignalId>; 2] = [None, None];
+    let mut nots: HashMap<SignalId, SignalId> = HashMap::new();
+    // Iterative strict-literal resolution: `stack` holds AND indices
+    // whose gate is still missing; a grey mark detects cycles.
+    let and_index_of_var: HashMap<u64, usize> =
+        and_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let mut visiting = vec![false; sections.ands.len()];
+    for start in 0..sections.ands.len() {
+        if sig_of_var.contains_key(&and_vars[start]) {
+            continue;
+        }
+        let mut stack = vec![start];
+        while let Some(&i) = stack.last() {
+            let (_, rhs0, rhs1, line) = sections.ands[i];
+            if sig_of_var.contains_key(&and_vars[i]) {
+                visiting[i] = false;
+                stack.pop();
+                continue;
+            }
+            visiting[i] = true;
+            let mut blocked = false;
+            for rhs in [rhs0, rhs1] {
+                let var = rhs / 2;
+                if var == 0 || sig_of_var.contains_key(&var) {
+                    continue;
+                }
+                let dep = and_index_of_var[&var];
+                if visiting[dep] {
+                    return Err(ParseNetlistError::CombinationalCycle(format!(
+                        "variable {var} (AND defined from line {line})"
+                    )));
+                }
+                stack.push(dep);
+                blocked = true;
+            }
+            if blocked {
+                continue;
+            }
+            // Both operands resolvable now.
+            let mut operand = |lit: u64| -> SignalId {
+                let base = if lit / 2 == 0 {
+                    *consts[0].get_or_insert_with(|| {
+                        let name = fresh("c0".to_string(), &mut taken);
+                        n.add_const(name, false)
+                    })
+                } else {
+                    sig_of_var[&(lit / 2)]
+                };
+                if lit.is_multiple_of(2) {
+                    base
+                } else if let Some(&inv) = nots.get(&base) {
+                    inv
+                } else {
+                    let name = fresh(format!("n{lit}"), &mut taken);
+                    let inv = n.add_gate(name, GateKind::Not, vec![base]);
+                    nots.insert(base, inv);
+                    nots.insert(inv, base);
+                    inv
+                }
+            };
+            let a = operand(rhs0);
+            let b = operand(rhs1);
+            let name = fresh(format!("a{}", and_vars[i]), &mut taken);
+            let gate = n.add_gate(name, GateKind::And, vec![a, b]);
+            sig_of_var.insert(and_vars[i], gate);
+            visiting[i] = false;
+            stack.pop();
+        }
+    }
+    // Literal resolution for latch-next and output positions, where
+    // every variable now has a signal.
+    let mut resolve = |n: &mut Netlist, lit: u64| -> SignalId {
+        let base = if lit / 2 == 0 {
+            *consts[0].get_or_insert_with(|| {
+                let name = fresh("c0".to_string(), &mut taken);
+                n.add_const(name, false)
+            })
+        } else {
+            sig_of_var[&(lit / 2)]
+        };
+        if lit.is_multiple_of(2) {
+            base
+        } else if let Some(&inv) = nots.get(&base) {
+            inv
+        } else {
+            let name = fresh(format!("n{lit}"), &mut taken);
+            let inv = n.add_gate(name, GateKind::Not, vec![base]);
+            nots.insert(base, inv);
+            nots.insert(inv, base);
+            inv
+        }
+    };
+    for (i, &(_, next, _, _)) in sections.latches.iter().enumerate() {
+        let sig = resolve(&mut n, next);
+        let latch = sig_of_var[&latch_vars[i]];
+        n.set_latch_next(latch, sig);
+    }
+    for (i, &(lit, _)) in sections.outputs.iter().enumerate() {
+        let sig = resolve(&mut n, lit);
+        let name = match output_names[i].take() {
+            Some((name, _)) => name,
+            None => {
+                // Outputs have their own namespace; default names only
+                // avoid colliding with *other explicit output names*.
+                let mut base = format!("o{i}");
+                let mut k = 0usize;
+                while output_names.iter().flatten().any(|(e, _)| e == &base) {
+                    base = format!("o{i}_{k}");
+                    k += 1;
+                }
+                base
+            }
+        };
+        n.add_output(name, sig);
+    }
+    n.validate()?;
+    Ok(n)
+}
+
+// ---------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------
+
+/// Literal assignment for a netlist about to be serialized: inputs are
+/// variables `1..=I`, latches `I+1..=I+L`, AND gates follow in
+/// topological order. `Not`/`Buf` gates and constants fold into
+/// literals.
+struct Encoding {
+    /// Literal per signal index (`u64::MAX` = not yet resolved).
+    lit: Vec<u64>,
+    /// AND gates in emission (variable) order.
+    ands: Vec<SignalId>,
+    maxvar: u64,
+}
+
+impl Encoding {
+    fn new(n: &Netlist) -> Encoding {
+        let order = n.topo_order().expect("writing an invalid netlist");
+        let mut enc = Encoding {
+            lit: vec![u64::MAX; n.num_signals()],
+            ands: Vec::new(),
+            maxvar: 0,
+        };
+        let mut var = 0u64;
+        for &i in n.inputs() {
+            var += 1;
+            enc.lit[i.index()] = 2 * var;
+        }
+        for &l in n.latches() {
+            var += 1;
+            enc.lit[l.index()] = 2 * var;
+        }
+        for s in n.signals() {
+            if let NodeKind::Const(value) = n.kind(s) {
+                enc.lit[s.index()] = u64::from(value);
+            }
+        }
+        // Topological order guarantees every gate's fanins resolve
+        // before the gate itself; Not/Buf alias instead of numbering.
+        for &g in &order {
+            let NodeKind::Gate(kind) = n.kind(g) else { unreachable!() };
+            match kind {
+                GateKind::And => {
+                    assert_eq!(
+                        n.fanins(g).len(),
+                        2,
+                        "AIGER writer requires two-input ANDs (run aig::to_aig first)"
+                    );
+                    var += 1;
+                    enc.lit[g.index()] = 2 * var;
+                    enc.ands.push(g);
+                }
+                GateKind::Not => {
+                    enc.lit[g.index()] = enc.lit[n.fanins(g)[0].index()] ^ 1;
+                }
+                GateKind::Buf => {
+                    enc.lit[g.index()] = enc.lit[n.fanins(g)[0].index()];
+                }
+                other => panic!(
+                    "AIGER writer requires an and/inverter netlist, found {other} (run aig::to_aig first)"
+                ),
+            }
+        }
+        enc.maxvar = var;
+        enc
+    }
+
+    fn lit(&self, s: SignalId) -> u64 {
+        let lit = self.lit[s.index()];
+        debug_assert_ne!(lit, u64::MAX, "unresolved literal");
+        lit
+    }
+}
+
+/// Returns `n` if it is already an and/inverter netlist (only two-input
+/// `And`, `Not`, and `Buf` gates), or its [`crate::aig::to_aig`]
+/// lowering otherwise.
+fn as_aig(n: &Netlist) -> std::borrow::Cow<'_, Netlist> {
+    let is_aig = n.signals().all(|s| match n.kind(s) {
+        NodeKind::Gate(GateKind::And) => n.fanins(s).len() == 2,
+        NodeKind::Gate(GateKind::Not | GateKind::Buf) => true,
+        NodeKind::Gate(_) => false,
+        _ => true,
+    });
+    if is_aig {
+        std::borrow::Cow::Borrowed(n)
+    } else {
+        std::borrow::Cow::Owned(crate::aig::to_aig(n))
+    }
+}
+
+fn symbol_table(n: &Netlist) -> String {
+    let mut out = String::new();
+    for (i, &s) in n.inputs().iter().enumerate() {
+        let _ = writeln!(out, "i{i} {}", n.signal_name(s));
+    }
+    for (i, &l) in n.latches().iter().enumerate() {
+        let _ = writeln!(out, "l{i} {}", n.signal_name(l));
+    }
+    for (i, (name, _)) in n.outputs().iter().enumerate() {
+        let _ = writeln!(out, "o{i} {name}");
+    }
+    let _ = writeln!(out, "c\n{}", n.name());
+    out
+}
+
+/// Serializes a netlist as ASCII AIGER (`aag`). Netlists containing
+/// gates other than two-input AND / NOT / BUF are lowered through
+/// [`crate::aig::to_aig`] first; the interface (inputs, latches with
+/// reset values, named outputs) is preserved either way. The output is
+/// canonical: AND variables are numbered in topological order and the
+/// full symbol table plus a comment carrying the model name are always
+/// emitted, so `write_ascii(parse(write_ascii(n))) == write_ascii(n)`.
+///
+/// # Panics
+///
+/// Panics if the netlist fails [`Netlist::validate`].
+pub fn write_ascii(n: &Netlist) -> String {
+    n.validate().expect("writing an invalid netlist");
+    let n = as_aig(n);
+    let enc = Encoding::new(&n);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aag {} {} {} {} {}",
+        enc.maxvar,
+        n.num_inputs(),
+        n.num_latches(),
+        n.num_outputs(),
+        enc.ands.len()
+    );
+    for &i in n.inputs() {
+        let _ = writeln!(out, "{}", enc.lit(i));
+    }
+    for &l in n.latches() {
+        let next = enc.lit(n.latch_next(l).expect("validated"));
+        if n.latch_init(l) {
+            let _ = writeln!(out, "{} {next} 1", enc.lit(l));
+        } else {
+            let _ = writeln!(out, "{} {next}", enc.lit(l));
+        }
+    }
+    for (_, s) in n.outputs() {
+        let _ = writeln!(out, "{}", enc.lit(*s));
+    }
+    for &g in &enc.ands {
+        let lhs = enc.lit(g);
+        let (a, b) = (enc.lit(n.fanins(g)[0]), enc.lit(n.fanins(g)[1]));
+        // Canonical operand order matches the binary form's rhs0 >= rhs1.
+        let (rhs0, rhs1) = if a >= b { (a, b) } else { (b, a) };
+        let _ = writeln!(out, "{lhs} {rhs0} {rhs1}");
+    }
+    out.push_str(&symbol_table(&n));
+    out
+}
+
+fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Serializes a netlist as binary AIGER (`aig`); see [`write_ascii`] for
+/// the lowering and canonicality contract, which holds across forms:
+/// `parse` of either serialization re-emits byte-identically in both.
+///
+/// # Panics
+///
+/// Panics if the netlist fails [`Netlist::validate`].
+pub fn write_binary(n: &Netlist) -> Vec<u8> {
+    n.validate().expect("writing an invalid netlist");
+    let n = as_aig(n);
+    let enc = Encoding::new(&n);
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "aig {} {} {} {} {}\n",
+            enc.maxvar,
+            n.num_inputs(),
+            n.num_latches(),
+            n.num_outputs(),
+            enc.ands.len()
+        )
+        .as_bytes(),
+    );
+    for &l in n.latches() {
+        let next = enc.lit(n.latch_next(l).expect("validated"));
+        if n.latch_init(l) {
+            out.extend_from_slice(format!("{next} 1\n").as_bytes());
+        } else {
+            out.extend_from_slice(format!("{next}\n").as_bytes());
+        }
+    }
+    for (_, s) in n.outputs() {
+        out.extend_from_slice(format!("{}\n", enc.lit(*s)).as_bytes());
+    }
+    for &g in &enc.ands {
+        let lhs = enc.lit(g);
+        let (a, b) = (enc.lit(n.fanins(g)[0]), enc.lit(n.fanins(g)[1]));
+        let (rhs0, rhs1) = if a >= b { (a, b) } else { (b, a) };
+        debug_assert!(lhs > rhs0, "AND literal must exceed its operands");
+        push_varint(&mut out, lhs - rhs0);
+        push_varint(&mut out, rhs0 - rhs1);
+    }
+    out.extend_from_slice(symbol_table(&n).as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::random_co_simulation;
+
+    fn toggle() -> Netlist {
+        let mut n = Netlist::new("toggle");
+        let en = n.add_input("en");
+        let q = n.add_latch("q", false);
+        let d = n.add_gate("d", GateKind::Xor, vec![en, q]);
+        n.set_latch_next(q, d);
+        n.add_output("out", q);
+        n
+    }
+
+    #[test]
+    fn parses_minimal_ascii() {
+        // Single AND of two inputs, negated output.
+        let text = "aag 3 2 0 1 1\n2\n4\n7\n6 4 2\ni0 a\ni1 b\no0 f\n";
+        let n = parse_ascii(text).expect("parses");
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_latches(), 0);
+        assert_eq!(n.num_outputs(), 1);
+        assert!(n.signal("a").is_some());
+        assert_eq!(n.outputs()[0].0, "f");
+        // f = !(a & b): the output is driven through a NOT gate.
+        let (_, sig) = &n.outputs()[0];
+        assert!(matches!(n.kind(*sig), NodeKind::Gate(GateKind::Not)));
+    }
+
+    #[test]
+    fn parses_latch_resets() {
+        // Two latches: reset 1 and explicit reset 0, shifting an input.
+        let text = "aag 3 1 2 1 0\n2\n4 2 1\n6 4 0\n6\n";
+        let n = parse_ascii(text).expect("parses");
+        assert_eq!(n.num_latches(), 2);
+        let l0 = n.latches()[0];
+        let l1 = n.latches()[1];
+        assert!(n.latch_init(l0));
+        assert!(!n.latch_init(l1));
+    }
+
+    #[test]
+    fn uninitialized_reset_rejected() {
+        let text = "aag 1 0 1 1 0\n2 2 2\n2\n";
+        let err = parse_ascii(text).unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { line: 2, ref message }
+                if message.contains("uninitialized")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        for text in ["", "aag", "aag 1 0", "aag 1 0 0 0", "aig 0 0"] {
+            let err = parse_bytes(text.as_bytes()).unwrap_err();
+            assert!(matches!(err, ParseNetlistError::Syntax { line: 1, .. }), "{text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn nonzero_19_sections_rejected() {
+        let err = parse_ascii("aag 1 1 0 0 0 1\n2\n4\n").unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { line: 1, ref message }
+                if message.contains("B (bad)")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_literal_rejected() {
+        let err = parse_ascii("aag 1 1 0 1 0\n2\n9\n").unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { line: 3, ref message }
+                if message.contains("exceeds maxvar")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_latch_definition_rejected() {
+        let err = parse_ascii("aag 3 1 2 0 0\n2\n4 2\n4 2\n").unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { line: 4, ref message }
+                if message.contains("duplicate definition")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        let err = parse_ascii("aag 3 1 0 1 0\n2\n4\n").unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { line: 3, ref message }
+                if message.contains("undefined variable")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn combinational_cycle_rejected() {
+        // Two ANDs referencing each other (legal order-wise in ASCII).
+        let text = "aag 3 1 0 1 2\n2\n4\n4 6 2\n6 4 2\n";
+        let err = parse_ascii(text).unwrap_err();
+        assert!(matches!(err, ParseNetlistError::CombinationalCycle(_)), "{err}");
+    }
+
+    #[test]
+    fn ascii_ands_in_any_order() {
+        // The deeper AND is listed first; parsing must still succeed.
+        let text = "aag 4 2 0 1 2\n2\n4\n8\n8 6 2\n6 4 2\n";
+        let n = parse_ascii(text).expect("order-independent");
+        assert_eq!(n.num_gates(), 2);
+    }
+
+    #[test]
+    fn binary_round_trips_handmade_file() {
+        // aig 3 2 0 1 1: f = a & b; deltas 2, 2.
+        let bytes = b"aig 3 2 0 1 1\n6\n\x02\x02i0 a\ni1 b\no0 f\nc\nand2\n";
+        let n = parse_binary(bytes).expect("parses");
+        assert_eq!(n.name(), "and2");
+        assert_eq!((n.num_inputs(), n.num_gates(), n.num_outputs()), (2, 1, 1));
+        assert_eq!(write_binary(&n), bytes.to_vec());
+    }
+
+    #[test]
+    fn binary_truncated_varint_rejected() {
+        let err = parse_binary(b"aig 3 2 0 1 1\n6\n\x82").unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { ref message, .. }
+                if message.contains("truncated varint")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_bad_delta_rejected() {
+        // delta0 = 9 > lhs 6.
+        let err = parse_binary(b"aig 3 2 0 1 1\n6\n\x09\x00").unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { ref message, .. }
+                if message.contains("delta0")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_overlong_varint_rejected() {
+        let mut bytes = b"aig 3 2 0 1 1\n6\n".to_vec();
+        bytes.extend_from_slice(&[0xff; 12]);
+        let err = parse_binary(&bytes).unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { ref message, .. }
+                if message.contains("overflows")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_maxvar_mismatch_rejected() {
+        let err = parse_binary(b"aig 9 2 0 1 1\n6\n\x02\x02").unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { line: 1, ref message }
+                if message.contains("maxvar = I + L + A")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_symbol_entry_rejected() {
+        let err = parse_ascii("aag 1 1 0 1 0\n2\n2\ni0 a\ni0 b\n").unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { line: 5, ref message }
+                if message.contains("duplicate symbol")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_symbol_names_rejected() {
+        let err = parse_ascii("aag 2 2 0 0 0\n2\n4\ni0 x\ni1 x\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::DuplicateName { .. }), "{err}");
+    }
+
+    #[test]
+    fn symbol_position_out_of_range_rejected() {
+        let err = parse_ascii("aag 1 1 0 1 0\n2\n2\ni5 a\n").unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { line: 4, ref message }
+                if message.contains("out of range")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn maxvar_holes_are_legal_in_ascii() {
+        // M = 9 but only 2 variables in use: the spec allows holes.
+        let n = parse_ascii("aag 9 1 0 1 0\n2\n3\n").expect("holes are legal");
+        assert_eq!(n.num_inputs(), 1);
+        // The re-emission compacts to the used variables.
+        assert!(write_ascii(&n).starts_with("aag 1 1 0 1 0\n"));
+    }
+
+    #[test]
+    fn constant_literals_resolve() {
+        // o0 = false literal, o1 = true literal, and = a & !0 (= a).
+        let text = "aag 2 1 0 3 1\n2\n0\n1\n4\n4 2 1\n";
+        let n = parse_ascii(text).expect("constants are legal");
+        assert_eq!(n.num_outputs(), 3);
+        let mut sim = crate::sim::Simulator::new(&n);
+        let out = sim.eval_comb(&[u64::MAX]);
+        assert_eq!(out[0], 0, "literal 0 is constant false");
+        assert_eq!(out[1], u64::MAX, "literal 1 is constant true");
+        assert_eq!(out[2], u64::MAX, "a & true = a");
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour_and_is_stable() {
+        let n = toggle();
+        let ascii = write_ascii(&n);
+        let binary = write_binary(&n);
+        let from_ascii = parse_ascii(&ascii).expect("own ascii output parses");
+        let from_binary = parse_binary(&binary).expect("own binary output parses");
+        assert!(random_co_simulation(&n, &from_ascii, 32, 11));
+        assert!(random_co_simulation(&n, &from_binary, 32, 11));
+        assert_eq!(from_ascii.name(), "toggle", "model name survives the comment section");
+        // Cross-form byte stability: re-emitting either parse result
+        // reproduces both serializations exactly.
+        assert_eq!(write_ascii(&from_binary), ascii);
+        assert_eq!(write_binary(&from_ascii), binary);
+        // Reset values survive.
+        let mut hot = toggle();
+        let q2 = hot.add_latch("hot", true);
+        let d = hot.signal("d").unwrap();
+        hot.set_latch_next(q2, d);
+        hot.add_output("hot_out", q2);
+        let back = parse_ascii(&write_ascii(&hot)).unwrap();
+        assert!(back.latch_init(back.signal("hot").unwrap()));
+    }
+
+    #[test]
+    fn writer_lowers_wide_gates() {
+        let text = "aag 2 2 0 1 0\n2\n4\n2\ni0 a\ni1 b\no0 f\n";
+        let n = parse_ascii(text).unwrap();
+        assert_eq!(write_ascii(&n), text.to_string() + "c\naiger\n");
+        // A non-AIG netlist lowers transparently.
+        let mut wide = Netlist::new("wide");
+        let a = wide.add_input("a");
+        let b = wide.add_input("b");
+        let c = wide.add_input("c");
+        let g = wide.add_gate("g", GateKind::Nor, vec![a, b, c]);
+        wide.add_output("g", g);
+        let back = parse_ascii(&write_ascii(&wide)).expect("lowered output parses");
+        assert!(random_co_simulation(&wide, &back, 16, 3));
+    }
+
+    #[test]
+    fn sniffs_both_forms() {
+        let n = toggle();
+        assert!(parse_bytes(write_ascii(&n).as_bytes()).is_ok());
+        assert!(parse_bytes(&write_binary(&n)).is_ok());
+        assert!(matches!(
+            parse_bytes(b"INPUT(a)\n"),
+            Err(ParseNetlistError::Syntax { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn reserved_punctuation_in_symbols_rejected() {
+        let err = parse_ascii("aag 1 1 0 0 0\n2\ni0 a(1)\n").unwrap_err();
+        assert!(
+            matches!(err, ParseNetlistError::Syntax { line: 3, ref message }
+                if message.contains("reserved punctuation")),
+            "{err}"
+        );
+    }
+}

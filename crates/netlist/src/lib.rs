@@ -7,6 +7,7 @@
 //!
 //! - [`bench`]: ISCAS-89 `.bench` format parsing and writing,
 //! - [`blif`]: a BLIF subset (`.names` covers are expanded to gates),
+//! - [`aiger`]: AIGER 1.9 ASCII and binary and/inverter-graph files,
 //! - [`sim`]: 64-way parallel sequential simulation,
 //! - [`clean`]: the paper's structural pre-processing — removal of cloned,
 //!   dead, and constant latches (§3.6), plus constant propagation and
@@ -30,6 +31,7 @@
 //! ```
 
 pub mod aig;
+pub mod aiger;
 pub mod bench;
 pub mod blif;
 pub mod clean;

@@ -49,8 +49,11 @@
 //! unreachable-state don't cares before computing the choices — the
 //! paper's Figure 3.1 flow on your own netlist.
 //!
-//! Netlist formats are chosen by extension: `.bench` (ISCAS-89) or
-//! `.blif`.
+//! Netlist formats are chosen by extension: `.bench` (ISCAS-89),
+//! `.blif`, `.aag` (ASCII AIGER), or `.aig` (binary AIGER). `convert`
+//! translates between any pair, so `symbi convert design.aig
+//! design.bench` imports an HWMCC-style benchmark into the ISCAS world
+//! and vice versa.
 
 use std::collections::HashMap;
 use std::path::Path;
@@ -58,7 +61,7 @@ use std::process::ExitCode;
 use symbi::bdd::Manager;
 use symbi::core::{and_dec, or_dec, xor_dec, Interval};
 use symbi::netlist::cone::ConeExtractor;
-use symbi::netlist::{bench, blif, clean, sec, stats, Netlist};
+use symbi::netlist::{aiger, bench, blif, clean, sec, stats, Netlist};
 use symbi::reach::Reachability;
 use symbi::synth::flow::{optimize, SynthesisOptions};
 use symbi::synth::genlib::Library;
@@ -101,9 +104,14 @@ usage:
   symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]";
 
 fn load(path: &str) -> Result<Netlist, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    // Binary AIGER is the one format that is not UTF-8 text.
+    if ext == "aig" || ext == "aag" || bytes.starts_with(b"aig ") {
+        return aiger::parse_bytes(&bytes).map_err(|e| format!("{path}: {e}"));
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|e| format!("{path}: not valid UTF-8 text: {e}"))?;
     match ext {
         "blif" => blif::parse(&text).map_err(|e| format!("{path}: {e}")),
         _ => bench::parse(&text).map_err(|e| format!("{path}: {e}")),
@@ -112,11 +120,13 @@ fn load(path: &str) -> Result<Netlist, String> {
 
 fn save(n: &Netlist, path: &str) -> Result<(), String> {
     let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
-    let text = match ext {
-        "blif" => blif::write(n),
-        _ => bench::write(n),
+    let bytes = match ext {
+        "blif" => blif::write(n).into_bytes(),
+        "aag" => aiger::write_ascii(n).into_bytes(),
+        "aig" => aiger::write_binary(n),
+        _ => bench::write(n).into_bytes(),
     };
-    std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))
+    std::fs::write(path, bytes).map_err(|e| format!("cannot write `{path}`: {e}"))
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
