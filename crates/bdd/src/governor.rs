@@ -130,11 +130,16 @@ pub enum FaultSite {
     /// One governed BDD→CNF encoding pass (the Tseitin translation a
     /// governed SAT check or SEC frame performs before solving).
     SatEncode,
+    /// Entry of one shared-memory concurrent kernel operation (the
+    /// coordinator crosses it exactly once per dispatched apply/ITE/
+    /// quantify, before any worker thread is spawned, so crossing
+    /// counts stay deterministic under any worker count).
+    BddSharedApply,
 }
 
 impl FaultSite {
     /// Number of registered sites.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// Every registered site, in registry order. Chaos sweeps iterate
     /// this to enumerate cells; keep it in sync with the enum. New sites
@@ -153,6 +158,7 @@ impl FaultSite {
         FaultSite::ParTask,
         FaultSite::PortfolioRace,
         FaultSite::SatEncode,
+        FaultSite::BddSharedApply,
     ];
 
     /// Stable index into per-site counter arrays.
@@ -170,6 +176,7 @@ impl FaultSite {
             FaultSite::ParTask => 9,
             FaultSite::PortfolioRace => 10,
             FaultSite::SatEncode => 11,
+            FaultSite::BddSharedApply => 12,
         }
     }
 
@@ -188,6 +195,7 @@ impl FaultSite {
             FaultSite::ParTask => "par.task",
             FaultSite::PortfolioRace => "portfolio.race",
             FaultSite::SatEncode => "sat.encode",
+            FaultSite::BddSharedApply => "bdd.shared_apply",
         }
     }
 }
@@ -1037,11 +1045,13 @@ mod tests {
     fn new_sites_parse_and_index_stably() {
         assert_eq!("portfolio.race".parse::<FaultSite>().unwrap(), FaultSite::PortfolioRace);
         assert_eq!("sat.encode".parse::<FaultSite>().unwrap(), FaultSite::SatEncode);
+        assert_eq!("bdd.shared_apply".parse::<FaultSite>().unwrap(), FaultSite::BddSharedApply);
         // Appended at the end: pre-existing indices (and thus the kinds
         // seeds derive for old chaos cells) are unchanged.
         assert_eq!(FaultSite::ParTask.index(), 9);
         assert_eq!(FaultSite::PortfolioRace.index(), 10);
         assert_eq!(FaultSite::SatEncode.index(), 11);
+        assert_eq!(FaultSite::BddSharedApply.index(), 12);
         for (i, site) in FaultSite::ALL.iter().enumerate() {
             assert_eq!(site.index(), i);
         }

@@ -65,6 +65,7 @@ mod node;
 pub mod par;
 mod quant;
 mod restrict;
+mod shared;
 mod transfer;
 
 pub use governor::{

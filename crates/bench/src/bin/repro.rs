@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32
-//!        | sat-stats | parallel | portfolio | bdd-bench | reach-bench | chaos
-//!        | corpus]
+//!        | sat-stats | parallel | portfolio | bdd-bench | shared-bench
+//!        | reach-bench | chaos | corpus]
 //!       [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>]
 //!       [--corpus-dir <dir>]
 //! ```
@@ -24,6 +24,10 @@
 //! reproducible; `bdd-bench` races the production BDD kernel
 //! against a frozen pre-overhaul re-implementation (plus an auto-GC
 //! on/off reachability memory comparison) and writes `BENCH_bdd.json`;
+//! `shared-bench` replays the same churn and reachability workloads on
+//! the shared-memory concurrent kernel at 1/2/4/8 workers, asserts
+//! every arm's canonical result fingerprint matches the sequential
+//! reference, and writes `BENCH_shared.json`;
 //! `reach-bench` races the legacy per-bit image schedule against the
 //! clustered image engine on the seq4–seq9 circuits — asserting both
 //! reach identical sets — and writes `BENCH_reach.json`; `chaos` sweeps
@@ -42,7 +46,7 @@
 use std::time::Duration;
 use symbi_bench::{
     adder_row, figure31, figure32, mux_row, table31_row, table32_row, write_bdd_json,
-    write_parallel_json, write_reach_json, write_sat_json, Table31Options,
+    write_parallel_json, write_reach_json, write_sat_json, write_shared_json, Table31Options,
 };
 use symbi_circuits::{industrial, iscas_like};
 use symbi_synth::flow::SynthesisOptions;
@@ -111,6 +115,7 @@ fn main() {
         "parallel" => parallel(quick, jobs, &out_or("BENCH_parallel.json")),
         "portfolio" => portfolio(quick, &out_or("BENCH_portfolio.json")),
         "bdd-bench" => bdd_bench(quick, &out_or("BENCH_bdd.json")),
+        "shared-bench" => shared_bench(quick, &out_or("BENCH_shared.json")),
         "reach-bench" => reach_bench(quick, &out_or("BENCH_reach.json")),
         "chaos" => chaos(quick, seed, &out_or("BENCH_chaos.json")),
         "corpus" => {
@@ -126,6 +131,7 @@ fn main() {
             sat_stats(quick, &out_or("BENCH_sat.json"));
             portfolio(quick, &out_or("BENCH_portfolio.json"));
             bdd_bench(quick, &out_or("BENCH_bdd.json"));
+            shared_bench(quick, &out_or("BENCH_shared.json"));
             reach_bench(quick, &out_or("BENCH_reach.json"));
             chaos(quick, seed, &out_or("BENCH_chaos.json"));
             corpus(quick, jobs, seed, corpus_dir.clone(), &out_or("BENCH_corpus.json"));
@@ -133,7 +139,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|portfolio|bdd-bench|reach-bench|chaos|corpus] [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>] [--corpus-dir <dir>]"
+                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|portfolio|bdd-bench|shared-bench|reach-bench|chaos|corpus] [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>] [--corpus-dir <dir>]"
             );
             std::process::exit(2);
         }
@@ -352,6 +358,31 @@ fn bdd_bench(quick: bool, out_path: &str) {
             hit_pct,
         );
     }
+}
+
+fn shared_bench(quick: bool, out_path: &str) {
+    println!("\n=== Shared-memory kernel: 1/2/4/8 workers (written to {out_path}) ===");
+    println!(
+        "{:>14} {:>8} {:>10} {:>10} {:>12} {:>8} {:>20}",
+        "Workload", "Workers", "Ops", "Seconds", "Ops/s", "Speedup", "Fingerprint"
+    );
+    // shared_rows itself asserts every arm's fingerprint equals the
+    // sequential reference, so reaching the printing loop is the proof.
+    let rows = write_shared_json(std::path::Path::new(out_path), quick)
+        .expect("failed to write BENCH_shared.json");
+    for r in &rows {
+        println!(
+            "{:>14} {:>8} {:>10} {:>10.3} {:>12.0} {:>8.2} {:>#20x}",
+            r.name,
+            r.workers,
+            r.ops,
+            r.seconds,
+            r.ops_per_sec(),
+            r.speedup(),
+            r.fingerprint,
+        );
+    }
+    println!("all worker counts produced identical canonical results");
 }
 
 fn parallel(quick: bool, jobs: usize, out_path: &str) {

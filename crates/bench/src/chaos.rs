@@ -226,6 +226,14 @@ fn run_cell_body(input: &Netlist, site: FaultSite, occurrence: u64, kind: FaultK
         options.decompose.backend = symbi_core::recursive::DecBackend::Portfolio;
         options.budget.candidate_steps = PORTFOLIO_CELL_BUDGET;
     }
+    if site == FaultSite::BddSharedApply {
+        // The site only exists on the shared-memory dispatch path, so
+        // those cells run every manager with the concurrent kernel on.
+        options.kernel.shared_workers = 2;
+        if let Some(reach) = options.reach.as_mut() {
+            reach.kernel.shared_workers = 2;
+        }
+    }
     let (output, report) = optimize_governed(input, &options, &gov);
     let mut violations = Vec::new();
     if output.validate().is_err() {
@@ -243,7 +251,10 @@ fn run_cell_body(input: &Netlist, site: FaultSite, occurrence: u64, kind: FaultK
     // fault-free care set to be contained in the faulted one.
     let audit_plan = Arc::new(FaultPlan::new(seed).with_rule(site, occurrence, kind));
     let audit_gov = ResourceGovernor::unlimited().with_fault_plan(Arc::clone(&audit_plan));
-    let reach_opts = ReachabilityOptions::default();
+    let mut reach_opts = ReachabilityOptions::default();
+    if site == FaultSite::BddSharedApply {
+        reach_opts.kernel.shared_workers = 2;
+    }
     let mut clean_reach = Reachability::analyze(input, reach_opts);
     let mut faulted_reach = Reachability::analyze_governed(input, reach_opts, &audit_gov);
     let latches: Vec<SignalId> = input.latches().to_vec();

@@ -236,20 +236,41 @@ fn random_netlist(name: &str, seed: u64, inputs: usize, latches: usize, gates: u
     n
 }
 
+/// Size of the full generated pool (excluding the two-block anchor).
+/// The parameter grid below cycles inputs, latches and gate counts at
+/// mutually-prime periods, so all 200 circuits are structurally
+/// distinct even before the per-index seed perturbation.
+const GENERATED_POOL_SIZE: usize = 200;
+
+/// Circuits the `--quick` run samples from the full pool.
+const QUICK_SAMPLE: usize = 10;
+
 /// The generated arm of the corpus: the two-block rescue family (whose
-/// tight-tier behaviour separates the backends) plus seeded random
-/// sequential netlists of growing size.
+/// tight-tier behaviour separates the backends) plus [`GENERATED_POOL_SIZE`]
+/// seeded random sequential netlists spanning 2–8 inputs, 1–6 latches
+/// and 8–120 gates.
+///
+/// `quick` keeps a [`QUICK_SAMPLE`]-circuit subset: a fixed-stride slice
+/// of the full pool whose starting offset is derived from `seed`, so a
+/// quick run is a deterministic function of the seed alone (same seed ⇒
+/// same circuits, byte for byte) while still ranging over the whole
+/// grid rather than its smallest corner.
 fn generated_pool(seed: u64, quick: bool) -> Vec<(String, Netlist)> {
     let mut pool = vec![("two_block2".to_string(), two_block_cones(2))];
-    let count = if quick { 4 } else { 7 };
-    for i in 0..count {
+    let mut indices: Vec<usize> = (0..GENERATED_POOL_SIZE).collect();
+    if quick {
+        let stride = GENERATED_POOL_SIZE / QUICK_SAMPLE;
+        let offset = Rng::new(seed ^ 0x5a3e_51ab_5a3e_51ab).below(stride);
+        indices = indices.into_iter().skip(offset).step_by(stride).take(QUICK_SAMPLE).collect();
+    }
+    for i in indices {
         let name = format!("rnd{i}");
         let netlist = random_netlist(
             &name,
             seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
-            2 + i % 3,
-            1 + i % 4,
-            8 + 4 * i,
+            2 + i % 7,
+            1 + i % 6,
+            8 + (i * 7) % 113,
         );
         pool.push((name, netlist));
     }
@@ -548,6 +569,25 @@ mod tests {
             a.iter().zip(&c).any(|((_, la), (_, lc))| bench::write(la) != bench::write(lc)),
             "different seeds must vary the pool"
         );
+    }
+
+    #[test]
+    fn quick_pool_is_a_sample_of_the_full_pool() {
+        let full = generated_pool(7, false);
+        assert!(full.len() > GENERATED_POOL_SIZE, "full pool carries 200+ circuits");
+        let quick = generated_pool(7, true);
+        assert_eq!(quick.len(), QUICK_SAMPLE + 1);
+        for (name, n) in &quick {
+            let (_, reference) = full
+                .iter()
+                .find(|(full_name, _)| full_name == name)
+                .expect("every quick circuit exists in the full pool");
+            assert_eq!(
+                bench::write(n),
+                bench::write(reference),
+                "quick must sample, not regenerate, the pool"
+            );
+        }
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod corpus;
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use symbi_bdd::{KernelConfig, Manager, NodeId, VarId};
+use symbi_bdd::{KernelConfig, Manager, NodeId, ResourceGovernor, VarId};
 use symbi_circuits::{adder, mux};
 use symbi_core::{and_dec, greedy, or_dec, recursive, xor_dec, DecKind, Interval};
 use symbi_netlist::clean::clean;
@@ -790,6 +790,10 @@ pub trait ChurnKernel {
     fn and(&mut self, f: Self::H, g: Self::H) -> Self::H;
     /// Disjunction.
     fn or(&mut self, f: Self::H, g: Self::H) -> Self::H;
+    /// Observes each round's finished product just before it dies —
+    /// kernels that fold a result fingerprint (the shared-memory
+    /// identical-results assert) hook in here. Default: ignore it.
+    fn probe(&mut self, _product: Self::H) {}
     /// Called at every round boundary — the script's GC safe point.
     fn round_done(&mut self) {}
 }
@@ -872,7 +876,9 @@ pub fn churn_script<K: ChurnKernel>(
                 }
             });
         }
-        let _ = acc;
+        if let Some(product) = acc {
+            kernel.probe(product);
+        }
         kernel.round_done();
     }
     ops
@@ -1015,6 +1021,224 @@ pub fn bdd_json(rows: &[BddBenchRow]) -> String {
 pub fn write_bdd_json(path: &std::path::Path, quick: bool) -> std::io::Result<Vec<BddBenchRow>> {
     let rows = bdd_rows(quick);
     std::fs::write(path, bdd_json(&rows))?;
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------
+// Shared-memory kernel benchmark (BENCH_shared.json)
+// ---------------------------------------------------------------------
+
+/// Worker counts swept by [`shared_rows`]; `1` is the sequential
+/// reference arm ([`KernelConfig::shared_workers`] below 2 keeps the
+/// single-threaded kernel).
+pub const SHARED_WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One `BENCH_shared.json` row: a `BENCH_bdd.json` workload replayed
+/// with the shared-memory concurrent kernel at one worker count.
+///
+/// Every workload's arms must agree on `fingerprint` — a fold of
+/// canonical per-step quantities (BDD sizes, fixpoint iterations,
+/// state counts). [`shared_rows`] asserts this, so a published row set
+/// doubles as a determinism witness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedBenchRow {
+    /// Workload name (matches the `BENCH_bdd.json` row).
+    pub name: String,
+    /// `KernelConfig::shared_workers` of this arm (1 = sequential).
+    pub workers: usize,
+    /// Top-level operations (churn) or fixpoint iterations (reach).
+    pub ops: u64,
+    /// Wall-clock seconds of this arm.
+    pub seconds: f64,
+    /// Wall-clock seconds of the same workload's 1-worker arm.
+    pub baseline_seconds: f64,
+    /// Canonical result fingerprint; identical across worker counts.
+    pub fingerprint: u64,
+}
+
+impl SharedBenchRow {
+    /// Operations per second of this arm.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.seconds
+    }
+
+    /// Speedup over the sequential reference arm.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_seconds / self.seconds
+    }
+}
+
+/// Churn arm that replays the script through the budgeted `try_*`
+/// entry points — the only ones that can dispatch onto the shared
+/// work-stealing kernel — and folds each round's product size into a
+/// fingerprint. Sizes are canonical (same function ⇒ same ROBDD), so
+/// equal fingerprints across worker counts witness identical results.
+struct SharedChurn {
+    m: Manager,
+    gov: ResourceGovernor,
+    fingerprint: u64,
+}
+
+impl ChurnKernel for SharedChurn {
+    type H = NodeId;
+    fn var(&mut self, v: u32) -> NodeId {
+        Manager::var(&self.m, VarId(v))
+    }
+    fn not(&mut self, f: NodeId) -> NodeId {
+        self.m.try_not(f, &self.gov).expect("unlimited governor")
+    }
+    fn and(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.m.try_and(f, g, &self.gov).expect("unlimited governor")
+    }
+    fn or(&mut self, f: NodeId, g: NodeId) -> NodeId {
+        self.m.try_or(f, g, &self.gov).expect("unlimited governor")
+    }
+    fn probe(&mut self, product: NodeId) {
+        self.fingerprint =
+            self.fingerprint.rotate_left(7) ^ self.m.size(product) as u64;
+    }
+    fn round_done(&mut self) {
+        self.m.maybe_gc(&[]);
+    }
+}
+
+fn shared_churn_arm(
+    name: &str,
+    workers: usize,
+    rounds: usize,
+    clauses: usize,
+    width: usize,
+) -> SharedBenchRow {
+    let n_vars = 20u32;
+    let kernel = KernelConfig { shared_workers: workers, ..KernelConfig::default() };
+    let mut m = Manager::with_kernel_config(kernel);
+    m.new_vars(n_vars as usize);
+    let mut k = SharedChurn { m, gov: ResourceGovernor::unlimited(), fingerprint: 0 };
+    let start = Instant::now();
+    let ops = churn_script(&mut k, rounds, clauses, width, n_vars);
+    let seconds = start.elapsed().as_secs_f64();
+    SharedBenchRow {
+        name: name.to_string(),
+        workers,
+        ops,
+        seconds,
+        baseline_seconds: seconds,
+        fingerprint: k.fingerprint,
+    }
+}
+
+fn shared_reach_arm(
+    spec: &symbi_circuits::industrial::IndustrialSpec,
+    workers: usize,
+) -> SharedBenchRow {
+    let netlist = symbi_circuits::industrial::generate(spec);
+    let options = ReachabilityOptions {
+        kernel: KernelConfig { shared_workers: workers, ..KernelConfig::default() },
+        ..ReachabilityOptions::default()
+    };
+    let start = Instant::now();
+    let r = Reachability::analyze(&netlist, options);
+    let seconds = start.elapsed().as_secs_f64();
+    let stats = r.stats();
+    // log2_states folds every partition's reached set through canonical
+    // model counting; together with the iteration count it pins the
+    // fixpoint trajectory, not just its endpoint.
+    let fingerprint =
+        r.log2_states().to_bits() ^ (stats.iterations as u64).rotate_left(32);
+    SharedBenchRow {
+        name: format!("reach_{}", netlist.name()),
+        workers,
+        ops: stats.iterations as u64,
+        seconds,
+        baseline_seconds: seconds,
+        fingerprint,
+    }
+}
+
+/// The full `BENCH_shared.json` row set: every `BENCH_bdd.json`
+/// workload (churn microbenchmarks + industrial reachability) at each
+/// worker count in [`SHARED_WORKER_SWEEP`], with each arm's canonical
+/// fingerprint asserted identical to the sequential reference.
+///
+/// # Panics
+///
+/// Panics if any worker count produces a different result than the
+/// sequential kernel — that would be a soundness bug, not a perf
+/// regression, so it must not be serialized quietly.
+pub fn shared_rows(quick: bool) -> Vec<SharedBenchRow> {
+    let rounds = if quick { 250 } else { 600 };
+    let mut rows: Vec<SharedBenchRow> = Vec::new();
+
+    let mut sweep = |arm: &mut dyn FnMut(usize) -> SharedBenchRow| {
+        let mut reference: Option<SharedBenchRow> = None;
+        for &workers in &SHARED_WORKER_SWEEP {
+            let mut row = arm(workers);
+            match &reference {
+                None => reference = Some(row.clone()),
+                Some(seq) => {
+                    assert_eq!(
+                        row.fingerprint, seq.fingerprint,
+                        "{} diverged at {} workers from the sequential kernel",
+                        row.name, workers
+                    );
+                    row.baseline_seconds = seq.seconds;
+                }
+            }
+            rows.push(row);
+        }
+    };
+
+    sweep(&mut |w| shared_churn_arm("churn_3cnf", w, rounds, 30, 3));
+    sweep(&mut |w| shared_churn_arm("churn_5cnf", w, rounds / 2, 20, 5));
+
+    let specs: Vec<_> = if quick {
+        symbi_circuits::industrial::SPECS.iter().filter(|s| s.and_nodes < 1500).collect()
+    } else {
+        symbi_circuits::industrial::SPECS.iter().collect()
+    };
+    for spec in specs {
+        sweep(&mut |w| shared_reach_arm(spec, w));
+    }
+    rows
+}
+
+/// Serializes [`SharedBenchRow`]s as JSON (hand-written — no serde in
+/// the workspace) in a stable schema for longitudinal comparison.
+pub fn shared_json(rows: &[SharedBenchRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"symbi-shared-bench/v1\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"workers\": {}, \"ops\": {}, ",
+                "\"seconds\": {:.6}, \"ops_per_sec\": {:.1}, ",
+                "\"speedup_vs_sequential\": {:.3}, ",
+                "\"fingerprint\": \"{:#018x}\"}}{}\n"
+            ),
+            r.name,
+            r.workers,
+            r.ops,
+            r.seconds,
+            r.ops_per_sec(),
+            r.speedup(),
+            r.fingerprint,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Runs [`shared_rows`] and writes [`shared_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_shared_json(
+    path: &std::path::Path,
+    quick: bool,
+) -> std::io::Result<Vec<SharedBenchRow>> {
+    let rows = shared_rows(quick);
+    std::fs::write(path, shared_json(&rows))?;
     Ok(rows)
 }
 

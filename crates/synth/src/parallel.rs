@@ -276,7 +276,7 @@ fn decompose_candidate(
     options: &SynthesisOptions,
     gov: &ResourceGovernor,
 ) -> Decomposition {
-    let mut m = Manager::new();
+    let mut m = Manager::with_kernel_config(options.kernel);
     let mut extractor = ConeExtractor::with_dfs_layout(cleaned, &mut m);
     for &cut in &cut_points[..task.cuts_prefix] {
         let v = VarId(m.num_vars() as u32);

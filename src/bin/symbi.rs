@@ -6,8 +6,8 @@
 //! symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
 //!                 [--dec-backend bdd|sat|portfolio] [--sat-conflicts N]
 //!                 [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
-//!                 [--jobs N] [--cache-bits N] [--no-auto-gc] [--auto-reorder]
-//!                 [--cluster-limit N]
+//!                 [--jobs N] [--shared-workers N] [--cache-bits N]
+//!                 [--no-auto-gc] [--auto-reorder] [--cluster-limit N]
 //!                 [--fault-plan site:occurrence:kind ...] [--fault-seed N]
 //! symbi check     <a> <b> [--frames N] [--exact]
 //! symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]
@@ -20,6 +20,13 @@
 //! `--jobs N` runs reachability partitions and candidate decompositions
 //! on `N` worker threads (`0` = all cores); the output netlist is
 //! byte-identical to a single-threaded run.
+//!
+//! `--shared-workers N` turns on the shared-memory concurrent BDD
+//! kernel *inside* each manager: large apply/ITE/quantify calls run on
+//! `N` work-stealing threads over one lock-free unique table. `0` (the
+//! default) keeps the single-threaded kernel. Canonical hash-consing
+//! makes the results identical either way, so this composes freely
+//! with `--jobs` and still emits a byte-identical netlist.
 //!
 //! `--dec-backend` arms the decomposability *rescue rung*: when the
 //! symbolic partition search exhausts its budget, `sat` proves a fixed
@@ -97,8 +104,8 @@ usage:
   symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
                   [--dec-backend bdd|sat|portfolio] [--sat-conflicts N]
                   [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
-                  [--jobs N] [--cache-bits N] [--no-auto-gc] [--auto-reorder]
-                  [--cluster-limit N]
+                  [--jobs N] [--shared-workers N] [--cache-bits N]
+                  [--no-auto-gc] [--auto-reorder] [--cluster-limit N]
                   [--fault-plan site:occurrence:kind ...] [--fault-seed N]
   symbi check     <a> <b> [--frames N] [--exact]
   symbi decompose <file> --signal <name> [--kind or|and|xor] [--dc]";
@@ -216,7 +223,12 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
             j => j,
         };
     }
+    if let Some(v) = flag_value(args, "--shared-workers")? {
+        options.kernel.shared_workers =
+            v.parse().map_err(|e| format!("--shared-workers: {e}"))?;
+    }
     if let Some(reach) = options.reach.as_mut() {
+        reach.kernel.shared_workers = options.kernel.shared_workers;
         if let Some(v) = flag_value(args, "--cache-bits")? {
             reach.kernel.cache_bits = v.parse().map_err(|e| format!("--cache-bits: {e}"))?;
         }

@@ -102,6 +102,57 @@ fn clustered_reachability_is_deterministic_across_jobs() {
 }
 
 #[test]
+fn shared_kernel_sweep_is_byte_identical() {
+    // The shared-memory concurrent kernel hash-conses into the same
+    // unique table as the sequential path, so every result it returns is
+    // the canonical node for its function — a `shared_workers` sweep must
+    // therefore be invisible downstream: identical netlist bytes and
+    // field-for-field identical reports at every worker count, including
+    // the `0` default (which never touches the concurrent code at all).
+    // `SYMBI_SHARED_WORKERS` (default "0,2,4") lets CI sweep wider
+    // matrices over the same binary.
+    use symbi::bdd::KernelConfig;
+    let counts: Vec<usize> = std::env::var("SYMBI_SHARED_WORKERS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![0, 2, 4]);
+    let circuits = [
+        iscas_like::by_name("s344").expect("known circuit"),
+        industrial::by_name("seq6").expect("known block"),
+    ];
+    for n in &circuits {
+        let mut reference: Option<(String, _)> = None;
+        for &w in &counts {
+            let kernel = KernelConfig { shared_workers: w, ..KernelConfig::default() };
+            let mut options = SynthesisOptions { kernel, ..Default::default() };
+            if let Some(reach) = options.reach.as_mut() {
+                reach.kernel.shared_workers = w;
+            }
+            let (net, rep) = optimize(n, &options);
+            let text = bench::write(&net);
+            match &reference {
+                None => reference = Some((text, rep)),
+                Some((ref_text, ref_rep)) => {
+                    assert_eq!(
+                        ref_text,
+                        &text,
+                        "shared_workers={w} changed the netlist on `{}`",
+                        n.name()
+                    );
+                    assert_eq!(
+                        ref_rep,
+                        &rep,
+                        "shared_workers={w} changed the report on `{}`",
+                        n.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn backend_sweep_is_identical_at_default_budgets() {
     // Under the default unlimited budget the rescue rung never engages,
     // so the decomposability backend must be invisible: every backend ×

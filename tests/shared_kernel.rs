@@ -1,0 +1,248 @@
+//! Pointer-identity oracle for the shared-memory concurrent BDD kernel.
+//!
+//! The shared kernel's contract is stronger than "same Boolean
+//! function": because every worker hash-conses into the *same* unique
+//! table as the sequential path, the `NodeId` an operation returns is
+//! the canonical node for its function. These tests pin that contract
+//! from outside the crate: results computed at `shared_workers` 2 and 4
+//! are transferred into one fresh manager alongside the sequential
+//! results, where equal functions must collapse to *identical* node
+//! ids — pointer identity after canonical reconstruction, not just
+//! semantic equivalence.
+//!
+//! Also covered: cooperative cancellation raised mid-operation from
+//! another thread (the work-stealing phase must unwind every worker and
+//! leave the manager fully usable), and the `shared_workers = 0`
+//! default staying on the untouched single-threaded code path.
+
+use proptest::prelude::*;
+use symbi::bdd::hash::FxHashMap;
+use symbi::bdd::{KernelConfig, Manager, NodeId, ResourceExhausted, ResourceGovernor, VarId};
+
+/// A manager with `n` declared variables and the given worker count.
+fn manager(workers: usize, n_vars: usize) -> (Manager, Vec<NodeId>) {
+    let kernel = KernelConfig { shared_workers: workers, ..KernelConfig::default() };
+    let mut m = Manager::with_kernel_config(kernel);
+    let vars = m.new_vars(n_vars);
+    (m, vars)
+}
+
+/// Symmetric at-least-`k`-of-`n` threshold over `vars` — Θ(n·k) nodes,
+/// the cheapest way to build operands big enough to cross the shared
+/// dispatcher's size gate (small operands stay sequential by design).
+fn threshold(m: &mut Manager, vars: &[NodeId], k: usize) -> NodeId {
+    let mut rows: Vec<NodeId> =
+        (0..=k).map(|j| if j == 0 { NodeId::TRUE } else { NodeId::FALSE }).collect();
+    for &v in vars.iter().rev() {
+        for j in (1..=k).rev() {
+            rows[j] = m.ite(v, rows[j - 1], rows[j]);
+        }
+    }
+    rows[k]
+}
+
+/// One step of the random operation script. Operand indices are taken
+/// modulo the live pool, so any index vector is a valid script.
+#[derive(Debug, Clone)]
+enum ScriptOp {
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Xor(usize, usize),
+    Ite(usize, usize, usize),
+    Exists(usize, u8),
+    Forall(usize, u8),
+    AndExists(usize, usize, u8),
+}
+
+fn script_op() -> impl Strategy<Value = ScriptOp> {
+    prop_oneof![
+        any::<usize>().prop_map(ScriptOp::Not),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| ScriptOp::And(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| ScriptOp::Or(a, b)),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| ScriptOp::Xor(a, b)),
+        (any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(a, b, c)| ScriptOp::Ite(a, b, c)),
+        (any::<usize>(), any::<u8>()).prop_map(|(a, m)| ScriptOp::Exists(a, m)),
+        (any::<usize>(), any::<u8>()).prop_map(|(a, m)| ScriptOp::Forall(a, m)),
+        (any::<usize>(), any::<usize>(), any::<u8>())
+            .prop_map(|(a, b, m)| ScriptOp::AndExists(a, b, m)),
+    ]
+}
+
+/// Positive cube over the variables selected by `mask`'s low bits.
+fn cube(m: &mut Manager, vars: &[NodeId], mask: u8, gov: &ResourceGovernor) -> NodeId {
+    let mut c = NodeId::TRUE;
+    for (i, &v) in vars.iter().enumerate().take(8) {
+        if mask & (1 << i) != 0 {
+            c = m.try_and(v, c, gov).expect("unlimited governor");
+        }
+    }
+    c
+}
+
+/// Replays `ops` through the budgeted entry points (the only ones that
+/// can dispatch onto the shared kernel) and returns every intermediate.
+fn run_script(workers: usize, n_vars: usize, ops: &[ScriptOp]) -> (Manager, Vec<NodeId>) {
+    let (mut m, vars) = manager(workers, n_vars);
+    let gov = ResourceGovernor::unlimited();
+    let mut pool = vars.clone();
+    for op in ops {
+        let pick = |i: &usize| pool[i % pool.len()];
+        let r = match op {
+            ScriptOp::Not(a) => m.try_not(pick(a), &gov),
+            ScriptOp::And(a, b) => m.try_and(pick(a), pick(b), &gov),
+            ScriptOp::Or(a, b) => m.try_or(pick(a), pick(b), &gov),
+            ScriptOp::Xor(a, b) => m.try_xor(pick(a), pick(b), &gov),
+            ScriptOp::Ite(a, b, c) => m.try_ite(pick(a), pick(b), pick(c), &gov),
+            ScriptOp::Exists(a, mask) => {
+                let (f, c) = (pick(a), cube(&mut m, &vars, *mask, &gov));
+                m.try_exists_cube(f, c, &gov)
+            }
+            ScriptOp::Forall(a, mask) => {
+                let (f, c) = (pick(a), cube(&mut m, &vars, *mask, &gov));
+                m.try_forall_cube(f, c, &gov)
+            }
+            ScriptOp::AndExists(a, b, mask) => {
+                let (f, g, c) = (pick(a), pick(b), cube(&mut m, &vars, *mask, &gov));
+                m.try_and_exists(f, g, c, &gov)
+            }
+        };
+        pool.push(r.expect("unlimited governor"));
+    }
+    (m, pool)
+}
+
+/// Transfers both runs' results into one fresh manager and asserts
+/// pointer identity pairwise.
+fn assert_pointer_identical(
+    seq: (&Manager, &[NodeId]),
+    shared: (&Manager, &[NodeId]),
+    n_vars: usize,
+    context: &str,
+) {
+    assert_eq!(seq.1.len(), shared.1.len());
+    let mut dst = Manager::with_vars(n_vars);
+    let identity: FxHashMap<VarId, VarId> =
+        (0..n_vars as u32).map(|i| (VarId(i), VarId(i))).collect();
+    for (i, (&a, &b)) in seq.1.iter().zip(shared.1).enumerate() {
+        let ta = dst.transfer_from(seq.0, a, &identity);
+        let tb = dst.transfer_from(shared.0, b, &identity);
+        assert_eq!(
+            ta, tb,
+            "{context}: result {i} differs between sequential and shared runs"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random apply/ITE/quantify scripts must produce pointer-identical
+    /// results at 2 and 4 shared workers. (Small intermediates stay on
+    /// the sequential path by design — the size gate itself is part of
+    /// the contract under test: gate decisions depend only on canonical
+    /// operand sizes, never on scheduling.)
+    #[test]
+    fn random_scripts_are_pointer_identical_across_workers(
+        ops in proptest::collection::vec(script_op(), 4..40),
+        n_vars in 4usize..12,
+    ) {
+        let (seq_m, seq_pool) = run_script(1, n_vars, &ops);
+        for workers in [2usize, 4] {
+            let (sh_m, sh_pool) = run_script(workers, n_vars, &ops);
+            assert_pointer_identical(
+                (&seq_m, &seq_pool),
+                (&sh_m, &sh_pool),
+                n_vars,
+                &format!("workers={workers}"),
+            );
+        }
+    }
+}
+
+/// Deterministically-large operands force the script through the
+/// concurrent phase (the proptest above mostly exercises the gate's
+/// decline path), covering binary apply, ITE, quantification and the
+/// relational product.
+#[test]
+fn large_operands_are_pointer_identical_across_workers() {
+    let n_vars = 90;
+    let run = |workers: usize| {
+        let (mut m, vars) = manager(workers, n_vars);
+        let gov = ResourceGovernor::unlimited();
+        let f = threshold(&mut m, &vars, 45);
+        let g = threshold(&mut m, &vars[8..], 30);
+        let h = threshold(&mut m, &vars[..70], 25);
+        let mut results = vec![
+            m.try_and(f, g, &gov).unwrap(),
+            m.try_or(f, h, &gov).unwrap(),
+            m.try_xor(g, h, &gov).unwrap(),
+            m.try_ite(f, g, h, &gov).unwrap(),
+        ];
+        let mut c = NodeId::TRUE;
+        for &v in &vars[..6] {
+            c = m.try_and(v, c, &gov).unwrap();
+        }
+        results.push(m.try_exists_cube(f, c, &gov).unwrap());
+        results.push(m.try_forall_cube(g, c, &gov).unwrap());
+        results.push(m.try_and_exists(f, g, c, &gov).unwrap());
+        (m, results)
+    };
+    let (seq_m, seq_r) = run(1);
+    for workers in [2usize, 4] {
+        let (sh_m, sh_r) = run(workers);
+        assert_pointer_identical(
+            (&seq_m, &seq_r),
+            (&sh_m, &sh_r),
+            n_vars,
+            &format!("large operands, workers={workers}"),
+        );
+    }
+}
+
+/// Cancellation raised from another thread mid-operation: the phase
+/// must unwind every worker (no hang, no leaked poison) and the manager
+/// must stay fully usable for a clean rerun.
+#[test]
+fn cancellation_mid_run_unwinds_and_manager_survives() {
+    let n_vars = 90;
+    let (mut m, vars) = manager(4, n_vars);
+    let f = threshold(&mut m, &vars, 45);
+    let g = threshold(&mut m, &vars[8..], 30);
+    let gov = ResourceGovernor::unlimited();
+    let handle = gov.cancel_handle();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_micros(200));
+        handle.cancel();
+    });
+    let raced = m.try_and(f, g, &gov);
+    canceller.join().expect("canceller thread");
+    match raced {
+        Ok(_) | Err(ResourceExhausted::Cancelled) => {}
+        Err(e) => panic!("cancellation produced the wrong error: {e:?}"),
+    }
+    // The manager survives: a clean governor reruns the operation and
+    // the result matches an untouched sequential manager's.
+    let clean = ResourceGovernor::unlimited();
+    let r = m.try_and(f, g, &clean).expect("clean rerun");
+    let (mut seq_m, seq_vars) = manager(0, n_vars);
+    let sf = threshold(&mut seq_m, &seq_vars, 45);
+    let sg = threshold(&mut seq_m, &seq_vars[8..], 30);
+    let sr = seq_m.try_and(sf, sg, &clean).expect("sequential reference");
+    let mut dst = Manager::with_vars(n_vars);
+    let identity: FxHashMap<VarId, VarId> =
+        (0..n_vars as u32).map(|i| (VarId(i), VarId(i))).collect();
+    assert_eq!(
+        dst.transfer_from(&m, r, &identity),
+        dst.transfer_from(&seq_m, sr, &identity),
+        "post-cancellation rerun diverged from the sequential kernel"
+    );
+}
+
+/// `shared_workers = 0` is the default and must stay on the sequential
+/// path — the concurrent kernel is strictly opt-in.
+#[test]
+fn shared_workers_defaults_to_zero() {
+    assert_eq!(KernelConfig::default().shared_workers, 0);
+}

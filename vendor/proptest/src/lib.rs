@@ -4,7 +4,8 @@
 //! the slice of the proptest 1.x API its tests use: the `proptest!`
 //! macro (with `#![proptest_config(...)]`), `any::<T>()` for integers
 //! and `bool`, integer range strategies, tuple strategies, `prop_map`,
-//! and the `prop_assert!`/`prop_assert_eq!` assertion macros.
+//! `prop_oneof!`, `collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
 //!
 //! Semantics are simplified relative to real proptest: cases are drawn
 //! from a generator seeded deterministically from the test name (so
@@ -234,6 +235,64 @@ impl_tuple_strategy!(A, B, C, D);
 impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
 
+/// Uniform choice between boxed strategies of one value type — the
+/// engine behind [`prop_oneof!`]. (Real proptest weights its options;
+/// the tests vendored here only use the uniform form.)
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Picks one of the given strategies uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![$(::std::boxed::Box::new($strategy) as _),+])
+    };
+}
+
+/// `proptest::collection` — `Vec` strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec` — `len.start..len.end` elements of
+    /// `element` per case.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// Like `assert!`, but returns a [`TestCaseError`] instead of panicking.
 #[macro_export]
 macro_rules! prop_assert {
@@ -350,8 +409,8 @@ pub mod test_runner {
 
 pub mod prelude {
     pub use super::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, OneOf,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
@@ -373,6 +432,18 @@ mod tests {
         fn tuples_and_map(pair in (any::<u8>(), 0u32..4).prop_map(|(a, b)| (a, b * 2))) {
             prop_assert_eq!(pair.1 % 2, 0);
             prop_assert!(u32::from(pair.0) <= 255);
+        }
+
+        #[test]
+        fn oneof_and_vec(
+            xs in crate::collection::vec(
+                prop_oneof![(0u32..4).prop_map(|v| v), (10u32..12).prop_map(|v| v)],
+                1..6,
+            ),
+        ) {
+            let xs: Vec<u32> = xs;
+            prop_assert!(!xs.is_empty() && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 4 || (10..12).contains(&x)));
         }
 
         #[test]
