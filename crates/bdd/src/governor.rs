@@ -135,11 +135,16 @@ pub enum FaultSite {
     /// quantify, before any worker thread is spawned, so crossing
     /// counts stay deterministic under any worker count).
     BddSharedApply,
+    /// One SAT-sweeping refinement event: crossed once per pairwise
+    /// equivalence query the sweep's persistent solver attempts
+    /// (before the budgeted solve), so chaos cells can kill the sweep
+    /// mid-refinement and exercise the degrade-to-unswept ladder.
+    NetlistSweep,
 }
 
 impl FaultSite {
     /// Number of registered sites.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 14;
 
     /// Every registered site, in registry order. Chaos sweeps iterate
     /// this to enumerate cells; keep it in sync with the enum. New sites
@@ -159,6 +164,7 @@ impl FaultSite {
         FaultSite::PortfolioRace,
         FaultSite::SatEncode,
         FaultSite::BddSharedApply,
+        FaultSite::NetlistSweep,
     ];
 
     /// Stable index into per-site counter arrays.
@@ -177,6 +183,7 @@ impl FaultSite {
             FaultSite::PortfolioRace => 10,
             FaultSite::SatEncode => 11,
             FaultSite::BddSharedApply => 12,
+            FaultSite::NetlistSweep => 13,
         }
     }
 
@@ -196,6 +203,7 @@ impl FaultSite {
             FaultSite::PortfolioRace => "portfolio.race",
             FaultSite::SatEncode => "sat.encode",
             FaultSite::BddSharedApply => "bdd.shared_apply",
+            FaultSite::NetlistSweep => "netlist.sweep",
         }
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [all | mux-table | adder-table | table31 | table32 | figure31 | figure32
 //!        | sat-stats | parallel | portfolio | bdd-bench | shared-bench
-//!        | reach-bench | chaos | corpus]
+//!        | reach-bench | chaos | corpus | sweep-bench]
 //!       [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>]
 //!       [--corpus-dir <dir>]
 //! ```
@@ -41,7 +41,13 @@
 //! `--corpus-dir`, defaulting to `tests/corpus` when present) through
 //! symbi-vs-greedy across the `{bdd,sat,portfolio}` backends × budget
 //! tiers with per-row SEC cross-checks and reproducibility double-runs,
-//! writes `BENCH_corpus.json`, and **exits nonzero** on any red row.
+//! writes `BENCH_corpus.json`, and **exits nonzero** on any red row;
+//! `sweep-bench` runs the symbolic flow with the FRAIG-style
+//! SAT-sweeping pre-pass off and on over a duplicate-heavy suite
+//! (twinned two-block families plus a twinned generated pool),
+//! records area/wall-clock deltas, double-runs the swept arm for
+//! reproducibility, cross-checks swept-vs-unswept equivalence, writes
+//! `BENCH_sweep.json`, and **exits nonzero** on any red row.
 
 use std::time::Duration;
 use symbi_bench::{
@@ -121,6 +127,7 @@ fn main() {
         "corpus" => {
             corpus(quick, jobs, seed, corpus_dir.clone(), &out_or("BENCH_corpus.json"))
         }
+        "sweep-bench" => sweep_bench(quick, seed, &out_or("BENCH_sweep.json")),
         "all" => {
             print_figure31();
             print_figure32();
@@ -135,11 +142,12 @@ fn main() {
             reach_bench(quick, &out_or("BENCH_reach.json"));
             chaos(quick, seed, &out_or("BENCH_chaos.json"));
             corpus(quick, jobs, seed, corpus_dir.clone(), &out_or("BENCH_corpus.json"));
+            sweep_bench(quick, seed, &out_or("BENCH_sweep.json"));
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|portfolio|bdd-bench|shared-bench|reach-bench|chaos|corpus] [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>] [--corpus-dir <dir>]"
+                "usage: repro [all|mux-table|adder-table|table31|table32|figure31|figure32|sat-stats|parallel|portfolio|bdd-bench|shared-bench|reach-bench|chaos|corpus|sweep-bench] [--quick] [--per-kind] [--jobs <N>] [--seed <N>] [--out <path>] [--corpus-dir <dir>]"
             );
             std::process::exit(2);
         }
@@ -166,9 +174,9 @@ fn corpus(quick: bool, jobs: usize, seed: Option<u64>, corpus_dir: Option<String
         options.seed
     );
     println!(
-        "{:>14} {:>6} {:>10} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>6} {:>6}",
-        "Circuit", "Src", "Backend", "Budget", "Orig", "Base", "Opt", "A-rat", "D-rat", "Skip",
-        "Resc", "SEC", "Repro"
+        "{:>14} {:>6} {:>10} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>5} {:>5} {:>5} {:>6} {:>6}",
+        "Circuit", "Src", "Backend", "Budget", "Orig", "Base", "Opt", "Swept", "A-rat", "D-rat",
+        "Merge", "Skip", "Resc", "SEC", "Repro"
     );
     let report = match write_corpus_json(std::path::Path::new(out_path), &options) {
         Ok(r) => r,
@@ -179,7 +187,7 @@ fn corpus(quick: bool, jobs: usize, seed: Option<u64>, corpus_dir: Option<String
     };
     for r in &report.rows {
         println!(
-            "{:>14} {:>6} {:>10} {:>9} {:>6} {:>6} {:>6} {:>6.3} {:>6.3} {:>5} {:>5} {:>6} {:>6}",
+            "{:>14} {:>6} {:>10} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6.3} {:>6.3} {:>5} {:>5} {:>5} {:>6} {:>6}",
             r.circuit,
             if r.source == "generated" { "gen" } else { "aiger" },
             r.backend,
@@ -187,11 +195,13 @@ fn corpus(quick: bool, jobs: usize, seed: Option<u64>, corpus_dir: Option<String
             r.orig_ands,
             r.base_ands,
             r.opt_ands,
+            r.swept_ands,
             r.area_ratio(),
             r.depth_ratio(),
+            r.sweep_merges,
             r.skipped,
             r.rescued,
-            if r.sec_ok && r.base_sec_ok { "ok" } else { "FAIL" },
+            if r.sec_ok && r.base_sec_ok && r.swept_sec_ok { "ok" } else { "FAIL" },
             if r.reproducible && r.backend_agrees { "ok" } else { "FAIL" },
         );
     }
@@ -207,6 +217,53 @@ fn corpus(quick: bool, jobs: usize, seed: Option<u64>, corpus_dir: Option<String
     );
     if report.red_rows() > 0 {
         eprintln!("corpus sweep has {} red rows — failing the run", report.red_rows());
+        std::process::exit(1);
+    }
+}
+
+fn sweep_bench(quick: bool, seed: Option<u64>, out_path: &str) {
+    use symbi_bench::sweep_bench::write_sweep_bench_json;
+    let seed = seed.unwrap_or(0xC0DE_C0DE);
+    println!(
+        "\n=== SAT sweeping: unswept vs swept flow on the duplicate-heavy suite, seed {seed} (written to {out_path}) ==="
+    );
+    println!(
+        "{:>12} {:>10} {:>6} {:>8} {:>6} {:>6} {:>6} {:>5} {:>5} {:>9} {:>9} {:>7} {:>6} {:>6}",
+        "Circuit", "Src", "Orig", "Unswept", "Swept", "A-rat", "Merge", "SAT", "Cex",
+        "Unsw(s)", "Swp(s)", "Spdup", "SEC", "Repro"
+    );
+    let rows = write_sweep_bench_json(std::path::Path::new(out_path), quick, seed)
+        .expect("failed to write BENCH_sweep.json");
+    let (mut unswept_total, mut swept_total) = (0.0f64, 0.0f64);
+    for r in &rows {
+        println!(
+            "{:>12} {:>10} {:>6} {:>8} {:>6} {:>6.3} {:>6} {:>5} {:>5} {:>9.3} {:>9.3} {:>7.2} {:>6} {:>6}",
+            r.name,
+            if r.source == "two_block" { "2blk" } else { "gen" },
+            r.orig_ands,
+            r.unswept_ands,
+            r.swept_ands,
+            r.area_ratio(),
+            r.merges,
+            r.sat_calls,
+            r.cex_patterns,
+            r.unswept_seconds,
+            r.swept_seconds,
+            r.speedup(),
+            if r.sec_ok { "ok" } else { "FAIL" },
+            if r.reproducible && r.jobs_identical { "ok" } else { "FAIL" },
+        );
+        unswept_total += r.unswept_seconds;
+        swept_total += r.swept_seconds;
+    }
+    let merged: usize = rows.iter().map(|r| r.merges).sum();
+    println!(
+        "Total: {merged} merges; {unswept_total:.3}s unswept vs {swept_total:.3}s swept ({:.2}x)",
+        unswept_total / swept_total.max(1e-9)
+    );
+    let red = rows.iter().filter(|r| r.red()).count();
+    if red > 0 {
+        eprintln!("sweep benchmark has {red} red rows — failing the run");
         std::process::exit(1);
     }
 }

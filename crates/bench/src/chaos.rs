@@ -184,6 +184,10 @@ fn suite(quick: bool) -> Vec<Netlist> {
 /// `portfolio.race` qualifies: the site fires on the candidate's own
 /// thread at race entry (before any arm spawns), inside the flow's
 /// per-candidate `catch_unwind` boundary.
+///
+/// `netlist.sweep` qualifies: the whole SAT-sweeping pre-pass runs
+/// inside the flow's sweep-attempt `catch_unwind` boundary, and a crash
+/// there degrades to the unswept netlist.
 fn panic_is_isolated(site: FaultSite) -> bool {
     matches!(
         site,
@@ -191,6 +195,7 @@ fn panic_is_isolated(site: FaultSite) -> bool {
             | FaultSite::SynthDecompose
             | FaultSite::ReachFixpoint
             | FaultSite::PortfolioRace
+            | FaultSite::NetlistSweep
     )
 }
 
@@ -233,6 +238,13 @@ fn run_cell_body(input: &Netlist, site: FaultSite, occurrence: u64, kind: FaultK
         if let Some(reach) = options.reach.as_mut() {
             reach.kernel.shared_workers = 2;
         }
+    }
+    if site == FaultSite::NetlistSweep {
+        // The site only exists inside the SAT-sweeping pre-pass, so
+        // those cells run the flow with sweeping on. A fired fault must
+        // degrade to the unswept netlist — which the SEC audit below
+        // then checks against the input like every other cell.
+        options.sweep = true;
     }
     let (output, report) = optimize_governed(input, &options, &gov);
     let mut violations = Vec::new();
@@ -496,6 +508,83 @@ mod tests {
                 cell.violations
             );
         }
+    }
+
+    /// The counter suite member plus a De Morgan twin of one of its
+    /// gates, so the sweeping pre-pass has a real pairwise refinement
+    /// query (site occurrence 2) on top of the entry crossing
+    /// (occurrence 1).
+    fn chaos_counter_with_twins() -> Netlist {
+        let mut n = Netlist::new("chaos_ctr6_twin");
+        let en = n.add_input("en");
+        let q = blocks::binary_counter(&mut n, "c", 6, en);
+        let a = n.add_gate("a03", GateKind::And, vec![q[0], q[3]]);
+        let n0 = n.add_gate("n0", GateKind::Not, vec![q[0]]);
+        let n3 = n.add_gate("n3", GateKind::Not, vec![q[3]]);
+        let twin = n.add_gate("a03_twin", GateKind::Nor, vec![n0, n3]);
+        n.add_output("a", a);
+        n.add_output("b", twin);
+        n
+    }
+
+    #[test]
+    fn netlist_sweep_cells_fire_every_kind_and_stay_sound() {
+        // The sweep site under all four fault kinds at both the
+        // pass-entry crossing (occurrence 1) and the first pairwise SAT
+        // query (occurrence 2). Whatever fires, the flow must hand back
+        // a netlist the cell's audit can prove equivalent to the input:
+        // a faulted sweep degrades, it never mis-merges.
+        let options = ChaosOptions::default();
+        let input = chaos_counter_with_twins();
+        for kind in
+            [FaultKind::Budget, FaultKind::Cancel, FaultKind::Panic, FaultKind::AllocPressure]
+        {
+            for occurrence in [1, 2] {
+                let cell = run_cell(
+                    &input,
+                    "chaos_ctr6_twin",
+                    FaultSite::NetlistSweep,
+                    occurrence,
+                    kind,
+                    &options,
+                );
+                assert!(
+                    cell.fired > 0,
+                    "{} occ {occurrence}: the sweep site was never crossed",
+                    kind.as_str()
+                );
+                assert!(
+                    cell.violations.is_empty(),
+                    "{} occ {occurrence}: {:?}",
+                    kind.as_str(),
+                    cell.violations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_sweep_cell_degrades_to_the_unswept_flow() {
+        // Stronger than SEC: a budget fault at the sweep's entry
+        // crossing leaves the rest of the flow byte-identical to never
+        // having asked for sweeping at all.
+        let input = chaos_counter_with_twins();
+        let opts = SynthesisOptions { sweep: true, ..Default::default() };
+        let (unswept, _) =
+            optimize_governed(&input, &SynthesisOptions::default(), &ResourceGovernor::unlimited());
+        let plan = Arc::new(FaultPlan::new(0xC4A05).with_rule(
+            FaultSite::NetlistSweep,
+            1,
+            FaultKind::Budget,
+        ));
+        let gov = ResourceGovernor::unlimited().with_fault_plan(Arc::clone(&plan));
+        let (net, report) = optimize_governed(&input, &opts, &gov);
+        assert!(plan.faults_fired() >= 1);
+        assert!(report.sweep.degraded);
+        assert_eq!(
+            symbi_netlist::bench::write(&net),
+            symbi_netlist::bench::write(&unswept)
+        );
     }
 
     #[test]

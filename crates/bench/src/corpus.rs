@@ -22,6 +22,12 @@
 //!   check's verdict never depends on the engine. The pure-BDD ladder
 //!   is exempt at the tight tier: it has no rescue rung, so it may
 //!   degrade where the others recover.
+//! - **Swept-arm cross-check**: every cell also runs the same flow with
+//!   the FRAIG-style SAT-sweeping pre-pass on
+//!   ([`SynthesisOptions::sweep`]) and records its area/depth/runtime
+//!   deltas; the swept netlist is bounded-equivalence-checked directly
+//!   against the *unswept* arm, so a mis-merge cannot hide behind the
+//!   original-vs-optimized checks.
 //! - **Reproducibility**: every optimize cell is double-run and must
 //!   reproduce its netlist byte-for-byte along with its skip/rescue
 //!   counters (each cell runs at `jobs = 1`, the configuration the
@@ -94,6 +100,14 @@ pub struct CorpusRow {
     /// and/inv size and depth after the symbolic flow.
     pub opt_ands: usize,
     pub opt_depth: usize,
+    /// and/inv size and depth after the symbolic flow with the
+    /// SAT-sweeping pre-pass on.
+    pub swept_ands: usize,
+    pub swept_depth: usize,
+    /// Equivalences the sweeping pre-pass proved and merged.
+    pub sweep_merges: usize,
+    /// The sweeping pre-pass ran out of resources and degraded.
+    pub sweep_degraded: bool,
     /// Candidates whose budget ran out (kept their original cones).
     pub skipped: usize,
     /// Budget-tripped checks the rescue rung saved.
@@ -106,6 +120,9 @@ pub struct CorpusRow {
     pub sec_ok: bool,
     /// Baseline netlist bounded-equivalent to the original.
     pub base_sec_ok: bool,
+    /// Swept netlist bounded-equivalent to the *unswept* optimized
+    /// netlist — the direct swept-vs-unswept cross-check.
+    pub swept_sec_ok: bool,
     /// Double-run emitted identical bytes and counters.
     pub reproducible: bool,
     /// Backend-agreement verdict (always `true` where the contract
@@ -116,6 +133,11 @@ pub struct CorpusRow {
     pub opt_hash: u64,
     /// Wall-clock seconds for the cell (excluded from the fingerprint).
     pub seconds: f64,
+    /// Wall-clock seconds of the unswept and swept optimize arms
+    /// (excluded from the fingerprint); their difference is the cell's
+    /// sweep runtime delta.
+    pub opt_seconds: f64,
+    pub swept_seconds: f64,
 }
 
 impl CorpusRow {
@@ -129,9 +151,18 @@ impl CorpusRow {
         self.opt_depth as f64 / (self.base_depth as f64).max(1.0)
     }
 
+    /// Swept area over unswept area (< 1 = the pre-pass's win).
+    pub fn sweep_area_ratio(&self) -> f64 {
+        self.swept_ands as f64 / (self.opt_ands as f64).max(1.0)
+    }
+
     /// Does this row fail any audit?
     pub fn red(&self) -> bool {
-        !self.sec_ok || !self.base_sec_ok || !self.reproducible || !self.backend_agrees
+        !self.sec_ok
+            || !self.base_sec_ok
+            || !self.swept_sec_ok
+            || !self.reproducible
+            || !self.backend_agrees
     }
 }
 
@@ -152,9 +183,18 @@ pub struct CorpusReport {
 }
 
 impl CorpusReport {
-    /// Rows with a failed SEC verdict (either arm).
+    /// Rows with a failed SEC verdict (any arm, including the
+    /// swept-vs-unswept cross-check).
     pub fn sec_mismatches(&self) -> usize {
-        self.rows.iter().filter(|r| !r.sec_ok || !r.base_sec_ok).count()
+        self.rows
+            .iter()
+            .filter(|r| !r.sec_ok || !r.base_sec_ok || !r.swept_sec_ok)
+            .count()
+    }
+
+    /// Total equivalences the sweeping pre-pass merged across the grid.
+    pub fn sweep_merges(&self) -> usize {
+        self.rows.iter().map(|r| r.sweep_merges).sum()
     }
 
     /// Rows breaking the backend-agreement contract.
@@ -345,7 +385,9 @@ fn run_cell(
     let base = stats::stats(&base_net);
 
     let options = flow_options(PartitionStrategy::Auto(14), backend, candidate_steps);
+    let opt_start = Instant::now();
     let (opt_a, rep_a) = optimize(netlist, &options);
+    let opt_seconds = opt_start.elapsed().as_secs_f64();
     let (opt_b, rep_b) = optimize(netlist, &options);
     let bytes_a = bench::write(&opt_a);
     let reproducible = bytes_a == bench::write(&opt_b)
@@ -353,8 +395,16 @@ fn run_cell(
         && rep_a.candidates_skipped == rep_b.candidates_skipped;
     let opt = stats::stats(&opt_a);
 
+    // The swept arm: the same flow with the SAT-sweeping pre-pass on.
+    let swept_options = SynthesisOptions { sweep: true, ..options };
+    let swept_start = Instant::now();
+    let (swept_net, swept_rep) = optimize(netlist, &swept_options);
+    let swept_seconds = swept_start.elapsed().as_secs_f64();
+    let swept = stats::stats(&swept_net);
+
     let sec_ok = sec::bounded_check(netlist, &opt_a, sec_frames).is_equivalent();
     let base_sec_ok = sec::bounded_check(netlist, &base_net, sec_frames).is_equivalent();
+    let swept_sec_ok = sec::bounded_check(&opt_a, &swept_net, sec_frames).is_equivalent();
 
     CorpusRow {
         circuit: circuit.to_string(),
@@ -367,17 +417,24 @@ fn run_cell(
         base_depth: base.depth,
         opt_ands: opt.aig_ands,
         opt_depth: opt.depth,
+        swept_ands: swept.aig_ands,
+        swept_depth: swept.depth,
+        sweep_merges: swept_rep.sweep.merges,
+        sweep_degraded: swept_rep.sweep.degraded,
         skipped: rep_a.candidates_skipped,
         rescued: rep_a.steps.rescued_checks,
         fallbacks: rep_a.fallbacks_taken,
         sec_frames,
         sec_ok,
         base_sec_ok,
+        swept_sec_ok,
         reproducible,
         // Filled in by the post-pass over sibling cells.
         backend_agrees: true,
         opt_hash: fnv1a(bytes_a.as_bytes()),
         seconds: start.elapsed().as_secs_f64(),
+        opt_seconds,
+        swept_seconds,
     }
 }
 
@@ -480,12 +537,13 @@ pub fn corpus_json(report: &CorpusReport, with_timing: bool) -> String {
     out.push_str(&format!(
         concat!(
             "  \"sec_mismatches\": {}, \"backend_disagreements\": {}, ",
-            "\"non_reproducible\": {}, \"red_rows\": {},\n"
+            "\"non_reproducible\": {}, \"red_rows\": {}, \"sweep_merges\": {},\n"
         ),
         report.sec_mismatches(),
         report.backend_disagreements(),
         report.non_reproducible(),
         report.red_rows(),
+        report.sweep_merges(),
     ));
     if with_timing {
         out.push_str(&format!("  \"seconds\": {:.6},\n", report.seconds));
@@ -497,9 +555,13 @@ pub fn corpus_json(report: &CorpusReport, with_timing: bool) -> String {
                 "    {{\"circuit\": \"{}\", \"source\": \"{}\", \"backend\": \"{}\", ",
                 "\"budget\": \"{}\", \"orig_ands\": {}, \"orig_depth\": {}, ",
                 "\"base_ands\": {}, \"base_depth\": {}, \"opt_ands\": {}, \"opt_depth\": {}, ",
+                "\"swept_ands\": {}, \"swept_depth\": {}, ",
                 "\"area_ratio\": {:.3}, \"depth_ratio\": {:.3}, ",
+                "\"sweep_area_ratio\": {:.3}, \"sweep_merges\": {}, ",
+                "\"sweep_degraded\": {}, ",
                 "\"skipped\": {}, \"rescued\": {}, \"fallbacks\": {}, ",
                 "\"sec_frames\": {}, \"sec_ok\": {}, \"base_sec_ok\": {}, ",
+                "\"swept_sec_ok\": {}, ",
                 "\"reproducible\": {}, \"backend_agrees\": {}, \"opt_hash\": \"{:016x}\""
             ),
             r.circuit,
@@ -512,20 +574,29 @@ pub fn corpus_json(report: &CorpusReport, with_timing: bool) -> String {
             r.base_depth,
             r.opt_ands,
             r.opt_depth,
+            r.swept_ands,
+            r.swept_depth,
             r.area_ratio(),
             r.depth_ratio(),
+            r.sweep_area_ratio(),
+            r.sweep_merges,
+            r.sweep_degraded,
             r.skipped,
             r.rescued,
             r.fallbacks,
             r.sec_frames,
             r.sec_ok,
             r.base_sec_ok,
+            r.swept_sec_ok,
             r.reproducible,
             r.backend_agrees,
             r.opt_hash,
         ));
         if with_timing {
-            out.push_str(&format!(", \"seconds\": {:.6}", r.seconds));
+            out.push_str(&format!(
+                ", \"seconds\": {:.6}, \"opt_seconds\": {:.6}, \"swept_seconds\": {:.6}",
+                r.seconds, r.opt_seconds, r.swept_seconds
+            ));
         }
         out.push_str(if i + 1 == report.rows.len() { "}\n" } else { "},\n" });
     }

@@ -21,6 +21,7 @@
 pub mod baseline;
 pub mod chaos;
 pub mod corpus;
+pub mod sweep_bench;
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};

@@ -1,0 +1,412 @@
+//! SAT-sweeping benchmark (`repro sweep-bench`, `BENCH_sweep.json`).
+//!
+//! The sweeping pre-pass ([`symbi_netlist::sweep`]) earns its place in
+//! the flow on *duplicate-heavy* circuits: netlists carrying
+//! structurally different but functionally identical cones that
+//! structural hashing cannot see through. This harness builds such a
+//! suite — the two-block rescue family widened with De Morgan twin
+//! cones, plus a seeded generated pool whose gates are twinned with
+//! probability ½ — and runs the symbolic flow twice per circuit, sweep
+//! off and sweep on, recording:
+//!
+//! - **Area**: and/inv counts of the unswept and swept results. The
+//!   acceptance signal is `swept_ands < unswept_ands` on this suite —
+//!   the pre-pass merges what downstream never could.
+//! - **Wall-clock**: seconds of both arms. Every twin the sweep merges
+//!   is a candidate cone the symbolic flow never has to decompose, so
+//!   on duplicate-heavy inputs the pre-pass pays for itself.
+//! - **Soundness**: the swept result is bounded-equivalence-checked
+//!   directly against the unswept result.
+//! - **Reproducibility**: the swept arm is double-run and must emit
+//!   identical bytes and sweep counters; it is also re-run at
+//!   `jobs = 4` and must match the `jobs = 1` bytes (the sweep runs
+//!   before the parallel fan-out, so job count must not matter).
+//!
+//! A row failing soundness, reproducibility or jobs-invariance is a
+//! *red row*; `repro sweep-bench` exits nonzero on any. Timing fields
+//! are excluded from [`sweep_bench_fingerprint`], the byte string the
+//! determinism tests compare across reruns.
+
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+use symbi_netlist::{bench, sec, stats, GateKind, Netlist, SignalId};
+use symbi_synth::flow::{optimize, SynthesisOptions};
+
+use crate::two_block_cones;
+
+/// Bounded-SEC frames for the swept-vs-unswept cross-check.
+const SEC_FRAMES: usize = 5;
+
+/// One circuit of the sweep benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepBenchRow {
+    /// Circuit name.
+    pub name: String,
+    /// `"two_block"` or `"generated"`.
+    pub source: String,
+    /// and/inv size of the original circuit.
+    pub orig_ands: usize,
+    /// and/inv size after the flow with the sweep off / on.
+    pub unswept_ands: usize,
+    pub swept_ands: usize,
+    /// Sweep counters of the swept arm.
+    pub merges: usize,
+    pub sat_calls: usize,
+    pub cex_patterns: usize,
+    pub undecided: usize,
+    /// Swept result bounded-equivalent to the unswept result.
+    pub sec_ok: bool,
+    /// Double-run of the swept arm emitted identical bytes and counters.
+    pub reproducible: bool,
+    /// `jobs = 4` swept run matched the `jobs = 1` bytes.
+    pub jobs_identical: bool,
+    /// Wall-clock seconds of each arm (excluded from the fingerprint).
+    pub unswept_seconds: f64,
+    pub swept_seconds: f64,
+}
+
+impl SweepBenchRow {
+    /// Swept area over unswept area (< 1 = the pre-pass's win).
+    pub fn area_ratio(&self) -> f64 {
+        self.swept_ands as f64 / (self.unswept_ands as f64).max(1.0)
+    }
+
+    /// Unswept time over swept time (> 1 = the pre-pass pays for
+    /// itself end to end).
+    pub fn speedup(&self) -> f64 {
+        self.unswept_seconds / self.swept_seconds.max(1e-9)
+    }
+
+    /// Does this row fail any audit?
+    pub fn red(&self) -> bool {
+        !self.sec_ok || !self.reproducible || !self.jobs_identical
+    }
+}
+
+// ---------------------------------------------------------------------
+// The duplicate-heavy suite
+// ---------------------------------------------------------------------
+
+/// xorshift64* (see `corpus::Rng` — duplicated here because the pool
+/// must stay reproducible from the seed alone and the corpus generator
+/// is private to its module).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 0
+    }
+}
+
+/// The two-block family with a De Morgan twin of every cone: for each
+/// `f = ab + cd` block a second output computes the same function as
+/// `nand(nand(a,b), nand(c,d))`. Structural hashing sees two distinct
+/// cones; the sweep proves them equal and merges.
+fn two_block_twins(blocks: usize) -> Netlist {
+    let mut n = two_block_cones(blocks);
+    for i in 0..blocks {
+        let pick = |name: String| n.signal(&name).expect("two_block signal");
+        let (a, b, c, d) =
+            (pick(format!("a{i}")), pick(format!("b{i}")), pick(format!("c{i}")), pick(format!("d{i}")));
+        let nab = n.add_gate(format!("nab{i}"), GateKind::Nand, vec![a, b]);
+        let ncd = n.add_gate(format!("ncd{i}"), GateKind::Nand, vec![c, d]);
+        let twin = n.add_gate(format!("tw{i}"), GateKind::Nand, vec![nab, ncd]);
+        n.add_output(format!("g{i}"), twin);
+    }
+    n
+}
+
+/// A seeded random sequential netlist in the corpus generator's style,
+/// except every binary gate is emitted **twice** with probability ½ —
+/// once directly and once as its De Morgan / complement-normal twin —
+/// and both copies are kept observable through dedicated outputs.
+fn duplicated_random_netlist(
+    name: &str,
+    seed: u64,
+    inputs: usize,
+    latches: usize,
+    gates: usize,
+) -> Netlist {
+    let mut rng = Rng::new(seed);
+    let mut n = Netlist::new(name);
+    let mut pool: Vec<SignalId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
+    let qs: Vec<SignalId> =
+        (0..latches).map(|i| n.add_latch(format!("q{i}"), rng.bool())).collect();
+    pool.extend(&qs);
+    let mut twins = Vec::new();
+    for g in 0..gates {
+        let kind = match rng.below(3) {
+            0 => GateKind::And,
+            1 => GateKind::Or,
+            _ => GateKind::Xor,
+        };
+        let x = pool[rng.below(pool.len())];
+        let y = pool[rng.below(pool.len())];
+        let gate = n.add_gate(format!("g{g}"), kind, vec![x, y]);
+        pool.push(gate);
+        if rng.bool() {
+            // The functionally identical, structurally different copy.
+            let twin = match kind {
+                GateKind::And => {
+                    let nx = n.add_gate(format!("t{g}nx"), GateKind::Not, vec![x]);
+                    let ny = n.add_gate(format!("t{g}ny"), GateKind::Not, vec![y]);
+                    n.add_gate(format!("t{g}"), GateKind::Nor, vec![nx, ny])
+                }
+                GateKind::Or => {
+                    let nx = n.add_gate(format!("t{g}nx"), GateKind::Not, vec![x]);
+                    let ny = n.add_gate(format!("t{g}ny"), GateKind::Not, vec![y]);
+                    n.add_gate(format!("t{g}"), GateKind::Nand, vec![nx, ny])
+                }
+                _ => {
+                    let eq = n.add_gate(format!("t{g}eq"), GateKind::Xnor, vec![x, y]);
+                    n.add_gate(format!("t{g}"), GateKind::Not, vec![eq])
+                }
+            };
+            twins.push(twin);
+        }
+    }
+    for &q in &qs {
+        n.set_latch_next(q, pool[rng.below(pool.len())]);
+    }
+    n.add_output("o0", pool[pool.len() - 1]);
+    n.add_output("o1", pool[pool.len() / 2]);
+    // Keep every twin observable, or cleanup would delete it before the
+    // sweep ever sees the duplicate.
+    for (k, &t) in twins.iter().enumerate() {
+        n.add_output(format!("ot{k}"), t);
+    }
+    n
+}
+
+/// The duplicate-heavy suite: twinned two-block families plus a
+/// twinned generated pool. `quick` keeps the small half of each arm.
+fn sweep_suite(seed: u64, quick: bool) -> Vec<(String, &'static str, Netlist)> {
+    let blocks: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
+    let mut suite: Vec<(String, &'static str, Netlist)> = blocks
+        .iter()
+        .map(|&b| (format!("two_block{b}"), "two_block", two_block_twins(b)))
+        .collect();
+    let count = if quick { 4 } else { 12 };
+    for i in 0..count {
+        let name = format!("dup{i}");
+        let netlist = duplicated_random_netlist(
+            &name,
+            seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+            3 + i % 5,
+            1 + i % 4,
+            10 + (i * 11) % 61,
+        );
+        suite.push((name, "generated", netlist));
+    }
+    suite
+}
+
+// ---------------------------------------------------------------------
+// Rows, JSON
+// ---------------------------------------------------------------------
+
+/// Runs the sweep benchmark.
+pub fn sweep_bench_rows(quick: bool, seed: u64) -> Vec<SweepBenchRow> {
+    let mut rows = Vec::new();
+    for (name, source, netlist) in sweep_suite(seed, quick) {
+        // No reachability arm: the benchmark isolates the sweep's
+        // contribution to the decomposition flow.
+        let unswept_options = SynthesisOptions { reach: None, jobs: 1, ..Default::default() };
+        let swept_options = SynthesisOptions { sweep: true, ..unswept_options };
+
+        let start = Instant::now();
+        let (unswept_net, _) = optimize(&netlist, &unswept_options);
+        let unswept_seconds = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let (swept_net, swept_rep) = optimize(&netlist, &swept_options);
+        let swept_seconds = start.elapsed().as_secs_f64();
+
+        // Reproducibility double-run, plus the jobs-invariance arm.
+        let (rerun_net, rerun_rep) = optimize(&netlist, &swept_options);
+        let swept_bytes = bench::write(&swept_net);
+        let reproducible =
+            swept_bytes == bench::write(&rerun_net) && swept_rep.sweep == rerun_rep.sweep;
+        let (jobs_net, jobs_rep) =
+            optimize(&netlist, &SynthesisOptions { jobs: 4, ..swept_options });
+        let jobs_identical =
+            swept_bytes == bench::write(&jobs_net) && swept_rep.sweep == jobs_rep.sweep;
+
+        let sec_ok =
+            sec::bounded_check(&unswept_net, &swept_net, SEC_FRAMES).is_equivalent();
+
+        rows.push(SweepBenchRow {
+            name,
+            source: source.to_string(),
+            orig_ands: stats::stats(&netlist).aig_ands,
+            unswept_ands: stats::stats(&unswept_net).aig_ands,
+            swept_ands: stats::stats(&swept_net).aig_ands,
+            merges: swept_rep.sweep.merges,
+            sat_calls: swept_rep.sweep.sat_calls,
+            cex_patterns: swept_rep.sweep.cex_patterns,
+            undecided: swept_rep.sweep.undecided,
+            sec_ok,
+            reproducible,
+            jobs_identical,
+            unswept_seconds,
+            swept_seconds,
+        });
+    }
+    rows
+}
+
+/// Serializes [`SweepBenchRow`]s as JSON (hand-written — no serde in
+/// the workspace). `with_timing = false` omits the wall-clock fields,
+/// producing the payload that must be byte-identical across reruns at
+/// a fixed seed.
+pub fn sweep_bench_json(rows: &[SweepBenchRow], seed: u64, with_timing: bool) -> String {
+    let mut out = String::from("{\n  \"schema\": \"symbi-sweep-bench/v1\",\n");
+    out.push_str(&format!(
+        "  \"seed\": {}, \"red_rows\": {},\n  \"rows\": [\n",
+        seed,
+        rows.iter().filter(|r| r.red()).count()
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"name\": \"{}\", \"source\": \"{}\", \"orig_ands\": {}, ",
+                "\"unswept_ands\": {}, \"swept_ands\": {}, \"area_ratio\": {:.3}, ",
+                "\"merges\": {}, \"sat_calls\": {}, \"cex_patterns\": {}, ",
+                "\"undecided\": {}, \"sec_ok\": {}, \"reproducible\": {}, ",
+                "\"jobs_identical\": {}"
+            ),
+            r.name,
+            r.source,
+            r.orig_ands,
+            r.unswept_ands,
+            r.swept_ands,
+            r.area_ratio(),
+            r.merges,
+            r.sat_calls,
+            r.cex_patterns,
+            r.undecided,
+            r.sec_ok,
+            r.reproducible,
+            r.jobs_identical,
+        ));
+        if with_timing {
+            out.push_str(&format!(
+                ", \"unswept_seconds\": {:.6}, \"swept_seconds\": {:.6}, \"speedup\": {:.3}",
+                r.unswept_seconds, r.swept_seconds, r.speedup()
+            ));
+        }
+        out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The timing-free payload whose byte identity across reruns at a
+/// fixed seed is the benchmark's determinism contract.
+pub fn sweep_bench_fingerprint(rows: &[SweepBenchRow], seed: u64) -> String {
+    sweep_bench_json(rows, seed, false)
+}
+
+/// Runs [`sweep_bench_rows`] and writes [`sweep_bench_json`] (with
+/// timing) to `path`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be written.
+pub fn write_sweep_bench_json(
+    path: &Path,
+    quick: bool,
+    seed: u64,
+) -> io::Result<Vec<SweepBenchRow>> {
+    let rows = sweep_bench_rows(quick, seed);
+    std::fs::write(path, sweep_bench_json(&rows, seed, true))?;
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic_and_valid() {
+        let a = sweep_suite(7, true);
+        let b = sweep_suite(7, true);
+        assert_eq!(a.len(), b.len());
+        for ((na, _, la), (nb, _, lb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            assert_eq!(bench::write(la), bench::write(lb));
+            la.validate().expect("suite netlist is well-formed");
+        }
+    }
+
+    #[test]
+    fn quick_rows_are_sound_reproducible_and_reduce_area() {
+        let rows = sweep_bench_rows(true, 0xC0DE_C0DE);
+        assert!(!rows.is_empty());
+        let mut merged_somewhere = false;
+        for r in &rows {
+            assert!(r.sec_ok, "{}: swept diverged from unswept", r.name);
+            assert!(r.reproducible, "{}: double-run diverged", r.name);
+            assert!(r.jobs_identical, "{}: jobs=4 diverged", r.name);
+            assert!(
+                r.swept_ands <= r.unswept_ands,
+                "{}: sweeping must never grow the result ({} > {})",
+                r.name,
+                r.swept_ands,
+                r.unswept_ands
+            );
+            merged_somewhere |= r.merges > 0 && r.swept_ands < r.unswept_ands;
+        }
+        assert!(
+            merged_somewhere,
+            "the duplicate-heavy suite must show at least one strict area win"
+        );
+        // Two equal-seed runs must agree byte for byte modulo timing.
+        let again = sweep_bench_rows(true, 0xC0DE_C0DE);
+        assert_eq!(
+            sweep_bench_fingerprint(&rows, 0xC0DE_C0DE),
+            sweep_bench_fingerprint(&again, 0xC0DE_C0DE)
+        );
+    }
+
+    #[test]
+    fn fingerprint_excludes_timing() {
+        let row = SweepBenchRow {
+            name: "t".into(),
+            source: "generated".into(),
+            orig_ands: 10,
+            unswept_ands: 8,
+            swept_ands: 6,
+            merges: 2,
+            sat_calls: 3,
+            cex_patterns: 0,
+            undecided: 0,
+            sec_ok: true,
+            reproducible: true,
+            jobs_identical: true,
+            unswept_seconds: 1.0,
+            swept_seconds: 0.5,
+        };
+        let fp = sweep_bench_fingerprint(std::slice::from_ref(&row), 1);
+        assert!(!fp.contains("seconds"), "{fp}");
+        assert!(sweep_bench_json(std::slice::from_ref(&row), 1, true).contains("seconds"));
+    }
+}

@@ -14,7 +14,10 @@
 //!   structural hashing,
 //! - [`cone`]: extraction of combinational cones as BDDs,
 //! - [`stats`]: size metrics including the `and/inv` expansion count used
-//!   in Table 3.2.
+//!   in Table 3.2,
+//! - [`sweep`]: fraig-style SAT sweeping — simulation-guided equivalence
+//!   classes refined by incremental SAT, merging functionally identical
+//!   nodes structural hashing cannot see.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ mod netlist;
 pub mod sec;
 pub mod sim;
 pub mod stats;
+pub mod sweep;
 
 pub use gate::GateKind;
 pub use netlist::{Netlist, NodeKind, ParseNetlistError, SignalId};

@@ -154,12 +154,14 @@ pub fn bounded_check(a: &Netlist, b: &Netlist, frames: usize) -> SecResult {
 }
 
 /// Constant-true/false literals, created lazily once per solver.
-struct SatConsts {
-    true_lit: Option<Lit>,
+/// Shared with [`crate::sweep`], whose persistent solver encodes the
+/// swept window with the same conventions.
+pub(crate) struct SatConsts {
+    pub(crate) true_lit: Option<Lit>,
 }
 
 impl SatConsts {
-    fn get(&mut self, solver: &mut Solver, value: bool) -> Lit {
+    pub(crate) fn get(&mut self, solver: &mut Solver, value: bool) -> Lit {
         let t = *self.true_lit.get_or_insert_with(|| {
             let t = Lit::pos(solver.new_var());
             solver.add_clause([t]);
@@ -174,7 +176,7 @@ impl SatConsts {
 }
 
 /// Tseitin-encodes one gate over already-encoded fanin literals.
-fn encode_gate(solver: &mut Solver, kind: GateKind, fanins: &[Lit]) -> Lit {
+pub(crate) fn encode_gate(solver: &mut Solver, kind: GateKind, fanins: &[Lit]) -> Lit {
     match kind {
         GateKind::Buf => fanins[0],
         GateKind::Not => !fanins[0],
@@ -228,7 +230,7 @@ fn encode_gate(solver: &mut Solver, kind: GateKind, fanins: &[Lit]) -> Lit {
 
 /// Encodes one combinational frame of `n`: returns the literal of every
 /// signal given per-frame input literals and current state literals.
-fn frame_lits(
+pub(crate) fn frame_lits(
     solver: &mut Solver,
     consts: &mut SatConsts,
     n: &Netlist,

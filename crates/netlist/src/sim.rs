@@ -115,6 +115,55 @@ impl<'a> Simulator<'a> {
     pub fn value(&self, signal: SignalId) -> u64 {
         self.values[signal.index()]
     }
+
+    /// Evaluates `batch.len()` independent 64-pattern words in one call
+    /// (`N×64` patterns total). Element `w` of the batch is an
+    /// input-word vector exactly as accepted by [`Simulator::eval_comb`];
+    /// the return holds the matching output-word vector per element.
+    /// Latch state words are identical for every element and are not
+    /// advanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element's width differs from the input count.
+    pub fn eval_comb_batch(&mut self, batch: &[Vec<u64>]) -> Vec<Vec<u64>> {
+        batch.iter().map(|words| self.eval_comb(words)).collect()
+    }
+
+    /// Evaluates a seeded random batch of `words` input words (`words×64`
+    /// patterns) and hands the simulator to `visit` after each word so
+    /// callers can harvest per-signal values via [`Simulator::value`].
+    /// The input words are exactly [`seeded_batch`]`(num_inputs, words,
+    /// seed)`, so results are reproducible from the seed alone. Returns
+    /// the output-word vectors like [`Simulator::eval_comb_batch`].
+    pub fn eval_comb_seeded(
+        &mut self,
+        words: usize,
+        seed: u64,
+        mut visit: impl FnMut(usize, &Simulator<'_>),
+    ) -> Vec<Vec<u64>> {
+        let batch = seeded_batch(self.netlist.num_inputs(), words, seed);
+        let mut outs = Vec::with_capacity(words);
+        for (w, inputs) in batch.iter().enumerate() {
+            outs.push(self.eval_comb(inputs));
+            visit(w, self);
+        }
+        outs
+    }
+}
+
+/// Deterministically expands `seed` into a batch of `words` random
+/// input-word vectors (one `u64` per input, 64 patterns per word) using
+/// the same xorshift64* stream as [`random_co_simulation`].
+pub fn seeded_batch(num_inputs: usize, words: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        rng.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    (0..words).map(|_| (0..num_inputs).map(|_| next()).collect()).collect()
 }
 
 /// Runs `steps` clock cycles of random-input simulation on two netlists
@@ -213,6 +262,37 @@ mod tests {
         b.set_output_signal(0, nq);
         assert!(!random_co_simulation(&a, &b, 8, 42));
         assert!(random_co_simulation(&a, &a.clone(), 8, 42));
+    }
+
+    #[test]
+    fn batch_eval_matches_single_word_calls() {
+        let n = toggle();
+        let batch = seeded_batch(n.num_inputs(), 8, 0xBA7C4);
+        assert_eq!(batch.len(), 8);
+        let mut sim_batch = Simulator::new(&n);
+        let batched = sim_batch.eval_comb_batch(&batch);
+        let mut sim_single = Simulator::new(&n);
+        let singles: Vec<Vec<u64>> =
+            batch.iter().map(|words| sim_single.eval_comb(words)).collect();
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn seeded_eval_is_reproducible_and_visits_every_word() {
+        let n = toggle();
+        let mut visited = Vec::new();
+        let mut sim = Simulator::new(&n);
+        let a = sim.eval_comb_seeded(5, 99, |w, s| {
+            visited.push((w, s.value(n.signal("d").unwrap())));
+        });
+        assert_eq!(visited.len(), 5);
+        assert_eq!(visited.iter().map(|&(w, _)| w).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        let mut sim2 = Simulator::new(&n);
+        let b = sim2.eval_comb_seeded(5, 99, |_, _| {});
+        assert_eq!(a, b);
+        let mut sim3 = Simulator::new(&n);
+        let c = sim3.eval_comb_batch(&seeded_batch(n.num_inputs(), 5, 99));
+        assert_eq!(a, c);
     }
 
     #[test]

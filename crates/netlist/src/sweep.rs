@@ -1,0 +1,672 @@
+//! Fraig-style SAT sweeping: simulation-guided equivalence classes
+//! refined by incremental SAT.
+//!
+//! Structurally distinct but functionally identical nodes survive
+//! [`crate::clean`]'s structural hashing — `a·b` built as
+//! `¬(¬a + ¬b)` hashes differently, so the synthesis flow decomposes,
+//! budgets, and maps the same function twice. This pass removes that
+//! redundancy *semantically*, before any BDD is built:
+//!
+//! 1. **Simulate**: seeded word-parallel random simulation (latch
+//!    outputs are cut and driven as free pseudo-inputs) gives every
+//!    signal a signature of `words × 64` pattern bits. Signatures are
+//!    canonicalized *up to negation* — if pattern 0 is `1` the whole
+//!    signature is complemented and the phase recorded — so a node and
+//!    its complement land in the same candidate class.
+//! 2. **Refine**: one persistent [`Solver`] holds a single Tseitin
+//!    frame of the netlist (latches free, like the simulation). Each
+//!    class member is checked against its representative with
+//!    [`Solver::solve_budgeted_with_assumptions`] under one assumption
+//!    (the XOR miter literal), so learnt clauses accumulate across the
+//!    whole sweep. An UNSAT verdict proves the pair equal (up to the
+//!    recorded phase); a SAT model is a counterexample that is fed
+//!    back as a new simulation pattern, splitting *every* affected
+//!    class at once on the next round; an out-of-conflicts verdict
+//!    leaves the pair **undecided**.
+//! 3. **Merge**: proven pairs are substituted (phase-aware, inserting
+//!    at most one inverter per representative) in a levelized rebuild
+//!    and the result is funnelled through [`crate::clean`], which
+//!    erases the now-dead cones and collapses the inverter chains.
+//!
+//! **Soundness contract**: *undecided = unmerged*. Only UNSAT-proven
+//! pairs merge; everything else — SAT refutations, exhausted conflict
+//! budgets, governor trips — leaves the original structure in place.
+//! The swept netlist is therefore combinationally equivalent to the
+//! input at every latch boundary, which implies sequential equivalence
+//! (checkable with [`crate::sec::bounded_check_sat`] or
+//! [`crate::sim::random_co_simulation`]).
+//!
+//! The pass runs under a [`ResourceGovernor`]: every pairwise query
+//! crosses the `netlist.sweep` fault site and polls for cancellation,
+//! and the solver search itself is interruptible at its
+//! `sat.propagate` / `sat.reduce_db` checkpoints. [`try_sweep`] is the
+//! governed twin; a trip aborts the whole pass and the caller degrades
+//! to the unswept netlist.
+
+use crate::clean::clean;
+use crate::sec::{encode_gate, frame_lits, SatConsts};
+use crate::sim::Simulator;
+use crate::{GateKind, Netlist, NodeKind, SignalId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use symbi_bdd::{FaultSite, ResourceExhausted, ResourceGovernor};
+use symbi_sat::{BudgetedSolveResult, Lit, SatCheckPoint, Solver};
+
+/// Tuning knobs for one [`sweep`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Initial random-simulation words (64 patterns each).
+    pub sim_words: usize,
+    /// Maximum cex-driven refinement rounds.
+    pub rounds: usize,
+    /// Conflict budget per pairwise SAT query; exhausting it leaves the
+    /// pair undecided (and unmerged).
+    pub conflict_budget: u64,
+    /// Seed for the simulation pattern stream.
+    pub seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { sim_words: 4, rounds: 4, conflict_budget: 2_000, seed: 0x5EE9D }
+    }
+}
+
+/// What one [`sweep`] run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Candidate classes (≥ 2 members) in the initial partition.
+    pub classes: usize,
+    /// Pairs proven equivalent and merged.
+    pub merges: usize,
+    /// Pairwise SAT queries issued.
+    pub sat_calls: usize,
+    /// SAT counterexamples fed back as simulation patterns.
+    pub cex_patterns: usize,
+    /// Pairs left unmerged because their conflict budget ran out.
+    pub undecided: usize,
+    /// Refinement rounds actually run.
+    pub rounds: usize,
+    /// Gates before / after (after includes the final clean).
+    pub gates_before: usize,
+    /// Gates surviving the merge and final clean.
+    pub gates_after: usize,
+}
+
+/// One bit per simulated pattern, canonicalized so pattern 0 is `0`.
+type Signature = Vec<u64>;
+
+/// Sweeps `netlist` with an unlimited governor. Same contract as
+/// [`try_sweep`], which cannot trip here.
+///
+/// # Panics
+///
+/// Panics if the netlist fails [`Netlist::validate`].
+pub fn sweep(netlist: &Netlist, options: &SweepOptions) -> (Netlist, SweepReport) {
+    try_sweep(netlist, options, &ResourceGovernor::unlimited())
+        .expect("unlimited governor cannot trip")
+}
+
+/// Governed SAT sweep. Returns the swept netlist (same interface,
+/// sequentially equivalent) and a report; an exhausted budget, a
+/// deadline, a cancellation, or an injected `netlist.sweep` fault
+/// aborts with the cause — the caller keeps the unswept netlist.
+///
+/// # Panics
+///
+/// Panics if the netlist fails [`Netlist::validate`].
+pub fn try_sweep(
+    netlist: &Netlist,
+    options: &SweepOptions,
+    gov: &ResourceGovernor,
+) -> Result<(Netlist, SweepReport), ResourceExhausted> {
+    netlist.validate().expect("sweeping an invalid netlist");
+    // Entry crossing: the pass is governed from its first instruction,
+    // so a chaos cell can kill a sweep that never reaches a pairwise
+    // query (duplicate-free netlists included).
+    gov.fault_site(FaultSite::NetlistSweep)?;
+    gov.poll_interrupt()?;
+    let mut report =
+        SweepReport { gates_before: netlist.num_gates(), ..Default::default() };
+    if netlist.num_gates() == 0 {
+        report.gates_after = 0;
+        return Ok((netlist.clone(), report));
+    }
+    let topo = netlist.topo_order().expect("validated netlist is acyclic");
+
+    // Levelized order: non-gates are level 0, a gate sits one above its
+    // deepest fanin. A representative always has a strictly smaller
+    // (level, position) key than the members merged into it, so the
+    // rebuild can substitute in one pass and cycles cannot form.
+    let mut level: Vec<usize> = vec![0; netlist.num_signals()];
+    let mut pos: Vec<usize> = vec![0; netlist.num_signals()];
+    for (i, &g) in topo.iter().enumerate() {
+        let l = netlist.fanins(g).iter().map(|f| level[f.index()]).max().unwrap_or(0);
+        level[g.index()] = l + 1;
+        pos[g.index()] = i + 1;
+    }
+    let key = |s: SignalId| (level[s.index()], pos[s.index()], s.index());
+
+    // --- Signatures --------------------------------------------------
+    // Latches are cut: every pattern drives them with free random words,
+    // so signature equality is evidence of *combinational* equivalence
+    // over the latch boundary — the condition the merge needs.
+    let mut sim = Simulator::new(netlist);
+    let num_in = netlist.num_inputs();
+    let num_latch = netlist.num_latches();
+    let mut rng = options.seed | 1;
+    let mut next_word = move || {
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        rng.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    let mut signatures: Vec<Signature> = vec![Vec::new(); netlist.num_signals()];
+    let mut phase: Vec<bool> = vec![false; netlist.num_signals()];
+    let simulate_word =
+        |sim: &mut Simulator, inputs: &[u64], state: &[u64], signatures: &mut Vec<Signature>| {
+            sim.set_state(state);
+            sim.eval_comb(inputs);
+            for s in netlist.signals() {
+                signatures[s.index()].push(sim.value(s));
+            }
+        };
+    for _ in 0..options.sim_words.max(1) {
+        let inputs: Vec<u64> = (0..num_in).map(|_| next_word()).collect();
+        let state: Vec<u64> = (0..num_latch).map(|_| next_word()).collect();
+        simulate_word(&mut sim, &inputs, &state, &mut signatures);
+    }
+    let canonicalize = |signatures: &mut Vec<Signature>, phase: &mut Vec<bool>| {
+        for (i, sig) in signatures.iter_mut().enumerate() {
+            let p = sig[0] & 1 == 1;
+            phase[i] = p;
+            if p {
+                for w in sig.iter_mut() {
+                    *w = !*w;
+                }
+            }
+        }
+    };
+    // Canonicalization is destructive, so signatures are rebuilt from
+    // scratch whenever new patterns arrive (see the cex replay below).
+    canonicalize(&mut signatures, &mut phase);
+
+    // --- Persistent solver over one free-latch frame ------------------
+    // The interrupt hook mirrors `sec::try_bounded_check_sat`: it
+    // records *why* the solve was interrupted so an Unknown verdict can
+    // be told apart from an ordinary conflict-budget exhaustion.
+    let mut solver = Solver::new();
+    let cause: Arc<Mutex<Option<ResourceExhausted>>> = Arc::new(Mutex::new(None));
+    let hook = {
+        let gov = gov.clone();
+        let cause = Arc::clone(&cause);
+        move |point| {
+            let verdict = match point {
+                SatCheckPoint::Propagate => gov
+                    .fault_site(FaultSite::SatPropagate)
+                    .and_then(|()| gov.poll_interrupt()),
+                SatCheckPoint::ReduceDb => gov.fault_site(FaultSite::SatReduceDb),
+            };
+            match verdict {
+                Ok(()) => false,
+                Err(e) => {
+                    *cause.lock().unwrap_or_else(PoisonError::into_inner) = Some(e);
+                    true
+                }
+            }
+        }
+    };
+    let mut solver = solver.with_interrupt(hook);
+    let mut consts = SatConsts { true_lit: None };
+    gov.fault_site(FaultSite::SatEncode)?;
+    gov.poll_interrupt()?;
+    let input_lits: Vec<Lit> =
+        (0..num_in).map(|_| Lit::pos(solver.new_var())).collect();
+    let latch_lits: Vec<Lit> =
+        (0..num_latch).map(|_| Lit::pos(solver.new_var())).collect();
+    let state_lits: HashMap<SignalId, Lit> =
+        netlist.latches().iter().copied().zip(latch_lits.iter().copied()).collect();
+    let lits = frame_lits(&mut solver, &mut consts, netlist, &topo, &input_lits, &state_lits);
+
+    // --- Cex-driven refinement loop -----------------------------------
+    // merged: member → (representative, relative phase). Merged and
+    // undecided members are excluded from later rounds.
+    let mut merged: HashMap<SignalId, (SignalId, bool)> = HashMap::new();
+    let mut undecided: Vec<bool> = vec![false; netlist.num_signals()];
+    // Pending counterexamples, one (inputs, state) bool-vector pair each.
+    let mut pending_cex: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+    let mut first_partition = true;
+    for _round in 0..options.rounds.max(1) {
+        report.rounds += 1;
+        // Partition the unmerged signals by canonical signature. Classes
+        // iterate in (level, position) order of their representative so
+        // the sweep is deterministic regardless of hash-map layout.
+        let mut by_sig: HashMap<&Signature, Vec<SignalId>> = HashMap::new();
+        for s in netlist.signals() {
+            if merged.contains_key(&s) {
+                continue;
+            }
+            by_sig.entry(&signatures[s.index()]).or_default().push(s);
+        }
+        let mut classes: Vec<Vec<SignalId>> =
+            by_sig.into_values().filter(|c| c.len() >= 2).collect();
+        for class in &mut classes {
+            class.sort_unstable_by_key(|&s| key(s));
+        }
+        classes.sort_unstable_by_key(|c| key(c[0]));
+        if first_partition {
+            report.classes = classes.len();
+            first_partition = false;
+        }
+        let mut progress = false;
+        for class in &classes {
+            let repr = class[0];
+            for &member in &class[1..] {
+                if undecided[member.index()] {
+                    continue;
+                }
+                // Only gates can be substituted away; inputs, latches,
+                // and constants are interface or already minimal.
+                if !matches!(netlist.kind(member), NodeKind::Gate(_)) {
+                    continue;
+                }
+                gov.fault_site(FaultSite::NetlistSweep)?;
+                gov.poll_interrupt()?;
+                let rel_phase = phase[member.index()] != phase[repr.index()];
+                let repr_lit =
+                    if rel_phase { !lits[&repr] } else { lits[&repr] };
+                let miter =
+                    encode_gate(&mut solver, GateKind::Xor, &[lits[&member], repr_lit]);
+                report.sat_calls += 1;
+                match solver
+                    .solve_budgeted_with_assumptions(&[miter], options.conflict_budget.max(1))
+                {
+                    BudgetedSolveResult::Unsat { .. } => {
+                        merged.insert(member, (repr, rel_phase));
+                        report.merges += 1;
+                        progress = true;
+                    }
+                    BudgetedSolveResult::Sat => {
+                        // Harvest the distinguishing assignment; it will
+                        // split every class it can on the next round.
+                        // Unconstrained variables default to false.
+                        let read = |l: &Lit| {
+                            solver.value(l.var()).map(|b| b ^ l.is_neg()).unwrap_or(false)
+                        };
+                        let ins: Vec<bool> = input_lits.iter().map(read).collect();
+                        let st: Vec<bool> = latch_lits.iter().map(read).collect();
+                        pending_cex.push((ins, st));
+                        report.cex_patterns += 1;
+                        progress = true;
+                    }
+                    BudgetedSolveResult::Unknown => {
+                        // A recorded cause means the governor tripped the
+                        // solver mid-search: abort the whole pass. A bare
+                        // Unknown is the conflict budget — the pair stays
+                        // soundly unmerged.
+                        if let Some(e) =
+                            cause.lock().unwrap_or_else(PoisonError::into_inner).take()
+                        {
+                            return Err(e);
+                        }
+                        undecided[member.index()] = true;
+                        report.undecided += 1;
+                    }
+                }
+            }
+        }
+        if pending_cex.is_empty() {
+            if !progress {
+                break; // fixpoint: nothing merged, nothing split
+            }
+            continue;
+        }
+        // Replay the pending counterexamples as fresh simulation words:
+        // bit k of each word carries cex k, and any spare bits replicate
+        // earlier cexs so the word is fully populated and deterministic.
+        for chunk in pending_cex.chunks(64) {
+            let bit_of = |k: usize| &chunk[k % chunk.len()];
+            let inputs: Vec<u64> = (0..num_in)
+                .map(|i| {
+                    (0..64).fold(0u64, |w, k| w | (u64::from(bit_of(k).0[i]) << k))
+                })
+                .collect();
+            let state: Vec<u64> = (0..num_latch)
+                .map(|j| {
+                    (0..64).fold(0u64, |w, k| w | (u64::from(bit_of(k).1[j]) << k))
+                })
+                .collect();
+            // Signatures must be re-canonicalized from raw values, so
+            // undo the previous canonicalization before appending.
+            for (i, sig) in signatures.iter_mut().enumerate() {
+                if phase[i] {
+                    for w in sig.iter_mut() {
+                        *w = !*w;
+                    }
+                }
+            }
+            simulate_word(&mut sim, &inputs, &state, &mut signatures);
+            canonicalize(&mut signatures, &mut phase);
+        }
+        pending_cex.clear();
+    }
+
+    // --- Merge -------------------------------------------------------
+    let out = if merged.is_empty() {
+        netlist.clone()
+    } else {
+        let rebuilt = rebuild_with_merges(netlist, &merged, &level, &topo);
+        debug_assert!(rebuilt.validate().is_ok(), "sweep produced an invalid netlist");
+        clean(&rebuilt).0
+    };
+    report.gates_after = out.num_gates();
+    Ok((out, report))
+}
+
+/// Rebuilds `n` with every merged member's uses redirected to its
+/// representative (through one shared inverter when the phases differ).
+/// Gates are emitted in levelized order, so a representative — whose
+/// (level, position) key is strictly smaller — always exists in the
+/// output before any member or user needs it.
+fn rebuild_with_merges(
+    n: &Netlist,
+    merged: &HashMap<SignalId, (SignalId, bool)>,
+    level: &[usize],
+    topo: &[SignalId],
+) -> Netlist {
+    let mut out = Netlist::new(n.name());
+    let mut map: HashMap<SignalId, SignalId> = HashMap::new();
+    let mut not_of: HashMap<SignalId, SignalId> = HashMap::new();
+    for &i in n.inputs() {
+        map.insert(i, out.add_input(n.signal_name(i).to_string()));
+    }
+    for &l in n.latches() {
+        map.insert(l, out.add_latch(n.signal_name(l).to_string(), n.latch_init(l)));
+    }
+    for s in n.signals() {
+        if let NodeKind::Const(b) = n.kind(s) {
+            map.insert(s, out.add_const(n.signal_name(s).to_string(), b));
+        }
+    }
+    let mut order: Vec<SignalId> = topo.to_vec();
+    order.sort_by_key(|&g| level[g.index()]); // stable: ties keep topo order
+    for g in order {
+        if let Some(&(repr, rel_phase)) = merged.get(&g) {
+            let base = map[&repr];
+            let target = if rel_phase {
+                match not_of.get(&base) {
+                    Some(&inv) => inv,
+                    None => {
+                        let name = out.fresh_name("sweep_n");
+                        let inv = out.add_gate(name, GateKind::Not, vec![base]);
+                        not_of.insert(base, inv);
+                        not_of.insert(inv, base);
+                        inv
+                    }
+                }
+            } else {
+                base
+            };
+            map.insert(g, target);
+            continue;
+        }
+        let NodeKind::Gate(kind) = n.kind(g) else { unreachable!("topo holds gates") };
+        let fanins: Vec<SignalId> = n.fanins(g).iter().map(|f| map[f]).collect();
+        let name = if out.signal(n.signal_name(g)).is_none() {
+            n.signal_name(g).to_string()
+        } else {
+            out.fresh_name("sweep_g")
+        };
+        map.insert(g, out.add_gate(name, kind, fanins));
+    }
+    for &l in n.latches() {
+        out.set_latch_next(map[&l], map[&n.latch_next(l).expect("validated")]);
+    }
+    for (name, sig) in n.outputs() {
+        out.add_output(name.clone(), map[sig]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::random_co_simulation;
+    use std::sync::Arc;
+    use symbi_bdd::{FaultKind, FaultPlan};
+
+    /// Two structurally different implementations of `a·b` feeding an
+    /// XOR (always 0) plus a genuine output — structural hashing cannot
+    /// merge them, SAT sweeping must.
+    fn duplicated_and() -> Netlist {
+        let mut n = Netlist::new("dup");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate("g1", GateKind::And, vec![a, b]);
+        let na = n.add_gate("na", GateKind::Not, vec![a]);
+        let nb = n.add_gate("nb", GateKind::Not, vec![b]);
+        let g2 = n.add_gate("g2", GateKind::Nor, vec![na, nb]); // ¬(¬a+¬b) = a·b
+        let x = n.add_gate("x", GateKind::Xor, vec![g1, g2]); // always 0
+        let keep = n.add_gate("keep", GateKind::Or, vec![g1, x]);
+        n.add_output("o", keep);
+        n
+    }
+
+    /// `a·b` against its complement `¬a + ¬b`: same class up to phase.
+    fn phase_pair() -> Netlist {
+        let mut n = Netlist::new("phase");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate("g1", GateKind::And, vec![a, b]);
+        let g2 = n.add_gate("g2", GateKind::Nand, vec![a, b]);
+        n.add_output("p", g1);
+        n.add_output("q", g2);
+        n
+    }
+
+    #[test]
+    fn duplicate_cones_merge() {
+        let n = duplicated_and();
+        let (swept, report) = sweep(&n, &SweepOptions::default());
+        assert!(report.classes >= 1, "simulation must seed a candidate class");
+        assert!(report.merges >= 1, "g2 must merge into g1: {report:?}");
+        assert!(report.sat_calls >= 1);
+        assert!(
+            swept.num_gates() < n.num_gates(),
+            "merging must shrink: {} vs {}",
+            swept.num_gates(),
+            n.num_gates()
+        );
+        assert!(random_co_simulation(&n, &swept, 64, 7));
+    }
+
+    #[test]
+    fn phase_opposed_nodes_share_one_class() {
+        let n = phase_pair();
+        let (swept, report) = sweep(&n, &SweepOptions::default());
+        // NAND is AND's complement: canonical phase puts them in one
+        // class, and the merged netlist implements one through the other.
+        assert!(report.merges >= 1, "{report:?}");
+        assert!(random_co_simulation(&n, &swept, 64, 13));
+        assert!(swept.num_gates() <= n.num_gates());
+    }
+
+    #[test]
+    fn inequivalent_lookalikes_split_by_cex() {
+        // g1 = a·b and g2 = a·(b + c): with c rarely relevant they can
+        // share a signature by luck on few patterns; the SAT cex must
+        // split them and nothing may merge.
+        let mut n = Netlist::new("split");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.add_gate("g1", GateKind::And, vec![a, b]);
+        let bc = n.add_gate("bc", GateKind::Or, vec![b, c]);
+        let g2 = n.add_gate("g2", GateKind::And, vec![a, bc]);
+        let o = n.add_gate("o", GateKind::Xor, vec![g1, g2]);
+        n.add_output("o", o);
+        // One word of patterns maximizes collision likelihood; the run
+        // stays sound regardless of whether a collision happens.
+        let opts = SweepOptions { sim_words: 1, ..Default::default() };
+        let (swept, _) = sweep(&n, &opts);
+        assert!(random_co_simulation(&n, &swept, 64, 21));
+    }
+
+    #[test]
+    fn latch_boundaries_are_respected() {
+        // Sequentially, q1 and q2 hold the same value — but the sweep
+        // cuts at latches, so the gates behind them only merge if they
+        // are combinationally equal over *free* latch values.
+        let mut n = Netlist::new("seq");
+        let i = n.add_input("i");
+        let q1 = n.add_latch("q1", false);
+        let q2 = n.add_latch("q2", false);
+        n.set_latch_next(q1, i);
+        n.set_latch_next(q2, i);
+        let u1 = n.add_gate("u1", GateKind::And, vec![q1, i]);
+        let u2 = n.add_gate("u2", GateKind::And, vec![q2, i]);
+        let o = n.add_gate("o", GateKind::Xor, vec![u1, u2]);
+        n.add_output("o", o);
+        let (swept, _) = sweep(&n, &SweepOptions::default());
+        // u1/u2 differ combinationally (q1 ≠ q2 as free variables), so
+        // behaviour must be preserved either way.
+        assert!(random_co_simulation(&n, &swept, 64, 33));
+    }
+
+    #[test]
+    fn empty_and_gate_free_netlists_pass_through() {
+        let mut n = Netlist::new("wires");
+        let a = n.add_input("a");
+        n.add_output("o", a);
+        let (swept, report) = sweep(&n, &SweepOptions::default());
+        assert_eq!(report.gates_before, 0);
+        assert_eq!(report.merges, 0);
+        assert_eq!(swept.num_gates(), 0);
+        assert!(random_co_simulation(&n, &swept, 8, 1));
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let n = duplicated_and();
+        let opts = SweepOptions::default();
+        let (s1, r1) = sweep(&n, &opts);
+        let (s2, r2) = sweep(&n, &opts);
+        assert_eq!(crate::bench::write(&s1), crate::bench::write(&s2));
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn zero_conflict_budget_leaves_everything_undecided_but_sound() {
+        let n = duplicated_and();
+        let opts = SweepOptions { conflict_budget: 1, rounds: 1, ..Default::default() };
+        let (swept, report) = sweep(&n, &opts);
+        // With a one-conflict budget the solver may or may not finish;
+        // whatever it proves, the output must stay equivalent and every
+        // non-proof must be counted, not merged.
+        assert_eq!(report.merges + report.undecided + report.cex_patterns, report.sat_calls);
+        assert!(random_co_simulation(&n, &swept, 64, 55));
+    }
+
+    #[test]
+    fn injected_budget_fault_aborts_with_cause() {
+        let n = duplicated_and();
+        // Occurrence 1 is the pass-entry crossing: the sweep dies before
+        // simulating a single word.
+        let plan = Arc::new(
+            FaultPlan::new(3).with_rule(FaultSite::NetlistSweep, 1, FaultKind::Budget),
+        );
+        let gov = ResourceGovernor::unlimited().with_fault_plan(Arc::clone(&plan));
+        let err = try_sweep(&n, &SweepOptions::default(), &gov)
+            .expect_err("entry crossing must trip");
+        assert_eq!(err, ResourceExhausted::Steps);
+        assert!(plan.faults_fired() >= 1);
+        // Occurrence 2 is the first pairwise refinement query.
+        let plan = Arc::new(
+            FaultPlan::new(3).with_rule(FaultSite::NetlistSweep, 2, FaultKind::Budget),
+        );
+        let gov = ResourceGovernor::unlimited().with_fault_plan(Arc::clone(&plan));
+        let err = try_sweep(&n, &SweepOptions::default(), &gov)
+            .expect_err("first pairwise query must trip");
+        assert_eq!(err, ResourceExhausted::Steps);
+        assert!(plan.faults_fired() >= 1);
+    }
+
+    #[test]
+    fn cancelled_governor_stops_the_sweep() {
+        let n = duplicated_and();
+        let gov = ResourceGovernor::unlimited();
+        gov.cancel_handle().cancel();
+        let err = try_sweep(&n, &SweepOptions::default(), &gov).expect_err("cancelled");
+        assert_eq!(err, ResourceExhausted::Cancelled);
+    }
+
+    #[test]
+    fn all_gate_kinds_survive_sweeping() {
+        let mut n = Netlist::new("kinds");
+        let x = n.add_input("x");
+        let y = n.add_input("y");
+        let z = n.add_input("z");
+        let and = n.add_gate("and", GateKind::And, vec![x, y]);
+        let or = n.add_gate("or", GateKind::Or, vec![y, z]);
+        let xor = n.add_gate("xor", GateKind::Xor, vec![and, or]);
+        let nand = n.add_gate("nand", GateKind::Nand, vec![x, z]);
+        let nor = n.add_gate("nor", GateKind::Nor, vec![and, z]);
+        let xnor = n.add_gate("xnor", GateKind::Xnor, vec![nand, nor]);
+        let not = n.add_gate("not", GateKind::Not, vec![xor]);
+        let buf = n.add_gate("buf", GateKind::Buf, vec![xnor]);
+        let top = n.add_gate("top", GateKind::And, vec![not, buf]);
+        n.add_output("o", top);
+        let (swept, _) = sweep(&n, &SweepOptions::default());
+        assert!(random_co_simulation(&n, &swept, 64, 77));
+    }
+
+    #[test]
+    fn proptest_swept_netlists_co_simulate_over_256_steps() {
+        // Randomized regression across a family of generated netlists:
+        // every swept result must be sequentially indistinguishable from
+        // its original over ≥256 random steps.
+        for seed in 0..12u64 {
+            let n = random_netlist(seed);
+            let (swept, _) = sweep(&n, &SweepOptions::default());
+            assert!(
+                random_co_simulation(&n, &swept, 256, seed.wrapping_mul(31) + 1),
+                "seed {seed}: swept netlist diverged"
+            );
+        }
+    }
+
+    /// Small random netlist generator biased toward duplicate logic:
+    /// half the gates re-derive an earlier function through De Morgan.
+    fn random_netlist(seed: u64) -> Netlist {
+        let mut rng = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545F4914F6CDD1D)
+        };
+        let mut n = Netlist::new("rand");
+        let mut pool: Vec<SignalId> = (0..4).map(|i| n.add_input(format!("i{i}"))).collect();
+        let q = n.add_latch("q", next() & 1 == 1);
+        pool.push(q);
+        for g in 0..12 {
+            let a = pool[(next() as usize) % pool.len()];
+            let b = pool[(next() as usize) % pool.len()];
+            let s = if next() & 1 == 0 {
+                n.add_gate(format!("g{g}"), GateKind::And, vec![a, b])
+            } else {
+                // De Morgan double of AND: a clone structural hashing
+                // cannot see.
+                let na = n.add_gate(format!("na{g}"), GateKind::Not, vec![a]);
+                let nb = n.add_gate(format!("nb{g}"), GateKind::Not, vec![b]);
+                n.add_gate(format!("g{g}"), GateKind::Nor, vec![na, nb])
+            };
+            pool.push(s);
+        }
+        let d = pool[pool.len() - 1];
+        n.set_latch_next(q, d);
+        let o = pool[pool.len() - 2];
+        n.add_output("o", o);
+        n
+    }
+}

@@ -304,6 +304,29 @@ impl SolverStats {
         self.minimized_literals += other.minimized_literals;
         self.retries += other.retries;
     }
+
+    /// Per-call effort: the counter increments since `baseline` (a copy
+    /// of [`Solver::stats`] taken before the call). High-water marks
+    /// (`max_lbd`, `max_live_learnt`) carry the current values, since a
+    /// maximum has no meaningful difference. Incremental users — the
+    /// netlist SAT sweep, the bounded equivalence checker — use this to
+    /// attribute effort to individual `solve_with_assumptions` calls on
+    /// one persistent solver.
+    pub fn delta_since(&self, baseline: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts - baseline.conflicts,
+            decisions: self.decisions - baseline.decisions,
+            propagations: self.propagations - baseline.propagations,
+            restarts: self.restarts - baseline.restarts,
+            learnt_clauses: self.learnt_clauses - baseline.learnt_clauses,
+            deleted_clauses: self.deleted_clauses - baseline.deleted_clauses,
+            db_reductions: self.db_reductions - baseline.db_reductions,
+            max_lbd: self.max_lbd,
+            max_live_learnt: self.max_live_learnt,
+            minimized_literals: self.minimized_literals - baseline.minimized_literals,
+            retries: self.retries - baseline.retries,
+        }
+    }
 }
 
 impl Solver {
@@ -877,6 +900,17 @@ impl Solver {
     }
 
     /// Solves under the given assumption literals.
+    ///
+    /// Assumptions are enqueued like decisions, so the solver backtracks
+    /// to level 0 afterwards and **every clause learnt during the call
+    /// persists into the next one** — learnt clauses are implied by the
+    /// problem clauses alone, never by the assumptions. Incremental
+    /// users (the netlist SAT sweep, the bounded equivalence checker)
+    /// rely on this: successive queries over one solver get
+    /// monotonically cheaper as the learnt database warms up. Compare
+    /// [`Solver::num_learnt`] across calls, or snapshot
+    /// [`Solver::stats`] and use [`SolverStats::delta_since`] for
+    /// per-call effort.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
         match self.search(assumptions, None) {
             BudgetedSolveResult::Sat => SolveResult::Sat,
@@ -1159,6 +1193,82 @@ mod tests {
             }
         }
         assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn learnt_clauses_persist_across_assumption_solves() {
+        // A pigeonhole core (4 pigeons, 3 holes) reachable only under an
+        // enabling assumption: the formula itself stays satisfiable, so
+        // everything learnt while refuting the assumption is implied by
+        // the problem clauses and must survive into later calls.
+        let mut s = Solver::new();
+        let en = s.new_var();
+        let p: Vec<Vec<Var>> =
+            (0..4).map(|_| (0..3).map(|_| s.new_var()).collect()).collect();
+        for row in &p {
+            let mut c = vec![Lit::neg(en)];
+            c.extend(row.iter().map(|&v| Lit::pos(v)));
+            s.add_clause(c);
+        }
+        for (i1, row1) in p.iter().enumerate() {
+            for row2 in p.iter().skip(i1 + 1) {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    s.add_clause([Lit::neg(a), Lit::neg(b)]);
+                }
+            }
+        }
+        let before_first = s.stats;
+        assert!(matches!(
+            s.solve_with_assumptions(&[Lit::pos(en)]),
+            SolveResult::Unsat { .. }
+        ));
+        let first = s.stats.delta_since(&before_first);
+        assert!(first.conflicts > 0, "refutation must take real work: {first:?}");
+        assert!(
+            s.num_learnt() > 0,
+            "learnt clauses must persist after backtracking to level 0"
+        );
+        let learnt_after_first = s.num_learnt();
+
+        // Same query on the warm database: the persisted clauses prune
+        // the search, so the per-call delta shrinks strictly.
+        let before_second = s.stats;
+        assert!(matches!(
+            s.solve_with_assumptions(&[Lit::pos(en)]),
+            SolveResult::Unsat { .. }
+        ));
+        let second = s.stats.delta_since(&before_second);
+        assert!(
+            second.conflicts < first.conflicts,
+            "warm re-solve must be cheaper: {} vs {} conflicts",
+            second.conflicts,
+            first.conflicts
+        );
+        assert!(
+            s.num_learnt() >= learnt_after_first,
+            "the warm database is never discarded between calls"
+        );
+
+        // The assumption was never added as a clause: without it the
+        // formula is satisfiable, learnt clauses and all.
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn stats_delta_since_subtracts_counters_and_keeps_high_water_marks() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+        s.add_clause(lits(&[1, 2], &vars));
+        s.add_clause(lits(&[-1, -2], &vars));
+        s.add_clause(lits(&[2, 3], &vars));
+        let baseline = s.stats;
+        assert!(s.solve().is_sat());
+        let delta = s.stats.delta_since(&baseline);
+        assert_eq!(delta.conflicts, s.stats.conflicts - baseline.conflicts);
+        assert_eq!(delta.max_lbd, s.stats.max_lbd, "marks carry, not subtract");
+        let zero = s.stats.delta_since(&s.stats.clone());
+        assert_eq!(zero.conflicts, 0);
+        assert_eq!(zero.propagations, 0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use symbi_bdd::{FaultSite, KernelConfig, Manager, ResourceExhausted, ResourceGov
 use symbi_core::{recursive, Interval};
 use symbi_netlist::clean::clean;
 use symbi_netlist::cone::ConeExtractor;
+use symbi_netlist::sweep::SweepOptions;
 use symbi_netlist::{Netlist, NodeKind, SignalId};
 use symbi_reach::{Reachability, ReachabilityOptions};
 use symbi_sat::SolverStats;
@@ -105,6 +106,22 @@ pub struct SynthesisOptions {
     /// the emitted netlist is unchanged under the default unlimited
     /// budget.
     pub kernel: KernelConfig,
+    /// Run the fraig-style SAT-sweeping pre-pass
+    /// ([`symbi_netlist::sweep`]) before decomposition: functionally
+    /// identical nodes merge so the flow never budgets the same function
+    /// twice. Off by default; when off, the output is byte-identical to
+    /// flows predating the pass. The sweep runs *before* the parallel
+    /// fan-out, so its result is identical for every `jobs` value; a
+    /// governor trip or a panic inside the sweep degrades to the
+    /// unswept netlist ([`SweepSummary::degraded`]).
+    pub sweep: bool,
+    /// Refinement rounds of the sweep pre-pass (counterexample replay
+    /// cycles). Only read when [`SynthesisOptions::sweep`] is set.
+    pub sweep_rounds: usize,
+    /// Conflict budget per pairwise sweep SAT query; pairs exhausting it
+    /// stay soundly unmerged. Only read when [`SynthesisOptions::sweep`]
+    /// is set.
+    pub sweep_conflicts: u64,
 }
 
 impl Default for SynthesisOptions {
@@ -118,8 +135,32 @@ impl Default for SynthesisOptions {
             validate_frames: None,
             jobs: 1,
             kernel: KernelConfig::default(),
+            sweep: false,
+            sweep_rounds: SweepOptions::default().rounds,
+            sweep_conflicts: SweepOptions::default().conflict_budget,
         }
     }
+}
+
+/// What the optional SAT-sweeping pre-pass did (all zero when
+/// [`SynthesisOptions::sweep`] is off).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Candidate equivalence classes seeded by simulation.
+    pub classes: usize,
+    /// Node pairs proven equivalent and merged.
+    pub merges: usize,
+    /// Pairwise SAT queries the persistent sweep solver answered.
+    pub sat_calls: usize,
+    /// SAT counterexamples replayed as new simulation patterns.
+    pub cex_patterns: usize,
+    /// Pairs left unmerged because their conflict budget ran out —
+    /// the "undecided = unmerged" soundness contract in numbers.
+    pub undecided: usize,
+    /// The sweep was requested but aborted (resource exhaustion,
+    /// cancellation, injected fault, or a panic); the flow continued
+    /// on the unswept netlist.
+    pub degraded: bool,
 }
 
 /// Outcome of the optional post-flow SAT validation.
@@ -183,6 +224,9 @@ pub struct SynthesisReport {
     /// validation solver). `sat_validation` is `None` in that case; a
     /// completed validation leaves this `None`.
     pub validation_interrupted: Option<ResourceExhausted>,
+    /// Counters of the SAT-sweeping pre-pass
+    /// ([`SynthesisOptions::sweep`]); all zero when the pass is off.
+    pub sweep: SweepSummary,
 }
 
 /// Runs Algorithm 1 on `netlist`, returning the optimized netlist (same
@@ -209,10 +253,69 @@ pub fn optimize_governed(
     options: &SynthesisOptions,
     gov: &ResourceGovernor,
 ) -> (Netlist, SynthesisReport) {
-    if options.jobs > 1 {
-        return crate::parallel::optimize_parallel(netlist, options, gov);
+    // The sweep pre-pass runs once, before the parallel fan-out, so the
+    // rest of the flow — sequential or parallel — sees the same input
+    // netlist for every `jobs` value. Validation still compares against
+    // the caller's original netlist, keeping the sweep inside the
+    // verified boundary.
+    let (swept, summary) = sweep_prepass(netlist, options, gov);
+    let input = swept.as_ref().unwrap_or(netlist);
+    let (out, mut report) = if options.jobs > 1 {
+        crate::parallel::optimize_parallel(netlist, input, options, gov)
+    } else {
+        optimize_sequential(netlist, input, options, gov)
+    };
+    report.sweep = summary;
+    (out, report)
+}
+
+/// Runs the governed SAT-sweeping pre-pass when enabled. The sweep
+/// attempt is a panic-isolation boundary: a crash inside it (including
+/// injected `netlist.sweep` panic faults) degrades to the unswept
+/// netlist exactly like a resource exhaustion — the flow never dies for
+/// an optional pre-pass.
+fn sweep_prepass(
+    netlist: &Netlist,
+    options: &SynthesisOptions,
+    gov: &ResourceGovernor,
+) -> (Option<Netlist>, SweepSummary) {
+    let mut summary = SweepSummary::default();
+    if !options.sweep {
+        return (None, summary);
     }
-    let (cleaned, _) = clean(netlist);
+    let sweep_opts = SweepOptions {
+        rounds: options.sweep_rounds,
+        conflict_budget: options.sweep_conflicts,
+        ..SweepOptions::default()
+    };
+    let attempt = catch_unwind(AssertUnwindSafe(|| {
+        symbi_netlist::sweep::try_sweep(netlist, &sweep_opts, gov)
+    }));
+    match attempt {
+        Ok(Ok((swept, r))) => {
+            summary.classes = r.classes;
+            summary.merges = r.merges;
+            summary.sat_calls = r.sat_calls;
+            summary.cex_patterns = r.cex_patterns;
+            summary.undecided = r.undecided;
+            (Some(swept), summary)
+        }
+        Ok(Err(_)) | Err(_) => {
+            summary.degraded = true;
+            (None, summary)
+        }
+    }
+}
+
+/// The sequential flow body: optimizes `input` (the possibly-swept
+/// netlist) while validating against `original`.
+fn optimize_sequential(
+    original: &Netlist,
+    input: &Netlist,
+    options: &SynthesisOptions,
+    gov: &ResourceGovernor,
+) -> (Netlist, SynthesisReport) {
+    let (cleaned, _) = clean(input);
     let mut report = SynthesisReport::default();
 
     // Partitioned reachability (or the trivial no-information analysis).
@@ -376,7 +479,7 @@ pub fn optimize_governed(
         out.add_output(name.clone(), rebuilt[sig]);
     }
     let (final_netlist, _) = clean(&out);
-    run_validation(netlist, &final_netlist, options, gov, &mut report);
+    run_validation(original, &final_netlist, options, gov, &mut report);
     (final_netlist, report)
 }
 
@@ -657,6 +760,100 @@ mod tests {
         assert!(report.sat_validation.is_none());
         assert_eq!(report.validation_interrupted, Some(ResourceExhausted::Steps));
         assert!(report.decomposed > 0, "synthesis itself completed");
+    }
+
+    /// Ring plus two structurally different copies of the same AND cone
+    /// (direct and De Morgan), which structural hashing cannot merge but
+    /// SAT sweeping must.
+    fn ring_with_duplicates() -> Netlist {
+        let mut n = ring_with_logic();
+        let en = n.signal("en").unwrap();
+        let q0 = n.signal("q0").unwrap();
+        let d1 = n.add_gate("d1", GateKind::And, vec![en, q0]);
+        let ne = n.add_gate("ne", GateKind::Not, vec![en]);
+        let nq = n.add_gate("nq", GateKind::Not, vec![q0]);
+        let d2 = n.add_gate("d2", GateKind::Nor, vec![ne, nq]); // = en·q0
+        n.add_output("d1", d1);
+        n.add_output("d2", d2);
+        n
+    }
+
+    #[test]
+    fn sweep_prepass_merges_duplicates_and_stays_equivalent() {
+        let n = ring_with_duplicates();
+        let opts = SynthesisOptions { sweep: true, validate_frames: Some(8), ..Default::default() };
+        let (opt, report) = optimize(&n, &opts);
+        assert!(report.sweep.merges >= 1, "duplicate cones must merge: {:?}", report.sweep);
+        assert!(report.sweep.sat_calls >= report.sweep.merges);
+        assert!(!report.sweep.degraded);
+        assert!(report.sat_validation.expect("validation ran").equivalent);
+        assert!(random_co_simulation(&n, &opt, 40, 91));
+    }
+
+    #[test]
+    fn sweep_off_leaves_report_and_output_untouched() {
+        let n = ring_with_duplicates();
+        let (base_net, base_rep) = optimize(&n, &SynthesisOptions::default());
+        assert_eq!(base_rep.sweep, SweepSummary::default());
+        // Sweep tuning knobs are inert while the pass is off.
+        let opts = SynthesisOptions {
+            sweep: false,
+            sweep_rounds: 99,
+            sweep_conflicts: 1,
+            ..Default::default()
+        };
+        let (tuned_net, tuned_rep) = optimize(&n, &opts);
+        assert_eq!(
+            symbi_netlist::bench::write(&base_net),
+            symbi_netlist::bench::write(&tuned_net)
+        );
+        assert_eq!(base_rep, tuned_rep);
+    }
+
+    #[test]
+    fn swept_flow_is_jobs_invariant() {
+        let n = ring_with_duplicates();
+        let seq = SynthesisOptions { sweep: true, jobs: 1, ..Default::default() };
+        let par = SynthesisOptions { sweep: true, jobs: 4, ..Default::default() };
+        let (seq_net, seq_rep) = optimize(&n, &seq);
+        let (par_net, par_rep) = optimize(&n, &par);
+        assert_eq!(
+            symbi_netlist::bench::write(&seq_net),
+            symbi_netlist::bench::write(&par_net),
+            "the sweep runs before the fan-out, so jobs must not matter"
+        );
+        assert_eq!(seq_rep, par_rep);
+    }
+
+    #[test]
+    fn faulted_sweep_degrades_to_the_unswept_flow() {
+        use std::sync::Arc;
+        use symbi_bdd::{FaultKind, FaultPlan};
+        let n = ring_with_duplicates();
+        let opts = SynthesisOptions { sweep: true, ..Default::default() };
+        let (unswept_net, _) = optimize(&n, &SynthesisOptions::default());
+        for kind in [FaultKind::Budget, FaultKind::Cancel, FaultKind::Panic] {
+            let plan = Arc::new(
+                FaultPlan::new(41).with_rule(FaultSite::NetlistSweep, 1, kind),
+            );
+            let gov = opts.budget.governor().with_fault_plan(Arc::clone(&plan));
+            let (net, report) = optimize_governed(&n, &opts, &gov);
+            assert!(plan.faults_fired() >= 1, "{kind:?} must fire");
+            assert!(report.sweep.degraded, "{kind:?} must degrade the sweep");
+            assert_eq!(report.sweep.merges, 0);
+            if kind != FaultKind::Cancel {
+                // A killed sweep leaves the rest of the flow untouched:
+                // byte-identical to never having asked for it. (A cancel
+                // poisons the shared governor, degrading later
+                // candidates too, so only equivalence is required.)
+                assert_eq!(
+                    symbi_netlist::bench::write(&net),
+                    symbi_netlist::bench::write(&unswept_net),
+                    "{kind:?}: degraded flow must equal the unswept flow"
+                );
+            }
+            assert!(random_co_simulation(&n, &net, 40, 17));
+        }
     }
 
     #[test]

@@ -68,11 +68,12 @@ type Decomposition = Result<(Tree, recursive::Stats, usize), ResourceExhausted>;
 /// `options.jobs > 1`; see the module docs for the phase structure and
 /// the determinism contract.
 pub(crate) fn optimize_parallel(
-    netlist: &Netlist,
+    original: &Netlist,
+    input: &Netlist,
     options: &SynthesisOptions,
     gov: &ResourceGovernor,
 ) -> (Netlist, SynthesisReport) {
-    let (cleaned, _) = clean(netlist);
+    let (cleaned, _) = clean(input);
     let mut report = SynthesisReport::default();
 
     // Reachability first (itself parallel over partitions), shared
@@ -257,7 +258,7 @@ pub(crate) fn optimize_parallel(
         out.add_output(name.clone(), rebuilt[sig]);
     }
     let (final_netlist, _) = clean(&out);
-    run_validation(netlist, &final_netlist, options, gov, &mut report);
+    run_validation(original, &final_netlist, options, gov, &mut report);
     (final_netlist, report)
 }
 

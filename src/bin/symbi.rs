@@ -4,6 +4,7 @@
 //! symbi stats     <file>
 //! symbi convert   <in> <out>
 //! symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
+//!                 [--sweep] [--sweep-rounds N] [--sweep-conflicts N]
 //!                 [--dec-backend bdd|sat|portfolio] [--sat-conflicts N]
 //!                 [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
 //!                 [--jobs N] [--shared-workers N] [--cache-bits N]
@@ -27,6 +28,15 @@
 //! default) keeps the single-threaded kernel. Canonical hash-consing
 //! makes the results identical either way, so this composes freely
 //! with `--jobs` and still emits a byte-identical netlist.
+//!
+//! `--sweep` turns on the FRAIG-style SAT-sweeping pre-pass: seeded
+//! word-parallel simulation groups gates into candidate equivalence
+//! classes (up to negation) and one persistent incremental CDCL solver
+//! refines them pairwise, merging every proven-equal pair before the
+//! symbolic flow starts. `--sweep-rounds N` caps the
+//! simulate-refine-resimulate loop and `--sweep-conflicts N` budgets
+//! each pairwise query; an undecided pair is soundly left unmerged, and
+//! a swept run is still byte-identical across `--jobs` counts.
 //!
 //! `--dec-backend` arms the decomposability *rescue rung*: when the
 //! symbolic partition search exhausts its budget, `sat` proves a fixed
@@ -102,6 +112,7 @@ usage:
   symbi stats     <file>
   symbi convert   <in> <out>
   symbi optimize  <in> [-o <out>] [--no-states] [--max-support N] [--no-xor]
+                  [--sweep] [--sweep-rounds N] [--sweep-conflicts N]
                   [--dec-backend bdd|sat|portfolio] [--sat-conflicts N]
                   [--budget-steps N] [--budget-nodes N] [--timeout-ms N]
                   [--jobs N] [--shared-workers N] [--cache-bits N]
@@ -198,6 +209,16 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         options.max_cone_support =
             v.parse().map_err(|e| format!("--max-support: {e}"))?;
     }
+    if args.iter().any(|a| a == "--sweep") {
+        options.sweep = true;
+    }
+    if let Some(v) = flag_value(args, "--sweep-rounds")? {
+        options.sweep_rounds = v.parse().map_err(|e| format!("--sweep-rounds: {e}"))?;
+    }
+    if let Some(v) = flag_value(args, "--sweep-conflicts")? {
+        options.sweep_conflicts =
+            v.parse().map_err(|e| format!("--sweep-conflicts: {e}"))?;
+    }
     if let Some(v) = flag_value(args, "--dec-backend")? {
         options.decompose.backend = v.parse().map_err(|e| format!("--dec-backend: {e}"))?;
     }
@@ -289,6 +310,18 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         report.sharing_hits
     );
     println!("log2(reachable states) = {:.1}", report.log2_states);
+    if options.sweep {
+        let s = &report.sweep;
+        if s.degraded {
+            println!("sweep: degraded (resources ran out), flow continued unswept");
+        } else {
+            println!(
+                "sweep: {} class(es), {} merge(s), {} SAT call(s), \
+                 {} counterexample pattern(s), {} undecided",
+                s.classes, s.merges, s.sat_calls, s.cex_patterns, s.undecided
+            );
+        }
+    }
     if report.budget_exhausted_ops > 0 || report.candidates_skipped > 0 {
         println!(
             "budget: {} candidates kept original logic, {} exhausted ops, {} fallbacks",
